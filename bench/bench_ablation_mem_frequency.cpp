@@ -1,0 +1,41 @@
+// Ablation (§4.2): memory frequency. Raising DDR5 from 4800 to 5600
+// MT/s improved gateway performance ~8% in production, because with a
+// 30-45% L3 hit rate most table lookups go to DRAM. The bench sweeps
+// memory speed through the cache model and the full simulated platform.
+#include "bench_util.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+double capacity_at(std::uint32_t mts) {
+  NumaConfig numa;
+  numa.memory_mts = mts;
+  CacheModel cache(CacheConfig{}, numa);
+  cache.set_working_set_bytes(4ull << 30);
+  const auto p = service_profile(ServiceKind::kVpcInternet);
+  const double per_pkt =
+      static_cast<double>(p.base_ns) +
+      static_cast<double>(p.mem_accesses) *
+          cache.mean_access_latency(0, 0, false);
+  return 1e3 / per_pkt;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: memory frequency vs gateway throughput",
+               "§4.2 (4800->5600 MT/s => ~8%), SIGCOMM'25 Albatross");
+  const double base = capacity_at(4800);
+  print_row("%-10s %16s %10s", "MT/s", "Mpps/core", "vs 4800");
+  for (const std::uint32_t mts : {4000u, 4400u, 4800u, 5200u, 5600u, 6000u}) {
+    const double c = capacity_at(mts);
+    print_row("%-10u %16.3f %9.1f%%", mts, c, (c - base) / base * 100);
+  }
+  print_row("\nShape: 4800 -> 5600 MT/s yields a high-single-digit gain "
+            "(paper: ~8%%) because DRAM latency sits on most lookups; "
+            "this is why Albatross's hardware selection favours memory "
+            "latency/frequency over core count alone.");
+  return 0;
+}

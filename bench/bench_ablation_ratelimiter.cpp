@@ -1,0 +1,113 @@
+// Ablation: the two-stage tenant rate limiter vs the naive design.
+//  (a) SRAM: per-tenant meters for 1M tenants vs the 4K+4K+2x128 design
+//      (the paper's 100x / "2MB" headline);
+//  (b) the §4.3 false-positive anatomy, with engineered collisions:
+//      an innocent tenant is pushed into stage 2 by a color_table
+//      (VNI % 4K) collision, then starved there by a dominant tenant
+//      occupying the same hashed meter_table slot — and finally rescued
+//      by installing the dominant into pre_check/pre_meter.
+#include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "nic/rate_limiter.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+RateLimiterConfig cfg_scaled() {
+  RateLimiterConfig cfg;
+  cfg.stage1_rate_pps = 8000;
+  cfg.stage2_rate_pps = 2000;
+  cfg.pre_meter_rate_pps = 10000;
+  cfg.auto_install = false;
+  return cfg;
+}
+
+/// Innocent offers 9k pps (under the 10k total budget but needing stage
+/// 2), alongside a color-table partner at 8k (drains the shared stage-1
+/// bucket) and optionally a meter-colliding dominant at 40k pps.
+double innocent_delivery(bool color_collision, bool meter_collision,
+                         bool install_dominant) {
+  const RateLimiterConfig cfg = cfg_scaled();
+  TenantRateLimiter rl(cfg);
+
+  const Vni innocent = 50;
+  // Color partner: same VNI % 4096, different meter slot.
+  Vni partner = innocent + 4096;
+  while (mix64(partner) % cfg.meter_entries ==
+         mix64(innocent) % cfg.meter_entries) {
+    partner += 4096;
+  }
+  // Dominant: same meter slot, different color slot.
+  Vni dominant = innocent + 1;
+  while (mix64(dominant) % cfg.meter_entries !=
+             mix64(innocent) % cfg.meter_entries ||
+         dominant % cfg.color_entries == innocent % cfg.color_entries) {
+    ++dominant;
+  }
+  if (install_dominant) rl.install_heavy_hitter(dominant, 0);
+
+  std::uint64_t pass = 0, total = 0;
+  // Interleaved offering over 2 simulated seconds.
+  NanoTime next_innocent = 0, next_partner = 0, next_dominant = 0;
+  const NanoTime gi = static_cast<NanoTime>(1e9 / 9000);
+  const NanoTime gp = static_cast<NanoTime>(1e9 / 8000);
+  const NanoTime gd = static_cast<NanoTime>(1e9 / 40000);
+  for (NanoTime t = 0; t < 2 * kSecond; t += 10'000) {
+    if (color_collision && t >= next_partner) {
+      rl.admit(partner, t);
+      next_partner += gp;
+    }
+    if (meter_collision && t >= next_dominant) {
+      rl.admit(dominant, t);
+      next_dominant += gd;
+    }
+    if (t >= next_innocent) {
+      const auto v = rl.admit(innocent, t);
+      if (v == RlVerdict::kPass || v == RlVerdict::kPassMarked) ++pass;
+      ++total;
+      next_innocent += gi;
+    }
+  }
+  return static_cast<double>(pass) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: two-stage rate limiter vs naive per-tenant meters",
+               "§4.3, SIGCOMM'25 Albatross");
+
+  TenantRateLimiter rl;
+  print_row("SRAM, naive 1M per-tenant meters : %8.1f MB",
+            TenantRateLimiter::naive_sram_bytes(1'000'000) / 1e6);
+  print_row("SRAM, two-stage (4K+4K+2x128)    : %8.1f MB   (paper: 2 MB, "
+            "100x reduction)",
+            rl.sram_bytes() / 1e6);
+  print_row("reduction factor                 : %8.0fx",
+            static_cast<double>(
+                TenantRateLimiter::naive_sram_bytes(1'000'000)) /
+                rl.sram_bytes());
+
+  print_row("\nInnocent tenant at 9k pps (limits: stage1 8k + stage2 2k):");
+  print_row("%-52s %10s", "scenario", "delivered");
+  print_row("%-52s %9.1f%%", "alone (no collisions)",
+            innocent_delivery(false, false, false) * 100);
+  print_row("%-52s %9.1f%%", "+ color_table collision (pushed into stage 2)",
+            innocent_delivery(true, false, false) * 100);
+  print_row("%-52s %9.1f%%",
+            "+ meter_table collision with 40k-pps dominant",
+            innocent_delivery(true, true, false) * 100);
+  print_row("%-52s %9.1f%%",
+            "  ... after installing dominant into pre_meter",
+            innocent_delivery(true, true, true) * 100);
+  print_row("\nShape: a color_table collision costs the innocent its "
+            "coarse-stage share (inherent to the 4K direct-indexed first "
+            "stage); the real harm is the meter_table collision, where a "
+            "dominant tenant starves the shared fine-stage bucket. "
+            "Installing the dominant into pre_meter (the sampling path "
+            "does this automatically within ~1s) removes exactly that "
+            "starvation — the paper's remediation.");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation: reorder-queue count per pod (the C1/C2 trade-off, §4.1).
+// The FPGA's reorder buffer is a FIXED budget split across the queues
+// (here 4096 entries total):
+//   C1 — more queues => each queue is shallower, so a heavy hitter that
+//        lands on one queue overflows it sooner (ingress loss);
+//   C2 — fewer queues => more flows share each FIFO, so one HOL stall
+//        (e.g. a silent CPU drop waiting out the 100us timeout) delays a
+//        larger fraction of the pod's traffic.
+// The scenario pins a heavy hitter and a silently-dropped (no drop
+// flag) ACL stream onto the SAME order-preserving queue, then measures
+// the hitter's ingress loss (C1) and the share of background packets
+// dragged past 60us by the stalls (C2).
+#include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "traffic/heavy_hitter.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+constexpr std::uint32_t kBufferBudget = 4096;  // total FIFO entries
+constexpr std::uint16_t kCores = 8;
+
+struct AblationResult {
+  double hitter_loss;
+  double bg_delayed_share;
+  double p99_us;
+};
+
+/// Finds an ACL-denied flow whose ordq (crc32c % queues) matches the
+/// hitter's, so its silent drops stall the hitter's queue.
+FlowInfo make_hole_flow(const FlowInfo& hitter, std::uint16_t queues) {
+  const auto target = crc32c(hitter.tuple) % queues;
+  FlowInfo hole = make_flow(0x4041, 9, 0);
+  hole.tuple.dst_ip = Ipv4Address::from_octets(9, 9, 9, 1);
+  for (std::uint16_t port = 1024;; ++port) {
+    hole.tuple.src_port = port;
+    if (crc32c(hole.tuple) % queues == target) return hole;
+  }
+}
+
+AblationResult run(std::uint16_t queues) {
+  auto s = SinglePodScenario::make(ServiceKind::kVpcVpc, kCores,
+                                   LbMode::kPlb, 200, 20'000,
+                                   /*drop_flag=*/false, queues);
+  // Re-register the pod's engine with the per-queue share of the fixed
+  // buffer budget.
+  PlbEngineConfig plb;
+  plb.num_rx_queues = kCores;
+  plb.num_reorder_queues = queues;
+  plb.reorder_entries = kBufferBudget / queues;
+  s.platform->nic().register_pod(s.pod, plb, PktDirConfig{}, LbMode::kPlb);
+
+  CacheModel cache;
+  cache.set_working_set_bytes(4ull << 30);
+  const double capacity_pps =
+      core_capacity_mpps(ServiceKind::kVpcVpc, cache, false) * 1e6 * kCores;
+
+  PoissonFlowConfig bg;
+  bg.num_flows = 4000;
+  bg.rate_pps = 0.2 * capacity_pps;
+  bg.seed = 31;
+  s.platform->attach_source(std::make_unique<PoissonFlowSource>(bg), s.pod);
+
+  // The heavy hitter: 55% of pod capacity concentrated on ONE ordq.
+  HeavyHitterConfig hh;
+  hh.flow = make_flow(0x4040, 7, 0);
+  hh.profile = RateProfile{{0, 0.55 * capacity_pps}};
+  s.platform->attach_source(std::make_unique<HeavyHitterSource>(hh), s.pod);
+
+  // The HOL source: ACL-denied packets on the hitter's queue whose
+  // silent drops stall the FIFO head for 100us each.
+  HeavyHitterConfig hole;
+  hole.flow = make_hole_flow(hh.flow, queues);
+  hole.profile = RateProfile{{0, 0.01 * capacity_pps}};
+  s.platform->attach_source(std::make_unique<HeavyHitterSource>(hole),
+                            s.pod);
+
+  s.platform->run_until(100 * kMillisecond);
+  const auto& t = s.platform->telemetry(s.pod);
+  const auto& hitter_t = s.platform->tenant(7);
+
+  AblationResult r;
+  r.hitter_loss = hitter_t.offered
+                      ? static_cast<double>(hitter_t.dropped_other) /
+                            static_cast<double>(hitter_t.offered)
+                      : 0.0;
+  r.bg_delayed_share = t.wire_latency.fraction_above(60'000);
+  r.p99_us = static_cast<double>(t.wire_latency.quantile(0.99)) / 1e3;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: reorder queues per pod (C1 vs C2 trade-off)",
+               "§4.1 'Reorder queue granularity', SIGCOMM'25 Albatross");
+  print_row("%-8s %12s %16s %18s %10s", "queues", "entries/q",
+            "hitter loss (C1)", "pkts >60us (C2)", "p99(us)");
+  for (const std::uint16_t q : {1, 2, 4, 8}) {
+    const auto r = run(q);
+    print_row("%-8u %12u %15.2f%% %17.2f%% %10.1f", q, kBufferBudget / q,
+              r.hitter_loss * 100, r.bg_delayed_share * 100, r.p99_us);
+  }
+  print_row("\nShape: with the whole budget in one deep queue the hitter "
+            "never overflows (C1 good) but every HOL stall delays the "
+            "whole pod (C2 bad); splitting 8 ways shrinks the blast "
+            "radius but the hitter's 512-entry queue overflows under "
+            "stalls. Production sizes ~1 queue per 12 cores and keeps 4K "
+            "entries per queue (100us at 40Mpps).");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// BGP proxy scaling (Fig. 7 / §5): the uplink switch safely supports 64
+// BGP peers; 32 servers x m pods each would need 32m direct eBGP peers.
+// The bench measures (a) switch restart convergence time vs peer count —
+// the blow-up past the safe threshold — and (b) the peer count with and
+// without the proxy at various pod densities.
+#include "bench_util.hpp"
+#include "bgp/proxy.hpp"
+#include "bgp/switch_model.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+/// Builds a switch with `peers` gateway sessions (each advertising one
+/// VIP), restarts it and returns the time until every session is
+/// re-established and every route re-learned.
+double convergence_seconds(std::size_t peers) {
+  EventLoop loop;
+  UplinkSwitch sw(loop, SwitchConfig{});
+  std::vector<std::unique_ptr<BgpSession>> gws;
+  for (std::size_t i = 0; i < peers; ++i) {
+    gws.push_back(std::make_unique<BgpSession>(
+        loop,
+        BgpSessionConfig{.asn = 64512,
+                         .router_id = 100u + static_cast<std::uint32_t>(i)}));
+    sw.add_peer(*gws.back(), 0);
+    gws.back()->announce(
+        RoutePrefix{Ipv4Address{0x64400000u +
+                                (static_cast<std::uint32_t>(i) << 8)},
+                    24},
+        1, 0);
+  }
+  loop.run_until(240 * kSecond);  // initial convergence
+  sw.restart(loop.now());
+  const NanoTime t0 = loop.now();
+  while (loop.now() - t0 < 3600 * kSecond) {
+    loop.run_until(loop.now() + kSecond);
+    if (sw.established_count() == peers && sw.routes_learned() == peers) {
+      return static_cast<double>(loop.now() - t0) / 1e9;
+    }
+  }
+  return -1.0;  // did not converge within an hour
+}
+
+}  // namespace
+
+int main() {
+  print_header("BGP proxy: switch peer scaling and convergence",
+               "Fig. 7 / §5, SIGCOMM'25 Albatross");
+
+  print_row("%-8s %22s", "peers", "restart convergence(s)");
+  for (const std::size_t peers : {16, 32, 64, 96, 128, 192}) {
+    const double s = convergence_seconds(peers);
+    print_row("%-8zu %22.1f%s", peers, s,
+              peers > 64 ? "   <- beyond the safe threshold" : "");
+  }
+
+  print_row("\nPeer-count arithmetic (32 servers per switch):");
+  print_row("%-14s %18s %18s", "pods/server", "direct peers",
+            "with dual proxy");
+  for (const int m : {2, 4, 6, 8}) {
+    print_row("%-14d %18d %18d", m, 32 * m, 32 * 2);
+  }
+
+  // Live: one server with 4 pods behind a proxy -> 1 switch peer.
+  EventLoop loop;
+  UplinkSwitch sw(loop, SwitchConfig{});
+  BgpProxy proxy(loop, sw, BgpProxyConfig{}, 0);
+  std::vector<std::unique_ptr<BgpSession>> pods;
+  for (int i = 0; i < 4; ++i) {
+    pods.push_back(std::make_unique<BgpSession>(
+        loop,
+        BgpSessionConfig{.asn = 64600,
+                         .router_id = 300u + static_cast<std::uint32_t>(i)}));
+    proxy.attach_pod(*pods.back(), 0);
+    pods.back()->announce(
+        RoutePrefix{Ipv4Address{0x64650000u +
+                                (static_cast<std::uint32_t>(i) << 8)},
+                    24},
+        7, 0);
+  }
+  loop.run_until(60 * kSecond);
+  print_row("\n[live] 4 GW pods behind one proxy: switch peers=%zu, "
+            "routes learned=%zu (paper: peers reduced to 1/m).",
+            sw.peer_count(), sw.routes_learned());
+  return 0;
+}

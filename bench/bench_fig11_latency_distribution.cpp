@@ -1,0 +1,115 @@
+// Figure 11: PLB latency distribution in production — four pods A-D at
+// 20/17/6/5% load. Paper: >99% of packets below 30us, exponentially
+// decaying tail, more 30-100us mass on higher-load pods, and a
+// disordering rate around 1e-5 (packets exceeding the 100us PLB
+// timeout). Includes the timeout-sweep ablation: shorter reorder
+// timeouts raise the disorder rate.
+#include "bench_util.hpp"
+#include "traffic/microburst.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+struct PodResult {
+  double frac_below_30us;
+  double frac_30_100us;
+  double disorder_rate;
+  double mean_us;
+};
+
+PodResult run_pod(double load, std::uint64_t seed,
+                  NanoTime timeout = kReorderTimeout) {
+  constexpr std::uint16_t kCores = 8;
+  PlatformConfig pc;
+  pc.nic.gop.auto_install = false;
+  Platform platform(pc);
+  GwPodConfig cfg;
+  cfg.service = ServiceKind::kVpcVpc;
+  cfg.data_cores = kCores;
+  cfg.seed = seed;
+  // Production jitter: rare multi-tens-of-us slow branches survive in
+  // small numbers even after the code fixes; keep the default tail.
+  PlbEngineConfig na;  // unused default; timeout set via reorder_queues arg
+  (void)na;
+  const PodId pod = platform.create_pod(cfg, 0, PktDirConfig{}, LbMode::kPlb);
+  // Override reorder timeout by re-registering with custom engine.
+  PlbEngineConfig plb;
+  plb.num_rx_queues = kCores;
+  plb.num_reorder_queues = 2;
+  plb.reorder_timeout = timeout;
+  platform.nic().register_pod(pod, plb, PktDirConfig{}, LbMode::kPlb);
+
+  CacheModel cache;
+  cache.set_working_set_bytes(4ull << 30);
+  const double capacity_pps =
+      core_capacity_mpps(ServiceKind::kVpcVpc, cache, false) * 1e6 * kCores;
+
+  PoissonFlowConfig bg;
+  bg.num_flows = 5000;
+  bg.rate_pps = load * capacity_pps * 0.8;
+  bg.seed = seed;
+  platform.attach_source(std::make_unique<PoissonFlowSource>(bg), pod);
+  // Production-scale pods (44 cores) absorb bursts that would swamp a
+  // scaled 8-core pod; keep burst trains proportionally modest so the
+  // queueing regime matches the paper's (tail decays exponentially,
+  // only jitter outliers cross the 100us timeout).
+  MicroburstConfig mb;
+  mb.num_flows = 300;
+  mb.single_flow_bursts = false;
+  mb.mean_burst_packets = 200;
+  mb.burst_rate_pps = 10e6;
+  mb.mean_burst_gap = static_cast<NanoTime>(
+      200.0 / (load * capacity_pps * 0.2) * 1e9);
+  mb.seed = seed + 1;
+  platform.attach_source(std::make_unique<MicroburstSource>(mb), pod);
+
+  platform.run_until(20 * kMillisecond);
+  platform.reset_telemetry();
+  platform.run_until(220 * kMillisecond);
+
+  const auto& t = platform.telemetry(pod);
+  PodResult r;
+  r.frac_below_30us = 1.0 - t.wire_latency.fraction_above(30'000);
+  r.frac_30_100us = t.wire_latency.fraction_above(30'000) -
+                    t.wire_latency.fraction_above(100'000);
+  r.disorder_rate = t.disorder_rate();
+  r.mean_us = t.wire_latency.mean() / 1e3;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 11: PLB latency distribution across pods A-D",
+               "Fig. 11, SIGCOMM'25 Albatross");
+  struct Pod {
+    const char* name;
+    double load;
+  };
+  const Pod pods[] = {{"A", 0.20}, {"B", 0.17}, {"C", 0.06}, {"D", 0.05}};
+  print_row("%-4s %6s %10s %12s %12s %10s", "pod", "load", "<30us",
+            "30-100us", "disorder", "mean(us)");
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto r = run_pod(pods[i].load, 100 + i);
+    print_row("%-4s %5.0f%% %9.2f%% %11.3f%% %12.1e %10.1f", pods[i].name,
+              pods[i].load * 100, r.frac_below_30us * 100,
+              r.frac_30_100us * 100, r.disorder_rate, r.mean_us);
+  }
+
+  print_row("\nAblation: reorder-timeout sweep at 20%% load "
+            "(paper default 100us):");
+  print_row("%-12s %12s", "timeout(us)", "disorder");
+  for (const NanoTime to :
+       {20 * kMicrosecond, 50 * kMicrosecond, 100 * kMicrosecond,
+        200 * kMicrosecond}) {
+    const auto r = run_pod(0.20, 999, to);
+    print_row("%-12lld %12.1e", static_cast<long long>(to / 1000),
+              r.disorder_rate);
+  }
+  print_row("\nShape: >99%% under 30us; higher-load pods shift mass into "
+            "30-100us; disorder ~1e-5 at the 100us timeout and rises as "
+            "the timeout shrinks.");
+  return 0;
+}

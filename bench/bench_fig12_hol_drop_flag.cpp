@@ -1,0 +1,76 @@
+// Figure 12: HOL optimisation with the active drop flag. CPU-side drops
+// (ACL/rate rules) leave reorder-FIFO entries stranded; without
+// notification each strand blocks its queue head for the full 100us
+// timeout. The drop flag releases resources immediately, cutting HOL
+// occurrences by one to two orders of magnitude per second.
+#include "bench_util.hpp"
+#include "traffic/heavy_hitter.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+struct HolResult {
+  double hol_events_per_s;      // Case-1 timeout releases
+  double drop_releases_per_s;   // flag-released reorder entries
+  double p99_us;
+};
+
+HolResult run(bool drop_flag, double acl_drop_share) {
+  constexpr std::uint16_t kCores = 4;
+  auto s = SinglePodScenario::make(ServiceKind::kVpcVpc, kCores,
+                                   LbMode::kPlb, 200, 20'000, drop_flag);
+  CacheModel cache;
+  cache.set_working_set_bytes(4ull << 30);
+  const double capacity_pps =
+      core_capacity_mpps(ServiceKind::kVpcVpc, cache, false) * 1e6 * kCores;
+  const double total = 0.35 * capacity_pps;
+
+  PoissonFlowConfig bg;
+  bg.num_flows = 3000;
+  bg.rate_pps = total * (1.0 - acl_drop_share);
+  bg.seed = 19;
+  s.platform->attach_source(std::make_unique<PoissonFlowSource>(bg), s.pod);
+
+  // ACL-denied stream (dst inside 9.9.9.0/24 -> rule 1 kDeny).
+  HeavyHitterConfig bad;
+  bad.flow = make_flow(0xac10, 9, 0);
+  bad.flow.tuple.dst_ip = Ipv4Address::from_octets(9, 9, 9, 99);
+  bad.profile = RateProfile{{0, total * acl_drop_share}};
+  s.platform->attach_source(std::make_unique<HeavyHitterSource>(bad), s.pod);
+
+  const NanoTime duration = 150 * kMillisecond;
+  s.platform->run_until(duration);
+  const auto stats = s.platform->nic().engine(s.pod).total_stats();
+  const double secs = static_cast<double>(duration) / 1e9;
+  HolResult r;
+  r.hol_events_per_s = static_cast<double>(stats.timeout_releases) / secs;
+  r.drop_releases_per_s = static_cast<double>(stats.drop_releases) / secs;
+  r.p99_us = static_cast<double>(
+                 s.platform->telemetry(s.pod).wire_latency.quantile(0.99)) /
+             1e3;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 12: HOL events with vs without the active drop flag",
+               "Fig. 12, SIGCOMM'25 Albatross");
+  print_row("%-14s %10s %14s %16s %10s", "drop share", "flag",
+            "HOL events/s", "flag releases/s", "p99(us)");
+  for (const double share : {0.005, 0.02, 0.05}) {
+    const auto off = run(false, share);
+    const auto on = run(true, share);
+    print_row("%12.1f%% %10s %14.0f %16.0f %10.1f", share * 100, "off",
+              off.hol_events_per_s, off.drop_releases_per_s, off.p99_us);
+    print_row("%12.1f%% %10s %14.0f %16.0f %10.1f", share * 100, "on",
+              on.hol_events_per_s, on.drop_releases_per_s, on.p99_us);
+  }
+  print_row("\nShape: without the flag every CPU drop becomes a 100us HOL "
+            "stall (hundreds to thousands per second); with it HOL events "
+            "collapse to ~0 (paper: reduced by dozens to hundreds per "
+            "second).");
+  return 0;
+}

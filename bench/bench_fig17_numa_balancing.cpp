@@ -1,0 +1,73 @@
+// Figure 17: impact of kernel automatic NUMA balancing on a pinned pod.
+// The balancer's periodic scans stall data cores under high load,
+// producing maximum-latency bursts at ~90% load that vanish when
+// numa_balancing is disabled — the paper's lesson learned.
+#include "bench_util.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+struct TailResult {
+  double p999_us;
+  double max_us;
+  std::uint64_t stalls;
+};
+
+TailResult run(bool balancing, double load) {
+  constexpr std::uint16_t kCores = 4;
+  PlatformConfig pc;
+  Platform platform(pc);
+  GwPodConfig cfg;
+  cfg.service = ServiceKind::kVpcVpc;
+  cfg.data_cores = kCores;
+  cfg.numa_balancing = balancing;
+  // Compressed timescale: production scans every few hundred ms over
+  // hours; the 400ms window uses a 5ms scan period instead.
+  cfg.numa_balancing_scan_period = 5 * kMillisecond;
+  const PodId pod = platform.create_pod(cfg);
+
+  CacheModel cache;
+  cache.set_working_set_bytes(4ull << 30);
+  const double capacity_pps =
+      core_capacity_mpps(ServiceKind::kVpcVpc, cache, false) * 1e6 * kCores;
+  PoissonFlowConfig bg;
+  bg.num_flows = 4000;
+  bg.rate_pps = load * capacity_pps;
+  bg.seed = 29;
+  platform.attach_source(std::make_unique<PoissonFlowSource>(bg), pod);
+
+  platform.run_until(20 * kMillisecond);
+  platform.reset_telemetry();
+  platform.run_until(400 * kMillisecond);
+
+  const auto& t = platform.telemetry(pod);
+  TailResult r;
+  r.p999_us = static_cast<double>(t.wire_latency.quantile(0.999)) / 1e3;
+  r.max_us = static_cast<double>(t.wire_latency.max()) / 1e3;
+  r.stalls = platform.pod(pod).balancer().stalls();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 17: impact of automatic NUMA balancing",
+               "Fig. 17, SIGCOMM'25 Albatross");
+  print_row("%-8s %12s %12s %12s %10s", "load", "balancing", "p999(us)",
+            "max(us)", "stalls");
+  for (const double load : {0.5, 0.7, 0.9}) {
+    for (const bool bal : {true, false}) {
+      const auto r = run(bal, load);
+      print_row("%6.0f%% %12s %12.1f %12.1f %10llu", load * 100,
+                bal ? "on" : "off", r.p999_us, r.max_us,
+                static_cast<unsigned long long>(r.stalls));
+    }
+  }
+  print_row("\nShape: with numa_balancing on, maximum latency spikes into "
+            "the hundreds of microseconds at ~90%% load (page-migration "
+            "stalls); disabling it flattens the tail — exactly the "
+            "production remediation.");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 4: per-core throughput of the VPC-Internet service under RSS
+// vs PLB at 1, 20 and 40 cores — the surprising result that the gap is
+// <1% because the multi-GB forwarding state makes both modes equally
+// DRAM-bound (L3 is shared). Small core counts are simulated end to
+// end; 20/40 cores use the closed-form per-core capacity (identical
+// math, no queueing interaction at saturation).
+#include "bench_util.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+int main() {
+  print_header("Figure 4: RSS vs PLB per-core throughput (VPC-Internet)",
+               "Fig. 4, SIGCOMM'25 Albatross");
+
+  print_row("%-8s %14s %14s %10s", "cores", "RSS Mpps/core",
+            "PLB Mpps/core", "gap");
+
+  // Simulated points (1 and 4 cores).
+  for (const std::uint16_t cores : {1, 4}) {
+    const auto rss = measure_saturation(ServiceKind::kVpcInternet, cores,
+                                        LbMode::kRss, cores * 3e6,
+                                        40 * kMillisecond, /*seed=*/2);
+    const auto plb = measure_saturation(ServiceKind::kVpcInternet, cores,
+                                        LbMode::kPlb, cores * 3e6,
+                                        40 * kMillisecond, /*seed=*/2);
+    print_row("%-8d %14.3f %14.3f %9.2f%%  (simulated)", cores,
+              rss.per_core_mpps, plb.per_core_mpps,
+              (rss.per_core_mpps - plb.per_core_mpps) / rss.per_core_mpps *
+                  100.0);
+  }
+
+  // Closed-form points (20 and 40 cores, the paper's sweep).
+  CacheModel cache;
+  cache.set_working_set_bytes(4ull << 30);
+  const double rss_core =
+      core_capacity_mpps(ServiceKind::kVpcInternet, cache, true);
+  const double plb_core =
+      core_capacity_mpps(ServiceKind::kVpcInternet, cache, false);
+  for (const int cores : {20, 40}) {
+    print_row("%-8d %14.3f %14.3f %9.2f%%  (closed form)", cores, rss_core,
+              plb_core, (rss_core - plb_core) / rss_core * 100.0);
+  }
+  print_row("\nL3 hit rate in this regime: %.1f%% -> both modes are "
+            "DRAM-bound; paper reports a <1%% difference.",
+            cache.l3_hit_rate() * 100.0);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 5: L3 cache hit rate comparison — cloud-gateway forwarding
+// state (several GB) against ~200MB of shared L3 yields 30-45% hit
+// rates, nearly identical for RSS and PLB. The bench sweeps working-set
+// size and measures hit rates both analytically and by sampling.
+#include "bench_util.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+int main() {
+  print_header("Figure 5: L3 cache hit rate, RSS vs PLB",
+               "Fig. 5, SIGCOMM'25 Albatross");
+
+  print_row("%-16s %12s %12s %12s", "working set", "analytic%",
+            "sampledRSS%", "sampledPLB%");
+  Rng rng(5);
+  for (const std::uint64_t ws_gb : {1, 2, 4, 8, 16}) {
+    CacheModel cache;
+    cache.set_working_set_bytes(ws_gb << 30);
+    // Sampled hit rates: count accesses that cost <= L3 latency.
+    const auto sampled = [&](bool affine) {
+      std::uint64_t hits = 0;
+      const int n = 200000;
+      for (int i = 0; i < n; ++i) {
+        if (cache.access_latency(rng, 0, 0, affine) <=
+            cache.config().l3_hit_ns) {
+          ++hits;
+        }
+      }
+      return 100.0 * static_cast<double>(hits) / n;
+    };
+    print_row("%13llu GB %11.1f%% %11.1f%% %11.1f%%",
+              static_cast<unsigned long long>(ws_gb),
+              cache.l3_hit_rate() * 100.0, sampled(true), sampled(false));
+  }
+  print_row("\nPaper regime (~4GB tables): 30-45%% hit rate, RSS ~= PLB "
+            "because the L3 is shared across cores either way.");
+  return 0;
+}

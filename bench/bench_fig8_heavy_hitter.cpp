@@ -1,0 +1,76 @@
+// Figure 8: load-balancing comparison under a growing heavy hitter.
+// Paper setup: 500K background flows, 3 forwarding cores at ~10%
+// baseline utilisation; one hitter ramps from 0 to 130% of a single
+// core's capacity. RSS pins the hitter to one core (core overload,
+// packet loss); PLB sprays it across all cores (no loss).
+#include "bench_util.hpp"
+#include "traffic/heavy_hitter.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+struct Point {
+  double loss;
+  double hot_core_util;
+};
+
+Point run(LbMode mode, double hitter_fraction_of_core) {
+  constexpr std::uint16_t kCores = 3;
+  auto s = SinglePodScenario::make(ServiceKind::kVpcVpc, kCores, mode);
+
+  // Background: ~10% utilisation of each core.
+  CacheModel cache;
+  cache.set_working_set_bytes(4ull << 30);
+  const double core_mpps =
+      core_capacity_mpps(ServiceKind::kVpcVpc, cache, mode == LbMode::kRss);
+  PoissonFlowConfig bg;
+  bg.num_flows = 5000;  // scaled stand-in for 500K
+  bg.rate_pps = 0.10 * core_mpps * 1e6 * kCores;
+  bg.seed = 11;
+  s.platform->attach_source(std::make_unique<PoissonFlowSource>(bg), s.pod);
+
+  HeavyHitterConfig hh;
+  hh.flow = make_flow(0xbeef, 3, 0);
+  hh.profile = RateProfile{{0, hitter_fraction_of_core * core_mpps * 1e6}};
+  s.platform->attach_source(std::make_unique<HeavyHitterSource>(hh), s.pod);
+
+  const NanoTime duration = 60 * kMillisecond;
+  s.platform->run_until(duration);
+  s.platform->run_until(duration + 10 * kMillisecond);
+
+  const auto& t = s.platform->telemetry(s.pod);
+  Point p;
+  p.loss = t.offered ? 1.0 - static_cast<double>(t.delivered) /
+                                 static_cast<double>(t.offered)
+                     : 0.0;
+  NanoTime hottest = 0;
+  for (CoreId c = 0; c < kCores; ++c) {
+    hottest = std::max(hottest, s.platform->pod(s.pod).core_busy_ns(c));
+  }
+  p.hot_core_util = static_cast<double>(hottest) /
+                    static_cast<double>(duration + 10 * kMillisecond);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Figure 8: heavy-hitter tolerance, RSS vs PLB (3 cores, 10% base)",
+      "Fig. 8, SIGCOMM'25 Albatross");
+  print_row("%-12s %10s %12s %10s %12s", "hitter(%core)", "RSS loss",
+            "RSS hotcore", "PLB loss", "PLB hotcore");
+  for (const double frac : {0.0, 0.3, 0.6, 0.9, 1.1, 1.3}) {
+    const Point rss = run(LbMode::kRss, frac);
+    const Point plb = run(LbMode::kPlb, frac);
+    print_row("%11.0f%% %9.2f%% %11.0f%% %9.2f%% %11.0f%%", frac * 100,
+              rss.loss * 100, rss.hot_core_util * 100, plb.loss * 100,
+              plb.hot_core_util * 100);
+  }
+  print_row("\nShape: RSS loses packets once the hitter exceeds ~90%% of "
+            "one core (its hot core saturates); PLB stays lossless "
+            "through 130%% by spreading the flow across all 3 cores.");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 9: P99 latency vs gateway load, PLB vs RSS, under realistic
+// microburst traffic. Paper: indistinguishable below ~75% load; above
+// it, RSS's transiently-overloaded cores inflate the tail while PLB
+// absorbs bursts across all cores.
+#include "bench_util.hpp"
+#include "traffic/microburst.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+double p99_at_load(LbMode mode, double load) {
+  constexpr std::uint16_t kCores = 4;
+  auto s = SinglePodScenario::make(ServiceKind::kVpcVpc, kCores, mode);
+  CacheModel cache;
+  cache.set_working_set_bytes(4ull << 30);
+  const double capacity_pps =
+      core_capacity_mpps(ServiceKind::kVpcVpc, cache, mode == LbMode::kRss) *
+      1e6 * kCores;
+
+  // Split the offered load: a smooth Poisson baseline plus microbursts
+  // carrying ~30% of the volume (real cloud traffic is bursty, §6).
+  PoissonFlowConfig bg;
+  bg.num_flows = 5000;
+  bg.zipf_alpha = 1.05;  // heavy skew: a few flows dominate (RSS's bane)
+  bg.rate_pps = load * capacity_pps * 0.7;
+  bg.seed = 3;
+  s.platform->attach_source(std::make_unique<PoissonFlowSource>(bg), s.pod);
+
+  // Bursts span many flows (incast-style): RSS spreads them across
+  // cores statistically, so low-load tails match PLB; what kills RSS at
+  // high load is the skewed background concentrating on hot cores.
+  MicroburstConfig mb;
+  mb.num_flows = 2000;
+  mb.single_flow_bursts = false;
+  mb.mean_burst_packets = 300;
+  mb.burst_rate_pps = 20e6;  // line-rate trains
+  const double burst_pps = load * capacity_pps * 0.3;
+  mb.mean_burst_gap = static_cast<NanoTime>(
+      static_cast<double>(mb.mean_burst_packets) / burst_pps * 1e9);
+  mb.seed = 7;
+  s.platform->attach_source(std::make_unique<MicroburstSource>(mb), s.pod);
+
+  s.platform->run_until(20 * kMillisecond);
+  s.platform->reset_telemetry();
+  s.platform->run_until(100 * kMillisecond);
+  return static_cast<double>(
+             s.platform->telemetry(s.pod).wire_latency.quantile(0.99)) /
+         1e3;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 9: P99 latency vs gateway load (microburst mix)",
+               "Fig. 9, SIGCOMM'25 Albatross");
+  print_row("%-8s %12s %12s", "load", "RSS p99(us)", "PLB p99(us)");
+  for (const double load : {0.3, 0.5, 0.65, 0.75, 0.85, 0.95}) {
+    print_row("%6.0f%% %12.1f %12.1f", load * 100,
+              p99_at_load(LbMode::kRss, load),
+              p99_at_load(LbMode::kPlb, load));
+  }
+  print_row("\nShape: near-identical tails at low load; above ~75%% load "
+            "PLB's spraying keeps P99 flat while RSS inflates.");
+  return 0;
+}

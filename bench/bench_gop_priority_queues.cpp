@@ -1,0 +1,113 @@
+// GOP technique 2 (§4.3): protocol-packet prioritisation. BFD declares
+// a link dead after 3 lost probes; if BFD shares the data path, a
+// saturated gateway's indiscriminate drops take the link (and BGP) down
+// exactly when the gateway is busiest — the 1st-gen "NIC port overload"
+// failure (§2.1). With priority queues the probes bypass the congested
+// data path and the link stays up at any data-plane load.
+#include "bench_util.hpp"
+#include "bgp/bfd.hpp"
+#include "traffic/heavy_hitter.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+struct BfdOutcome {
+  std::uint64_t probes_offered = 0;
+  std::uint64_t probes_received = 0;
+  std::uint64_t link_failures = 0;
+  double probe_p99_us = 0.0;
+};
+
+BfdOutcome run(bool priority_queues, double overload_factor) {
+  constexpr std::uint16_t kCores = 2;
+  PlatformConfig pc;
+  pc.nic.gop.auto_install = false;
+  Platform platform(pc);
+  GwPodConfig gp;
+  gp.service = ServiceKind::kVpcVpc;
+  gp.data_cores = kCores;
+  gp.rx_ring_capacity = 512;
+  PktDirConfig dir;
+  dir.priority_queues_enabled = priority_queues;
+  const PodId pod = platform.create_pod(gp, 0, dir, LbMode::kPlb);
+
+  // Local BFD endpoint fed by the pod's ctrl plane; detection per
+  // RFC 5880 semantics (3 x 50ms).
+  BfdConfig bfd_cfg;
+  bfd_cfg.tx_interval = 50 * kMillisecond;
+  BfdSession bfd(platform.loop(), bfd_cfg);
+  std::uint64_t downs = 0;
+  LogHistogram probe_latency;
+  bfd.set_on_state([&](BfdState s, NanoTime) {
+    if (s == BfdState::kDown) ++downs;
+  });
+  bfd.set_tx([](NanoTime) {});  // reverse direction not modelled
+  platform.pod(pod).set_protocol_handler(
+      [&](PacketPtr pkt, NanoTime now) {
+        if (pkt->tuple.dst_port == kBfdPort) {
+          bfd.on_rx(now);
+          probe_latency.record(
+              static_cast<std::uint64_t>(now - pkt->rx_time));
+        }
+      });
+  bfd.start(0);
+  // Mark the session up before the storm begins.
+  bfd.on_rx(0);
+
+  // Remote peer's probes: CBR at the BFD interval.
+  HeavyHitterConfig probes;
+  probes.flow = make_flow(0xbfdbfd, 0, 0);
+  probes.flow.tuple.dst_port = kBfdPort;
+  probes.profile = RateProfile{{0, 1e9 / static_cast<double>(
+                                          bfd_cfg.tx_interval)}};
+  platform.attach_source(std::make_unique<HeavyHitterSource>(probes), pod);
+
+  // The data-plane storm: overload_factor x pod capacity.
+  CacheModel cache;
+  cache.set_working_set_bytes(4ull << 30);
+  const double capacity_pps =
+      core_capacity_mpps(ServiceKind::kVpcVpc, cache, false) * 1e6 * kCores;
+  PoissonFlowConfig storm;
+  storm.num_flows = 3000;
+  storm.rate_pps = overload_factor * capacity_pps;
+  storm.seed = 37;
+  platform.attach_source(std::make_unique<PoissonFlowSource>(storm), pod);
+
+  platform.run_until(1500 * kMillisecond);
+
+  BfdOutcome r;
+  r.probes_offered = platform.tenant(0).offered;  // probes carry vni 0
+  r.probes_received = probe_latency.count();
+  r.link_failures = downs;
+  r.probe_p99_us = static_cast<double>(probe_latency.quantile(0.99)) / 1e3;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_header("GOP: protocol priority queues vs BFD survival",
+               "§4.3 'High priority assignment for protocol packets'");
+  print_row("%-10s %10s %10s %10s %12s %12s", "overload", "priority",
+            "offered", "received", "link downs", "p99(us)");
+  for (const double overload : {0.5, 1.5, 2.5}) {
+    for (const bool prio : {true, false}) {
+      const auto r = run(prio, overload);
+      print_row("%8.0f%% %10s %10llu %10llu %12llu %12.1f", overload * 100,
+                prio ? "on" : "off",
+                static_cast<unsigned long long>(r.probes_offered),
+                static_cast<unsigned long long>(r.probes_received),
+                static_cast<unsigned long long>(r.link_failures),
+                r.probe_p99_us);
+    }
+  }
+  print_row("\nShape: below capacity both configs keep BFD up. Once the "
+            "data plane saturates, the data-path config loses probes "
+            "indiscriminately and BFD declares link failures (which would "
+            "reset BGP and blackhole ALL tenants); the priority-queue "
+            "config delivers every probe at microsecond latency "
+            "regardless of load.");
+  return 0;
+}

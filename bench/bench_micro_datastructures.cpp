@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks of the hot-path data structures:
+// Toeplitz/CRC32C hashing, DIR-24-8 LPM lookup (vs the reference trie,
+// i.e. the "software LPM" DPU variant §2.2 criticises), cuckoo
+// exact-match, token-bucket metering and the reorder-queue fast path.
+#include <benchmark/benchmark.h>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "nic/plb_reorder.hpp"
+#include "nic/rate_limiter.hpp"
+#include "tables/cuckoo_table.hpp"
+#include "tables/lpm_dir24.hpp"
+#include "tables/lpm_trie.hpp"
+#include "tables/meter.hpp"
+
+namespace albatross {
+namespace {
+
+FiveTuple tuple_of(std::uint64_t i) {
+  return FiveTuple{Ipv4Address{static_cast<std::uint32_t>(mix64(i))},
+                   Ipv4Address{static_cast<std::uint32_t>(mix64(i + 1))},
+                   static_cast<std::uint16_t>(i), 443, IpProto::kTcp};
+}
+
+void BM_ToeplitzRssHash(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rss_hash(tuple_of(i++ & 1023)));
+  }
+}
+BENCHMARK(BM_ToeplitzRssHash);
+
+void BM_Crc32cOrdqSelect(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(tuple_of(i++ & 1023)) % 4);
+  }
+}
+BENCHMARK(BM_Crc32cOrdqSelect);
+
+void BM_LpmDir24Lookup(benchmark::State& state) {
+  static LpmDir24* lpm = [] {
+    auto* t = new LpmDir24();
+    Rng rng(1);
+    for (int i = 0; i < 1'000'000; ++i) {
+      t->add(Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())},
+             static_cast<std::uint8_t>(16 + rng.next_below(17)),
+             static_cast<NextHop>(i & kMaxNextHop));
+    }
+    return t;
+  }();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lpm->lookup(Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())}));
+  }
+}
+BENCHMARK(BM_LpmDir24Lookup);
+
+void BM_LpmTrieLookup_SoftwareLpmBaseline(benchmark::State& state) {
+  static LpmTrie* trie = [] {
+    auto* t = new LpmTrie();
+    Rng rng(1);
+    for (int i = 0; i < 100'000; ++i) {
+      t->add(Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())},
+             static_cast<std::uint8_t>(16 + rng.next_below(17)),
+             static_cast<NextHop>(i & kMaxNextHop));
+    }
+    return t;
+  }();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie->lookup(
+        Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())}));
+  }
+}
+BENCHMARK(BM_LpmTrieLookup_SoftwareLpmBaseline);
+
+void BM_CuckooFind(benchmark::State& state) {
+  static CuckooTable<std::uint64_t, std::uint64_t>* table = [] {
+    auto* t = new CuckooTable<std::uint64_t, std::uint64_t>(1 << 20);
+    for (std::uint64_t k = 0; k < 700'000; ++k) t->insert(k, k);
+    return t;
+  }();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->find(i++ % 700'000));
+  }
+}
+BENCHMARK(BM_CuckooFind);
+
+void BM_TokenBucketConsume(benchmark::State& state) {
+  TokenBucket tb(1e9, 1e6);
+  NanoTime now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tb.consume(now += 10));
+  }
+}
+BENCHMARK(BM_TokenBucketConsume);
+
+void BM_RateLimiterAdmit(benchmark::State& state) {
+  TenantRateLimiter rl;
+  NanoTime now = 0;
+  Vni vni = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rl.admit(++vni & 0xffff, now += 100));
+  }
+}
+BENCHMARK(BM_RateLimiterAdmit);
+
+void BM_ReorderRoundTrip(benchmark::State& state) {
+  ReorderQueue q;
+  std::vector<ReorderEgress> out;
+  NanoTime now = 0;
+  for (auto _ : state) {
+    now += 100;
+    const auto psn = q.reserve(now);
+    PlbMeta m;
+    m.psn = *psn;
+    q.writeback(nullptr, m, now, out);
+    q.drain(now, out);
+    out.clear();
+  }
+}
+BENCHMARK(BM_ReorderRoundTrip);
+
+}  // namespace
+}  // namespace albatross

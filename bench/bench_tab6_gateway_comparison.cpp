@@ -1,0 +1,56 @@
+// Table 6: Albatross vs Sailfish vs Albatross* across LPM capacity,
+// elasticity, price and forwarding performance. Spec columns come from
+// the analytic comparator; the Albatross LPM capacity and elasticity
+// claims are additionally *demonstrated* live: 10M+ routes inserted into
+// the DIR-24-8 table, and a pod deployed through the orchestrator in
+// 10 simulated seconds.
+#include "bench_util.hpp"
+#include "container/orchestrator.hpp"
+#include "gateway/sailfish_model.hpp"
+#include "tables/lpm_dir24.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+int main() {
+  print_header("Table 6: gateway generation comparison",
+               "Tab. 6, SIGCOMM'25 Albatross");
+
+  print_row("%-12s %10s %12s %10s %9s %12s %10s %9s", "gateway", "LPM(M)",
+            "elasticity", "price/dev", "price/AZ", "thpt(Gbps)", "Mpps",
+            "lat(us)");
+  for (const auto& g : gateway_comparison()) {
+    const std::string elast =
+        g.elasticity_seconds >= 3600
+            ? std::to_string(static_cast<int>(g.elasticity_seconds / 86400)) +
+                  " days"
+            : std::to_string(static_cast<int>(g.elasticity_seconds)) + " s";
+    print_row("%-12s %10.1f %12s %9.1fx %8.1fx %12.0f %10.0f %9.1f",
+              g.name.c_str(), g.lpm_rules_millions, elast.c_str(),
+              g.price_per_device, g.price_per_az, g.throughput_gbps,
+              g.packet_rate_mpps, g.latency_us);
+  }
+
+  // Live demonstration 1: >10M LPM rules in DRAM.
+  LpmDir24 lpm;
+  const std::uint32_t rules = 10'000'000;
+  for (std::uint32_t i = 0; i < rules; ++i) {
+    lpm.add(Ipv4Address{0x10000000u + i}, 32, i & kMaxNextHop);
+  }
+  print_row("\n[live] DIR-24-8 holds %.1fM rules in %.2f GB DRAM "
+            "(Sailfish SRAM caps at 0.2M); sample lookup -> %u",
+            rules / 1e6, static_cast<double>(lpm.memory_bytes()) / 1e9,
+            *lpm.lookup(Ipv4Address{0x10000000u + 424242}));
+
+  // Live demonstration 2: 10-second pod elasticity.
+  Orchestrator orch;
+  orch.add_server(ServerSpec{});
+  PodSpec spec;
+  spec.data_cores = 44;
+  spec.ctrl_cores = 2;
+  const auto p = orch.deploy(spec, 0);
+  print_row("[live] GW pod deployed via orchestrator: ready at t=%.0f s "
+            "(paper: 10 seconds; Sailfish: days of cluster build-out)",
+            static_cast<double>(p->ready_at) / 1e9);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared experiment-harness helpers for the per-table/figure benches.
+// Experiments run the full simulated platform at scaled-down core counts
+// and report both the raw scaled measurement and the extrapolation to
+// the paper's 2x46-core server, with the paper's published number next
+// to it for eyeballing the reproduction.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/platform.hpp"
+#include "core/scenario.hpp"
+#include "traffic/flow_gen.hpp"
+
+namespace albatross::bench {
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n  (reproduces %s)\n", title.c_str(), paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Measures a pod's saturated throughput: offer well beyond capacity and
+/// count wire deliveries over the measurement window.
+struct SaturationResult {
+  double delivered_mpps = 0.0;
+  double per_core_mpps = 0.0;
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double disorder_rate = 0.0;
+};
+
+inline SaturationResult measure_saturation(ServiceKind service,
+                                           std::uint16_t cores, LbMode mode,
+                                           double offered_pps,
+                                           NanoTime duration,
+                                           std::uint64_t seed = 1) {
+  auto s = SinglePodScenario::make(service, cores, mode);
+  PoissonFlowConfig cfg;
+  cfg.num_flows = 20'000;  // scaled stand-in for 500K concurrent flows
+  cfg.tenants = 200;
+  cfg.rate_pps = offered_pps;
+  cfg.seed = seed;
+  s.platform->attach_source(std::make_unique<PoissonFlowSource>(cfg), s.pod);
+
+  // Warmup fifth, then measure.
+  const NanoTime warmup = duration / 5;
+  s.platform->run_until(warmup);
+  s.platform->reset_telemetry();
+  s.platform->run_until(warmup + duration);
+
+  const auto& t = s.platform->telemetry(s.pod);
+  SaturationResult r;
+  const double secs = static_cast<double>(duration) / 1e9;
+  r.delivered_mpps = static_cast<double>(t.delivered) / secs / 1e6;
+  r.per_core_mpps = r.delivered_mpps / cores;
+  r.mean_latency_us = t.wire_latency.mean() / 1000.0;
+  r.p99_latency_us = static_cast<double>(t.wire_latency.quantile(0.99)) / 1e3;
+  r.disorder_rate = t.disorder_rate();
+  return r;
+}
+
+}  // namespace albatross::bench

@@ -1,0 +1,109 @@
+// Containerized gateway operations: the §5/§7 lifecycle end to end.
+//   1. Provision Albatross servers and pack four different gateway
+//      roles as GW pods (NUMA-aware, SR-IOV VFs on 4 independent paths).
+//   2. Bring up the control plane: each pod peers iBGP with the server's
+//      BGP proxy; the proxy holds the single eBGP session to the uplink
+//      switch — peer count stays at 1 regardless of pod density.
+//   3. Elastic scale-up under make-before-break: a bigger replacement
+//      pod advertises first, validates, and only then does the old pod
+//      withdraw (no blackholing).
+#include <cstdio>
+
+#include "bgp/proxy.hpp"
+#include "bgp/switch_model.hpp"
+#include "container/cost_model.hpp"
+#include "container/orchestrator.hpp"
+
+using namespace albatross;
+
+int main() {
+  EventLoop loop;
+
+  std::printf("== 1. Packing GW pods onto a server ======================\n");
+  Orchestrator orch;
+  orch.add_server(ServerSpec{});
+  const GatewayRole roles[] = {GatewayRole::kXgw, GatewayRole::kIgw,
+                               GatewayRole::kVgw, GatewayRole::kSlb};
+  std::vector<Placement> placements;
+  for (const auto role : roles) {
+    PodSpec spec;
+    spec.name = std::string(gateway_role_name(role)) + "-pod";
+    spec.data_cores = 20;
+    spec.ctrl_cores = 2;
+    spec.reorder_queues = reorder_queues_for_cores(spec.data_cores);
+    const auto p = orch.deploy(spec, loop.now());
+    placements.push_back(*p);
+    std::printf("%-10s pod=%u numa=%u cores=[%u..%u) vfs={", spec.name.c_str(),
+                p->pod, p->numa_node, p->first_core,
+                p->first_core + spec.total_cores());
+    for (const auto& vf : p->vfs.vfs) {
+      std::printf("nic%u.p%u ", vf.nic, vf.port);
+    }
+    std::printf("} ready@%.0fs\n", static_cast<double>(p->ready_at) / 1e9);
+  }
+  std::printf("server core utilisation: %.0f%%\n\n",
+              orch.core_utilization() * 100);
+
+  std::printf("== 2. BGP via the proxy ==================================\n");
+  UplinkSwitch uplink(loop, SwitchConfig{});
+  BgpProxy proxy(loop, uplink, BgpProxyConfig{}, loop.now());
+  std::vector<std::unique_ptr<BgpSession>> pod_sessions;
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    pod_sessions.push_back(std::make_unique<BgpSession>(
+        loop, BgpSessionConfig{
+                  .asn = 64600,
+                  .router_id = 0x0a000100u + static_cast<std::uint32_t>(i)}));
+    proxy.attach_pod(*pod_sessions.back(), loop.now());
+  }
+  loop.run_until(loop.now() + 30 * kSecond);
+  // Each pod advertises its VIP.
+  for (std::size_t i = 0; i < pod_sessions.size(); ++i) {
+    pod_sessions[i]->announce(
+        RoutePrefix{Ipv4Address{0x64400000u +
+                                (static_cast<std::uint32_t>(i) << 8)},
+                    24},
+        0x0a000100u + static_cast<std::uint32_t>(i), loop.now());
+  }
+  loop.run_until(loop.now() + 10 * kSecond);
+  std::printf("pods attached to proxy : %zu\n", proxy.pods_attached());
+  std::printf("switch BGP peers       : %zu (without proxy: %zu)\n",
+              uplink.peer_count(), placements.size());
+  std::printf("VIP routes on switch   : %zu\n\n", uplink.routes_learned());
+
+  std::printf("== 3. Elastic scale-up (make-before-break) ===============\n");
+  // The redundant-cluster posture (§7): standby capacity is provisioned
+  // ahead of demand so a bigger replacement pod can start immediately.
+  orch.add_server(ServerSpec{});
+  PodSpec bigger;
+  bigger.name = "XGW-pod-v2";
+  bigger.data_cores = 40;
+  bigger.ctrl_cores = 2;
+  const NanoTime t0 = loop.now();
+  const auto scaled = orch.scale_up(placements[0].pod, bigger, t0);
+  if (!scaled) {
+    std::printf("scale-up failed: no server has a free NUMA node\n");
+    return 1;
+  }
+  std::printf("t=%.0fs  scale-up requested (20 -> 40 data cores)\n",
+              static_cast<double>(t0) / 1e9);
+  std::printf("t=%.0fs  new pod ready on server %u (10s container start, "
+              "Tab. 6)\n",
+              static_cast<double>(scaled->first.ready_at) / 1e9,
+              scaled->first.server);
+  std::printf("t=%.0fs  traffic cutover after 30s of BGP validation; old "
+              "pod withdraws\n",
+              static_cast<double>(scaled->second) / 1e9);
+  orch.remove(placements[0].pod);
+  std::printf("old pod removed; placements now: %zu\n\n",
+              orch.placements().size());
+
+  std::printf("== AZ economics ==========================================\n");
+  AzCostModel cost;
+  const auto legacy = cost.legacy_az();
+  const auto alba = cost.albatross_az();
+  std::printf("legacy AZ   : %u devices, cost %.0f, %.0fW\n", legacy.devices,
+              legacy.total_cost, legacy.total_power_w);
+  std::printf("albatross AZ: %u servers, cost %.0f (-50%%), %.0fW (-40%%)\n",
+              alba.devices, alba.total_cost, alba.total_power_w);
+  return 0;
+}

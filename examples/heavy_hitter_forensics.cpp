@@ -1,0 +1,86 @@
+// Heavy-hitter forensics: a side-by-side A/B of RSS and PLB while a
+// single tenant flow ramps from polite to hostile, with a look inside
+// the PLB reorder engine's counters — the view an Albatross on-call
+// engineer uses to explain "why did tenant X see loss at 14:32".
+#include <cstdio>
+
+#include "core/platform.hpp"
+#include "core/scenario.hpp"
+#include "traffic/heavy_hitter.hpp"
+
+using namespace albatross;
+
+namespace {
+
+struct Verdict {
+  double delivery;
+  double p99_us;
+  double hot_core_util;
+  ReorderQueueStats reorder;
+};
+
+Verdict investigate(LbMode mode, double hitter_mpps) {
+  constexpr std::uint16_t kCores = 4;
+  auto s = SinglePodScenario::make(ServiceKind::kVpcVpc, kCores, mode);
+
+  PoissonFlowConfig bg;  // polite background at ~25% load
+  bg.num_flows = 3000;
+  bg.rate_pps = 1.4e6;
+  s.platform->attach_source(std::make_unique<PoissonFlowSource>(bg), s.pod);
+
+  HeavyHitterConfig hh;
+  hh.flow = make_flow(0xf00d, 13, 0);
+  hh.profile = RateProfile{{0, hitter_mpps * 1e6}};
+  s.platform->attach_source(std::make_unique<HeavyHitterSource>(hh), s.pod);
+
+  const NanoTime window = 80 * kMillisecond;
+  s.platform->run_until(window);
+
+  Verdict v;
+  const auto& t = s.platform->telemetry(s.pod);
+  v.delivery = t.offered ? static_cast<double>(t.delivered) /
+                               static_cast<double>(t.offered)
+                         : 0.0;
+  v.p99_us = static_cast<double>(t.wire_latency.quantile(0.99)) / 1e3;
+  NanoTime hottest = 0;
+  for (CoreId c = 0; c < kCores; ++c) {
+    hottest = std::max(hottest, s.platform->pod(s.pod).core_busy_ns(c));
+  }
+  v.hot_core_util = static_cast<double>(hottest) /
+                    static_cast<double>(window);
+  v.reorder = s.platform->nic().engine(s.pod).total_stats();
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Heavy-hitter forensics: 4-core pod, 1.4 Mpps background,\n");
+  std::printf("one tenant flow ramping 0.5 -> 2.0 Mpps (1 core ~ 1.45 "
+              "Mpps).\n\n");
+  std::printf("%-8s %-6s %10s %10s %10s %12s %12s\n", "hitter", "mode",
+              "delivery", "p99(us)", "hotcore", "in-order tx",
+              "HOL timeouts");
+  for (const double mpps : {0.5, 1.0, 1.5, 2.0}) {
+    for (const LbMode mode : {LbMode::kRss, LbMode::kPlb}) {
+      const Verdict v = investigate(mode, mpps);
+      std::printf("%-8.1f %-6s %9.2f%% %10.1f %9.0f%% %12llu %12llu\n",
+                  mpps, mode == LbMode::kRss ? "RSS" : "PLB",
+                  v.delivery * 100, v.p99_us, v.hot_core_util * 100,
+                  static_cast<unsigned long long>(v.reorder.in_order_tx),
+                  static_cast<unsigned long long>(
+                      v.reorder.timeout_releases));
+    }
+  }
+  std::printf(
+      "\nReading the table like an operator:\n"
+      " * RSS pins the hitter to one core: watch 'hotcore' hit 100%% and\n"
+      "   delivery collapse once the flow exceeds ~1.45 Mpps.\n"
+      " * PLB sprays it: all cores share the load, delivery stays ~100%%\n"
+      "   and the reorder engine transmits everything in order\n"
+      "   ('in-order tx' counts, zero HOL timeouts).\n"
+      " * If 'HOL timeouts' ever climbs under PLB, something on the CPU\n"
+      "   side is eating packets without setting the drop flag —\n"
+      "   the §4.1 debugging playbook.\n");
+  return 0;
+}

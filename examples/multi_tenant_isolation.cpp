@@ -1,0 +1,93 @@
+// Multi-tenant performance isolation (the Fig. 13/14 story as an
+// operator would experience it): four tenants share a GW pod; tenant 1
+// goes rogue at t=150ms. The example runs the incident twice — with
+// gateway overload protection off and on — and prints each tenant's SLA
+// view (delivered rate, loss). It also demonstrates the top-tier bypass
+// and the CPU-assisted heavy-hitter install API.
+#include <cstdio>
+
+#include "core/platform.hpp"
+#include "core/scenario.hpp"
+#include "traffic/tenant_gen.hpp"
+
+using namespace albatross;
+
+namespace {
+
+void run_incident(bool protection) {
+  std::printf("\n--- overload protection %s ---\n", protection ? "ON" : "OFF");
+
+  PlatformConfig pc;
+  pc.nic.gop_enabled = protection;
+  // Scaled meters: this pod's ~2.9 Mpps capacity stands in for the
+  // paper's 20 Mpps pod, so stage rates scale by 2.9/20.
+  const double scale = 2.9 / 20.0;
+  pc.nic.gop.stage1_rate_pps = 8e6 * scale;
+  pc.nic.gop.stage2_rate_pps = 2e6 * scale;
+  pc.nic.gop.pre_meter_rate_pps = 10e6 * scale;
+  Platform platform(pc);
+
+  GwPodConfig pod_cfg;
+  pod_cfg.service = ServiceKind::kVpcVpc;
+  pod_cfg.data_cores = 2;
+  pod_cfg.rx_ring_capacity = 256;
+  const PodId pod = platform.create_pod(pod_cfg);
+
+  // Tenant 42 is a top-tier customer contractually exempt from rate
+  // limiting (§4.3): configure the bypass.
+  platform.nic().limiter().add_bypass(42);
+
+  std::vector<TenantSpec> tenants;
+  for (Vni v = 1; v <= 4; ++v) {
+    TenantSpec spec;
+    spec.vni = v;
+    spec.profile = RateProfile{{0, (5.0 - v) * 1e6 * scale}};
+    if (v == 1) spec.profile.add_step(150 * kMillisecond, 34e6 * scale);
+    tenants.push_back(spec);
+  }
+  platform.attach_source(
+      std::make_unique<TenantTrafficSource>(std::move(tenants), 0), pod);
+
+  platform.run_until(300 * kMillisecond);
+
+  std::printf("%-8s %10s %12s %10s %14s\n", "tenant", "offered", "delivered",
+              "loss", "rate-limited");
+  for (Vni v = 1; v <= 4; ++v) {
+    const TenantCounters& c = platform.tenant(v);
+    const double loss =
+        c.offered ? 1.0 - static_cast<double>(c.delivered) /
+                              static_cast<double>(c.offered)
+                  : 0.0;
+    std::printf("%-8u %10llu %12llu %9.1f%% %14llu%s\n", v,
+                static_cast<unsigned long long>(c.offered),
+                static_cast<unsigned long long>(c.delivered), loss * 100,
+                static_cast<unsigned long long>(c.dropped_rate_limit),
+                v == 1 ? "  <- the aggressor" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Multi-tenant isolation on one Albatross GW pod\n");
+  std::printf("4 tenants at 4/3/2/1 Mpps (paper scale); tenant 1 bursts "
+              "to 34 Mpps at t=150ms; pod capacity ~20 Mpps.\n");
+
+  run_incident(/*protection=*/false);
+  std::printf("=> without GOP, the aggressor's burst starves every "
+              "innocent tenant (broken SLAs).\n");
+
+  run_incident(/*protection=*/true);
+  std::printf("=> with the two-stage limiter, the aggressor is clipped "
+              "to ~10 Mpps inside the FPGA and tenants 2-4 keep full "
+              "rate.\n");
+
+  // Operator workflow: pre-emptively install a known aggressor from the
+  // CPU side (the §4.3 'planned' path) and verify.
+  PlatformConfig pc;
+  Platform platform(pc);
+  platform.nic().limiter().install_heavy_hitter(1, 0);
+  std::printf("\nCPU-assisted install: tenant 1 in pre_meter? %s\n",
+              platform.nic().limiter().is_installed(1) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: the 5-minute tour of the Albatross library.
+//
+//   1. Touch the packet layer directly: build a real VXLAN-encapsulated
+//      tenant frame, parse it, attach/strip the PLB meta trailer.
+//   2. Stand up a simulated Albatross server: one containerized GW pod
+//      behind the FPGA NIC pipeline (PLB mode), drive synthetic tenant
+//      traffic through it, and read the telemetry a production operator
+//      would look at: throughput, latency distribution, order integrity.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "core/platform.hpp"
+#include "core/scenario.hpp"
+#include "packet/parser.hpp"
+
+using namespace albatross;
+
+int main() {
+  std::printf("== Part 1: the packet layer =============================\n");
+  // A tenant (VNI 4242) VM talks to 8.8.8.8; the VTEP wraps the inner
+  // frame in VXLAN toward the gateway.
+  VxlanFlowSpec spec;
+  spec.vni = 4242;
+  spec.outer = FiveTuple{Ipv4Address::from_octets(172, 16, 0, 9),
+                         Ipv4Address::from_octets(172, 16, 255, 1), 33333,
+                         kVxlanPort, IpProto::kUdp};
+  spec.inner.tuple = FiveTuple{Ipv4Address::from_octets(10, 0, 0, 5),
+                               Ipv4Address::from_octets(8, 8, 8, 8), 5353,
+                               443, IpProto::kUdp};
+  PacketPtr pkt = build_vxlan_packet(spec);
+  std::printf("built VXLAN frame: %zu bytes on the wire\n", pkt->size());
+
+  const auto parsed = parse_packet(pkt->bytes());
+  std::printf("parsed: vni=%u inner=%s:%u -> %s:%u\n", parsed->tenant_vni(),
+              parsed->inner_ip->src.to_string().c_str(),
+              parsed->inner_l4_src,
+              parsed->inner_ip->dst.to_string().c_str(),
+              parsed->inner_l4_dst);
+
+  // The PLB meta trailer rides at the packet tail (§7: head placement
+  // would fight every encap/decap).
+  PlbMeta meta;
+  meta.psn = 1001;
+  meta.ordq_idx = 2;
+  pkt->attach_plb_meta(meta);
+  PlbMeta read_back;
+  pkt->strip_plb_meta(read_back);
+  std::printf("meta trailer round-trip: psn=%u ordq=%u\n\n", read_back.psn,
+              read_back.ordq_idx);
+
+  std::printf("== Part 2: a simulated Albatross server =================\n");
+  // One 8-core VPC-VPC pod in PLB mode; 2000 flows at 2 Mpps (~18%%
+  // load); order oracle on.
+  auto scenario =
+      SinglePodScenario::make(ServiceKind::kVpcVpc, /*data_cores=*/8,
+                              LbMode::kPlb);
+  scenario.platform->enable_order_oracle(true);
+
+  PoissonFlowConfig traffic;
+  traffic.num_flows = 2000;
+  traffic.tenants = 64;
+  traffic.rate_pps = 2e6;
+  scenario.platform->attach_source(
+      std::make_unique<PoissonFlowSource>(traffic), scenario.pod);
+
+  scenario.platform->run_for(100 * kMillisecond);
+
+  const PodTelemetry& t = scenario.platform->telemetry(scenario.pod);
+  const auto report = summarize(t, 100 * kMillisecond);
+  std::printf("offered   : %.2f Mpps\n", report.offered_mpps);
+  std::printf("delivered : %.2f Mpps (loss %.4f%%)\n", report.delivered_mpps,
+              report.loss_rate * 100);
+  std::printf("latency   : mean %.1f us, p99 %.1f us  (paper: ~20 us avg)\n",
+              report.mean_latency_us, report.p99_latency_us);
+  std::printf("ordering  : %llu flow-order violations, disorder rate %.1e\n",
+              static_cast<unsigned long long>(t.flow_order_violations),
+              report.disorder_rate);
+  std::printf("\nThis run drove the pod at ~18%% load; saturated, each "
+              "core forwards ~%.2f Mpps (the paper's 2x44-core server "
+              "lands at 80-120 Mpps).\n",
+              core_capacity_mpps(ServiceKind::kVpcVpc,
+                                 scenario.platform->cache(), false));
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "bgp/bfd.hpp"
+
+namespace albatross {
+
+BfdSession::BfdSession(EventLoop& loop, BfdConfig cfg)
+    : loop_(loop), cfg_(cfg) {}
+
+void BfdSession::start(NanoTime now) {
+  running_ = true;
+  last_rx_ = now;
+  tick(now);
+}
+
+void BfdSession::tick(NanoTime now) {
+  if (!running_) return;
+  ++sent_;
+  if (tx_) tx_(now);
+
+  // Detection: no probe from the peer within detect_mult intervals.
+  const NanoTime detect_window =
+      cfg_.tx_interval * NanoTime{cfg_.detect_mult};
+  if (state_ == BfdState::kUp && now - last_rx_ > detect_window) {
+    state_ = BfdState::kDown;
+    ++failures_;
+    if (on_state_) on_state_(state_, now);
+  }
+  loop_.schedule_at(now + cfg_.tx_interval,
+                    [this] { tick(loop_.now()); });
+}
+
+void BfdSession::on_rx(NanoTime now) {
+  last_rx_ = now;
+  if (state_ == BfdState::kDown) {
+    state_ = BfdState::kUp;
+    if (on_state_) on_state_(state_, now);
+  }
+}
+
+}  // namespace albatross

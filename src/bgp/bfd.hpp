@@ -1,0 +1,59 @@
+// BFD-lite (RFC 5880 semantics, §4.3): sub-second link-failure
+// detection. Each session transmits control packets every `tx_interval`;
+// missing `detect_mult` consecutive packets declares the link down —
+// which is why GOP must carry BFD through priority queues: under data-
+// plane saturation, three lost 50-ms probes take down an otherwise
+// healthy link and BGP with it.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_loop.hpp"
+
+namespace albatross {
+
+struct BfdConfig {
+  NanoTime tx_interval = 50 * kMillisecond;
+  std::uint8_t detect_mult = 3;
+  std::uint32_t my_discriminator = 1;
+};
+
+enum class BfdState : std::uint8_t { kDown, kUp };
+
+class BfdSession {
+ public:
+  /// `tx` sends a probe toward the peer; delivery (or loss) is decided
+  /// by the harness, which calls the peer's on_rx() for survivors.
+  using TxFn = std::function<void(NanoTime)>;
+  using StateFn = std::function<void(BfdState, NanoTime)>;
+
+  BfdSession(EventLoop& loop, BfdConfig cfg);
+
+  void start(NanoTime now);
+  void stop() { running_ = false; }
+
+  /// Peer probe received.
+  void on_rx(NanoTime now);
+
+  void set_tx(TxFn fn) { tx_ = std::move(fn); }
+  void set_on_state(StateFn fn) { on_state_ = std::move(fn); }
+
+  [[nodiscard]] BfdState state() const { return state_; }
+  [[nodiscard]] std::uint64_t probes_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t failures_detected() const { return failures_; }
+
+ private:
+  void tick(NanoTime now);
+
+  EventLoop& loop_;
+  BfdConfig cfg_;
+  bool running_ = false;
+  BfdState state_ = BfdState::kDown;
+  NanoTime last_rx_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t failures_ = 0;
+  TxFn tx_;
+  StateFn on_state_;
+};
+
+}  // namespace albatross

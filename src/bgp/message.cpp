@@ -1,0 +1,184 @@
+#include "bgp/message.hpp"
+
+#include "common/endian.hpp"
+
+namespace albatross {
+namespace {
+
+constexpr std::size_t kHeaderSize = 19;  // 16B marker + len + type
+
+void put_u8(std::vector<std::uint8_t>& v, std::uint8_t x) { v.push_back(x); }
+void put_u16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+  v.push_back(static_cast<std::uint8_t>(x));
+}
+void put_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  put_u16(v, static_cast<std::uint16_t>(x >> 16));
+  put_u16(v, static_cast<std::uint16_t>(x));
+}
+void put_prefix(std::vector<std::uint8_t>& v, const RoutePrefix& p) {
+  put_u8(v, p.len);
+  put_u32(v, p.prefix.addr);
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& b;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (pos + 1 > b.size()) return fail8();
+    return b[pos++];
+  }
+  std::uint16_t u16() {
+    if (pos + 2 > b.size()) return fail8();
+    const auto v = load_be16(b.data() + pos);
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (pos + 4 > b.size()) return fail8();
+    const auto v = load_be32(b.data() + pos);
+    pos += 4;
+    return v;
+  }
+  RoutePrefix prefix() {
+    RoutePrefix p;
+    p.len = u8();
+    p.prefix.addr = u32();
+    return p;
+  }
+  std::uint8_t fail8() {
+    ok = false;
+    return 0;
+  }
+};
+
+}  // namespace
+
+BgpMessage BgpMessage::make_open(std::uint32_t asn, std::uint32_t router_id,
+                                 std::uint16_t hold_s) {
+  BgpMessage m;
+  m.type = BgpMsgType::kOpen;
+  m.open = BgpOpen{asn, router_id, hold_s};
+  return m;
+}
+
+BgpMessage BgpMessage::make_keepalive() { return BgpMessage{}; }
+
+BgpMessage BgpMessage::make_update(BgpUpdate u) {
+  BgpMessage m;
+  m.type = BgpMsgType::kUpdate;
+  m.update = std::move(u);
+  return m;
+}
+
+BgpMessage BgpMessage::make_notification(std::uint8_t code,
+                                         std::uint8_t sub) {
+  BgpMessage m;
+  m.type = BgpMsgType::kNotification;
+  m.notif = BgpNotification{code, sub};
+  return m;
+}
+
+std::vector<std::uint8_t> BgpMessage::serialize() const {
+  std::vector<std::uint8_t> out(16, 0xff);  // marker
+  put_u16(out, 0);                          // length placeholder
+  put_u8(out, static_cast<std::uint8_t>(type));
+  switch (type) {
+    case BgpMsgType::kOpen:
+      put_u32(out, open.asn);
+      put_u32(out, open.router_id);
+      put_u16(out, open.hold_time_s);
+      break;
+    case BgpMsgType::kUpdate: {
+      put_u16(out, static_cast<std::uint16_t>(update.withdrawn.size()));
+      for (const auto& p : update.withdrawn) put_prefix(out, p);
+      put_u16(out, static_cast<std::uint16_t>(update.nlri.size()));
+      for (const auto& p : update.nlri) put_prefix(out, p);
+      put_u32(out, update.next_hop);
+      put_u8(out, static_cast<std::uint8_t>(update.as_path.size()));
+      for (const auto asn : update.as_path) put_u32(out, asn);
+      break;
+    }
+    case BgpMsgType::kNotification:
+      put_u8(out, notif.code);
+      put_u8(out, notif.subcode);
+      break;
+    case BgpMsgType::kKeepalive:
+      break;
+  }
+  const auto len = static_cast<std::uint16_t>(out.size());
+  out[16] = static_cast<std::uint8_t>(len >> 8);
+  out[17] = static_cast<std::uint8_t>(len);
+  return out;
+}
+
+std::optional<BgpMessage> BgpMessage::deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kHeaderSize) return std::nullopt;
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (bytes[i] != 0xff) return std::nullopt;
+  }
+  const std::uint16_t len = load_be16(bytes.data() + 16);
+  if (len != bytes.size()) return std::nullopt;
+  BgpMessage m;
+  m.type = static_cast<BgpMsgType>(bytes[18]);
+  Reader r{bytes, kHeaderSize};
+  switch (m.type) {
+    case BgpMsgType::kOpen:
+      m.open.asn = r.u32();
+      m.open.router_id = r.u32();
+      m.open.hold_time_s = r.u16();
+      break;
+    case BgpMsgType::kUpdate: {
+      const std::uint16_t nw = r.u16();
+      for (std::uint16_t i = 0; i < nw && r.ok; ++i) {
+        m.update.withdrawn.push_back(r.prefix());
+      }
+      const std::uint16_t nn = r.u16();
+      for (std::uint16_t i = 0; i < nn && r.ok; ++i) {
+        m.update.nlri.push_back(r.prefix());
+      }
+      m.update.next_hop = r.u32();
+      const std::uint8_t np = r.u8();
+      for (std::uint8_t i = 0; i < np && r.ok; ++i) {
+        m.update.as_path.push_back(r.u32());
+      }
+      break;
+    }
+    case BgpMsgType::kNotification:
+      m.notif.code = r.u8();
+      m.notif.subcode = r.u8();
+      break;
+    case BgpMsgType::kKeepalive:
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!r.ok) return std::nullopt;
+  return m;
+}
+
+NanoTime BgpMessage::processing_cost() const {
+  switch (type) {
+    case BgpMsgType::kOpen:
+      // Session setup is the expensive step on a switch control CPU:
+      // TCP/MD5 handling, policy evaluation, per-peer RIB allocation and
+      // generating the full adj-RIB-out advertisement for the new peer.
+      return 70 * kMillisecond;
+    case BgpMsgType::kUpdate:
+      // Per-prefix best-path computation dominates.
+      return 2 * kMillisecond +
+             static_cast<NanoTime>(update.nlri.size() +
+                                   update.withdrawn.size()) *
+                 200 * kMicrosecond;
+    case BgpMsgType::kNotification:
+      return kMillisecond;
+    case BgpMsgType::kKeepalive:
+      return 50 * kMicrosecond;
+  }
+  return kMillisecond;
+}
+
+}  // namespace albatross

@@ -1,0 +1,70 @@
+// BGP-lite message model (RFC 4271 shapes, simplified attributes).
+// Gateways advertise their VIP routes to uplink switches over eBGP (or,
+// with the proxy, over iBGP to the proxy pod). Messages serialise to a
+// compact wire format so parsing is testable, and each carries a
+// control-plane CPU cost used by the switch saturation model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace albatross {
+
+enum class BgpMsgType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+struct RoutePrefix {
+  Ipv4Address prefix;
+  std::uint8_t len = 32;
+
+  constexpr auto operator<=>(const RoutePrefix&) const = default;
+};
+
+struct BgpOpen {
+  std::uint32_t asn = 0;
+  std::uint32_t router_id = 0;
+  std::uint16_t hold_time_s = 90;
+};
+
+struct BgpUpdate {
+  std::vector<RoutePrefix> withdrawn;
+  std::vector<RoutePrefix> nlri;
+  std::uint32_t next_hop = 0;
+  std::vector<std::uint32_t> as_path;
+};
+
+struct BgpNotification {
+  std::uint8_t code = 0;
+  std::uint8_t subcode = 0;
+};
+
+struct BgpMessage {
+  BgpMsgType type = BgpMsgType::kKeepalive;
+  BgpOpen open;            // valid when type == kOpen
+  BgpUpdate update;        // valid when type == kUpdate
+  BgpNotification notif;   // valid when type == kNotification
+
+  static BgpMessage make_open(std::uint32_t asn, std::uint32_t router_id,
+                              std::uint16_t hold_s);
+  static BgpMessage make_keepalive();
+  static BgpMessage make_update(BgpUpdate u);
+  static BgpMessage make_notification(std::uint8_t code, std::uint8_t sub);
+
+  /// Serialises to the wire (19-byte header + body).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<BgpMessage> deserialize(
+      const std::vector<std::uint8_t>& bytes);
+
+  /// Control-plane CPU cost to process this message on a switch
+  /// (handshakes and full-table updates are far pricier than keepalives).
+  [[nodiscard]] NanoTime processing_cost() const;
+};
+
+}  // namespace albatross

@@ -1,0 +1,42 @@
+#include "bgp/proxy.hpp"
+
+namespace albatross {
+
+BgpProxy::BgpProxy(EventLoop& loop, UplinkSwitch& uplink, BgpProxyConfig cfg,
+                   NanoTime now)
+    : loop_(loop), cfg_(cfg) {
+  BgpSessionConfig sc;
+  sc.asn = cfg_.local_asn;
+  sc.router_id = cfg_.router_id;
+  uplink_session_ = std::make_unique<BgpSession>(loop_, sc);
+  uplink.add_peer(*uplink_session_, now);
+}
+
+void BgpProxy::attach_pod(BgpSession& pod_session, NanoTime now) {
+  BgpSessionConfig sc;
+  sc.asn = cfg_.local_asn;  // iBGP: same AS as the pods
+  sc.router_id =
+      cfg_.router_id + 0x100 + static_cast<std::uint32_t>(pod_sides_.size());
+  sc.passive = true;
+  auto side = std::make_unique<BgpSession>(loop_, sc);
+  BgpSession& proxy_side = *side;
+
+  // Re-advertise learned pod VIPs upstream with the proxy as next hop.
+  proxy_side.set_on_route([this](const RoutePrefix& p, const RibEntry* e,
+                                 NanoTime t) {
+    if (e != nullptr) {
+      ++proxied_;
+      uplink_session_->announce(p, cfg_.router_id, t);
+    } else {
+      uplink_session_->withdraw(p, t);
+    }
+  });
+
+  proxy_side.bind(&pod_session, cfg_.pod_link_latency, nullptr);
+  pod_session.bind(&proxy_side, cfg_.pod_link_latency, nullptr);
+  proxy_side.start(now);
+  pod_session.start(now);
+  pod_sides_.push_back(std::move(side));
+}
+
+}  // namespace albatross

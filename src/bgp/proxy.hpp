@@ -1,0 +1,47 @@
+// BGP proxy (Fig. 7): instead of every GW pod holding its own eBGP peer
+// with the uplink switch (m peers per server), a proxy pod terminates
+// the pods' iBGP sessions locally and maintains a single eBGP session to
+// the switch, re-advertising every pod VIP with itself as next hop. This
+// divides the switch's peer count by m — the enabler for high container
+// density. Production runs two proxies per server for redundancy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bgp/session.hpp"
+#include "bgp/switch_model.hpp"
+
+namespace albatross {
+
+struct BgpProxyConfig {
+  std::uint32_t local_asn = 64600;
+  std::uint32_t router_id = 0x0a640001;
+  NanoTime pod_link_latency = 20 * kMicrosecond;  ///< intra-server veth
+};
+
+class BgpProxy {
+ public:
+  BgpProxy(EventLoop& loop, UplinkSwitch& uplink, BgpProxyConfig cfg,
+           NanoTime now);
+
+  /// Registers a GW pod: creates the proxy-side iBGP endpoint and binds
+  /// it to `pod_session`. Routes the pod announces are re-advertised to
+  /// the switch.
+  void attach_pod(BgpSession& pod_session, NanoTime now);
+
+  [[nodiscard]] std::size_t pods_attached() const {
+    return pod_sides_.size();
+  }
+  [[nodiscard]] BgpSession& uplink_session() { return *uplink_session_; }
+  [[nodiscard]] std::size_t routes_proxied() const { return proxied_; }
+
+ private:
+  EventLoop& loop_;
+  BgpProxyConfig cfg_;
+  std::unique_ptr<BgpSession> uplink_session_;  ///< proxy -> switch eBGP
+  std::vector<std::unique_ptr<BgpSession>> pod_sides_;
+  std::size_t proxied_ = 0;
+};
+
+}  // namespace albatross

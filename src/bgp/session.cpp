@@ -1,0 +1,243 @@
+#include "bgp/session.hpp"
+
+#include <algorithm>
+
+namespace albatross {
+
+std::string_view bgp_state_name(BgpState s) {
+  switch (s) {
+    case BgpState::kIdle:
+      return "Idle";
+    case BgpState::kConnect:
+      return "Connect";
+    case BgpState::kOpenSent:
+      return "OpenSent";
+    case BgpState::kOpenConfirm:
+      return "OpenConfirm";
+    case BgpState::kEstablished:
+      return "Established";
+  }
+  return "?";
+}
+
+BgpSession::BgpSession(EventLoop& loop, BgpSessionConfig cfg)
+    : loop_(loop), cfg_(cfg) {}
+
+void BgpSession::bind(BgpSession* peer, NanoTime link_latency,
+                      MessageProcessor* inbound) {
+  peer_ = peer;
+  link_latency_ = link_latency;
+  inbound_ = inbound != nullptr ? inbound : &immediate_;
+}
+
+void BgpSession::send(const BgpMessage& msg, NanoTime now) {
+  if (peer_ == nullptr) return;
+  ++stats_.msgs_sent;
+  BgpSession* peer = peer_;
+  const NanoTime arrival = now + link_latency_;
+  loop_.schedule_at(arrival, [peer, msg, arrival] {
+    peer->on_arrival(msg, arrival);
+  });
+}
+
+void BgpSession::on_arrival(BgpMessage msg, NanoTime arrival) {
+  // Charge the inbound control-plane CPU; handling happens when the CPU
+  // gets to it. This single queueing step is what melts down a switch
+  // with too many peers.
+  const NanoTime done = inbound_->enqueue(arrival, msg.processing_cost());
+  const std::uint64_t epoch = epoch_;
+  loop_.schedule_at(done, [this, msg = std::move(msg), done, epoch] {
+    if (epoch != epoch_ && msg.type != BgpMsgType::kOpen) return;
+    handle(msg, done);
+  });
+}
+
+void BgpSession::start(NanoTime now) {
+  ++epoch_;
+  admin_down_ = false;
+  state_ = BgpState::kConnect;
+  open_sent_ = false;
+  last_rx_ = now;
+  rib_in_.clear();
+  if (retry_interval_ == 0) retry_interval_ = cfg_.connect_retry;
+  if (!cfg_.passive) {
+    send(BgpMessage::make_open(cfg_.asn, cfg_.router_id, cfg_.hold_time_s),
+         now);
+    open_sent_ = true;
+    state_ = BgpState::kOpenSent;
+    // Connect-retry with exponential backoff: a saturated peer CPU must
+    // not be hammered at a fixed cadence or the storm never drains.
+    const std::uint64_t epoch = epoch_;
+    const NanoTime retry_in = retry_interval_;
+    retry_interval_ = std::min(retry_interval_ * 2, cfg_.connect_retry_max);
+    loop_.schedule_at(now + retry_in, [this, epoch] {
+      if (epoch == epoch_ && state_ != BgpState::kEstablished &&
+          state_ != BgpState::kIdle) {
+        start(loop_.now());
+      }
+    });
+  }
+  arm_hold_check(now);
+}
+
+void BgpSession::stop(NanoTime now) {
+  if (state_ != BgpState::kIdle) {
+    send(BgpMessage::make_notification(6, 2), now);  // admin shutdown
+  }
+  go_idle(now, /*retry=*/false);
+  admin_down_ = true;  // refuse resurrection by peer OPEN retries
+}
+
+void BgpSession::link_failure(NanoTime now) {
+  ++stats_.session_resets;
+  go_idle(now, /*retry=*/true);
+}
+
+void BgpSession::go_idle(NanoTime now, bool retry) {
+  const bool was_established = state_ == BgpState::kEstablished;
+  ++epoch_;
+  state_ = BgpState::kIdle;
+  rib_in_.clear();
+  if (was_established && on_down_) on_down_(now);
+  if (retry) {
+    const std::uint64_t epoch = epoch_;
+    loop_.schedule_at(now + cfg_.connect_retry, [this, epoch] {
+      if (epoch == epoch_ && state_ == BgpState::kIdle) start(loop_.now());
+    });
+  }
+}
+
+void BgpSession::go_established(NanoTime now) {
+  state_ = BgpState::kEstablished;
+  retry_interval_ = cfg_.connect_retry;  // reset the backoff
+  arm_keepalive(now);
+  flush_adj_rib_out(now);
+  if (on_established_) on_established_(now);
+}
+
+void BgpSession::arm_keepalive(NanoTime now) {
+  const std::uint64_t epoch = epoch_;
+  loop_.schedule_at(now + cfg_.keepalive_interval, [this, epoch] {
+    if (epoch != epoch_) return;
+    if (state_ == BgpState::kEstablished ||
+        state_ == BgpState::kOpenConfirm) {
+      send(BgpMessage::make_keepalive(), loop_.now());
+      arm_keepalive(loop_.now());
+    }
+  });
+}
+
+void BgpSession::arm_hold_check(NanoTime now) {
+  const std::uint64_t epoch = epoch_;
+  const NanoTime hold = NanoTime{cfg_.hold_time_s} * kSecond;
+  loop_.schedule_at(now + hold, [this, epoch, hold] {
+    if (epoch != epoch_ || state_ == BgpState::kIdle) return;
+    if (loop_.now() - last_rx_ >= hold) {
+      ++stats_.hold_timer_expiries;
+      ++stats_.session_resets;
+      send(BgpMessage::make_notification(4, 0), loop_.now());
+      go_idle(loop_.now(), /*retry=*/true);
+    } else {
+      arm_hold_check(last_rx_);
+    }
+  });
+}
+
+void BgpSession::flush_adj_rib_out(NanoTime now) {
+  if (local_routes_.empty()) return;
+  // Group by next hop into one UPDATE per hop (typical packing).
+  std::map<std::uint32_t, BgpUpdate> by_hop;
+  for (const auto& [prefix, hop] : local_routes_) {
+    auto& u = by_hop[hop];
+    u.next_hop = hop;
+    u.as_path = {cfg_.asn};
+    u.nlri.push_back(prefix);
+  }
+  for (auto& [hop, u] : by_hop) {
+    send(BgpMessage::make_update(std::move(u)), now);
+  }
+}
+
+void BgpSession::announce(const RoutePrefix& p, std::uint32_t next_hop,
+                          NanoTime now) {
+  local_routes_[p] = next_hop;
+  if (state_ == BgpState::kEstablished) {
+    BgpUpdate u;
+    u.next_hop = next_hop;
+    u.as_path = {cfg_.asn};
+    u.nlri.push_back(p);
+    send(BgpMessage::make_update(std::move(u)), now);
+  }
+}
+
+void BgpSession::withdraw(const RoutePrefix& p, NanoTime now) {
+  local_routes_.erase(p);
+  if (state_ == BgpState::kEstablished) {
+    BgpUpdate u;
+    u.withdrawn.push_back(p);
+    send(BgpMessage::make_update(std::move(u)), now);
+  }
+}
+
+void BgpSession::handle(const BgpMessage& msg, NanoTime now) {
+  ++stats_.msgs_received;
+  if (admin_down_) return;  // administratively down: drop everything
+  last_rx_ = now;
+  switch (msg.type) {
+    case BgpMsgType::kOpen:
+      if (state_ == BgpState::kIdle || state_ == BgpState::kConnect ||
+          state_ == BgpState::kOpenSent) {
+        if (!open_sent_ || state_ == BgpState::kIdle) {
+          // Passive side (or re-sync): answer with our OPEN.
+          if (state_ == BgpState::kIdle) {
+            ++epoch_;
+            rib_in_.clear();
+            arm_hold_check(now);
+          }
+          send(BgpMessage::make_open(cfg_.asn, cfg_.router_id,
+                                     cfg_.hold_time_s),
+               now);
+          open_sent_ = true;
+        }
+        send(BgpMessage::make_keepalive(), now);
+        state_ = BgpState::kOpenConfirm;
+      } else if (state_ == BgpState::kOpenConfirm) {
+        send(BgpMessage::make_keepalive(), now);
+      }
+      break;
+    case BgpMsgType::kKeepalive:
+      if (state_ == BgpState::kOpenConfirm) {
+        go_established(now);
+      }
+      break;
+    case BgpMsgType::kUpdate: {
+      if (state_ != BgpState::kEstablished) break;
+      ++stats_.updates_received;
+      for (const auto& p : msg.update.withdrawn) {
+        rib_in_.erase(p);
+        if (on_route_) on_route_(p, nullptr, now);
+      }
+      for (const auto& p : msg.update.nlri) {
+        RibEntry e{msg.update.next_hop, msg.update.as_path};
+        rib_in_[p] = e;
+        if (on_route_) on_route_(p, &rib_in_[p], now);
+      }
+      break;
+    }
+    case BgpMsgType::kNotification:
+      ++stats_.session_resets;
+      go_idle(now, /*retry=*/true);
+      break;
+  }
+}
+
+void bgp_connect(BgpSession& a, BgpSession& b, NanoTime latency,
+                 MessageProcessor* a_in, MessageProcessor* b_in,
+                 NanoTime now) {
+  a.bind(&b, latency, a_in);
+  b.bind(&a, latency, b_in);
+  a.start(now);
+  b.start(now);
+}
+
+}  // namespace albatross

@@ -1,0 +1,147 @@
+// BGP-lite session FSM over the discrete-event loop. Two sessions are
+// bound back-to-back with a link latency; incoming messages optionally
+// pass through a MessageProcessor (the switch control-plane CPU model),
+// which is where peer-count saturation and its convergence blow-up come
+// from (§5: >64 peers -> tens of minutes to converge).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "bgp/message.hpp"
+#include "sim/event_loop.hpp"
+
+namespace albatross {
+
+enum class BgpState : std::uint8_t {
+  kIdle,
+  kConnect,
+  kOpenSent,
+  kOpenConfirm,
+  kEstablished,
+};
+
+[[nodiscard]] std::string_view bgp_state_name(BgpState s);
+
+/// Serialises message handling onto a shared control-plane CPU.
+/// Returns the virtual time at which processing completes.
+class MessageProcessor {
+ public:
+  virtual ~MessageProcessor() = default;
+  virtual NanoTime enqueue(NanoTime arrival, NanoTime cost) = 0;
+};
+
+/// Pass-through processor: dedicated CPU, no queueing.
+class ImmediateProcessor final : public MessageProcessor {
+ public:
+  NanoTime enqueue(NanoTime arrival, NanoTime cost) override {
+    return arrival + cost;
+  }
+};
+
+struct BgpSessionConfig {
+  std::uint32_t asn = 64512;
+  std::uint32_t router_id = 1;
+  std::uint16_t hold_time_s = 90;
+  NanoTime keepalive_interval = 3 * kSecond;
+  NanoTime connect_retry = 5 * kSecond;
+  /// Retry backoff cap (exponential: 5s, 10s, 20s ... like BGP's
+  /// IdleHoldTime damping); prevents synchronized retry storms from
+  /// livelocking a saturated switch CPU forever.
+  NanoTime connect_retry_max = 160 * kSecond;
+  bool passive = false;  ///< waits for the peer's OPEN (switch side)
+};
+
+struct RibEntry {
+  std::uint32_t next_hop = 0;
+  std::vector<std::uint32_t> as_path;
+};
+
+struct BgpSessionStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t updates_received = 0;
+  std::uint64_t session_resets = 0;
+  std::uint64_t hold_timer_expiries = 0;
+};
+
+class BgpSession {
+ public:
+  using EstablishedFn = std::function<void(NanoTime)>;
+  using DownFn = std::function<void(NanoTime)>;
+  using RouteFn =
+      std::function<void(const RoutePrefix&, const RibEntry*, NanoTime)>;
+
+  BgpSession(EventLoop& loop, BgpSessionConfig cfg);
+
+  /// Binds this endpoint to its peer with a propagation latency and an
+  /// optional inbound processor (nullptr = dedicated CPU).
+  void bind(BgpSession* peer, NanoTime link_latency,
+            MessageProcessor* inbound = nullptr);
+
+  /// Starts (or restarts) the session from Idle.
+  void start(NanoTime now);
+  /// Administrative shutdown: sends NOTIFICATION, goes Idle, no retry.
+  void stop(NanoTime now);
+
+  /// Local route management (adj-rib-out).
+  void announce(const RoutePrefix& p, std::uint32_t next_hop, NanoTime now);
+  void withdraw(const RoutePrefix& p, NanoTime now);
+
+  void set_on_established(EstablishedFn fn) { on_established_ = std::move(fn); }
+  void set_on_down(DownFn fn) { on_down_ = std::move(fn); }
+  void set_on_route(RouteFn fn) { on_route_ = std::move(fn); }
+
+  [[nodiscard]] BgpState state() const { return state_; }
+  [[nodiscard]] BgpSession* peer() const { return peer_; }
+  [[nodiscard]] const std::map<RoutePrefix, RibEntry>& rib_in() const {
+    return rib_in_;
+  }
+  [[nodiscard]] const BgpSessionStats& stats() const { return stats_; }
+  [[nodiscard]] const BgpSessionConfig& config() const { return cfg_; }
+
+  /// Signals link loss (e.g. BFD detection): immediate session reset and
+  /// reconnect attempts.
+  void link_failure(NanoTime now);
+
+ private:
+  void send(const BgpMessage& msg, NanoTime now);
+  void on_arrival(BgpMessage msg, NanoTime arrival);
+  void handle(const BgpMessage& msg, NanoTime now);
+  void go_established(NanoTime now);
+  void go_idle(NanoTime now, bool retry);
+  void arm_keepalive(NanoTime now);
+  void arm_hold_check(NanoTime now);
+  void flush_adj_rib_out(NanoTime now);
+
+  EventLoop& loop_;
+  BgpSessionConfig cfg_;
+  BgpSession* peer_ = nullptr;
+  NanoTime link_latency_ = kMillisecond;
+  MessageProcessor* inbound_ = nullptr;
+  ImmediateProcessor immediate_;
+
+  BgpState state_ = BgpState::kIdle;
+  bool admin_down_ = false;  ///< stop()ed: refuse peer OPENs until start()
+  NanoTime retry_interval_ = 0;  ///< current (backed-off) retry interval
+  std::uint64_t epoch_ = 0;  ///< invalidates timers from old incarnations
+  NanoTime last_rx_ = 0;
+  bool open_sent_ = false;
+
+  std::map<RoutePrefix, RibEntry> rib_in_;
+  std::map<RoutePrefix, std::uint32_t> local_routes_;
+
+  EstablishedFn on_established_;
+  DownFn on_down_;
+  RouteFn on_route_;
+  BgpSessionStats stats_;
+};
+
+/// Convenience: binds a<->b with symmetric latency and per-side inbound
+/// processors, then starts both.
+void bgp_connect(BgpSession& a, BgpSession& b, NanoTime latency,
+                 MessageProcessor* a_in, MessageProcessor* b_in,
+                 NanoTime now);
+
+}  // namespace albatross

@@ -1,0 +1,61 @@
+#include "bgp/switch_model.hpp"
+
+namespace albatross {
+
+NanoTime SwitchCpu::enqueue(NanoTime arrival, NanoTime cost) {
+  ++messages_;
+  const NanoTime start = busy_until_ > arrival ? busy_until_ : arrival;
+  // Past the backlog threshold the CPU degrades further (retry storms,
+  // RIB churn, periodic housekeeping preempting BGP).
+  NanoTime effective = cost;
+  if (start - arrival > cfg_->overload_backlog_threshold) {
+    effective =
+        static_cast<NanoTime>(static_cast<double>(cost) *
+                              cfg_->overload_slowdown);
+  }
+  busy_until_ = start + effective;
+  busy_accum_ += effective;
+  return busy_until_;
+}
+
+UplinkSwitch::UplinkSwitch(EventLoop& loop, SwitchConfig cfg)
+    : loop_(loop), cfg_(cfg), cpu_(cfg_) {}
+
+BgpSession& UplinkSwitch::add_peer(BgpSession& remote, NanoTime now) {
+  BgpSessionConfig sc;
+  sc.asn = cfg_.asn;
+  sc.router_id = cfg_.router_id + static_cast<std::uint32_t>(peers_.size());
+  sc.passive = true;
+  auto side = std::make_unique<BgpSession>(loop_, sc);
+  BgpSession& sw_side = *side;
+  peers_.push_back(std::move(side));
+  sw_side.bind(&remote, cfg_.link_latency, &cpu_);
+  remote.bind(&sw_side, cfg_.link_latency, nullptr);
+  sw_side.start(now);
+  remote.start(now);
+  return sw_side;
+}
+
+std::size_t UplinkSwitch::established_count() const {
+  std::size_t n = 0;
+  for (const auto& p : peers_) {
+    if (p->state() == BgpState::kEstablished) ++n;
+  }
+  return n;
+}
+
+std::size_t UplinkSwitch::routes_learned() const {
+  std::size_t n = 0;
+  for (const auto& p : peers_) n += p->rib_in().size();
+  return n;
+}
+
+void UplinkSwitch::restart(NanoTime now) {
+  for (auto& p : peers_) {
+    // Both ends observe the TCP reset.
+    if (p->peer() != nullptr) p->peer()->link_failure(now);
+    p->link_failure(now);
+  }
+}
+
+}  // namespace albatross

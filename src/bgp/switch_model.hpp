@@ -1,0 +1,77 @@
+// Uplink switch model (§5): the switch terminates every gateway's eBGP
+// session on a weak control-plane CPU. It is a single-server queue — all
+// sessions' OPENs, UPDATEs and KEEPALIVEs serialise through it — which
+// is exactly why the safe peer budget is 64: a restart with hundreds of
+// peers makes handshakes queue behind each other, hold timers expire,
+// peers retry, and convergence stretches to tens of minutes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bgp/session.hpp"
+
+namespace albatross {
+
+struct SwitchConfig {
+  std::uint32_t asn = 65001;
+  std::uint32_t router_id = 0x0a000001;
+  /// Vendor-documented safe peer budget.
+  std::uint16_t safe_bgp_peer_limit = 64;
+  /// Control CPU slowdown factor applied once outstanding work piles up
+  /// (scheduler thrash / table churn beyond the happy path).
+  double overload_slowdown = 6.0;
+  NanoTime overload_backlog_threshold = 5 * kSecond;
+  NanoTime link_latency = 50 * kMicrosecond;
+};
+
+/// The switch's control-plane CPU: a shared MessageProcessor.
+class SwitchCpu final : public MessageProcessor {
+ public:
+  explicit SwitchCpu(const SwitchConfig& cfg) : cfg_(&cfg) {}
+
+  NanoTime enqueue(NanoTime arrival, NanoTime cost) override;
+
+  [[nodiscard]] NanoTime backlog(NanoTime now) const {
+    return busy_until_ > now ? busy_until_ - now : 0;
+  }
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+  [[nodiscard]] NanoTime busy_ns() const { return busy_accum_; }
+
+ private:
+  const SwitchConfig* cfg_;
+  NanoTime busy_until_ = 0;
+  NanoTime busy_accum_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+class UplinkSwitch {
+ public:
+  UplinkSwitch(EventLoop& loop, SwitchConfig cfg = {});
+
+  /// Creates the switch-side endpoint for one new peer and wires it to
+  /// `remote`. The switch side is passive (listens for OPEN).
+  BgpSession& add_peer(BgpSession& remote, NanoTime now);
+
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+  [[nodiscard]] std::size_t established_count() const;
+
+  /// Total routes currently learned across peers.
+  [[nodiscard]] std::size_t routes_learned() const;
+
+  /// Simulates a switch restart: every session drops and must
+  /// re-establish through the shared control CPU. Returns nothing;
+  /// measure convergence by polling established_count()/routes_learned().
+  void restart(NanoTime now);
+
+  SwitchCpu& cpu() { return cpu_; }
+  [[nodiscard]] const SwitchConfig& config() const { return cfg_; }
+
+ private:
+  EventLoop& loop_;
+  SwitchConfig cfg_;
+  SwitchCpu cpu_;
+  std::vector<std::unique_ptr<BgpSession>> peers_;
+};
+
+}  // namespace albatross

@@ -1,0 +1,101 @@
+#include "common/hash.hpp"
+
+#include <algorithm>
+
+#include "common/endian.hpp"
+
+namespace albatross {
+namespace {
+
+/// Builds the reflected CRC32C lookup table at static-init time.
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  constexpr std::uint32_t poly = 0x82f63b78u;  // reflected 0x1EDC6F41
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ poly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrc32cTable = make_crc32c_table();
+
+/// Returns bit `idx` (0 = MSB of byte 0) of `bytes`, or 0 past the end.
+inline std::uint32_t bit_at(std::span<const std::uint8_t> bytes,
+                            std::size_t idx) {
+  const std::size_t byte = idx / 8;
+  if (byte >= bytes.size()) return 0;
+  return (bytes[byte] >> (7 - idx % 8)) & 1u;
+}
+
+}  // namespace
+
+std::uint32_t toeplitz_hash(std::span<const std::uint8_t> input,
+                            std::span<const std::uint8_t> key) {
+  // For every set bit i of the input (MSB-first), XOR in the 32-bit
+  // window of the key starting at bit offset i. The window slides left
+  // one key bit per input bit.
+  std::uint32_t result = 0;
+  std::uint32_t window = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    window = (window << 1) | bit_at(key, i);
+  }
+  std::size_t next_key_bit = 32;
+  for (std::size_t i = 0; i < input.size() * 8; ++i) {
+    if (bit_at(input, i)) {
+      result ^= window;
+    }
+    window = (window << 1) | bit_at(key, next_key_bit++);
+  }
+  return result;
+}
+
+std::array<std::uint8_t, 13> five_tuple_bytes(const FiveTuple& t) {
+  std::array<std::uint8_t, 13> out{};
+  store_be32(out.data(), t.src_ip.addr);
+  store_be32(out.data() + 4, t.dst_ip.addr);
+  store_be16(out.data() + 8, t.src_port);
+  store_be16(out.data() + 10, t.dst_port);
+  out[12] = static_cast<std::uint8_t>(t.proto);
+  return out;
+}
+
+std::uint32_t rss_hash(const FiveTuple& t, std::span<const std::uint8_t> key) {
+  // Standard RSS input vector for TCP/UDP over IPv4:
+  // src_ip | dst_ip | src_port | dst_port (protocol excluded).
+  std::array<std::uint8_t, 12> input{};
+  store_be32(input.data(), t.src_ip.addr);
+  store_be32(input.data() + 4, t.dst_ip.addr);
+  store_be16(input.data() + 8, t.src_port);
+  store_be16(input.data() + 10, t.dst_port);
+  return toeplitz_hash(input, key);
+}
+
+std::uint32_t rss_hash_v6(const Ipv6Address& src, const Ipv6Address& dst,
+                          std::uint16_t src_port, std::uint16_t dst_port,
+                          std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, 36> input{};
+  std::copy(src.bytes.begin(), src.bytes.end(), input.begin());
+  std::copy(dst.bytes.begin(), dst.bytes.end(), input.begin() + 16);
+  store_be16(input.data() + 32, src_port);
+  store_be16(input.data() + 34, dst_port);
+  return toeplitz_hash(input, key);
+}
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t crc = seed;
+  for (auto b : data) {
+    crc = kCrc32cTable[(crc ^ b) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::uint32_t crc32c(const FiveTuple& t) {
+  const auto bytes = five_tuple_bytes(t);
+  return crc32c(std::span<const std::uint8_t>{bytes});
+}
+
+}  // namespace albatross

@@ -1,0 +1,75 @@
+// Hash functions used across the platform:
+//  - Toeplitz: the Microsoft RSS hash, used by the NIC pipeline's RSS mode
+//    (flow-level load balancing) exactly as commodity NICs implement it.
+//  - CRC32C (Castagnoli): used by plb_dispatch's get_ordq_idx to pick the
+//    order-preserving queue for a 5-tuple, and by the cuckoo table.
+//  - FNV-1a / mix64: cheap mixers for the two-stage rate limiter's
+//    meter_table hashing and general-purpose table indexing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace albatross {
+
+/// Default 40-byte Toeplitz key (the well-known Microsoft verification
+/// key). Symmetric flows hash identically only with a symmetric key; the
+/// gateway does not need symmetry because each direction is a distinct
+/// service pass.
+inline constexpr std::array<std::uint8_t, 40> kDefaultToeplitzKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
+
+/// Computes the Toeplitz hash over arbitrary input with the given key.
+/// `input` is processed MSB-first as the RSS specification requires.
+std::uint32_t toeplitz_hash(std::span<const std::uint8_t> input,
+                            std::span<const std::uint8_t> key = kDefaultToeplitzKey);
+
+/// RSS hash over the IPv4 4-tuple+ports input vector
+/// (src_ip, dst_ip, src_port, dst_port), as used for TCP/UDP RSS.
+std::uint32_t rss_hash(const FiveTuple& t,
+                       std::span<const std::uint8_t> key = kDefaultToeplitzKey);
+
+/// RSS hash over the IPv6 input vector (src, dst, src_port, dst_port —
+/// 36 bytes), as NICs compute for TCP/UDP over IPv6.
+std::uint32_t rss_hash_v6(const Ipv6Address& src, const Ipv6Address& dst,
+                          std::uint16_t src_port, std::uint16_t dst_port,
+                          std::span<const std::uint8_t> key = kDefaultToeplitzKey);
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected), software
+/// table-driven implementation.
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed = 0xffffffffu);
+
+/// CRC32C over a 5-tuple; used by get_ordq_idx (Fig. 3) to select the PLB
+/// order-preserving queue so that one flow always maps to one queue.
+std::uint32_t crc32c(const FiveTuple& t);
+
+/// 64-bit FNV-1a.
+constexpr std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (auto b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Strong 64-bit finalizer (splitmix64 finalizer). Used to derive the
+/// meter_table slot for a VNI in the second rate-limiting stage.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Serialises a 5-tuple into the canonical 13-byte RSS input vector.
+std::array<std::uint8_t, 13> five_tuple_bytes(const FiveTuple& t);
+
+}  // namespace albatross

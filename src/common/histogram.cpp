@@ -1,0 +1,99 @@
+#include "common/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace albatross {
+
+LogHistogram::LogHistogram() : buckets_(kDecades * kSubBuckets, 0) {}
+
+std::size_t LogHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int decade = msb - kSubBucketBits + 1;
+  const auto sub = static_cast<std::size_t>(
+      (value >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  std::size_t idx = static_cast<std::size_t>(decade) * kSubBuckets + sub;
+  const std::size_t last = static_cast<std::size_t>(kDecades) * kSubBuckets - 1;
+  return idx < last ? idx : last;
+}
+
+std::uint64_t LogHistogram::bucket_upper_bound(std::size_t index) {
+  const std::size_t decade = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  if (decade == 0) return sub;
+  const int shift = static_cast<int>(decade) - 1;
+  return ((std::uint64_t{kSubBuckets} + sub + 1) << shift) - 1;
+}
+
+void LogHistogram::record(std::uint64_t value) { record_n(value, 1); }
+
+void LogHistogram::record_n(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  buckets_[bucket_index(value)] += count;
+  total_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+std::uint64_t LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      const std::uint64_t ub = bucket_upper_bound(i);
+      return ub < max_ ? ub : max_;
+    }
+  }
+  return max_;
+}
+
+double LogHistogram::fraction_above(std::uint64_t threshold) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t above = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    // Count a bucket as "above" iff its entire range is above the
+    // threshold; the boundary bucket is attributed conservatively below.
+    if (bucket_upper_bound(i) > threshold) above += buckets_[i];
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  if (other.total_) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+void LogHistogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+std::string LogHistogram::summary_us() const {
+  auto us = [](std::uint64_t ns) {
+    return std::to_string(ns / 1000) + "." + std::to_string((ns % 1000) / 100);
+  };
+  return "p50=" + us(quantile(0.5)) + "us p99=" + us(quantile(0.99)) +
+         " p999=" + us(quantile(0.999)) + " max=" + us(max()) + "us";
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace albatross

@@ -1,0 +1,87 @@
+// Latency and value histograms used by telemetry, the Fig. 9/11 latency
+// benches and the reorder-engine statistics. A log-linear layout gives
+// ~2% relative quantile error over nine decades with a fixed footprint,
+// the same trade-off production HDR histograms make.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace albatross {
+
+/// Log-linear histogram for non-negative 64-bit values (typically
+/// nanoseconds). Each power-of-two decade is split into
+/// `kSubBuckets` linear buckets.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void record(std::uint64_t value);
+  void record_n(std::uint64_t value, std::uint64_t count);
+
+  /// Value at quantile q in [0,1]; returns an upper bucket bound.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t min() const { return total_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+  /// Fraction of recorded values strictly greater than `threshold`.
+  [[nodiscard]] double fraction_above(std::uint64_t threshold) const;
+
+  void merge(const LogHistogram& other);
+  void clear();
+
+  /// Renders "p50=..us p99=..us p999=..us max=..us" for reports.
+  [[nodiscard]] std::string summary_us() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per decade
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kDecades = 40;
+
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_upper_bound(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Welford online mean/variance accumulator; Fig. 10 reports the stddev
+/// of per-core utilisation, which this computes in one pass.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace albatross

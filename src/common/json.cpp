@@ -1,0 +1,324 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace albatross {
+namespace {
+
+const JsonValue kNullValue{};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(JsonParseError* error) {
+    skip_ws();
+    auto v = parse_value();
+    skip_ws();
+    if (v && pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+      v.reset();
+    }
+    if (!v && error != nullptr) {
+      error->offset = err_pos_;
+      error->message = err_msg_;
+    }
+    return v;
+  }
+
+ private:
+  void fail(std::string msg) {
+    if (err_msg_.empty()) {
+      err_msg_ = std::move(msg);
+      err_pos_ = pos_;
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : text_[pos_]; }
+  char take() { return eof() ? '\0' : text_[pos_++]; }
+
+  void skip_ws() {
+    while (!eof() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                      text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("invalid literal");
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return JsonValue(std::move(*s));
+      }
+      case 't':
+        if (!literal("true")) return std::nullopt;
+        return JsonValue(true);
+      case 'f':
+        if (!literal("false")) return std::nullopt;
+        return JsonValue(false);
+      case 'n':
+        if (!literal("null")) return std::nullopt;
+        return JsonValue();
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!expect(':')) return std::nullopt;
+      skip_ws();
+      auto val = parse_value();
+      if (!val) return std::nullopt;
+      obj.emplace(std::move(*key), std::move(*val));
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+    return JsonValue(std::move(obj));
+  }
+
+  std::optional<JsonValue> parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      auto val = parse_value();
+      if (!val) return std::nullopt;
+      arr.push_back(std::move(*val));
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+    return JsonValue(std::move(arr));
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!expect('"')) return std::nullopt;
+    std::string out;
+    while (true) {
+      if (eof()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      const char c = take();
+      if (c == '"') break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else {
+              fail("bad \\u escape");
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs unsupported).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+          return std::nullopt;
+      }
+    }
+    return out;
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+      return std::nullopt;
+    }
+    double value = 0;
+    const auto* first = text_.data() + start;
+    const auto* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) {
+      fail("malformed number");
+      return std::nullopt;
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string err_msg_;
+  std::size_t err_pos_ = 0;
+};
+
+void dump_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_value(std::ostringstream& os, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      os << "null";
+      break;
+    case JsonValue::Kind::kBool:
+      os << (v.as_bool() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber: {
+      const double d = v.as_number();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        os << static_cast<std::int64_t>(d);
+      } else {
+        os << d;
+      }
+      break;
+    }
+    case JsonValue::Kind::kString:
+      dump_string(os, v.as_string());
+      break;
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const auto& e : v.as_array()) {
+        if (!first) os << ',';
+        first = false;
+        dump_value(os, e);
+      }
+      os << ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) os << ',';
+        first = false;
+        dump_string(os, k);
+        os << ':';
+        dump_value(os, e);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const JsonValue& JsonValue::operator[](const std::string& key) const {
+  if (kind_ != Kind::kObject) return kNullValue;
+  const auto it = obj_.find(key);
+  return it != obj_.end() ? it->second : kNullValue;
+}
+
+std::string JsonValue::dump() const {
+  std::ostringstream os;
+  dump_value(os, *this);
+  return os.str();
+}
+
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    JsonParseError* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace albatross

@@ -1,0 +1,110 @@
+// Minimal JSON parser/serializer (RFC 8259 subset, no external deps).
+// Used by the config loader so experiment setups — platform geometry,
+// pod specs, traffic mixes — can live in version-controlled files
+// instead of C++ (the way production gateway fleets are configured).
+// Supported: objects, arrays, strings (with \" \\ \/ \b \f \n \r \t and
+// \uXXXX for BMP code points), numbers, booleans, null.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace albatross {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit JsonValue(std::int64_t i)
+      : kind_(Kind::kNumber), num_(static_cast<double>(i)) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit JsonValue(JsonArray a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  explicit JsonValue(JsonObject o)
+      : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const {
+    return kind_ == Kind::kNumber ? num_ : fallback;
+  }
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const {
+    return kind_ == Kind::kNumber ? static_cast<std::int64_t>(num_)
+                                  : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const JsonArray& as_array() const { return arr_; }
+  [[nodiscard]] const JsonObject& as_object() const { return obj_; }
+
+  /// Object member access; returns a null value for missing keys or
+  /// non-objects (chainable: v["a"]["b"].as_int(7)).
+  const JsonValue& operator[](const std::string& key) const;
+
+  /// Typed convenience getters with defaults.
+  [[nodiscard]] double get_number(const std::string& key,
+                                  double fallback) const {
+    const auto& v = (*this)[key];
+    return v.kind() == Kind::kNumber ? v.as_number() : fallback;
+  }
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const {
+    const auto& v = (*this)[key];
+    return v.kind() == Kind::kNumber ? v.as_int() : fallback;
+  }
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const {
+    const auto& v = (*this)[key];
+    return v.kind() == Kind::kBool ? v.as_bool() : fallback;
+  }
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const {
+    const auto& v = (*this)[key];
+    return v.kind() == Kind::kString ? v.as_string() : fallback;
+  }
+
+  /// Serialises back to compact JSON text.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+struct JsonParseError {
+  std::size_t offset = 0;
+  std::string message;
+};
+
+/// Parses JSON text; on failure returns nullopt and fills `error` (if
+/// given).
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    JsonParseError* error = nullptr);
+
+}  // namespace albatross

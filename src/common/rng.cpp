@@ -1,0 +1,121 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace albatross {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// splitmix64, used to expand the single seed into the 256-bit state.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+double Rng::next_exponential(double mean) {
+  double u = next_double();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::next_gaussian(double mean, double stddev) {
+  double u, v, s;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::next_pareto(double xm, double alpha) {
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  // Binary search for the first CDF entry >= u.
+  std::size_t lo = 0, hi = cdf_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace albatross

@@ -1,0 +1,66 @@
+// Deterministic random number generation for workload synthesis.
+// All traffic generators take an explicit Rng so every benchmark and test
+// is reproducible from a seed; nothing in the library reads global state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace albatross {
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi].
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p);
+
+  /// Exponentially distributed value with the given mean (>0). Used for
+  /// Poisson packet inter-arrival times.
+  double next_exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double next_gaussian(double mean, double stddev);
+
+  /// Pareto-distributed value with scale xm and shape alpha. Heavy-tail
+  /// latency jitter and flow-size skew both use this.
+  double next_pareto(double xm, double alpha);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Precomputed Zipf(alpha) sampler over ranks [0, n). Cloud gateway flow
+/// popularity is heavily skewed: a few dominant flows carry most packets
+/// (the RSS overload motivation in §1), which Zipf captures.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draws a rank in [0, n); rank 0 is the most popular.
+  std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of a given rank.
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace albatross

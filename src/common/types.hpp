@@ -1,0 +1,116 @@
+// Fundamental value types shared across the Albatross reproduction:
+// addresses, five-tuples, tenant identifiers and strong time aliases.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace albatross {
+
+/// Virtual simulation time in nanoseconds. All latency constants in the
+/// paper (100us reorder timeout, 50us service ceiling, 20us average
+/// gateway latency) are expressed in this unit.
+using NanoTime = std::int64_t;
+
+constexpr NanoTime kMicrosecond = 1'000;
+constexpr NanoTime kMillisecond = 1'000'000;
+constexpr NanoTime kSecond = 1'000'000'000;
+
+/// VXLAN Network Identifier. The paper uses the VNI as the tenant
+/// identifier for overload rate-limiting (color_table index = VNI % 4K).
+using Vni = std::uint32_t;
+
+/// 48-bit Ethernet MAC address, stored big-endian as on the wire.
+struct MacAddress {
+  std::array<std::uint8_t, 6> bytes{};
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+  /// Builds a locally-administered MAC from a 48-bit integer, useful for
+  /// synthetic VM fleets.
+  static constexpr MacAddress from_u64(std::uint64_t v) {
+    MacAddress m;
+    for (int i = 5; i >= 0; --i) {
+      m.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto b : bytes) v = (v << 8) | b;
+    return v;
+  }
+};
+
+/// IPv4 address in host byte order; serialisation handles endianness.
+struct Ipv4Address {
+  std::uint32_t addr = 0;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string((addr >> 24) & 0xff) + '.' +
+           std::to_string((addr >> 16) & 0xff) + '.' +
+           std::to_string((addr >> 8) & 0xff) + '.' +
+           std::to_string(addr & 0xff);
+  }
+};
+
+/// IPv6 address, big-endian byte array. The cloud gateway parses v6 but
+/// the evaluation workloads are IPv4, so this stays a thin value type.
+struct Ipv6Address {
+  std::array<std::uint8_t, 16> bytes{};
+  constexpr auto operator<=>(const Ipv6Address&) const = default;
+};
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// Canonical 5-tuple used for RSS hashing and for selecting the PLB
+/// order-preserving queue (get_ordq_idx in Fig. 3).
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kUdp;
+
+  constexpr auto operator<=>(const FiveTuple&) const = default;
+};
+
+/// Identifies a GW pod on an Albatross server. Pods own disjoint NIC
+/// resources (queues, reorder queues, pkt_dir slices) via SR-IOV.
+using PodId = std::uint16_t;
+
+/// Index of a data core inside a pod.
+using CoreId = std::uint16_t;
+
+/// Packet sequence number assigned by plb_dispatch. The hardware legal
+/// check uses only the low 12 bits (psn[11:0]) as the BUF/BITMAP index.
+using Psn = std::uint32_t;
+
+constexpr std::uint32_t kPsnIndexBits = 12;
+constexpr std::uint32_t kPsnIndexMask = (1u << kPsnIndexBits) - 1;
+
+/// Reorder queue capacity: 4K entries, sized to buffer 100us of traffic
+/// at 40 Mpps (4.1 "the queue length is set to 4K").
+constexpr std::uint32_t kReorderQueueEntries = 1u << kPsnIndexBits;
+
+/// Reorder head-of-line timeout (Case 1 of reorder check).
+constexpr NanoTime kReorderTimeout = 100 * kMicrosecond;
+
+}  // namespace albatross

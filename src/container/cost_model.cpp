@@ -1,0 +1,34 @@
+#include "container/cost_model.hpp"
+
+namespace albatross {
+
+AzCostModel::AzCostModel() = default;
+
+AzCostReport AzCostModel::legacy_az(const AzRequirements& req) const {
+  AzCostReport r;
+  r.deployment = "legacy (physical, gen1+gen2)";
+  const std::uint32_t gen1_devices =
+      req.gen1_roles * req.gateways_per_cluster;
+  const std::uint32_t gen2_devices =
+      req.gen2_roles * req.gateways_per_cluster;
+  r.devices = gen1_devices + gen2_devices;
+  r.total_cost = gen1_devices * gen1_.unit_cost +
+                 gen2_devices * gen2_.unit_cost;
+  r.total_power_w = gen1_devices * gen1_.unit_power_w +
+                    gen2_devices * gen2_.unit_power_w;
+  return r;
+}
+
+AzCostReport AzCostModel::albatross_az(const AzRequirements& req,
+                                       std::uint32_t pods_per_server) const {
+  AzCostReport r;
+  r.deployment = "albatross (containerized)";
+  const std::uint32_t gateways =
+      req.cluster_roles * req.gateways_per_cluster;
+  r.devices = (gateways + pods_per_server - 1) / pods_per_server;
+  r.total_cost = r.devices * gen3_.unit_cost;
+  r.total_power_w = r.devices * gen3_.unit_power_w;
+  return r;
+}
+
+}  // namespace albatross

@@ -1,0 +1,58 @@
+// Availability-zone construction cost model (Fig. 15, Tab. 6 cost
+// columns). An AZ needs 8 gateway cluster roles x 4 gateways each. The
+// 1st/2nd-gen form deploys 32 physical boxes; Albatross consolidates
+// them as GW pods at `pods_per_server`, cutting server count 4x and —
+// despite the 2x unit cost — total cost by ~50% and power by ~40%.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace albatross {
+
+struct GenerationCost {
+  std::string name;
+  double unit_cost = 1.0;     ///< normalised to a gen-1/2 gateway = 1
+  double unit_power_w = 500;  ///< per device
+};
+
+struct AzRequirements {
+  std::uint32_t cluster_roles = 8;
+  std::uint32_t gateways_per_cluster = 4;
+  /// Legacy AZ gateway mix: 3 roles on gen-1 x86, 5 roles on gen-2
+  /// Tofino (the paper's power arithmetic).
+  std::uint32_t gen1_roles = 3;
+  std::uint32_t gen2_roles = 5;
+};
+
+struct AzCostReport {
+  std::string deployment;
+  std::uint32_t devices = 0;
+  double total_cost = 0.0;
+  double total_power_w = 0.0;
+};
+
+class AzCostModel {
+ public:
+  AzCostModel();
+
+  [[nodiscard]] const GenerationCost& gen1() const { return gen1_; }
+  [[nodiscard]] const GenerationCost& gen2() const { return gen2_; }
+  [[nodiscard]] const GenerationCost& gen3() const { return gen3_; }
+
+  /// Legacy physical deployment (32 gateways, gen-1/gen-2 mix).
+  [[nodiscard]] AzCostReport legacy_az(const AzRequirements& req = {}) const;
+
+  /// Albatross containerized deployment of the same 32 gateway roles.
+  [[nodiscard]] AzCostReport albatross_az(const AzRequirements& req = {},
+                                          std::uint32_t pods_per_server = 4)
+      const;
+
+ private:
+  GenerationCost gen1_{"gen1-x86", 1.0, 500.0};
+  GenerationCost gen2_{"gen2-tofino", 1.0, 300.0};
+  GenerationCost gen3_{"gen3-albatross", 2.0, 900.0};
+};
+
+}  // namespace albatross

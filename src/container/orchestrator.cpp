@@ -1,0 +1,81 @@
+#include "container/orchestrator.hpp"
+
+#include <algorithm>
+
+namespace albatross {
+
+Orchestrator::Orchestrator(OrchestratorConfig cfg) : cfg_(cfg) {}
+
+std::uint16_t Orchestrator::add_server(const ServerSpec& spec) {
+  servers_.emplace_back(spec);
+  return static_cast<std::uint16_t>(servers_.size() - 1);
+}
+
+std::optional<Placement> Orchestrator::deploy(const PodSpec& spec,
+                                              NanoTime now) {
+  for (std::uint16_t si = 0; si < servers_.size(); ++si) {
+    Server& server = servers_[si];
+    for (std::uint16_t node = 0; node < server.spec.numa.nodes; ++node) {
+      if (spec.numa_preference != 0xffff && spec.numa_preference != node) {
+        continue;
+      }
+      const std::uint16_t free =
+          static_cast<std::uint16_t>(server.spec.numa.cores_per_node -
+                                     server.cores_used[node]);
+      if (free < spec.total_cores()) continue;
+      auto vfs = server.sriov.allocate(next_pod_id_, node, spec.data_cores);
+      if (!vfs) continue;
+
+      Placement p;
+      p.server = si;
+      p.pod = next_pod_id_++;
+      p.numa_node = node;
+      p.first_core = server.cores_used[node];
+      p.ready_at = now + cfg_.pod_startup;
+      p.vfs = *vfs;
+      server.cores_used[node] =
+          static_cast<std::uint16_t>(server.cores_used[node] +
+                                     spec.total_cores());
+      placements_.push_back(p);
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Orchestrator::remove(PodId pod) {
+  const auto it =
+      std::find_if(placements_.begin(), placements_.end(),
+                   [pod](const Placement& p) { return p.pod == pod; });
+  if (it == placements_.end()) return false;
+  // Core accounting is approximate on removal (fragmentation is not
+  // modelled; production compacts by rescheduling).
+  servers_[it->server].sriov.release(pod);
+  placements_.erase(it);
+  return true;
+}
+
+std::optional<std::pair<Placement, NanoTime>> Orchestrator::scale_up(
+    PodId old_pod, const PodSpec& bigger, NanoTime now) {
+  auto placement = deploy(bigger, now);
+  if (!placement) return std::nullopt;
+  // Make-before-break: traffic cuts over only after the new pod has
+  // advertised BGP routes and validated forwarding for a while; the old
+  // pod withdraws afterwards.
+  const NanoTime cutover = placement->ready_at + cfg_.handover_validation;
+  (void)old_pod;  // the old pod is removed by the caller at cutover
+  return std::make_pair(*placement, cutover);
+}
+
+double Orchestrator::core_utilization() const {
+  double used = 0.0, total = 0.0;
+  for (const auto& s : servers_) {
+    for (std::uint16_t node = 0; node < s.spec.numa.nodes; ++node) {
+      used += s.cores_used[node];
+      total += s.spec.numa.cores_per_node;
+    }
+  }
+  return total > 0.0 ? used / total : 0.0;
+}
+
+}  // namespace albatross

@@ -1,0 +1,85 @@
+// ACK-lite orchestrator: schedules GW pods onto Albatross servers.
+// Captures the containerization properties the paper leans on: NUMA-
+// aware bin packing (pods never straddle nodes, §7), SR-IOV VF budgets,
+// and 10-second pod elasticity (vs tens of days for a physical cluster,
+// Tab. 6) including the make-before-break BGP handover (§7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "container/pod_spec.hpp"
+#include "nic/sriov.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/numa.hpp"
+
+namespace albatross {
+
+struct ServerSpec {
+  NumaConfig numa;                 ///< 2 x 48 cores by default
+  SriovConfig sriov;
+};
+
+struct Placement {
+  std::uint16_t server = 0;
+  PodId pod = 0;
+  std::uint16_t numa_node = 0;
+  std::uint16_t first_core = 0;    ///< node-local core offset
+  NanoTime ready_at = 0;           ///< deploy time + pod startup
+  PodVfSet vfs;
+};
+
+struct OrchestratorConfig {
+  /// Container image pull + pod start + table download (the "10
+  /// seconds" elasticity headline).
+  NanoTime pod_startup = 10 * kSecond;
+  /// Make-before-break: new pod must advertise + validate before the
+  /// old pod withdraws (§7 suggests ~30s of validation).
+  NanoTime handover_validation = 30 * kSecond;
+};
+
+class Orchestrator {
+ public:
+  explicit Orchestrator(OrchestratorConfig cfg = {});
+
+  std::uint16_t add_server(const ServerSpec& spec);
+
+  /// Schedules a pod; returns its placement (ready_at in the future) or
+  /// nullopt when no server has a NUMA node with enough cores + VFs.
+  std::optional<Placement> deploy(const PodSpec& spec, NanoTime now);
+
+  bool remove(PodId pod);
+
+  /// Scale-out helper (§7 "leveraging container elasticity"): deploys a
+  /// replacement pod with more cores; returns (placement, traffic
+  /// cutover time = ready_at + validation).
+  std::optional<std::pair<Placement, NanoTime>> scale_up(
+      PodId old_pod, const PodSpec& bigger, NanoTime now);
+
+  [[nodiscard]] const std::vector<Placement>& placements() const {
+    return placements_;
+  }
+  [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
+
+  /// Fraction of data cores allocated across all servers.
+  [[nodiscard]] double core_utilization() const;
+
+ private:
+  struct Server {
+    ServerSpec spec;
+    SriovManager sriov;
+    std::vector<std::uint16_t> cores_used;  // per NUMA node
+    explicit Server(const ServerSpec& s)
+        : spec(s), sriov(s.sriov),
+          cores_used(s.numa.nodes, 0) {}
+  };
+
+  OrchestratorConfig cfg_;
+  std::vector<Server> servers_;
+  std::vector<Placement> placements_;
+  PodId next_pod_id_ = 0;
+};
+
+}  // namespace albatross

@@ -1,0 +1,27 @@
+#include "container/pod_spec.hpp"
+
+namespace albatross {
+
+std::uint16_t reorder_queues_for_cores(std::uint16_t data_cores) {
+  // ~12 data cores per order-preserving queue, clamped to [1, 8].
+  std::uint16_t q = static_cast<std::uint16_t>((data_cores + 11) / 12);
+  if (q < 1) q = 1;
+  if (q > 8) q = 8;
+  return q;
+}
+
+std::string_view gateway_role_name(GatewayRole r) {
+  switch (r) {
+    case GatewayRole::kXgw: return "XGW";
+    case GatewayRole::kIgw: return "IGW";
+    case GatewayRole::kVgw: return "VGW";
+    case GatewayRole::kSlb: return "SLB";
+    case GatewayRole::kNatgw: return "NATGW";
+    case GatewayRole::kPcgw: return "PCGW";
+    case GatewayRole::kCsgw: return "CSGW";
+    case GatewayRole::kDcgw: return "DCGW";
+  }
+  return "?";
+}
+
+}  // namespace albatross

@@ -1,0 +1,44 @@
+// GW pod specification — what the ACK-style orchestrator deploys.
+// Encodes the paper's sizing rules: reorder queues proportional to data
+// cores (a 40-core pod gets twice the queues of a 20-core pod, §4.1),
+// 4 VFs per pod, intra-NUMA placement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gateway/service.hpp"
+#include "nic/nic_pipeline.hpp"
+
+namespace albatross {
+
+struct PodSpec {
+  std::string name = "gw";
+  ServiceKind service = ServiceKind::kVpcVpc;
+  std::uint16_t data_cores = 8;
+  std::uint16_t ctrl_cores = 2;
+  LbMode mode = LbMode::kPlb;
+  /// 0 = derive from cores via reorder_queues_for_cores().
+  std::uint16_t reorder_queues = 0;
+  bool drop_flag_enabled = true;
+  bool header_split = false;
+  /// Optional preferred NUMA node; 0xffff = any.
+  std::uint16_t numa_preference = 0xffff;
+
+  [[nodiscard]] std::uint16_t total_cores() const {
+    return static_cast<std::uint16_t>(data_cores + ctrl_cores);
+  }
+};
+
+/// Pods get 1-8 order-preserving queues, proportional to data cores so
+/// each queue serves a similar core count (~12 cores/queue at the
+/// production 44-core = 4-queue operating point).
+[[nodiscard]] std::uint16_t reorder_queues_for_cores(std::uint16_t data_cores);
+
+/// Eight gateway cluster roles an availability zone needs (Fig. 15).
+enum class GatewayRole : std::uint8_t {
+  kXgw, kIgw, kVgw, kSlb, kNatgw, kPcgw, kCsgw, kDcgw,
+};
+[[nodiscard]] std::string_view gateway_role_name(GatewayRole r);
+
+}  // namespace albatross

@@ -1,0 +1,148 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+#include "traffic/heavy_hitter.hpp"
+#include "traffic/microburst.hpp"
+
+namespace albatross {
+namespace {
+
+ServiceKind service_from_name(const std::string& name) {
+  if (name == "vpc" || name == "vpc-vpc") return ServiceKind::kVpcVpc;
+  if (name == "internet" || name == "vpc-internet") {
+    return ServiceKind::kVpcInternet;
+  }
+  if (name == "idc" || name == "vpc-idc") return ServiceKind::kVpcIdc;
+  if (name == "cloud" || name == "vpc-cloudservice") {
+    return ServiceKind::kVpcCloudService;
+  }
+  throw std::runtime_error("unknown service: " + name);
+}
+
+LbMode mode_from_name(const std::string& name) {
+  if (name == "plb") return LbMode::kPlb;
+  if (name == "rss") return LbMode::kRss;
+  throw std::runtime_error("unknown mode: " + name);
+}
+
+}  // namespace
+
+std::unique_ptr<Platform> build_platform_from_json(
+    const JsonValue& cfg, std::vector<PodId>& pods_out) {
+  const JsonValue& pc_json = cfg["platform"];
+  PlatformConfig pc;
+  pc.tenants =
+      static_cast<std::uint32_t>(pc_json.get_int("tenants", pc.tenants));
+  pc.routes =
+      static_cast<std::uint32_t>(pc_json.get_int("routes", pc.routes));
+  pc.working_set_bytes = static_cast<std::uint64_t>(
+                             pc_json.get_number("working_set_gb", 4.0) *
+                             1024.0 * 1024.0 * 1024.0);
+  const JsonValue& gop = pc_json["gop"];
+  pc.nic.gop_enabled = gop.get_bool("enabled", true);
+  pc.nic.gop.stage1_rate_pps = gop.get_number("stage1_mpps", 8.0) * 1e6;
+  pc.nic.gop.stage2_rate_pps = gop.get_number("stage2_mpps", 2.0) * 1e6;
+  pc.nic.gop.pre_meter_rate_pps =
+      gop.get_number("pre_meter_mpps", 10.0) * 1e6;
+
+  auto platform = std::make_unique<Platform>(pc);
+
+  for (const auto& pod_json : cfg["pods"].as_array()) {
+    GwPodConfig gp;
+    gp.service = service_from_name(pod_json.get_string("service", "vpc"));
+    gp.data_cores =
+        static_cast<std::uint16_t>(pod_json.get_int("data_cores", 8));
+    gp.drop_flag_enabled = pod_json.get_bool("drop_flag", true);
+    PktDirConfig dir;
+    dir.priority_queues_enabled = pod_json.get_bool("priority_queues", true);
+    const auto mode = mode_from_name(pod_json.get_string("mode", "plb"));
+    const auto queues =
+        static_cast<std::uint16_t>(pod_json.get_int("reorder_queues", 0));
+    const PodId id = platform->create_pod(gp, queues, dir, mode);
+    if (pod_json.get_bool("offload", false)) {
+      platform->nic().enable_session_offload(id);
+    }
+    pods_out.push_back(id);
+  }
+  return platform;
+}
+
+void attach_traffic_from_json(Platform& platform, const JsonValue& cfg,
+                              const std::vector<PodId>& pods) {
+  for (const auto& t : cfg["traffic"].as_array()) {
+    const auto pod_index = static_cast<std::size_t>(t.get_int("pod", 0));
+    if (pod_index >= pods.size()) {
+      throw std::runtime_error("traffic entry references unknown pod");
+    }
+    const PodId pod = pods[pod_index];
+    const std::string type = t.get_string("type", "poisson");
+
+    if (type == "poisson") {
+      PoissonFlowConfig c;
+      c.rate_pps = t.get_number("rate_mpps", 1.0) * 1e6;
+      c.num_flows = static_cast<std::size_t>(t.get_int("flows", 5000));
+      c.tenants = static_cast<std::uint32_t>(t.get_int("tenants", 64));
+      c.packet_bytes =
+          static_cast<std::size_t>(t.get_int("packet_bytes", 256));
+      c.zipf_alpha = t.get_number("zipf", 0.9);
+      c.seed = static_cast<std::uint64_t>(t.get_int("seed", 1));
+      platform.attach_source(std::make_unique<PoissonFlowSource>(c), pod);
+    } else if (type == "hitter") {
+      HeavyHitterConfig c;
+      c.flow = make_flow(
+          static_cast<std::uint64_t>(t.get_int("flow_id", 0x70000)),
+          static_cast<Vni>(t.get_int("vni", 7)), 0);
+      for (const auto& step : t["steps"].as_array()) {
+        const auto& pair = step.as_array();
+        if (pair.size() != 2) {
+          throw std::runtime_error("hitter step must be [ms, mpps]");
+        }
+        c.profile.add_step(pair[0].as_int() * kMillisecond,
+                           pair[1].as_number() * 1e6);
+      }
+      platform.attach_source(std::make_unique<HeavyHitterSource>(c), pod);
+    } else if (type == "microburst") {
+      MicroburstConfig c;
+      c.mean_burst_packets =
+          static_cast<std::size_t>(t.get_int("burst_packets", 500));
+      c.mean_burst_gap = static_cast<NanoTime>(
+          t.get_number("gap_ms", 10.0) * kMillisecond);
+      c.burst_rate_pps = t.get_number("burst_rate_mpps", 15.0) * 1e6;
+      c.single_flow_bursts = t.get_bool("single_flow", true);
+      c.seed = static_cast<std::uint64_t>(t.get_int("seed", 11));
+      platform.attach_source(std::make_unique<MicroburstSource>(c), pod);
+    } else {
+      throw std::runtime_error("unknown traffic type: " + type);
+    }
+  }
+}
+
+ExperimentResult run_experiment_from_json(std::string_view json_text) {
+  JsonParseError err;
+  const auto cfg = json_parse(json_text, &err);
+  if (!cfg) {
+    throw std::runtime_error("config parse error at offset " +
+                             std::to_string(err.offset) + ": " +
+                             err.message);
+  }
+  std::vector<PodId> pods;
+  auto platform = build_platform_from_json(*cfg, pods);
+  attach_traffic_from_json(*platform, *cfg, pods);
+  if ((*cfg).get_bool("order_oracle", false)) {
+    platform->enable_order_oracle(true);
+  }
+
+  const NanoTime duration =
+      (*cfg).get_int("duration_ms", 100) * kMillisecond;
+  platform->run_until(duration);
+
+  ExperimentResult result;
+  result.duration = duration;
+  for (const PodId pod : pods) {
+    result.pods.push_back(summarize(platform->telemetry(pod), duration));
+  }
+  return result;
+}
+
+}  // namespace albatross

@@ -1,0 +1,47 @@
+#include "core/fallback.hpp"
+
+namespace albatross {
+
+FallbackWatchdog::FallbackWatchdog(Platform& platform, PodId pod,
+                                   FallbackWatchdogConfig cfg)
+    : platform_(platform), pod_(pod), cfg_(cfg) {}
+
+void FallbackWatchdog::arm() {
+  if (!cfg_.enabled) return;
+  last_check_ = platform_.loop().now();
+  last_timeouts_ =
+      platform_.nic().engine(pod_).total_stats().timeout_releases;
+  platform_.loop().schedule_in(cfg_.check_period, [this] { check(); });
+}
+
+void FallbackWatchdog::check() {
+  ++checks_;
+  const NanoTime now = platform_.loop().now();
+  const auto timeouts =
+      platform_.nic().engine(pod_).total_stats().timeout_releases;
+  const double window_s =
+      static_cast<double>(now - last_check_) / 1e9;
+  last_rate_ = window_s > 0.0
+                   ? static_cast<double>(timeouts - last_timeouts_) / window_s
+                   : 0.0;
+  last_timeouts_ = timeouts;
+  last_check_ = now;
+
+  if (last_rate_ > cfg_.hol_rate_threshold) {
+    if (++bad_windows_ >= cfg_.consecutive_windows && !triggered_) {
+      // Remediation: dynamic switch to RSS. In-flight reorder entries
+      // drain naturally (the engine keeps servicing write-backs; new
+      // packets simply stop reserving PSNs).
+      platform_.nic().set_pod_mode(pod_, LbMode::kRss);
+      triggered_ = true;
+      triggered_at_ = now;
+    }
+  } else {
+    bad_windows_ = 0;
+  }
+  if (!triggered_) {
+    platform_.loop().schedule_in(cfg_.check_period, [this] { check(); });
+  }
+}
+
+}  // namespace albatross

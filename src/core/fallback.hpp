@@ -1,0 +1,53 @@
+// PLB fallback to RSS (§4.1 remediation 5): when HOL symptoms persist
+// and no root cause is found, the GW pod dynamically switches from PLB
+// to RSS mode to remediate. The watchdog samples the pod's reorder-
+// engine counters on the event loop; a sustained HOL-timeout rate above
+// threshold for N consecutive windows trips the fallback. (Production
+// note: this knob exists but "has not been triggered in the current
+// online deployment" — the library still needs it to exist and work.)
+#pragma once
+
+#include <cstdint>
+
+#include "core/platform.hpp"
+
+namespace albatross {
+
+struct FallbackWatchdogConfig {
+  bool enabled = true;
+  NanoTime check_period = 10 * kMillisecond;
+  /// HOL timeout releases per second considered pathological.
+  double hol_rate_threshold = 5000.0;
+  /// Consecutive bad windows before tripping (debounce).
+  int consecutive_windows = 3;
+};
+
+class FallbackWatchdog {
+ public:
+  FallbackWatchdog(Platform& platform, PodId pod,
+                   FallbackWatchdogConfig cfg = {});
+
+  /// Starts periodic checks on the platform's event loop.
+  void arm();
+
+  [[nodiscard]] bool triggered() const { return triggered_; }
+  [[nodiscard]] NanoTime triggered_at() const { return triggered_at_; }
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_; }
+  [[nodiscard]] double last_hol_rate() const { return last_rate_; }
+
+ private:
+  void check();
+
+  Platform& platform_;
+  PodId pod_;
+  FallbackWatchdogConfig cfg_;
+  std::uint64_t last_timeouts_ = 0;
+  NanoTime last_check_ = 0;
+  int bad_windows_ = 0;
+  bool triggered_ = false;
+  NanoTime triggered_at_ = 0;
+  std::uint64_t checks_ = 0;
+  double last_rate_ = 0.0;
+};
+
+}  // namespace albatross

@@ -1,0 +1,189 @@
+#include "core/platform.hpp"
+
+#include "container/pod_spec.hpp"
+
+namespace albatross {
+
+Platform::Platform(PlatformConfig cfg)
+    : cfg_(cfg), cache_(cfg.cache, cfg.numa), nic_(cfg.nic) {
+  tables_.populate(cfg_.tenants, cfg_.routes, cfg_.tables_data_cores);
+  cache_.set_working_set_bytes(cfg_.working_set_bytes != 0
+                                   ? cfg_.working_set_bytes
+                                   : tables_.memory_bytes());
+}
+
+PodId Platform::create_pod(const GwPodConfig& pod_cfg,
+                           std::uint16_t reorder_queues,
+                           const PktDirConfig& dir, LbMode mode) {
+  const auto id = static_cast<PodId>(pods_.size());
+  GwPodConfig cfg = pod_cfg;
+  cfg.id = id;
+
+  PlbEngineConfig plb;
+  plb.num_rx_queues = cfg.data_cores;
+  plb.num_reorder_queues = reorder_queues != 0
+                               ? reorder_queues
+                               : reorder_queues_for_cores(cfg.data_cores);
+  // RSS-mode pods still register an engine: mode switching is a runtime
+  // knob (§4.1 remediation 5, "PLB fallback to RSS").
+  nic_.register_pod(id, plb, dir, mode);
+
+  auto pod = std::make_unique<GwPod>(cfg, loop_, tables_, cache_);
+  pod->set_egress([this, id](PacketPtr pkt, NanoTime submit) {
+    const NanoTime at_fpga = nic_.tx_submit(id, submit, pkt->size());
+    Packet* p = pkt.release();
+    loop_.schedule_at(at_fpga, [this, id, p, at_fpga] {
+      handle_emissions(nic_.egress(PacketPtr(p), id, at_fpga), id);
+      arm_reorder_timer(id);
+    });
+  });
+  pods_.push_back(std::move(pod));
+  telemetry_.emplace_back();
+  armed_deadline_.push_back(0);
+  return id;
+}
+
+void Platform::attach_source(std::unique_ptr<TrafficSource> src, PodId pod) {
+  sources_.push_back(SourceBinding{std::move(src), pod});
+  const std::size_t idx = sources_.size() - 1;
+  const auto t = sources_[idx].src->next_time();
+  if (t) {
+    loop_.schedule_at(*t, [this, idx] { pump(idx); });
+  }
+}
+
+void Platform::pump(std::size_t source_idx) {
+  SourceBinding& b = sources_[source_idx];
+  PacketPtr pkt = b.src->emit();
+  if (pkt != nullptr) {
+    handle_ingress(std::move(pkt), b.pod, loop_.now());
+  }
+  const auto t = b.src->next_time();
+  if (t) {
+    loop_.schedule_at(*t, [this, source_idx] { pump(source_idx); });
+  }
+}
+
+void Platform::handle_ingress(PacketPtr pkt, PodId pod, NanoTime now) {
+  PodTelemetry& tel = telemetry_[pod];
+  ++tel.offered;
+  TenantCounters& tc = tenants_[pkt->vni];
+  ++tc.offered;
+
+  IngressResult r = nic_.ingress(std::move(pkt), pod, now);
+  switch (r.outcome) {
+    case IngressOutcome::kDroppedRateLimit:
+      ++tel.dropped_rate_limit;
+      ++tc.dropped_rate_limit;
+      return;
+    case IngressOutcome::kDroppedReorderFull:
+      ++tel.dropped_reorder_full;
+      ++tc.dropped_other;
+      return;
+    case IngressOutcome::kOffloaded: {
+      // Handled entirely on the FPGA (session offload): deliver_time is
+      // the wire time; count it like any other delivery.
+      ++tel.delivered;
+      ++tel.delivered_in_order;
+      tel.wire_latency.record(
+          static_cast<std::uint64_t>(r.deliver_time - r.pkt->rx_time));
+      ++tc.delivered;
+      return;
+    }
+    case IngressOutcome::kDelivered:
+      break;
+  }
+  arm_reorder_timer(pod);
+
+  Packet* raw = r.pkt.release();
+  const std::uint16_t q = r.rx_queue;
+  const NanoTime at = r.deliver_time;
+  loop_.schedule_at(at, [this, raw, pod, q, at] {
+    pods_[pod]->deliver(PacketPtr(raw), q, at);
+  });
+}
+
+void Platform::handle_emissions(std::vector<EgressEmission> emissions,
+                                PodId pod) {
+  PodTelemetry& tel = telemetry_[pod];
+  const bool offload = nic_.session_offload_enabled(pod);
+  for (auto& e : emissions) {
+    if (e.pkt == nullptr) continue;
+    if (offload && e.pkt->pkt_class != PktClass::kPriority) {
+      // Self-learning session offload: the first CPU-forwarded packet of
+      // a flow installs its session on the FPGA; later packets take the
+      // NIC-only fast path.
+      nic_.session_offload(pod).install(e.pkt->tuple, 0,
+                                        loop_.now());
+    }
+    ++tel.delivered;
+    e.in_order ? ++tel.delivered_in_order : ++tel.delivered_disordered;
+    const auto latency =
+        static_cast<std::uint64_t>(e.wire_time - e.pkt->rx_time);
+    tel.wire_latency.record(latency);
+    ++tenants_[e.pkt->vni].delivered;
+
+    if (order_oracle_) {
+      // Oracle: per-flow sequence must be non-decreasing at the wire.
+      auto [it, fresh] = last_seq_.try_emplace(e.pkt->flow_id, 0);
+      if (!fresh && e.pkt->seq_in_flow < it->second) {
+        ++tel.flow_order_violations;
+      }
+      if (fresh || e.pkt->seq_in_flow > it->second) {
+        it->second = e.pkt->seq_in_flow;
+      }
+    }
+  }
+}
+
+void Platform::arm_reorder_timer(PodId pod) {
+  const auto deadline = nic_.next_reorder_deadline(pod);
+  if (!deadline) {
+    armed_deadline_[pod] = 0;
+    return;
+  }
+  if (armed_deadline_[pod] != 0 && armed_deadline_[pod] <= *deadline) {
+    return;  // an earlier (or equal) timer is already pending
+  }
+  armed_deadline_[pod] = *deadline;
+  const NanoTime at = *deadline + 1;  // strictly past the timeout
+  loop_.schedule_at(at, [this, pod, at] {
+    if (armed_deadline_[pod] == 0 || armed_deadline_[pod] + 1 != at) {
+      // Superseded by an earlier timer; the structure re-arms below
+      // regardless, so stale timers are cheap no-ops.
+    }
+    armed_deadline_[pod] = 0;
+    handle_emissions(nic_.drain_expired(pod, loop_.now()), pod);
+    arm_reorder_timer(pod);
+  });
+}
+
+const TenantCounters& Platform::tenant(Vni vni) const {
+  const auto it = tenants_.find(vni);
+  return it != tenants_.end() ? it->second : no_tenant_;
+}
+
+void Platform::run_until(NanoTime until) { loop_.run_until(until); }
+
+void Platform::enable_housekeeping(NanoTime period) {
+  schedule_periodic(loop_, period, [this] {
+    const NanoTime now = loop_.now();
+    for (auto& table : tables_.per_core_conntrack) {
+      housekeeping_reclaimed_ += table->age(now);
+    }
+    for (PodId pod = 0; pod < pods_.size(); ++pod) {
+      if (nic_.session_offload_enabled(pod)) {
+        housekeeping_reclaimed_ += nic_.session_offload(pod).age(now);
+      }
+    }
+    return true;  // run for the platform's lifetime
+  });
+}
+
+void Platform::reset_telemetry() {
+  for (auto& t : telemetry_) t = PodTelemetry{};
+  tenants_.clear();
+  last_seq_.clear();
+}
+
+}  // namespace albatross

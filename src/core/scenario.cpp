@@ -1,0 +1,62 @@
+#include "core/scenario.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace albatross {
+
+SinglePodScenario SinglePodScenario::make(ServiceKind service,
+                                          std::uint16_t data_cores,
+                                          LbMode mode, std::uint32_t tenants,
+                                          std::uint32_t routes,
+                                          bool drop_flag,
+                                          std::uint16_t reorder_queues) {
+  SinglePodScenario s;
+  PlatformConfig pc;
+  pc.tenants = tenants;
+  pc.routes = routes;
+  pc.tables_data_cores = data_cores;
+  s.platform = std::make_unique<Platform>(pc);
+
+  GwPodConfig gp;
+  gp.service = service;
+  gp.data_cores = data_cores;
+  gp.drop_flag_enabled = drop_flag;
+  s.pod = s.platform->create_pod(gp, reorder_queues, PktDirConfig{}, mode);
+  return s;
+}
+
+ThroughputReport summarize(const PodTelemetry& t, NanoTime duration) {
+  ThroughputReport r;
+  const double secs =
+      static_cast<double>(duration) / static_cast<double>(kSecond);
+  if (secs <= 0.0) return r;
+  r.offered_mpps = static_cast<double>(t.offered) / secs / 1e6;
+  r.delivered_mpps = static_cast<double>(t.delivered) / secs / 1e6;
+  r.loss_rate = t.offered ? 1.0 - static_cast<double>(t.delivered) /
+                                      static_cast<double>(t.offered)
+                          : 0.0;
+  r.mean_latency_us = t.wire_latency.mean() / 1000.0;
+  r.p99_latency_us =
+      static_cast<double>(t.wire_latency.quantile(0.99)) / 1000.0;
+  r.disorder_rate = t.disorder_rate();
+  return r;
+}
+
+double core_capacity_mpps(ServiceKind service, const CacheModel& cache,
+                          bool flow_affine) {
+  const ServiceProfile p = service_profile(service);
+  const double per_pkt =
+      static_cast<double>(p.base_ns) +
+      static_cast<double>(p.mem_accesses) *
+          cache.mean_access_latency(0, 0, flow_affine);
+  return 1e3 / per_pkt;  // ns/pkt -> Mpps
+}
+
+std::string format_mpps(double mpps) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1fMpps", mpps);
+  return buf;
+}
+
+}  // namespace albatross

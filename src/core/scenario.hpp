@@ -1,0 +1,54 @@
+// Scenario helpers shared by benches, examples and integration tests:
+// canned platform/pod/traffic setups matching the paper's experimental
+// configurations, plus result formatting.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/platform.hpp"
+#include "traffic/heavy_hitter.hpp"
+#include "traffic/microburst.hpp"
+#include "traffic/tenant_gen.hpp"
+
+namespace albatross {
+
+/// A single-pod experiment harness. The paper's per-pod experiments all
+/// share this shape: one service, one traffic mix, run, read telemetry.
+struct SinglePodScenario {
+  std::unique_ptr<Platform> platform;
+  PodId pod = 0;
+
+  /// Builds a platform with one pod of `data_cores` running `service`
+  /// in `mode`. Scaled-down defaults keep simulations fast; the scale
+  /// honestly preserves per-core arithmetic (1 Mpps/core class).
+  static SinglePodScenario make(ServiceKind service, std::uint16_t data_cores,
+                                LbMode mode, std::uint32_t tenants = 200,
+                                std::uint32_t routes = 20'000,
+                                bool drop_flag = true,
+                                std::uint16_t reorder_queues = 0);
+};
+
+/// Measured service rate of one pod over a run.
+struct ThroughputReport {
+  double offered_mpps = 0.0;
+  double delivered_mpps = 0.0;
+  double loss_rate = 0.0;
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double disorder_rate = 0.0;
+};
+
+[[nodiscard]] ThroughputReport summarize(const PodTelemetry& t,
+                                         NanoTime duration);
+
+/// Estimated single-core capacity (Mpps) for a service under the given
+/// cache model — the closed-form used to scale experiments.
+[[nodiscard]] double core_capacity_mpps(ServiceKind service,
+                                        const CacheModel& cache,
+                                        bool flow_affine);
+
+/// Formats a Mpps value like the paper's tables ("81.6Mpps").
+[[nodiscard]] std::string format_mpps(double mpps);
+
+}  // namespace albatross

@@ -1,0 +1,146 @@
+#include "gateway/gw_pod.hpp"
+
+#include "nic/nic_pipeline.hpp"  // kPriorityQueue
+
+namespace albatross {
+
+GwPod::GwPod(const GwPodConfig& cfg, EventLoop& loop, ServiceTables& tables,
+             CacheModel& cache)
+    : cfg_(cfg), loop_(loop), rng_(cfg.seed) {
+  service_ = make_service(cfg_.service, tables, cache, cfg_.numa_node,
+                          cfg_.faults);
+  cores_.reserve(cfg_.data_cores);
+  for (std::uint16_t c = 0; c < cfg_.data_cores; ++c) {
+    cores_.push_back(std::make_unique<Core>(cfg_.rx_ring_capacity));
+  }
+  NumaBalancer::Config bal;
+  bal.enabled = cfg_.numa_balancing;
+  bal.scan_period = cfg_.numa_balancing_scan_period;
+  balancer_ = NumaBalancer(bal);
+}
+
+void GwPod::deliver(PacketPtr pkt, std::uint16_t rx_queue, NanoTime now) {
+  if (rx_queue == kPriorityQueue) {
+    ++stats_.protocol_packets;
+    if (protocol_) protocol_(std::move(pkt), now);
+    return;
+  }
+  Core& core = *cores_[rx_queue % cores_.size()];
+  const auto core_id = static_cast<CoreId>(rx_queue % cores_.size());
+  if (!core.ring.push(std::move(pkt))) {
+    // RX descriptor overflow: one of the CPU-side loss sources that
+    // strands reorder-FIFO entries (the packet never comes back).
+    ++stats_.dropped_ring;
+    return;
+  }
+  if (!core.busy) start_core(core_id, now);
+}
+
+void GwPod::start_core(CoreId core_id, NanoTime now) {
+  Core& core = *cores_[core_id];
+  PacketPtr pkt = core.ring.pop();
+  if (pkt == nullptr) {
+    core.busy = false;
+    return;
+  }
+  core.busy = true;
+  // Smoothed load estimate (drives the numa_balancing stall model):
+  // queue depth is the congestion signal a run loop actually sees.
+  recent_load_ =
+      0.95 * recent_load_ +
+      0.05 * std::min(1.0, static_cast<double>(core.ring.size()) / 4.0);
+
+  // A packet carrying a PLB meta trailer was sprayed; one without it
+  // (RSS mode or a pinned class) is flow-affine on this core, which is
+  // what earns the small private-cache bonus in the cache model.
+  PlbMeta probe;
+  const bool sprayed = pkt->peek_plb_meta(probe);
+
+  ServiceOutcome outcome =
+      service_->process(*pkt, core_id, !sprayed, now, rng_);
+  outcome.cpu_ns += balancer_.maybe_stall(now, recent_load_);
+
+  const NanoTime done = now + outcome.cpu_ns;
+  core.busy_ns += outcome.cpu_ns;
+  service_hist_.record(static_cast<std::uint64_t>(outcome.cpu_ns));
+
+  // Move the packet into the event closure; completion emits and then
+  // pulls the next packet from the ring.
+  Packet* raw = pkt.release();
+  loop_.schedule_at(done, [this, core_id, raw, outcome, done] {
+    finish_packet(core_id, PacketPtr(raw), outcome, done);
+  });
+}
+
+void GwPod::finish_packet(CoreId core_id, PacketPtr pkt,
+                          ServiceOutcome outcome, NanoTime done) {
+  Core& core = *cores_[core_id];
+  ++core.processed;
+  ++stats_.processed;
+
+  // Protocol packets that arrived via the DATA path (priority queues
+  // disabled — the §4.3 ablation) are consumed locally after surviving
+  // the run loop: hand them to the ctrl plane and release their reorder
+  // resources with a drop notification so the FIFO doesn't stall.
+  const bool local_protocol =
+      (pkt->tuple.proto == IpProto::kUdp &&
+       pkt->tuple.dst_port == kBfdPort) ||
+      (pkt->tuple.proto == IpProto::kTcp &&
+       (pkt->tuple.dst_port == kBgpPort || pkt->tuple.src_port == kBgpPort));
+  if (outcome.action == ServiceAction::kForward && local_protocol) {
+    ++stats_.protocol_packets;
+    PlbMeta rel_meta;
+    if (pkt->strip_plb_meta(rel_meta) && cfg_.drop_flag_enabled && egress_) {
+      auto release = Packet::make_synthetic(pkt->tuple, pkt->vni, 64);
+      rel_meta.drop = true;
+      release->attach_plb_meta(rel_meta);
+      ++stats_.drop_flags_sent;
+      egress_(std::move(release), done);
+    }
+    if (protocol_) protocol_(std::move(pkt), done);
+    if (!core.ring.empty()) {
+      start_core(core_id, done);
+    } else {
+      core.busy = false;
+    }
+    return;
+  }
+
+  if (outcome.action == ServiceAction::kDrop) {
+    ++stats_.dropped_service;
+    PlbMeta meta;
+    if (cfg_.drop_flag_enabled && pkt->peek_plb_meta(meta)) {
+      // Active drop flag (Fig. 12): notify the NIC so it releases the
+      // reorder resources instead of waiting out the 100us timeout.
+      meta.drop = true;
+      pkt->update_plb_meta(meta);
+      ++stats_.drop_flags_sent;
+      if (egress_) egress_(std::move(pkt), done);
+    }
+    // Without the flag (or for RSS packets) the drop is silent.
+  } else {
+    ++stats_.forwarded;
+    if (egress_) egress_(std::move(pkt), done);
+  }
+
+  // Continue with the next queued packet, if any.
+  if (!core.ring.empty()) {
+    start_core(core_id, done);
+  } else {
+    core.busy = false;
+  }
+}
+
+NanoTime GwPod::core_busy_ns(CoreId core) const {
+  return cores_[core % cores_.size()]->busy_ns;
+}
+
+std::uint64_t GwPod::core_processed(CoreId core) const {
+  return cores_[core % cores_.size()]->processed;
+}
+
+std::uint64_t GwPod::core_ring_drops(CoreId core) const {
+  return cores_[core % cores_.size()]->ring.stats().drops;
+}
+
+}  // namespace albatross

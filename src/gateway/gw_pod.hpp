@@ -1,0 +1,107 @@
+// GW pod: one containerized gateway instance. Owns data cores (each an
+// M/G/1 server fed by its RX descriptor ring), ctrl cores for protocol
+// packets, the service implementation and the drop-flag signalling back
+// to the NIC pipeline. Scheduled entirely on the discrete-event loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "gateway/service.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/numa.hpp"
+#include "sim/ring.hpp"
+
+namespace albatross {
+
+struct GwPodConfig {
+  PodId id = 0;
+  ServiceKind service = ServiceKind::kVpcVpc;
+  std::uint16_t data_cores = 8;
+  std::uint16_t ctrl_cores = 2;
+  std::uint16_t numa_node = 0;
+  std::size_t rx_ring_capacity = 1024;
+  /// Send the active drop flag to the NIC on CPU-side drops (Fig. 12
+  /// ablation: disabling it turns every drop into a 100us HOL stall).
+  bool drop_flag_enabled = true;
+  ServiceFaults faults;
+  std::uint64_t seed = 101;
+  /// Per-core stall source (numa_balancing model).
+  bool numa_balancing = false;
+  NanoTime numa_balancing_scan_period = 100 * kMillisecond;
+};
+
+struct GwPodStats {
+  std::uint64_t processed = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped_service = 0;   ///< ACL / rate-rule drops on CPU
+  std::uint64_t dropped_ring = 0;      ///< RX descriptor ring overflow
+  std::uint64_t protocol_packets = 0;  ///< handled on ctrl cores
+  std::uint64_t drop_flags_sent = 0;
+};
+
+class GwPod {
+ public:
+  /// Egress sink: a processed packet being submitted to the NIC TX queue
+  /// at `submit_time` (drop-flag notifications travel the same way).
+  using EgressFn = std::function<void(PacketPtr, NanoTime)>;
+  /// Ctrl-plane sink for priority (BGP/BFD) packets.
+  using ProtocolFn = std::function<void(PacketPtr, NanoTime)>;
+
+  GwPod(const GwPodConfig& cfg, EventLoop& loop, ServiceTables& tables,
+        CacheModel& cache);
+
+  void set_egress(EgressFn fn) { egress_ = std::move(fn); }
+  void set_protocol_handler(ProtocolFn fn) { protocol_ = std::move(fn); }
+
+  /// Packet delivery from the NIC at its RX-DMA completion time.
+  /// `rx_queue` selects the data core (kPriorityQueue -> ctrl path).
+  void deliver(PacketPtr pkt, std::uint16_t rx_queue, NanoTime now);
+
+  [[nodiscard]] const GwPodConfig& config() const { return cfg_; }
+  [[nodiscard]] const GwPodStats& stats() const { return stats_; }
+
+  /// Cumulative busy nanoseconds of a data core (utilisation oracle).
+  [[nodiscard]] NanoTime core_busy_ns(CoreId core) const;
+  [[nodiscard]] std::uint64_t core_processed(CoreId core) const;
+  [[nodiscard]] std::uint64_t core_ring_drops(CoreId core) const;
+
+  /// Service-time distribution observed on the pod (CPU time only).
+  [[nodiscard]] const LogHistogram& service_histogram() const {
+    return service_hist_;
+  }
+
+  Service& service() { return *service_; }
+  NumaBalancer& balancer() { return balancer_; }
+
+ private:
+  struct Core {
+    PacketRing ring;
+    bool busy = false;
+    NanoTime busy_ns = 0;
+    std::uint64_t processed = 0;
+    Core(std::size_t cap) : ring(cap) {}
+  };
+
+  void start_core(CoreId core, NanoTime now);
+  void finish_packet(CoreId core, PacketPtr pkt, ServiceOutcome outcome,
+                     NanoTime done);
+
+  GwPodConfig cfg_;
+  EventLoop& loop_;
+  std::unique_ptr<Service> service_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  Rng rng_;
+  NumaBalancer balancer_;
+  EgressFn egress_;
+  ProtocolFn protocol_;
+  GwPodStats stats_;
+  LogHistogram service_hist_;
+  double recent_load_ = 0.0;  ///< smoothed, drives the balancer model
+};
+
+}  // namespace albatross

@@ -1,0 +1,74 @@
+#include "gateway/probe.hpp"
+
+#include "common/endian.hpp"
+#include "packet/parser.hpp"
+
+namespace albatross {
+
+void ProbePayload::serialize(std::uint8_t* out) const {
+  store_be32(out, kMagic);
+  store_be32(out + 4, stream_id);
+  store_be64(out + 8, sequence);
+  store_be64(out + 16, static_cast<std::uint64_t>(tx_time));
+}
+
+std::optional<ProbePayload> ProbePayload::deserialize(const std::uint8_t* in,
+                                                      std::size_t len) {
+  if (len < kWireSize || load_be32(in) != kMagic) return std::nullopt;
+  ProbePayload p;
+  p.stream_id = load_be32(in + 4);
+  p.sequence = load_be64(in + 8);
+  p.tx_time = static_cast<NanoTime>(load_be64(in + 16));
+  return p;
+}
+
+PacketPtr build_probe_packet(std::uint32_t stream, std::uint64_t seq,
+                             NanoTime tx_time, const FiveTuple& path_tuple) {
+  UdpFlowSpec spec;
+  spec.tuple = path_tuple;
+  spec.tuple.proto = IpProto::kUdp;
+  spec.tuple.dst_port = kProbePort;
+  spec.payload_len = ProbePayload::kWireSize;
+  auto pkt = build_udp_packet(spec);
+  ProbePayload p{stream, seq, tx_time};
+  p.serialize(pkt->data() + EthernetHeader::kSize + Ipv4Header::kSize +
+              UdpHeader::kSize);
+  pkt->rx_time = tx_time;
+  return pkt;
+}
+
+std::optional<ProbePayload> extract_probe(const Packet& pkt) {
+  const auto parsed = parse_packet(pkt.bytes());
+  if (!parsed || parsed->ip.protocol != IpProto::kUdp ||
+      parsed->l4_dst != kProbePort) {
+    return std::nullopt;
+  }
+  const std::size_t off = parsed->payload_offset;
+  if (pkt.size() < off + ProbePayload::kWireSize) return std::nullopt;
+  return ProbePayload::deserialize(pkt.data() + off, pkt.size() - off);
+}
+
+bool ProbeCollector::observe(const ProbePayload& p, NanoTime rx_time) {
+  Tracked& t = streams_[p.stream_id];
+  ++t.stats.received;
+  if (rx_time >= p.tx_time) {
+    t.stats.latency.record(static_cast<std::uint64_t>(rx_time - p.tx_time));
+  }
+  if (p.sequence < t.next_expected) {
+    ++t.stats.reordered;
+    return false;
+  }
+  if (p.sequence > t.next_expected) {
+    t.stats.lost += p.sequence - t.next_expected;
+  }
+  t.next_expected = p.sequence + 1;
+  return true;
+}
+
+const ProbeCollector::StreamStats* ProbeCollector::stream(
+    std::uint32_t id) const {
+  const auto it = streams_.find(id);
+  return it != streams_.end() ? &it->second.stats : nullptr;
+}
+
+}  // namespace albatross

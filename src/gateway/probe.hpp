@@ -1,0 +1,75 @@
+// Zoonet-style proactive telemetry probes (§3.2). Production injects
+// probe packets that traverse the gateway like tenant traffic and carry
+// injection timestamps, giving per-hop latency without touching tenant
+// packets. Two properties matter for Albatross:
+//   - probes are STATEFUL for the telemetry system (a probe stream's
+//     samples must come back in order to compute one-way jitter), so
+//     pkt_dir pins their dst port to RSS instead of spraying them;
+//   - probe volume is negligible, so pinning costs nothing.
+// The module provides the probe wire format (inside a UDP payload), an
+// injector, and a collector computing the latency/jitter statistics a
+// Zoonet-like backend would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/histogram.hpp"
+#include "common/types.hpp"
+#include "packet/packet.hpp"
+
+namespace albatross {
+
+/// UDP destination port probes ride on; pods pin it to RSS in pkt_dir.
+constexpr std::uint16_t kProbePort = 39999;
+
+/// Probe payload: magic + stream id + sequence + TX timestamp.
+struct ProbePayload {
+  static constexpr std::size_t kWireSize = 24;
+  static constexpr std::uint32_t kMagic = 0x5A6F6F4E;  // "ZooN"
+
+  std::uint32_t stream_id = 0;
+  std::uint64_t sequence = 0;
+  NanoTime tx_time = 0;
+
+  void serialize(std::uint8_t* out) const;
+  static std::optional<ProbePayload> deserialize(const std::uint8_t* in,
+                                                 std::size_t len);
+};
+
+/// Builds a probe packet for `stream` with the given sequence/timestamp.
+PacketPtr build_probe_packet(std::uint32_t stream, std::uint64_t seq,
+                             NanoTime tx_time, const FiveTuple& path_tuple);
+
+/// Extracts a probe from a packet's UDP payload; nullopt if the packet
+/// is not a probe.
+std::optional<ProbePayload> extract_probe(const Packet& pkt);
+
+/// Collector: consumes probes observed at the far side and maintains
+/// the statistics the telemetry backend alerts on.
+class ProbeCollector {
+ public:
+  struct StreamStats {
+    std::uint64_t received = 0;
+    std::uint64_t lost = 0;        ///< sequence gaps
+    std::uint64_t reordered = 0;   ///< sequence went backwards
+    LogHistogram latency;          ///< rx_time - tx_time
+  };
+
+  /// Records one observed probe. Returns false for non-monotonic
+  /// sequences (reordering — which pinning to RSS is meant to prevent).
+  bool observe(const ProbePayload& p, NanoTime rx_time);
+
+  [[nodiscard]] const StreamStats* stream(std::uint32_t id) const;
+  [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
+
+ private:
+  struct Tracked {
+    StreamStats stats;
+    std::uint64_t next_expected = 0;
+  };
+  std::map<std::uint32_t, Tracked> streams_;
+};
+
+}  // namespace albatross

@@ -1,0 +1,16 @@
+#include "gateway/rss.hpp"
+
+namespace albatross {
+
+RssIndirection::RssIndirection(std::uint16_t queues)
+    : queues_(queues == 0 ? 1 : queues), table_(kTableSize) {
+  for (std::size_t i = 0; i < kTableSize; ++i) {
+    table_[i] = static_cast<std::uint16_t>(i % queues_);
+  }
+}
+
+void RssIndirection::set_entry(std::size_t index, std::uint16_t queue) {
+  table_[index % kTableSize] = static_cast<std::uint16_t>(queue % queues_);
+}
+
+}  // namespace albatross

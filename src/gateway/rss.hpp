@@ -1,0 +1,43 @@
+// RSS indirection table, as commodity NICs implement it: the low bits of
+// the Toeplitz hash index a small table mapping to RX queues. This is the
+// 1st-gen baseline distribution mechanism; its failure mode (all packets
+// of a heavy flow landing on one queue forever) motivates PLB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace albatross {
+
+class RssIndirection {
+ public:
+  static constexpr std::size_t kTableSize = 128;
+
+  /// Initialises the canonical equal-spread table over `queues`.
+  explicit RssIndirection(std::uint16_t queues);
+
+  [[nodiscard]] std::uint16_t queue_for_hash(std::uint32_t hash) const {
+    return table_[hash % kTableSize];
+  }
+  [[nodiscard]] std::uint16_t queue_for(const FiveTuple& t) const {
+    return queue_for_hash(rss_hash(t));
+  }
+
+  /// Rewrites one indirection entry (the knob drivers use to rebalance;
+  /// note it migrates whole hash buckets, not flows — the paper's point
+  /// about RSS's coarse remediation).
+  void set_entry(std::size_t index, std::uint16_t queue);
+  [[nodiscard]] std::uint16_t entry(std::size_t index) const {
+    return table_[index % kTableSize];
+  }
+  [[nodiscard]] std::uint16_t queues() const { return queues_; }
+
+ private:
+  std::uint16_t queues_;
+  std::vector<std::uint16_t> table_;
+};
+
+}  // namespace albatross

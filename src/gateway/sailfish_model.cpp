@@ -1,0 +1,27 @@
+#include "gateway/sailfish_model.hpp"
+
+namespace albatross {
+
+GatewayGenSpec sailfish_spec() {
+  // Tofino-based: line-rate pipeline but on-chip SRAM bounds table sizes
+  // (0.2M LPM) and elasticity requires physical cluster builds (days).
+  return GatewayGenSpec{"Sailfish", 0.2, 3.0 * 24 * 3600, 1.0, 32.0,
+                        3200.0, 1800.0, 2.0};
+}
+
+GatewayGenSpec albatross_spec() {
+  return GatewayGenSpec{"Albatross", 10.0, 10.0, 2.0, 16.0,
+                        800.0, 120.0, 20.0};
+}
+
+GatewayGenSpec albatross_star_spec() {
+  // Roadmap: latest FPGAs + CPUs, +20% device cost, 4x throughput.
+  return GatewayGenSpec{"Albatross*", 10.0, 10.0, 2.4, 9.6,
+                        3200.0, 480.0, 20.0};
+}
+
+std::array<GatewayGenSpec, 3> gateway_comparison() {
+  return {sailfish_spec(), albatross_spec(), albatross_star_spec()};
+}
+
+}  // namespace albatross

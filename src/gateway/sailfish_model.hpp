@@ -1,0 +1,32 @@
+// Analytic comparator for Tab. 6: Sailfish (the 2nd-gen Tofino gateway),
+// Albatross as deployed, and Albatross* (the roadmap evolution on newer
+// FPGAs/CPUs). Sailfish constants come from the paper and the SIGCOMM'21
+// Sailfish publication; Albatross columns can also be *measured* from a
+// live Platform instance and cross-checked against these specs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace albatross {
+
+struct GatewayGenSpec {
+  std::string name;
+  double lpm_rules_millions;     ///< VXLAN-routing LPM capacity
+  double elasticity_seconds;     ///< time to stand up a new gateway
+  double price_per_device;      ///< normalized to Sailfish = 1x
+  double price_per_az;          ///< normalized (Tab. 6 column)
+  double throughput_gbps;
+  double packet_rate_mpps;
+  double latency_us;
+};
+
+[[nodiscard]] GatewayGenSpec sailfish_spec();
+[[nodiscard]] GatewayGenSpec albatross_spec();
+[[nodiscard]] GatewayGenSpec albatross_star_spec();
+
+/// All three rows in Tab. 6 order.
+[[nodiscard]] std::array<GatewayGenSpec, 3> gateway_comparison();
+
+}  // namespace albatross

@@ -1,0 +1,108 @@
+#include "gateway/slb.hpp"
+
+#include "common/hash.hpp"
+
+namespace albatross {
+
+ConsistentHashRing::ConsistentHashRing(std::uint16_t vnodes_per_weight)
+    : vnodes_per_weight_(vnodes_per_weight == 0 ? 1 : vnodes_per_weight) {}
+
+void ConsistentHashRing::add(std::uint16_t backend_index,
+                             std::uint16_t weight) {
+  const std::uint32_t vnodes =
+      std::uint32_t{vnodes_per_weight_} * (weight == 0 ? 1 : weight);
+  for (std::uint32_t v = 0; v < vnodes; ++v) {
+    const std::uint64_t point =
+        mix64((std::uint64_t{backend_index} << 32) | v);
+    ring_[point] = backend_index;
+  }
+}
+
+void ConsistentHashRing::remove(std::uint16_t backend_index) {
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == backend_index ? ring_.erase(it) : std::next(it);
+  }
+}
+
+std::optional<std::uint16_t> ConsistentHashRing::owner(
+    std::uint64_t hash) const {
+  if (ring_.empty()) return std::nullopt;
+  const auto it = ring_.lower_bound(hash);
+  return it != ring_.end() ? it->second : ring_.begin()->second;
+}
+
+SlbService::SlbService(Ipv4Address vip, std::uint16_t vip_port,
+                       std::uint16_t data_cores,
+                       std::size_t sessions_per_core)
+    : vip_(vip), vip_port_(vip_port) {
+  for (std::uint16_t c = 0; c < data_cores; ++c) {
+    sessions_.push_back(
+        std::make_unique<FlowTable>(sessions_per_core, 60 * kSecond));
+  }
+}
+
+std::uint16_t SlbService::add_backend(const Backend& b) {
+  const auto index = static_cast<std::uint16_t>(backends_.size());
+  backends_.push_back(b);
+  if (b.healthy) ring_.add(index, b.weight);
+  return index;
+}
+
+void SlbService::set_healthy(std::uint16_t index, bool healthy) {
+  Backend& b = backends_[index];
+  if (b.healthy == healthy) return;
+  b.healthy = healthy;
+  if (healthy) {
+    ring_.add(index, b.weight);
+  } else {
+    ring_.remove(index);
+  }
+}
+
+std::optional<std::uint16_t> SlbService::forward(const FiveTuple& client,
+                                                 CoreId core, NanoTime now,
+                                                 std::uint8_t tcp_flags) {
+  ++stats_.packets;
+  FlowTable& sessions = *sessions_[core % sessions_.size()];
+
+  constexpr std::uint8_t kFin = 0x01, kRst = 0x04, kSyn = 0x02;
+  if (FlowState* s = sessions.lookup(client, now, /*create_on_miss=*/false)) {
+    ++stats_.stuck_to_session;
+    ++s->packets;
+    const std::uint16_t backend = s->backend;
+    if (tcp_flags & (kFin | kRst)) {
+      sessions.erase(client);
+    }
+    // Session stickiness survives health transitions: draining.
+    return backend;
+  }
+
+  // New connection: consistent-hash the client tuple onto the ring.
+  const auto bytes = five_tuple_bytes(client);
+  const std::uint64_t h =
+      mix64(fnv1a64(std::span<const std::uint8_t>{bytes}));
+  const auto chosen = ring_.owner(h);
+  if (!chosen) {
+    ++stats_.no_backend_drops;
+    return std::nullopt;
+  }
+  ++stats_.ring_selected;
+  ++stats_.connections;
+  // Pure FIN/RST with no session is forwarded statelessly.
+  if (!(tcp_flags & (kFin | kRst)) || (tcp_flags & kSyn)) {
+    if (FlowState* s = sessions.lookup(client, now)) {
+      s->backend = *chosen;
+      s->syn_seen = (tcp_flags & kSyn) != 0;
+      ++s->packets;
+    }
+  }
+  return chosen;
+}
+
+std::size_t SlbService::age_sessions(NanoTime now) {
+  std::size_t n = 0;
+  for (auto& t : sessions_) n += t->age(now);
+  return n;
+}
+
+}  // namespace albatross

@@ -1,0 +1,95 @@
+// SLB — the Layer-4 load balancer gateway role (one of the eight
+// cluster roles an AZ deploys, Fig. 15; also the paper's canonical
+// "stateful NF" example in §7). A VIP fronts a set of backend real
+// servers; new connections pick a backend via a consistent-hash ring
+// (so backend churn remaps only ~1/N of the flow space) and existing
+// connections stick to their backend through the per-core session
+// table — the stateful part that makes PLB interesting for L4 LBs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "tables/flow_table.hpp"
+
+namespace albatross {
+
+struct Backend {
+  Ipv4Address rs_ip;       ///< real-server address
+  std::uint16_t rs_port = 0;
+  std::uint16_t weight = 1;
+  bool healthy = true;
+};
+
+/// Consistent-hash ring with `vnodes_per_weight` virtual nodes per unit
+/// of backend weight. Lookup cost is O(log vnodes).
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(std::uint16_t vnodes_per_weight = 64);
+
+  void add(std::uint16_t backend_index, std::uint16_t weight);
+  void remove(std::uint16_t backend_index);
+
+  /// Backend index owning `hash`; nullopt when the ring is empty.
+  [[nodiscard]] std::optional<std::uint16_t> owner(std::uint64_t hash) const;
+
+  [[nodiscard]] std::size_t vnode_count() const { return ring_.size(); }
+
+ private:
+  std::uint16_t vnodes_per_weight_;
+  std::map<std::uint64_t, std::uint16_t> ring_;  // point -> backend index
+};
+
+struct SlbStats {
+  std::uint64_t connections = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t stuck_to_session = 0;  ///< routed via session table
+  std::uint64_t ring_selected = 0;     ///< new connections via the ring
+  std::uint64_t no_backend_drops = 0;
+};
+
+/// One VIP's L4 load balancer. Session state is per-core (§7's lesson);
+/// the ring and backend list are read-mostly shared state.
+class SlbService {
+ public:
+  SlbService(Ipv4Address vip, std::uint16_t vip_port,
+             std::uint16_t data_cores, std::size_t sessions_per_core = 1 << 15);
+
+  /// Adds a backend; returns its index.
+  std::uint16_t add_backend(const Backend& b);
+  /// Health transitions: an unhealthy backend leaves the ring (new
+  /// connections avoid it) but existing sessions drain naturally.
+  void set_healthy(std::uint16_t index, bool healthy);
+  [[nodiscard]] const Backend& backend(std::uint16_t index) const {
+    return backends_[index];
+  }
+  [[nodiscard]] std::size_t backend_count() const { return backends_.size(); }
+
+  /// Forwards one packet on `core`; returns the chosen backend index or
+  /// nullopt (no healthy backend -> drop). TCP FIN/RST tears the
+  /// session down.
+  std::optional<std::uint16_t> forward(const FiveTuple& client, CoreId core,
+                                       NanoTime now,
+                                       std::uint8_t tcp_flags = 0);
+
+  /// Ages idle sessions on every core partition.
+  std::size_t age_sessions(NanoTime now);
+
+  [[nodiscard]] const SlbStats& stats() const { return stats_; }
+  [[nodiscard]] Ipv4Address vip() const { return vip_; }
+
+ private:
+  Ipv4Address vip_;
+  std::uint16_t vip_port_;
+  std::vector<Backend> backends_;
+  ConsistentHashRing ring_;
+  std::vector<std::unique_ptr<FlowTable>> sessions_;  // per core
+  SlbStats stats_;
+};
+
+}  // namespace albatross

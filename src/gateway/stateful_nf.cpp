@@ -1,0 +1,76 @@
+#include "gateway/stateful_nf.hpp"
+
+namespace albatross {
+
+StatefulNf::StatefulNf(StatefulNfConfig cfg) : cfg_(cfg) {
+  const std::size_t n =
+      cfg_.placement == StatePlacement::kPerCore ? cfg_.cores : 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    tables_.push_back(std::make_unique<FlowTable>(1 << 16));
+  }
+}
+
+std::uint16_t StatefulNf::contending_cores() const {
+  if (cfg_.placement == StatePlacement::kPerCore) return 1;
+  if (cfg_.spray_group_size > 0 && cfg_.spray_group_size < cfg_.cores) {
+    return cfg_.spray_group_size;
+  }
+  return cfg_.cores;
+}
+
+NanoTime StatefulNf::write_cost() const {
+  const double extra_cores = static_cast<double>(contending_cores() - 1);
+  switch (cfg_.placement) {
+    case StatePlacement::kSharedLocked:
+      return static_cast<NanoTime>(
+          static_cast<double>(cfg_.state_write_ns) *
+          (1.0 + cfg_.lock_contention_per_core * extra_cores));
+    case StatePlacement::kSharedLockFree:
+      return static_cast<NanoTime>(
+          static_cast<double>(cfg_.state_write_ns) *
+          (1.0 + cfg_.coherence_per_core * extra_cores));
+    case StatePlacement::kPerCore:
+      return cfg_.state_write_ns;
+  }
+  return cfg_.state_write_ns;
+}
+
+NanoTime StatefulNf::process(const FiveTuple& tuple, CoreId core,
+                             NanoTime now) {
+  FlowTable& table =
+      cfg_.placement == StatePlacement::kPerCore
+          ? *tables_[core % tables_.size()]
+          : *tables_[0];
+  ++stats_.packets;
+  NanoTime cost = cfg_.base_ns;
+
+  FlowState* st = table.lookup(tuple, now);
+  if (st != nullptr && st->packets == 0) {
+    // Session establishment: always a state write (write-light case).
+    ++stats_.sessions_created;
+    ++stats_.state_writes;
+    st->backend = static_cast<std::uint16_t>(core);
+    cost += write_cost();
+  } else if (cfg_.write_heavy) {
+    // Per-packet counters: a write on every packet.
+    ++stats_.state_writes;
+    cost += write_cost();
+  } else {
+    cost += cfg_.state_read_ns;
+  }
+  if (st != nullptr) {
+    ++st->packets;
+  }
+  return cost;
+}
+
+double StatefulNf::model_throughput_mpps() const {
+  const double per_pkt =
+      static_cast<double>(cfg_.base_ns) +
+      (cfg_.write_heavy ? static_cast<double>(write_cost())
+                        : static_cast<double>(cfg_.state_read_ns));
+  const double per_core_mpps = 1e3 / per_pkt;  // ns -> Mpps
+  return per_core_mpps * static_cast<double>(cfg_.cores);
+}
+
+}  // namespace albatross

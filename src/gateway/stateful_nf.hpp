@@ -1,0 +1,80 @@
+// Stateful network functions under PLB (§7 "Stateful NF support"):
+// when packets of one flow are sprayed across cores, flow-state writes
+// become a multi-core coherence problem. The paper's findings:
+//   - write-light NFs (state written at session setup/teardown) scale
+//     ~linearly with cores;
+//   - write-heavy NFs (per-packet counters) collapse under either lock
+//     contention or — even lock-free — cache-coherence traffic;
+//   - the fixes are local (per-core) state or spraying over core groups.
+// This module implements a functional SNAT/L4-LB session NF over the
+// FlowTable substrate with all three state placements, plus the closed-
+// form throughput model the ablation bench sweeps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "tables/flow_table.hpp"
+
+namespace albatross {
+
+enum class StatePlacement : std::uint8_t {
+  kSharedLocked,    ///< one table, a lock per write
+  kSharedLockFree,  ///< one table, atomic updates (coherence-bound)
+  kPerCore,         ///< partitioned local state
+};
+
+struct StatefulNfConfig {
+  StatePlacement placement = StatePlacement::kPerCore;
+  bool write_heavy = false;   ///< per-packet state write (counters)
+  std::uint16_t cores = 8;
+  NanoTime base_ns = 420;     ///< stateless part of the NF
+  NanoTime state_write_ns = 45;
+  NanoTime state_read_ns = 25;
+  /// Extra cost per additional contending core for locked writes.
+  double lock_contention_per_core = 0.45;
+  /// Extra cost per additional core for lock-free coherence misses —
+  /// close to the lock factor, which is the paper's point: removing the
+  /// locks "remains largely unchanged".
+  double coherence_per_core = 0.38;
+  /// Cores per spray group when group-spraying mitigation is applied
+  /// (0 = no grouping).
+  std::uint16_t spray_group_size = 0;
+};
+
+struct StatefulNfStats {
+  std::uint64_t packets = 0;
+  std::uint64_t sessions_created = 0;
+  std::uint64_t state_writes = 0;
+};
+
+class StatefulNf {
+ public:
+  explicit StatefulNf(StatefulNfConfig cfg);
+
+  /// Processes a packet of `tuple` on `core`; returns the per-packet
+  /// CPU cost. Session state is created on first sight (write) and
+  /// read (write-light) or updated (write-heavy) afterwards.
+  NanoTime process(const FiveTuple& tuple, CoreId core, NanoTime now);
+
+  /// Effective contending cores given the spray-group mitigation.
+  [[nodiscard]] std::uint16_t contending_cores() const;
+
+  /// Closed-form aggregate throughput (Mpps) at `cores` for this config,
+  /// used by the scaling bench.
+  [[nodiscard]] double model_throughput_mpps() const;
+
+  [[nodiscard]] const StatefulNfStats& stats() const { return stats_; }
+  [[nodiscard]] const StatefulNfConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] NanoTime write_cost() const;
+
+  StatefulNfConfig cfg_;
+  std::vector<std::unique_ptr<FlowTable>> tables_;  // 1 or per-core
+  StatefulNfStats stats_;
+};
+
+}  // namespace albatross

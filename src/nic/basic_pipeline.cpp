@@ -1,0 +1,130 @@
+#include "nic/basic_pipeline.hpp"
+
+#include <cstring>
+
+#include "common/endian.hpp"
+
+namespace albatross {
+
+PayloadBuffer::PayloadBuffer(std::uint16_t slots)
+    : slots_(slots > (1u << kSlotBits) ? (1u << kSlotBits) : slots) {}
+
+namespace {
+std::uint16_t payload_id(std::uint16_t slot, std::uint64_t age) {
+  return static_cast<std::uint16_t>(
+      slot | ((age & 0x7u) << PayloadBuffer::kSlotBits));
+}
+}  // namespace
+
+std::uint16_t PayloadBuffer::store(std::vector<std::uint8_t> payload) {
+  // Scan from the cursor for a free slot; if none within one lap, evict
+  // the slot under the cursor (oldest by construction of the rotation).
+  const std::size_t n = slots_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::uint16_t slot =
+        static_cast<std::uint16_t>((cursor_ + probe) % n);
+    if (!slots_[slot].valid) {
+      cursor_ = static_cast<std::uint16_t>((slot + 1) % n);
+      bytes_ += payload.size();
+      ++in_use_;
+      const std::uint64_t age = next_age_++;
+      slots_[slot] = Slot{std::move(payload), true, age};
+      return payload_id(slot, age);
+    }
+  }
+  const std::uint16_t slot = cursor_;
+  cursor_ = static_cast<std::uint16_t>((cursor_ + 1) % n);
+  ++evictions_;
+  bytes_ -= slots_[slot].payload.size();
+  bytes_ += payload.size();
+  const std::uint64_t age = next_age_++;
+  slots_[slot] = Slot{std::move(payload), true, age};
+  return payload_id(slot, age);
+}
+
+std::optional<std::vector<std::uint8_t>> PayloadBuffer::fetch_release(
+    std::uint16_t id) {
+  const std::uint16_t slot = id & kSlotMask;
+  if (slot >= slots_.size() || !slots_[slot].valid) return std::nullopt;
+  if (payload_id(slot, slots_[slot].age) != id) {
+    return std::nullopt;  // slot reused since this header was split
+  }
+  bytes_ -= slots_[slot].payload.size();
+  --in_use_;
+  slots_[slot].valid = false;
+  return std::move(slots_[slot].payload);
+}
+
+BasicPipeline::BasicPipeline(std::uint16_t payload_slots)
+    : payloads_(payload_slots) {}
+
+bool BasicPipeline::rx_process(Packet& pkt,
+                               std::optional<std::uint16_t>& vlan_id) {
+  ++stats_.rx_frames;
+  vlan_id.reset();
+  if (pkt.size() >= EthernetHeader::kSize + VlanTag::kSize) {
+    const std::uint16_t etype = load_be16(pkt.data() + 12);
+    if (etype == static_cast<std::uint16_t>(EtherType::kVlan)) {
+      const VlanTag tag = VlanTag::read(pkt.data() + EthernetHeader::kSize);
+      vlan_id = tag.vlan_id;
+      // Decap: shift the MACs over the tag (uplink switches applied it
+      // purely for VF steering).
+      std::uint8_t macs[12];
+      std::memcpy(macs, pkt.data(), 12);
+      pkt.adj(VlanTag::kSize);
+      std::memcpy(pkt.data(), macs, 12);
+      store_be16(pkt.data() + 12, tag.inner_ether_type);
+      ++stats_.vlan_decap;
+    }
+  }
+  if (!parse_and_annotate(pkt)) {
+    // Synthetic fast-path frames carry metadata instead of real bytes;
+    // only count an error when the metadata is absent too.
+    if (pkt.tuple == FiveTuple{}) ++stats_.parse_errors;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint16_t> BasicPipeline::split(Packet& pkt) {
+  if (pkt.size() <= kHeaderSplitBytes) return std::nullopt;
+  std::vector<std::uint8_t> payload(pkt.data() + kHeaderSplitBytes,
+                                    pkt.data() + pkt.size());
+  pkt.trim(pkt.size() - kHeaderSplitBytes);
+  ++stats_.split_headers;
+  return payloads_.store(std::move(payload));
+}
+
+bool BasicPipeline::tx_process(Packet& pkt, const PlbMeta& meta,
+                               std::optional<std::uint16_t> vlan_id) {
+  if (meta.header_only) {
+    auto payload = payloads_.fetch_release(meta.payload_id);
+    if (!payload) {
+      ++stats_.headers_dropped_payload_gone;
+      return false;
+    }
+    std::memcpy(pkt.append(payload->size()), payload->data(),
+                payload->size());
+    ++stats_.reassembled;
+  }
+  if (vlan_id) {
+    // Re-tag for the uplink: insert 802.1Q after the MACs.
+    const std::uint16_t inner = pkt.size() >= 14 ? load_be16(pkt.data() + 12)
+                                                 : 0;
+    std::uint8_t macs[12];
+    std::memcpy(macs, pkt.data(), 12);
+    pkt.prepend(VlanTag::kSize);
+    std::memcpy(pkt.data(), macs, 12);
+    VlanTag tag;
+    tag.vlan_id = *vlan_id;
+    tag.inner_ether_type = inner;
+    store_be16(pkt.data() + 12,
+               static_cast<std::uint16_t>(EtherType::kVlan));
+    tag.write(pkt.data() + 14);
+    ++stats_.vlan_encap;
+  }
+  ++stats_.tx_frames;
+  return true;
+}
+
+}  // namespace albatross

@@ -1,0 +1,24 @@
+#include "nic/dma.hpp"
+
+namespace albatross {
+
+NanoTime DmaChannel::transfer(NanoTime now, std::size_t bytes) {
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+  const auto wire_ns = static_cast<NanoTime>(
+      static_cast<double>(bytes) * 8.0 / cfg_.bandwidth_gbps);
+  const NanoTime start = channel_free_ > now ? channel_free_ : now;
+  // Descriptor pressure: if the backlog (time the channel is booked
+  // ahead) exceeds what the descriptor ring can cover at the average
+  // per-transfer time, the submitter stalls for one ring slot.
+  const NanoTime backlog = start - now;
+  const NanoTime per_desc = wire_ns > 0 ? wire_ns : 1;
+  if (backlog / per_desc >
+      static_cast<NanoTime>(cfg_.descriptors)) {
+    ++stats_.descriptor_stalls;
+  }
+  channel_free_ = start + wire_ns;
+  return channel_free_ + cfg_.base_latency;
+}
+
+}  // namespace albatross

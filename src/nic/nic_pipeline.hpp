@@ -1,0 +1,137 @@
+// The FPGA NIC pipeline (Fig. 1), assembled: ingress = basic pipeline
+// (VLAN/parse/split) -> gateway overload protection -> pkt_dir -> RSS or
+// PLB dispatch -> DMA to the host; egress = DMA from the host -> PLB
+// reorder (legal + reorder checks) -> basic pipeline TX -> wire.
+// Latency constants follow Tab. 4; DMA dominates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nic/basic_pipeline.hpp"
+#include "nic/dma.hpp"
+#include "nic/pkt_dir.hpp"
+#include "nic/plb_dispatch.hpp"
+#include "nic/rate_limiter.hpp"
+#include "nic/session_offload.hpp"
+
+namespace albatross {
+
+/// Per-pod load-balancing mode; RSS is both the 1st-gen baseline and the
+/// live fallback path (§4.1 remediation 5).
+enum class LbMode : std::uint8_t { kPlb, kRss };
+
+/// Tab. 4 module latencies (ns).
+struct NicTimings {
+  NanoTime basic_rx = 580;
+  NanoTime basic_tx = 840;
+  NanoTime overload_det_rx = 100;
+  NanoTime plb_rx = 50;
+  NanoTime plb_tx = 350;
+  NanoTime dma_rx_base = 3170;
+  NanoTime dma_tx_base = 2980;
+};
+
+struct NicPipelineConfig {
+  NicTimings timings;
+  DmaConfig dma_rx;   ///< base_latency overridden from timings
+  DmaConfig dma_tx;
+  bool gop_enabled = true;
+  RateLimiterConfig gop;
+  std::uint16_t payload_slots = 8192;
+};
+
+enum class IngressOutcome : std::uint8_t {
+  kDelivered,          ///< lands in the pod RX queue at deliver_time
+  kDroppedRateLimit,   ///< GOP verdict
+  kDroppedReorderFull, ///< PLB FIFO exhausted (C1 trade-off)
+  kOffloaded,          ///< handled entirely on the FPGA (session offload);
+                       ///< deliver_time is the WIRE time, no CPU involved
+};
+
+struct IngressResult {
+  IngressOutcome outcome = IngressOutcome::kDelivered;
+  PktClass cls = PktClass::kPlb;
+  std::uint16_t rx_queue = 0;
+  NanoTime deliver_time = 0;
+  PacketPtr pkt;  ///< always returned; caller owns it (and frees drops)
+};
+
+struct EgressEmission {
+  PacketPtr pkt;
+  NanoTime wire_time = 0;
+  bool in_order = true;
+};
+
+/// Sentinel RX queue index for the protocol-priority queue.
+constexpr std::uint16_t kPriorityQueue = 0xffff;
+
+class NicPipeline {
+ public:
+  explicit NicPipeline(NicPipelineConfig cfg = {});
+
+  /// Registers a GW pod slice: its PLB engine geometry, pkt_dir
+  /// programming and mode.
+  void register_pod(PodId pod, const PlbEngineConfig& plb,
+                    const PktDirConfig& dir, LbMode mode);
+
+  /// Enables FPGA session offload for a pod (§7 future-offload plan #1).
+  /// Sessions installed via session_offload(pod).install() are then
+  /// forwarded entirely inside the NIC.
+  void enable_session_offload(PodId pod, SessionOffloadConfig cfg = {});
+  [[nodiscard]] bool session_offload_enabled(PodId pod) const;
+  SessionOffload& session_offload(PodId pod);
+  void set_pod_mode(PodId pod, LbMode mode);
+  [[nodiscard]] LbMode pod_mode(PodId pod) const;
+
+  /// Full ingress processing of one packet arriving at `now`.
+  IngressResult ingress(PacketPtr pkt, PodId pod, NanoTime now);
+
+  /// Host TX submission: returns the time the packet reaches the FPGA
+  /// (TX DMA completion). The caller schedules egress() at that time.
+  NanoTime tx_submit(PodId pod, NanoTime now, std::size_t bytes);
+
+  /// Egress processing at the FPGA: reorder write-back for PLB packets,
+  /// straight-through for RSS/priority. Emissions carry wire times.
+  std::vector<EgressEmission> egress(PacketPtr pkt, PodId pod, NanoTime now);
+
+  /// Timeout-driven reorder drain for a pod.
+  std::vector<EgressEmission> drain_expired(PodId pod, NanoTime now);
+  [[nodiscard]] std::optional<NanoTime> next_reorder_deadline(PodId pod) const;
+
+  TenantRateLimiter& limiter() { return limiter_; }
+  PktDir& pkt_dir() { return pkt_dir_; }
+  BasicPipeline& basic() { return basic_; }
+  PlbEngine& engine(PodId pod) { return *slice(pod).plb; }
+  [[nodiscard]] const PlbEngine& engine(PodId pod) const {
+    return *pods_[pod].plb;
+  }
+  [[nodiscard]] const NicPipelineConfig& config() const { return cfg_; }
+
+  /// Ingress latency the NIC adds before DMA (Tab. 4 RX sum sans DMA).
+  [[nodiscard]] NanoTime rx_pipeline_latency(bool plb) const;
+
+ private:
+  struct PodSlice {
+    std::unique_ptr<PlbEngine> plb;
+    std::unique_ptr<SessionOffload> offload;  ///< null = not enabled
+    LbMode mode = LbMode::kPlb;
+    DmaChannel dma_rx;
+    DmaChannel dma_tx;
+    std::uint16_t rx_queues = 1;
+  };
+
+  PodSlice& slice(PodId pod);
+  EgressEmission finish_tx(PacketPtr pkt, NanoTime now, bool in_order,
+                           bool was_plb);
+
+  NicPipelineConfig cfg_;
+  PktDir pkt_dir_;
+  TenantRateLimiter limiter_;
+  BasicPipeline basic_;
+  std::vector<PodSlice> pods_;
+};
+
+}  // namespace albatross

@@ -1,0 +1,45 @@
+#include "nic/resources.hpp"
+
+namespace albatross {
+
+std::vector<ModuleUsage> FpgaResourceModel::ledger(
+    const std::vector<const PlbEngine*>& engines,
+    const TenantRateLimiter& limiter,
+    std::uint64_t payload_buffer_bytes) const {
+  std::uint64_t plb_bits = 0;
+  for (const auto* e : engines) {
+    for (std::size_t q = 0; q < e->queue_count(); ++q) {
+      plb_bits += e->queue(q).bram_bytes() * 8;
+    }
+  }
+  const std::uint64_t gop_bits = limiter.sram_bytes() * 8;
+  const std::uint64_t payload_bits = payload_buffer_bytes * 8;
+
+  const auto frac = [this](std::uint64_t bits) {
+    return static_cast<double>(bits) / static_cast<double>(spec_.bram_bits);
+  };
+
+  std::vector<ModuleUsage> rows;
+  // Basic pipeline: parser/deparser/MAC logic measured at 42.9% LUT;
+  // its BRAM combines fixed parser/FIFO memories (~32%) with the
+  // configured payload buffer, reported structurally.
+  rows.push_back(ModuleUsage{"Basic Pipeline", 0.429,
+                             0.32 + frac(payload_bits), payload_bits});
+  // Overload detection: the meter state is held in distributed
+  // LUTRAM/URAM, not block RAM — hence the paper's 0% BRAM — but the
+  // structural SRAM bits are still accounted for sizing.
+  rows.push_back(ModuleUsage{"Overload Det.", 0.020, 0.0, gop_bits});
+  rows.push_back(ModuleUsage{"PLB", 0.126, frac(plb_bits), plb_bits});
+  rows.push_back(ModuleUsage{"DMA", 0.025, 0.013, 0});
+
+  ModuleUsage sum{"Sum", 0.0, 0.0, 0};
+  for (const auto& r : rows) {
+    sum.lut_fraction += r.lut_fraction;
+    sum.bram_fraction += r.bram_fraction;
+    sum.bram_bits_structural += r.bram_bits_structural;
+  }
+  rows.push_back(sum);
+  return rows;
+}
+
+}  // namespace albatross

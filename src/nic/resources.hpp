@@ -1,0 +1,49 @@
+// FPGA resource ledger (Tab. 5). The FPGA on each SmartNIC has 912,800
+// LUTs and 265 Mbit of BRAM; the ledger combines the paper's measured
+// module fractions with structural BRAM accounting computed from the
+// actual configured data structures (reorder queues, rate-limiter
+// tables, payload buffer), so resource reports respond to configuration
+// the way a synthesis report would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nic/plb_dispatch.hpp"
+#include "nic/rate_limiter.hpp"
+
+namespace albatross {
+
+struct FpgaSpec {
+  std::uint64_t luts = 912'800;
+  std::uint64_t bram_bits = 265ull * 1000 * 1000;
+};
+
+struct ModuleUsage {
+  std::string name;
+  double lut_fraction = 0.0;
+  double bram_fraction = 0.0;
+  std::uint64_t bram_bits_structural = 0;  ///< computed from structures
+};
+
+class FpgaResourceModel {
+ public:
+  explicit FpgaResourceModel(FpgaSpec spec = {}) : spec_(spec) {}
+
+  /// Builds the Tab. 5 ledger for a NIC hosting the given PLB engines
+  /// and rate limiter. Basic-pipeline and DMA fractions are the paper's
+  /// synthesis numbers (they cover parser/deparser/payload buffer logic
+  /// we model behaviourally).
+  [[nodiscard]] std::vector<ModuleUsage> ledger(
+      const std::vector<const PlbEngine*>& engines,
+      const TenantRateLimiter& limiter,
+      std::uint64_t payload_buffer_bytes) const;
+
+  [[nodiscard]] const FpgaSpec& spec() const { return spec_; }
+
+ private:
+  FpgaSpec spec_;
+};
+
+}  // namespace albatross

@@ -1,0 +1,62 @@
+#include "nic/session_offload.hpp"
+
+namespace albatross {
+
+SessionOffload::SessionOffload(SessionOffloadConfig cfg)
+    : cfg_(cfg), table_(cfg.capacity) {}
+
+std::optional<NanoTime> SessionOffload::fast_path(const FiveTuple& tuple,
+                                                  std::size_t bytes,
+                                                  NanoTime now) {
+  OffloadedSession* s = table_.find_mut(tuple);
+  if (s == nullptr) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.fast_path_hits;
+  ++s->packets;
+  s->bytes += bytes;
+  s->last_seen = now;
+  return cfg_.fpga_process_ns;
+}
+
+bool SessionOffload::install(const FiveTuple& tuple, std::uint32_t action,
+                             NanoTime now) {
+  if (table_.find_mut(tuple) != nullptr) return true;  // already resident
+  if (table_.size() >= cfg_.capacity) {
+    ++stats_.install_rejected_full;
+    return false;
+  }
+  OffloadedSession s;
+  s.installed = now;
+  s.last_seen = now;
+  s.action = action;
+  if (!table_.insert(tuple, s)) {
+    ++stats_.install_rejected_full;
+    return false;
+  }
+  ++stats_.installs;
+  return true;
+}
+
+bool SessionOffload::remove(const FiveTuple& tuple) {
+  return table_.erase(tuple);
+}
+
+std::size_t SessionOffload::age(NanoTime now) {
+  std::size_t reclaimed = 0;
+  table_.for_each_erase_if([&](const FiveTuple&, const OffloadedSession& s) {
+    const bool keep = now - s.last_seen <= cfg_.idle_timeout;
+    if (!keep) ++reclaimed;
+    return keep;
+  });
+  stats_.aged_out += reclaimed;
+  return reclaimed;
+}
+
+std::optional<OffloadedSession> SessionOffload::peek(
+    const FiveTuple& tuple) const {
+  return table_.find(tuple);
+}
+
+}  // namespace albatross

@@ -1,0 +1,78 @@
+// FPGA session offload — the first item on §7's future-offloading plan.
+// Write-heavy stateful NFs suffer under PLB (multi-core state writes)
+// and under RSS (single-core heavy hitters); hosting the *session* on
+// the FPGA sidesteps both: once the CPU establishes a session and
+// installs it, subsequent packets of the flow are matched, counted and
+// forwarded entirely inside the NIC — never crossing PCIe at all.
+//
+// The table is BRAM-bounded (default 64K sessions), updated per-packet
+// at the FPGA clock (the hardware equivalent of the per-session
+// counters that melt CPU caches), and aged by an idle timeout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "tables/cuckoo_table.hpp"
+
+namespace albatross {
+
+struct SessionOffloadConfig {
+  std::size_t capacity = 65'536;      ///< BRAM-bounded session slots
+  NanoTime fpga_process_ns = 400;     ///< fast-path per-packet latency
+  NanoTime idle_timeout = 30 * kSecond;
+};
+
+struct OffloadedSession {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  NanoTime installed = 0;
+  NanoTime last_seen = 0;
+  std::uint32_t action = 0;  ///< opaque forward action (e.g. NAT index)
+};
+
+struct SessionOffloadStats {
+  std::uint64_t fast_path_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t install_rejected_full = 0;
+  std::uint64_t aged_out = 0;
+};
+
+class SessionOffload {
+ public:
+  explicit SessionOffload(SessionOffloadConfig cfg = {});
+
+  /// Per-packet fast-path attempt. On hit the FPGA updates the session
+  /// counters and the packet never reaches the CPU; returns the
+  /// fast-path processing latency. nullopt = miss (slow path to CPU).
+  std::optional<NanoTime> fast_path(const FiveTuple& tuple,
+                                    std::size_t bytes, NanoTime now);
+
+  /// CPU-side install after session establishment. False when the BRAM
+  /// table is full (flow stays on the CPU path).
+  bool install(const FiveTuple& tuple, std::uint32_t action, NanoTime now);
+  bool remove(const FiveTuple& tuple);
+
+  /// Ages idle sessions; returns the number reclaimed.
+  std::size_t age(NanoTime now);
+
+  [[nodiscard]] std::optional<OffloadedSession> peek(
+      const FiveTuple& tuple) const;
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] const SessionOffloadStats& stats() const { return stats_; }
+  [[nodiscard]] const SessionOffloadConfig& config() const { return cfg_; }
+
+  /// BRAM bytes for the ledger: key(13B) + session state (~32B) per slot.
+  [[nodiscard]] std::size_t bram_bytes() const {
+    return cfg_.capacity * (13 + 32);
+  }
+
+ private:
+  SessionOffloadConfig cfg_;
+  CuckooTable<FiveTuple, OffloadedSession> table_;
+  SessionOffloadStats stats_;
+};
+
+}  // namespace albatross

@@ -1,0 +1,79 @@
+#include "nic/sriov.hpp"
+
+#include <algorithm>
+
+namespace albatross {
+
+SriovManager::SriovManager(SriovConfig cfg) : cfg_(cfg) {
+  ports_.resize(std::size_t{cfg_.nics} * cfg_.ports_per_nic);
+}
+
+std::optional<PodVfSet> SriovManager::allocate(PodId pod,
+                                               std::uint16_t numa_node,
+                                               std::uint16_t data_cores) {
+  // NICs 0,1 sit on NUMA 0; NICs 2,3 on NUMA 1 (Fig. 2).
+  const std::uint16_t nic_base =
+      static_cast<std::uint16_t>(numa_node * (cfg_.nics / 2));
+  PodVfSet set;
+  set.pod = pod;
+  set.numa_node = numa_node;
+
+  // One VF per independent port path: (nic_base,0) (nic_base,1)
+  // (nic_base+1,0) (nic_base+1,1) — the Fig. B.2 robustness wiring.
+  std::vector<std::size_t> chosen;
+  for (std::uint16_t v = 0; v < cfg_.vfs_per_pod; ++v) {
+    const std::uint16_t nic =
+        static_cast<std::uint16_t>(nic_base + v / cfg_.ports_per_nic);
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(v % cfg_.ports_per_nic);
+    const std::size_t pi = port_index(nic, port);
+    if (ports_[pi].vfs + 1 > cfg_.max_vfs_per_port ||
+        ports_[pi].queue_pairs + data_cores >
+            cfg_.max_queue_pairs_per_port) {
+      return std::nullopt;  // capacity check failed; nothing committed
+    }
+    chosen.push_back(pi);
+    VfAssignment vf;
+    vf.vf_id = next_vf_++;
+    vf.nic = nic;
+    vf.port = port;
+    vf.vlan_id = next_vlan_++;
+    vf.queue_pairs = data_cores;
+    set.vfs.push_back(vf);
+  }
+  for (const auto pi : chosen) {
+    ports_[pi].vfs += 1;
+    ports_[pi].queue_pairs += data_cores;
+  }
+  pods_.push_back(set);
+  return set;
+}
+
+void SriovManager::release(PodId pod) {
+  const auto it = std::find_if(pods_.begin(), pods_.end(),
+                               [pod](const PodVfSet& s) { return s.pod == pod; });
+  if (it == pods_.end()) return;
+  for (const auto& vf : it->vfs) {
+    auto& p = ports_[port_index(vf.nic, vf.port)];
+    p.vfs -= 1;
+    p.queue_pairs -= vf.queue_pairs;
+  }
+  pods_.erase(it);
+}
+
+std::optional<PodId> SriovManager::pod_for_vlan(std::uint16_t vlan) const {
+  for (const auto& s : pods_) {
+    for (const auto& vf : s.vfs) {
+      if (vf.vlan_id == vlan) return s.pod;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint16_t SriovManager::vfs_in_use() const {
+  std::uint16_t n = 0;
+  for (const auto& p : ports_) n = static_cast<std::uint16_t>(n + p.vfs);
+  return n;
+}
+
+}  // namespace albatross

@@ -1,0 +1,78 @@
+// SR-IOV NIC virtualisation (§5, App. B): each GW pod gets 4 virtual
+// functions spread over the two NICs of its NUMA node (one per
+// independent 100G port / switch path, Fig. B.2), with n RX/TX queue
+// pairs per VF where n = the pod's data cores. Uplink switches tag
+// frames with a VLAN id identifying the VF, which is how the basic
+// pipeline steers traffic to the right pod.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace albatross {
+
+struct VfAssignment {
+  std::uint16_t vf_id = 0;
+  std::uint16_t nic = 0;       ///< physical NIC index (0-3 on the server)
+  std::uint16_t port = 0;      ///< 100G port on that NIC (0/1)
+  std::uint16_t vlan_id = 0;   ///< steering tag applied by the switch
+  std::uint16_t queue_pairs = 0;
+};
+
+struct PodVfSet {
+  PodId pod = 0;
+  std::uint16_t numa_node = 0;
+  std::vector<VfAssignment> vfs;  ///< 4 per pod (robustness design)
+};
+
+struct SriovConfig {
+  std::uint16_t nics = 4;             ///< FPGA NICs on the server
+  std::uint16_t ports_per_nic = 2;    ///< 2x100G each
+  std::uint16_t vfs_per_pod = 4;
+  std::uint16_t max_vfs_per_port = 64;
+  std::uint16_t max_queue_pairs_per_port = 256;
+};
+
+/// Allocates and tracks VF resources across pods. Allocation pins a pod
+/// to the two NICs of its NUMA node and spreads its 4 VFs across the 4
+/// independent 100G ports there.
+class SriovManager {
+ public:
+  explicit SriovManager(SriovConfig cfg = {});
+
+  /// Allocates a VF set for `pod` on `numa_node` with `data_cores`
+  /// queue pairs per VF; nullopt when port VF/queue budgets are
+  /// exhausted.
+  std::optional<PodVfSet> allocate(PodId pod, std::uint16_t numa_node,
+                                   std::uint16_t data_cores);
+
+  void release(PodId pod);
+
+  [[nodiscard]] std::optional<PodId> pod_for_vlan(std::uint16_t vlan) const;
+  [[nodiscard]] const std::vector<PodVfSet>& assignments() const {
+    return pods_;
+  }
+  [[nodiscard]] std::uint16_t vfs_in_use() const;
+
+ private:
+  struct PortState {
+    std::uint16_t vfs = 0;
+    std::uint16_t queue_pairs = 0;
+  };
+
+  [[nodiscard]] std::size_t port_index(std::uint16_t nic,
+                                       std::uint16_t port) const {
+    return nic * cfg_.ports_per_nic + port;
+  }
+
+  SriovConfig cfg_;
+  std::vector<PortState> ports_;
+  std::vector<PodVfSet> pods_;
+  std::uint16_t next_vf_ = 0;
+  std::uint16_t next_vlan_ = 100;
+};
+
+}  // namespace albatross

@@ -1,0 +1,208 @@
+#include "packet/headers.hpp"
+
+#include <cstring>
+
+#include "common/endian.hpp"
+
+namespace albatross {
+
+void EthernetHeader::write(std::uint8_t* p) const {
+  std::memcpy(p, dst.bytes.data(), 6);
+  std::memcpy(p + 6, src.bytes.data(), 6);
+  store_be16(p + 12, ether_type);
+}
+
+EthernetHeader EthernetHeader::read(const std::uint8_t* p) {
+  EthernetHeader h;
+  std::memcpy(h.dst.bytes.data(), p, 6);
+  std::memcpy(h.src.bytes.data(), p + 6, 6);
+  h.ether_type = load_be16(p + 12);
+  return h;
+}
+
+void VlanTag::write(std::uint8_t* p) const {
+  store_be16(p, static_cast<std::uint16_t>((pcp << 13) | (vlan_id & 0x0fff)));
+  store_be16(p + 2, inner_ether_type);
+}
+
+VlanTag VlanTag::read(const std::uint8_t* p) {
+  VlanTag t;
+  const std::uint16_t tci = load_be16(p);
+  t.pcp = static_cast<std::uint8_t>(tci >> 13);
+  t.vlan_id = tci & 0x0fff;
+  t.inner_ether_type = load_be16(p + 2);
+  return t;
+}
+
+std::uint16_t Ipv4Header::checksum(const std::uint8_t* p, std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2) {
+    sum += load_be16(p + i);
+  }
+  if (len & 1) sum += std::uint32_t{p[len - 1]} << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void Ipv4Header::write(std::uint8_t* p) const {
+  p[0] = 0x45;  // version 4, IHL 5
+  p[1] = dscp << 2;
+  store_be16(p + 2, total_length);
+  store_be16(p + 4, identification);
+  store_be16(p + 6, 0x4000);  // DF, no fragments
+  p[8] = ttl;
+  p[9] = static_cast<std::uint8_t>(protocol);
+  store_be16(p + 10, 0);  // checksum placeholder
+  store_be32(p + 12, src.addr);
+  store_be32(p + 16, dst.addr);
+  store_be16(p + 10, checksum(p, kSize));
+}
+
+std::optional<Ipv4Header> Ipv4Header::read(const std::uint8_t* p,
+                                           std::size_t avail) {
+  if (avail < kSize) return std::nullopt;
+  if ((p[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = std::size_t{p[0]} & 0x0f;
+  if (ihl < 5 || ihl * 4 > avail) return std::nullopt;
+  Ipv4Header h;
+  h.dscp = p[1] >> 2;
+  h.total_length = load_be16(p + 2);
+  h.identification = load_be16(p + 4);
+  h.ttl = p[8];
+  h.protocol = static_cast<IpProto>(p[9]);
+  h.src.addr = load_be32(p + 12);
+  h.dst.addr = load_be32(p + 16);
+  return h;
+}
+
+void Ipv6Header::write(std::uint8_t* p) const {
+  store_be32(p, (6u << 28) | (std::uint32_t{traffic_class} << 20) |
+                    (flow_label & 0xfffffu));
+  store_be16(p + 4, payload_length);
+  p[6] = static_cast<std::uint8_t>(next_header);
+  p[7] = hop_limit;
+  std::memcpy(p + 8, src.bytes.data(), 16);
+  std::memcpy(p + 24, dst.bytes.data(), 16);
+}
+
+std::optional<Ipv6Header> Ipv6Header::read(const std::uint8_t* p,
+                                           std::size_t avail) {
+  if (avail < kSize) return std::nullopt;
+  const std::uint32_t vcf = load_be32(p);
+  if ((vcf >> 28) != 6) return std::nullopt;
+  Ipv6Header h;
+  h.traffic_class = static_cast<std::uint8_t>((vcf >> 20) & 0xff);
+  h.flow_label = vcf & 0xfffffu;
+  h.payload_length = load_be16(p + 4);
+  h.next_header = static_cast<IpProto>(p[6]);
+  h.hop_limit = p[7];
+  std::memcpy(h.src.bytes.data(), p + 8, 16);
+  std::memcpy(h.dst.bytes.data(), p + 24, 16);
+  return h;
+}
+
+void UdpHeader::write(std::uint8_t* p) const {
+  store_be16(p, src_port);
+  store_be16(p + 2, dst_port);
+  store_be16(p + 4, length);
+  store_be16(p + 6, 0);  // checksum optional for IPv4
+}
+
+UdpHeader UdpHeader::read(const std::uint8_t* p) {
+  UdpHeader h;
+  h.src_port = load_be16(p);
+  h.dst_port = load_be16(p + 2);
+  h.length = load_be16(p + 4);
+  return h;
+}
+
+void TcpHeader::write(std::uint8_t* p) const {
+  store_be16(p, src_port);
+  store_be16(p + 2, dst_port);
+  store_be32(p + 4, seq);
+  store_be32(p + 8, ack);
+  p[12] = 5 << 4;  // data offset 5 words
+  p[13] = flags;
+  store_be16(p + 14, window);
+  store_be16(p + 16, 0);  // checksum not modelled
+  store_be16(p + 18, 0);
+}
+
+TcpHeader TcpHeader::read(const std::uint8_t* p) {
+  TcpHeader h;
+  h.src_port = load_be16(p);
+  h.dst_port = load_be16(p + 2);
+  h.seq = load_be32(p + 4);
+  h.ack = load_be32(p + 8);
+  h.flags = p[13];
+  h.window = load_be16(p + 14);
+  return h;
+}
+
+void VxlanHeader::write(std::uint8_t* p) const {
+  p[0] = 0x08;  // I flag: VNI valid
+  p[1] = p[2] = p[3] = 0;
+  store_be32(p + 4, vni << 8);
+}
+
+std::optional<VxlanHeader> VxlanHeader::read(const std::uint8_t* p) {
+  if ((p[0] & 0x08) == 0) return std::nullopt;  // VNI must be valid
+  return VxlanHeader{load_be32(p + 4) >> 8};
+}
+
+void GeneveHeader::write(std::uint8_t* p) const {
+  p[0] = opt_len_words & 0x3f;  // version 0
+  p[1] = 0;
+  store_be16(p + 2, 0x6558);  // protocol: transparent ethernet bridging
+  store_be32(p + 4, vni << 8);
+}
+
+std::optional<GeneveHeader> GeneveHeader::read(const std::uint8_t* p) {
+  if ((p[0] >> 6) != 0) return std::nullopt;  // version must be 0
+  GeneveHeader h;
+  h.opt_len_words = p[0] & 0x3f;
+  h.vni = load_be32(p + 4) >> 8;
+  return h;
+}
+
+void NshHeader::write(std::uint8_t* p) const {
+  std::memset(p, 0, kSize);
+  p[0] = 0x00;
+  p[1] = kSize / 4;  // length in 4-byte words
+  p[2] = 0x01;       // MD type 1
+  p[3] = 0x03;       // next protocol: ethernet
+  store_be32(p + 4, (service_path_id << 8) | service_index);
+}
+
+std::optional<NshHeader> NshHeader::read(const std::uint8_t* p) {
+  if ((p[1] & 0x3f) * 4 < 8) return std::nullopt;
+  NshHeader h;
+  const std::uint32_t sp = load_be32(p + 4);
+  h.service_path_id = sp >> 8;
+  h.service_index = static_cast<std::uint8_t>(sp & 0xff);
+  return h;
+}
+
+void BfdHeader::write(std::uint8_t* p) const {
+  std::memset(p, 0, kSize);
+  p[0] = 0x20;  // version 1
+  p[1] = static_cast<std::uint8_t>(state << 6);
+  p[2] = detect_mult;
+  p[3] = kSize;
+  store_be32(p + 4, my_discriminator);
+  store_be32(p + 8, your_discriminator);
+  store_be32(p + 12, desired_min_tx_us);
+}
+
+std::optional<BfdHeader> BfdHeader::read(const std::uint8_t* p) {
+  if ((p[0] >> 5) != 1) return std::nullopt;  // version 1
+  BfdHeader h;
+  h.state = p[1] >> 6;
+  h.detect_mult = p[2];
+  h.my_discriminator = load_be32(p + 4);
+  h.your_discriminator = load_be32(p + 8);
+  h.desired_min_tx_us = load_be32(p + 12);
+  return h;
+}
+
+}  // namespace albatross

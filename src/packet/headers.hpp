@@ -1,0 +1,155 @@
+// Wire-format header definitions and (de)serialisation. The Albatross
+// basic pipeline parses dozens of protocols in production; this model
+// implements the ones the evaluation workloads exercise: Ethernet, 802.1Q
+// VLAN (SR-IOV VF steering), IPv4, UDP, TCP, VXLAN (tenant overlay),
+// Geneve and NSH (the "new header" examples in §2.1), and BFD (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace albatross {
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kVlan = 0x8100,
+  kIpv6 = 0x86dd,
+  kNsh = 0x894f,
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = 0;
+
+  void write(std::uint8_t* p) const;
+  static EthernetHeader read(const std::uint8_t* p);
+};
+
+/// 802.1Q tag (inserted after the MACs). Albatross uses VLAN tags applied
+/// by the uplink switch to steer packets to the right SR-IOV VF (App. A).
+struct VlanTag {
+  static constexpr std::size_t kSize = 4;
+  std::uint16_t vlan_id = 0;   // 12 bits
+  std::uint8_t pcp = 0;        // 3-bit priority code point
+  std::uint16_t inner_ether_type = 0;
+
+  void write(std::uint8_t* p) const;
+  static VlanTag read(const std::uint8_t* p);
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  // no options in our workloads
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kUdp;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  void write(std::uint8_t* p) const;  // computes the header checksum
+  static std::optional<Ipv4Header> read(const std::uint8_t* p,
+                                        std::size_t avail);
+  static std::uint16_t checksum(const std::uint8_t* p, std::size_t len);
+};
+
+/// IPv6 fixed header (RFC 8200). Dual-stack tenants exist in production
+/// (one of the "dozens of protocols" the basic pipeline parses); the
+/// reproduction models the fixed header and TCP/UDP over it.
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  // 20 bits
+  std::uint16_t payload_length = 0;
+  IpProto next_header = IpProto::kUdp;
+  std::uint8_t hop_limit = 64;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  void write(std::uint8_t* p) const;
+  static std::optional<Ipv6Header> read(const std::uint8_t* p,
+                                        std::size_t avail);
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+
+  void write(std::uint8_t* p) const;
+  static UdpHeader read(const std::uint8_t* p);
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;  // FIN=0x01 SYN=0x02 RST=0x04 PSH=0x08 ACK=0x10
+  std::uint16_t window = 0xffff;
+
+  void write(std::uint8_t* p) const;
+  static TcpHeader read(const std::uint8_t* p);
+};
+
+constexpr std::uint16_t kVxlanPort = 4789;
+constexpr std::uint16_t kGenevePort = 6081;
+constexpr std::uint16_t kBfdPort = 3784;
+constexpr std::uint16_t kBgpPort = 179;
+
+/// VXLAN header (RFC 7348). The VNI identifies the tenant and indexes the
+/// overload-protection color_table.
+struct VxlanHeader {
+  static constexpr std::size_t kSize = 8;
+  Vni vni = 0;
+
+  void write(std::uint8_t* p) const;
+  static std::optional<VxlanHeader> read(const std::uint8_t* p);
+};
+
+/// Geneve header (RFC 8926), fixed part only. One of the headers Sailfish
+/// could not add (97% PHV); Albatross parses it on the CPU/FPGA freely.
+struct GeneveHeader {
+  static constexpr std::size_t kSize = 8;
+  Vni vni = 0;
+  std::uint8_t opt_len_words = 0;  // length of options in 4-byte words
+
+  [[nodiscard]] std::size_t total_size() const {
+    return kSize + std::size_t{opt_len_words} * 4;
+  }
+  void write(std::uint8_t* p) const;
+  static std::optional<GeneveHeader> read(const std::uint8_t* p);
+};
+
+/// NSH base header (RFC 8300), MD type 1 (fixed 24 bytes).
+struct NshHeader {
+  static constexpr std::size_t kSize = 24;
+  std::uint32_t service_path_id = 0;  // 24 bits
+  std::uint8_t service_index = 255;
+  std::uint16_t inner_ether_type = 0;
+
+  void write(std::uint8_t* p) const;
+  static std::optional<NshHeader> read(const std::uint8_t* p);
+};
+
+/// BFD control packet (RFC 5880), the fields link-failure detection needs.
+struct BfdHeader {
+  static constexpr std::size_t kSize = 24;
+  std::uint8_t state = 3;          // Up
+  std::uint8_t detect_mult = 3;    // 3 lost probes => link down (§4.3)
+  std::uint32_t my_discriminator = 0;
+  std::uint32_t your_discriminator = 0;
+  std::uint32_t desired_min_tx_us = 1000;
+
+  void write(std::uint8_t* p) const;
+  static std::optional<BfdHeader> read(const std::uint8_t* p);
+};
+
+}  // namespace albatross

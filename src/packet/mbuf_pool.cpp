@@ -1,0 +1,84 @@
+#include "packet/mbuf_pool.hpp"
+
+namespace albatross {
+namespace {
+
+// Approximate costs, calibrated so the "too small mempool cache" anomaly
+// (§4.1(4)) is visible: a cached alloc is a few nanoseconds, a shared-ring
+// refill is an order of magnitude slower (cacheline bouncing + locking).
+constexpr NanoTime kCacheHitCost = 4;
+constexpr NanoTime kRingRefillCost = 90;
+
+}  // namespace
+
+MbufPool::MbufPool(MbufPoolConfig cfg) : cfg_(cfg) {
+  storage_.reserve(cfg_.capacity);
+  ring_.reserve(cfg_.capacity);
+  for (std::size_t i = 0; i < cfg_.capacity; ++i) {
+    storage_.push_back(std::make_unique<Packet>());
+    ring_.push_back(storage_.back().get());
+  }
+  core_cache_.resize(cfg_.num_cores == 0 ? 1 : cfg_.num_cores);
+  for (auto& c : core_cache_) c.reserve(cfg_.per_core_cache);
+}
+
+void MbufPool::refill_cache(std::size_t core) {
+  auto& cache = core_cache_[core];
+  // Move up to half a cache's worth from the ring, like rte_mempool does.
+  const std::size_t want = cfg_.per_core_cache == 0 ? 1 : cfg_.per_core_cache / 2 + 1;
+  while (cache.size() < want && !ring_.empty()) {
+    cache.push_back(ring_.back());
+    ring_.pop_back();
+  }
+  ++stats_.ring_refills;
+}
+
+Packet* MbufPool::alloc(CoreId core) {
+  const std::size_t c = core % core_cache_.size();
+  auto& cache = core_cache_[c];
+  if (!cache.empty()) {
+    Packet* p = cache.back();
+    cache.pop_back();
+    ++stats_.allocs;
+    ++stats_.cache_hits;
+    last_cost_ = kCacheHitCost;
+    return p;
+  }
+  refill_cache(c);
+  if (cache.empty()) {
+    ++stats_.alloc_failures;
+    last_cost_ = kRingRefillCost;
+    return nullptr;
+  }
+  Packet* p = cache.back();
+  cache.pop_back();
+  ++stats_.allocs;
+  last_cost_ = kRingRefillCost;
+  return p;
+}
+
+void MbufPool::free_(Packet* pkt, CoreId core) {
+  if (pkt == nullptr) return;
+  const std::size_t c = core % core_cache_.size();
+  auto& cache = core_cache_[c];
+  ++stats_.frees;
+  if (cache.size() < cfg_.per_core_cache) {
+    cache.push_back(pkt);
+    return;
+  }
+  // Cache overflow: flush half back to the shared ring.
+  const std::size_t flush = cfg_.per_core_cache / 2 + 1;
+  for (std::size_t i = 0; i < flush && !cache.empty(); ++i) {
+    ring_.push_back(cache.back());
+    cache.pop_back();
+  }
+  cache.push_back(pkt);
+}
+
+std::size_t MbufPool::available() const {
+  std::size_t n = ring_.size();
+  for (const auto& c : core_cache_) n += c.size();
+  return n;
+}
+
+}  // namespace albatross

@@ -1,0 +1,122 @@
+#include "packet/packet.hpp"
+
+#include <cassert>
+
+#include "common/endian.hpp"
+
+namespace albatross {
+
+void PlbMeta::serialize(std::uint8_t* out) const {
+  store_be16(out, kMagic);
+  std::uint8_t flags = 0;
+  if (drop) flags |= 0x1;
+  if (header_only) flags |= 0x2;
+  out[2] = flags;
+  out[3] = ordq_idx;
+  store_be32(out + 4, psn);
+  store_be16(out + 8, payload_id);
+  store_be16(out + 10, 0);  // reserved
+}
+
+bool PlbMeta::deserialize(const std::uint8_t* in, PlbMeta& out) {
+  if (load_be16(in) != kMagic) return false;
+  const std::uint8_t flags = in[2];
+  out.drop = (flags & 0x1) != 0;
+  out.header_only = (flags & 0x2) != 0;
+  out.ordq_idx = in[3];
+  out.psn = load_be32(in + 4);
+  out.payload_id = load_be16(in + 8);
+  return true;
+}
+
+Packet::Packet() : store_(kHeadroom + kMaxFrame) {}
+
+Packet::Packet(std::span<const std::uint8_t> frame)
+    : Packet(frame.size() + kTailroomSlack) {
+  assign(frame);
+}
+
+Packet::Packet(std::size_t capacity_bytes)
+    : store_(kHeadroom + capacity_bytes) {}
+
+std::unique_ptr<Packet> Packet::make_synthetic(const FiveTuple& tuple, Vni vni,
+                                 std::size_t wire_len) {
+  auto pkt = std::make_unique<Packet>(wire_len + kTailroomSlack);
+  std::memset(pkt->append(wire_len), 0, wire_len);
+  pkt->tuple = tuple;
+  pkt->vni = vni;
+  return pkt;
+}
+
+void Packet::assign(std::span<const std::uint8_t> frame) {
+  assert(frame.size() <= kMaxFrame);
+  offset_ = kHeadroom;
+  len_ = frame.size();
+  std::memcpy(store_.data() + offset_, frame.data(), frame.size());
+}
+
+std::unique_ptr<Packet> Packet::clone() const {
+  auto p = std::make_unique<Packet>();
+  p->store_ = store_;
+  p->offset_ = offset_;
+  p->len_ = len_;
+  p->rx_time = rx_time;
+  p->nic_ingress_done = nic_ingress_done;
+  p->tuple = tuple;
+  p->vni = vni;
+  p->pkt_class = pkt_class;
+  p->pod = pod;
+  p->rx_queue = rx_queue;
+  p->flow_id = flow_id;
+  p->seq_in_flow = seq_in_flow;
+  return p;
+}
+
+std::uint8_t* Packet::prepend(std::size_t n) {
+  assert(offset_ >= n);
+  offset_ -= n;
+  len_ += n;
+  return data();
+}
+
+void Packet::adj(std::size_t n) {
+  assert(n <= len_);
+  offset_ += n;
+  len_ -= n;
+}
+
+std::uint8_t* Packet::append(std::size_t n) {
+  assert(offset_ + len_ + n <= store_.size());
+  std::uint8_t* p = store_.data() + offset_ + len_;
+  len_ += n;
+  return p;
+}
+
+void Packet::trim(std::size_t n) {
+  assert(n <= len_);
+  len_ -= n;
+}
+
+void Packet::attach_plb_meta(const PlbMeta& meta) {
+  meta.serialize(append(PlbMeta::kWireSize));
+}
+
+bool Packet::peek_plb_meta(PlbMeta& out) const {
+  if (len_ < PlbMeta::kWireSize) return false;
+  return PlbMeta::deserialize(data() + len_ - PlbMeta::kWireSize, out);
+}
+
+bool Packet::strip_plb_meta(PlbMeta& out) {
+  if (!peek_plb_meta(out)) return false;
+  trim(PlbMeta::kWireSize);
+  return true;
+}
+
+bool Packet::update_plb_meta(const PlbMeta& meta) {
+  PlbMeta existing;
+  if (!peek_plb_meta(existing)) return false;
+  meta.serialize(store_.data() + offset_ + len_ - PlbMeta::kWireSize);
+  return true;
+}
+
+}  // namespace albatross

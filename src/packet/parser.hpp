@@ -1,0 +1,95 @@
+// Packet parser and builder. The parser mirrors the basic pipeline's
+// parse graph (App. A): Ethernet -> optional 802.1Q -> IPv4 -> UDP/TCP,
+// and for UDP/4789 recursively parses the VXLAN overlay (inner Ethernet,
+// IPv4, L4) to expose the tenant VNI and the *inner* 5-tuple, which is
+// what RSS hashing and get_ordq_idx use for tenant flows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "packet/headers.hpp"
+#include "packet/packet.hpp"
+
+namespace albatross {
+
+/// Decoded view of a frame. Offsets are relative to Packet::data().
+struct ParsedPacket {
+  EthernetHeader eth;
+  std::optional<VlanTag> vlan;
+  Ipv4Header ip;              ///< valid when !ipv6
+  std::optional<Ipv6Header> ipv6;  ///< set for native IPv6 frames
+  std::uint16_t l4_src = 0;
+  std::uint16_t l4_dst = 0;
+  std::uint8_t tcp_flags = 0;
+
+  /// Overlay, present when the outer L4 is UDP/4789 or UDP/6081.
+  std::optional<VxlanHeader> vxlan;
+  std::optional<GeneveHeader> geneve;
+  std::optional<Ipv4Header> inner_ip;
+  std::uint16_t inner_l4_src = 0;
+  std::uint16_t inner_l4_dst = 0;
+
+  std::size_t l2_offset = 0;
+  std::size_t l3_offset = 0;
+  std::size_t l4_offset = 0;
+  std::size_t payload_offset = 0;  ///< first byte after all parsed headers
+
+  /// True for BGP (TCP/179) and BFD (UDP/3784) — the protocol packets
+  /// pkt_dir steers into priority queues.
+  [[nodiscard]] bool is_protocol_packet() const;
+
+  /// The 5-tuple used for flow hashing: the inner tuple when an overlay
+  /// is present, otherwise the outer tuple.
+  [[nodiscard]] FiveTuple flow_tuple() const;
+
+  /// Tenant identifier: VNI of the overlay, 0 for native packets.
+  [[nodiscard]] Vni tenant_vni() const;
+};
+
+/// Parses a frame. Returns nullopt for truncated or non-IPv4 frames.
+std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> frame);
+
+/// Parses and annotates the packet's out-of-band metadata (tuple, vni).
+std::optional<ParsedPacket> parse_and_annotate(Packet& pkt);
+
+// --- frame builders (used by traffic generators and tests) ---------------
+
+struct UdpFlowSpec {
+  MacAddress src_mac = MacAddress::from_u64(0x020000000001);
+  MacAddress dst_mac = MacAddress::from_u64(0x020000000002);
+  FiveTuple tuple;
+  std::size_t payload_len = 22;  // 64B frame total
+  std::uint8_t dscp = 0;
+};
+
+/// Builds a plain Ethernet/IPv4/UDP frame.
+PacketPtr build_udp_packet(const UdpFlowSpec& spec);
+
+/// Builds an Ethernet/IPv4/TCP frame (e.g. BGP when dst_port==179).
+PacketPtr build_tcp_packet(const UdpFlowSpec& spec, std::uint8_t tcp_flags);
+
+struct VxlanFlowSpec {
+  Vni vni = 0;
+  FiveTuple outer;          ///< VTEP-to-gateway tuple; src_port is entropy
+  UdpFlowSpec inner;        ///< tenant flow inside the tunnel
+};
+
+/// Builds an Ethernet/IPv4/UDP(4789)/VXLAN/Ethernet/IPv4/UDP frame — the
+/// canonical tenant packet arriving at the cloud gateway.
+PacketPtr build_vxlan_packet(const VxlanFlowSpec& spec);
+
+/// Builds a BFD control packet (UDP/3784) — a priority protocol packet.
+PacketPtr build_bfd_packet(const FiveTuple& tuple, const BfdHeader& bfd);
+
+/// Builds an Ethernet/IPv4/UDP(6081)/Geneve/Ethernet/IPv4/UDP frame —
+/// the overlay header Sailfish could not add for lack of PHV (§2.1).
+PacketPtr build_geneve_packet(const VxlanFlowSpec& spec,
+                              std::uint8_t opt_len_words = 0);
+
+/// Builds a native Ethernet/IPv6/UDP frame (dual-stack tenants).
+PacketPtr build_udp6_packet(const Ipv6Address& src, const Ipv6Address& dst,
+                            std::uint16_t src_port, std::uint16_t dst_port,
+                            std::size_t payload_len = 22);
+
+}  // namespace albatross

@@ -1,0 +1,117 @@
+#include "packet/pcap.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/endian.hpp"
+
+namespace albatross {
+namespace {
+
+void put_u32le(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  const std::size_t at = v.size();
+  v.resize(at + 4);
+  store_le32(v.data() + at, x);
+}
+void put_u16le(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+
+}  // namespace
+
+void PcapFile::add(const Packet& pkt, NanoTime timestamp) {
+  add(std::vector<std::uint8_t>(pkt.data(), pkt.data() + pkt.size()),
+      timestamp);
+}
+
+void PcapFile::add(std::vector<std::uint8_t> frame, NanoTime timestamp) {
+  records_.push_back(PcapRecord{timestamp, std::move(frame)});
+}
+
+std::vector<std::uint8_t> PcapFile::serialize() const {
+  std::vector<std::uint8_t> out;
+  // Global header: magic, v2.4, thiszone=0, sigfigs=0, snaplen, linktype.
+  put_u32le(out, kMagic);
+  put_u16le(out, 2);
+  put_u16le(out, 4);
+  put_u32le(out, 0);
+  put_u32le(out, 0);
+  put_u32le(out, 262144);
+  put_u32le(out, kLinkTypeEthernet);
+  for (const auto& r : records_) {
+    const auto usec = static_cast<std::uint64_t>(r.timestamp / 1000);
+    put_u32le(out, static_cast<std::uint32_t>(usec / 1'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(usec % 1'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(r.data.size()));  // incl_len
+    put_u32le(out, static_cast<std::uint32_t>(r.data.size()));  // orig_len
+    out.insert(out.end(), r.data.begin(), r.data.end());
+  }
+  return out;
+}
+
+std::optional<PcapFile> PcapFile::deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 24) return std::nullopt;
+  const std::uint32_t magic_le = load_le32(bytes.data());
+  bool swapped;
+  if (magic_le == kMagic) {
+    swapped = false;
+  } else if (load_be32(bytes.data()) == kMagic) {
+    swapped = true;
+  } else {
+    return std::nullopt;
+  }
+  const auto u32 = [&](std::size_t off) {
+    return swapped ? load_be32(bytes.data() + off)
+                   : load_le32(bytes.data() + off);
+  };
+  if (u32(20) != kLinkTypeEthernet) return std::nullopt;
+
+  PcapFile file;
+  std::size_t pos = 24;
+  while (pos + 16 <= bytes.size()) {
+    const std::uint64_t sec = u32(pos);
+    const std::uint64_t usec = u32(pos + 4);
+    const std::uint32_t incl = u32(pos + 8);
+    pos += 16;
+    if (pos + incl > bytes.size()) return std::nullopt;  // truncated
+    PcapRecord r;
+    r.timestamp = static_cast<NanoTime>((sec * 1'000'000 + usec) * 1000);
+    r.data.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(pos + incl));
+    file.records_.push_back(std::move(r));
+    pos += incl;
+  }
+  if (pos != bytes.size()) return std::nullopt;
+  return file;
+}
+
+bool PcapFile::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const auto bytes = serialize();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<PcapFile> PcapFile::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  return deserialize(bytes);
+}
+
+bool PcapTap::observe(const Packet& pkt, NanoTime now) {
+  if (filter_ && pkt.tuple != *filter_) return false;
+  if (file_.size() >= max_packets_) {
+    ++dropped_;
+    return false;
+  }
+  file_.add(pkt, now);
+  return true;
+}
+
+}  // namespace albatross

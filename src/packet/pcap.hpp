@@ -1,0 +1,81 @@
+// Classic libpcap capture files (the pre-pcapng format every tool
+// reads). Production gateway debugging leans on targeted captures —
+// "show me the tenant's packets at the NIC boundary" — so the library
+// can dump any point of the simulated pipeline into a file Wireshark
+// opens directly, and read captures back for replay-style tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "packet/packet.hpp"
+
+namespace albatross {
+
+struct PcapRecord {
+  NanoTime timestamp = 0;          ///< virtual capture time
+  std::vector<std::uint8_t> data;  ///< captured bytes (full frame here)
+};
+
+/// In-memory pcap image (magic 0xa1b2c3d4, version 2.4, LINKTYPE_ETHERNET,
+/// microsecond timestamps). Files are built/parsed in memory; callers
+/// decide whether to touch the filesystem.
+class PcapFile {
+ public:
+  static constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+  static constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+  /// Appends a packet's current bytes at `timestamp`.
+  void add(const Packet& pkt, NanoTime timestamp);
+  void add(std::vector<std::uint8_t> frame, NanoTime timestamp);
+
+  [[nodiscard]] const std::vector<PcapRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Serialises the full capture (global header + records).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parses a capture image; nullopt on bad magic/truncation. Handles
+  /// both byte orders (swapped magic 0xd4c3b2a1).
+  static std::optional<PcapFile> deserialize(
+      const std::vector<std::uint8_t>& bytes);
+
+  /// Convenience file I/O.
+  bool write_file(const std::string& path) const;
+  static std::optional<PcapFile> read_file(const std::string& path);
+
+ private:
+  std::vector<PcapRecord> records_;
+};
+
+/// A capture tap: attach to any packet-handling point and it records
+/// frames matching an optional 5-tuple filter, up to a packet budget.
+class PcapTap {
+ public:
+  explicit PcapTap(std::size_t max_packets = 10'000)
+      : max_packets_(max_packets) {}
+
+  void set_filter(const FiveTuple& tuple) { filter_ = tuple; }
+  void clear_filter() { filter_.reset(); }
+
+  /// Records the packet if the filter matches and the budget allows.
+  /// Returns true when captured.
+  bool observe(const Packet& pkt, NanoTime now);
+
+  [[nodiscard]] const PcapFile& file() const { return file_; }
+  [[nodiscard]] std::size_t captured() const { return file_.size(); }
+  [[nodiscard]] std::size_t dropped_over_budget() const { return dropped_; }
+
+ private:
+  std::size_t max_packets_;
+  std::optional<FiveTuple> filter_;
+  PcapFile file_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace albatross

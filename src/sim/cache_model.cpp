@@ -1,0 +1,44 @@
+#include "sim/cache_model.hpp"
+
+#include <cmath>
+
+namespace albatross {
+
+CacheModel::CacheModel(CacheConfig cfg, NumaConfig numa)
+    : cfg_(cfg), numa_(numa) {}
+
+double CacheModel::l3_hit_rate() const {
+  if (working_set_ == 0) return 1.0;
+  const double f = static_cast<double>(cfg_.l3_bytes) /
+                   static_cast<double>(working_set_);
+  if (f >= 1.0) return 1.0;
+  // Zipf mass of the hottest f fraction of ranks:
+  //   sum_{i<=fN} i^-a / sum_{i<=N} i^-a  ~=  f^(1-a)   (a < 1)
+  return std::pow(f, 1.0 - cfg_.reference_skew);
+}
+
+NanoTime CacheModel::access_latency(Rng& rng, std::uint16_t core_node,
+                                    std::uint16_t mem_node,
+                                    bool flow_affine) const {
+  if (flow_affine && rng.next_bool(cfg_.flow_affine_l2_bonus)) {
+    return cfg_.l2_hit_ns;
+  }
+  if (rng.next_bool(l3_hit_rate())) {
+    return cfg_.l3_hit_ns;
+  }
+  return numa_.dram_latency(core_node, mem_node);
+}
+
+double CacheModel::mean_access_latency(std::uint16_t core_node,
+                                       std::uint16_t mem_node,
+                                       bool flow_affine) const {
+  const double l2 = flow_affine ? cfg_.flow_affine_l2_bonus : 0.0;
+  const double hit = l3_hit_rate();
+  const double dram =
+      static_cast<double>(numa_.dram_latency(core_node, mem_node));
+  return l2 * static_cast<double>(cfg_.l2_hit_ns) +
+         (1.0 - l2) * (hit * static_cast<double>(cfg_.l3_hit_ns) +
+                       (1.0 - hit) * dram);
+}
+
+}  // namespace albatross

@@ -1,0 +1,45 @@
+#include "sim/event_loop.hpp"
+
+#include <utility>
+
+namespace albatross {
+
+void EventLoop::schedule_at(NanoTime at, Action fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, seq_++, std::move(fn)});
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the action is moved out via the
+  // const_cast idiom because Event ordering does not involve fn.
+  auto& top = const_cast<Event&>(queue_.top());
+  const NanoTime at = top.at;
+  Action fn = std::move(top.fn);
+  queue_.pop();
+  now_ = at;
+  ++processed_;
+  fn();
+  return true;
+}
+
+void EventLoop::run_until(NanoTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void schedule_periodic(EventLoop& loop, NanoTime period,
+                       std::function<bool()> fn) {
+  loop.schedule_in(period, [&loop, period, fn = std::move(fn)]() mutable {
+    if (fn()) schedule_periodic(loop, period, std::move(fn));
+  });
+}
+
+}  // namespace albatross

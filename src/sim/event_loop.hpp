@@ -1,0 +1,66 @@
+// Discrete-event simulation engine. Everything timed in the Albatross
+// model — NIC pipeline stages, DMA completion, CPU core run loops, BGP
+// timers, traffic arrival — executes as events on this loop against a
+// virtual nanosecond clock, so experiments are deterministic and run in
+// milliseconds of wall time regardless of the simulated traffic volume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace albatross {
+
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] NanoTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `at` (clamped to now).
+  void schedule_at(NanoTime at, Action fn);
+
+  /// Schedules `fn` after `delay` nanoseconds.
+  void schedule_in(NanoTime delay, Action fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs one event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or the clock passes `until`.
+  void run_until(NanoTime until);
+
+  /// Drains the queue completely.
+  void run();
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    NanoTime at;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  NanoTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+/// Convenience: schedules `fn` every `period` until it returns false.
+void schedule_periodic(EventLoop& loop, NanoTime period,
+                       std::function<bool()> fn);
+
+}  // namespace albatross

@@ -1,0 +1,37 @@
+#include "sim/numa.hpp"
+
+namespace albatross {
+
+NumaTopology::NumaTopology(NumaConfig cfg) : cfg_(cfg) {}
+
+NanoTime NumaTopology::dram_latency(std::uint16_t core_node,
+                                    std::uint16_t mem_node) const {
+  const NanoTime base =
+      core_node == mem_node ? cfg_.local_dram_ns : cfg_.remote_dram_ns;
+  // Higher transfer rate shortens the queuing+transfer component of a
+  // loaded DRAM access roughly proportionally.
+  return base * 4800 / static_cast<NanoTime>(cfg_.memory_mts);
+}
+
+NumaBalancer::NumaBalancer() : NumaBalancer(Config{}) {}
+
+NumaBalancer::NumaBalancer(Config cfg) : cfg_(cfg) {}
+
+NanoTime NumaBalancer::maybe_stall(NanoTime now, double core_load) {
+  if (!cfg_.enabled) return 0;
+  if (now < next_scan_) return 0;
+  next_scan_ = now + cfg_.scan_period;
+  // The balancer's scanner only perturbs the pinned pod when memory
+  // pressure / run-queue activity is high; scale the hit chance with
+  // load so bursts appear near saturation as observed in production.
+  const double load = core_load < 0.0 ? 0.0 : core_load;
+  const double p =
+      cfg_.stall_probability_at_full_load * load * load * load;
+  if (rng_.next_bool(p)) {
+    ++stalls_;
+    return cfg_.stall_ns;
+  }
+  return 0;
+}
+
+}  // namespace albatross

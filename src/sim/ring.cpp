@@ -1,0 +1,24 @@
+#include "sim/ring.hpp"
+
+namespace albatross {
+
+bool PacketRing::push(PacketPtr pkt) {
+  if (q_.size() >= capacity_) {
+    ++stats_.drops;
+    return false;
+  }
+  q_.push_back(std::move(pkt));
+  ++stats_.enqueued;
+  if (q_.size() > stats_.high_watermark) stats_.high_watermark = q_.size();
+  return true;
+}
+
+PacketPtr PacketRing::pop() {
+  if (q_.empty()) return nullptr;
+  PacketPtr p = std::move(q_.front());
+  q_.pop_front();
+  ++stats_.dequeued;
+  return p;
+}
+
+}  // namespace albatross

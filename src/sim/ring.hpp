@@ -1,0 +1,52 @@
+// Fixed-capacity descriptor ring, the model of an RX/TX queue pair slice
+// between the FPGA NIC and a data core. Overflow means tail drop — the
+// "RX/TX queue congestion" HOL source listed in §4.1 — and every drop is
+// accounted because drops on the CPU side are precisely what leaves
+// reorder-FIFO entries stranded.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "packet/packet.hpp"
+
+namespace albatross {
+
+struct RingStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t high_watermark = 0;
+};
+
+class PacketRing {
+ public:
+  explicit PacketRing(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// False (and a counted drop) when the ring is full. Ownership of the
+  /// packet transfers only on success.
+  bool push(PacketPtr pkt);
+
+  /// Null when empty.
+  PacketPtr pop();
+
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] bool full() const { return q_.size() >= capacity_; }
+  [[nodiscard]] const RingStats& stats() const { return stats_; }
+
+  /// Occupancy in [0,1], the congestion signal run loops poll.
+  [[nodiscard]] double occupancy() const {
+    return capacity_ == 0
+               ? 1.0
+               : static_cast<double>(q_.size()) / static_cast<double>(capacity_);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<PacketPtr> q_;
+  RingStats stats_;
+};
+
+}  // namespace albatross

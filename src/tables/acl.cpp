@@ -1,0 +1,55 @@
+#include "tables/acl.hpp"
+
+#include <algorithm>
+
+namespace albatross {
+namespace {
+
+bool prefix_match(Ipv4Address addr, Ipv4Address prefix, std::uint8_t len) {
+  if (len == 0) return true;
+  const std::uint32_t mask =
+      len >= 32 ? 0xffffffffu : ~((1u << (32 - len)) - 1);
+  return (addr.addr & mask) == (prefix.addr & mask);
+}
+
+}  // namespace
+
+bool AclRule::matches(const FiveTuple& t) const {
+  if (proto && *proto != t.proto) return false;
+  if (!prefix_match(t.src_ip, src_prefix, src_prefix_len)) return false;
+  if (!prefix_match(t.dst_ip, dst_prefix, dst_prefix_len)) return false;
+  if (t.src_port < src_port_lo || t.src_port > src_port_hi) return false;
+  if (t.dst_port < dst_port_lo || t.dst_port > dst_port_hi) return false;
+  return true;
+}
+
+void Acl::add_rule(AclRule rule) {
+  const auto pos = std::lower_bound(
+      rules_.begin(), rules_.end(), rule,
+      [](const AclRule& a, const AclRule& b) { return a.priority < b.priority; });
+  rules_.insert(pos, std::move(rule));
+}
+
+bool Acl::remove_rule(std::uint32_t rule_id) {
+  const auto it = std::find_if(
+      rules_.begin(), rules_.end(),
+      [rule_id](const AclRule& r) { return r.rule_id == rule_id; });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  return true;
+}
+
+AclAction Acl::evaluate(const FiveTuple& t) const {
+  return evaluate_verbose(t).first;
+}
+
+std::pair<AclAction, std::optional<std::uint32_t>> Acl::evaluate_verbose(
+    const FiveTuple& t) const {
+  for (const auto& r : rules_) {
+    ++rules_evaluated_;
+    if (r.matches(t)) return {r.action, r.rule_id};
+  }
+  return {default_action_, std::nullopt};
+}
+
+}  // namespace albatross

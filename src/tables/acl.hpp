@@ -1,0 +1,67 @@
+// Access-control list classifier. Gateways drop traffic on ACL hits,
+// which is one of the CPU-side packet-loss sources that triggers reorder
+// HOL blocking (§4.1) — the drop-flag mechanism (Fig. 12) exists to tell
+// the NIC pipeline about exactly these drops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace albatross {
+
+enum class AclAction : std::uint8_t { kPermit, kDeny };
+
+/// Single ACL rule: prefix match on IPs, range match on ports, optional
+/// protocol. Lower `priority` value wins (first match semantics after
+/// sorting).
+struct AclRule {
+  std::uint32_t rule_id = 0;
+  std::int32_t priority = 0;
+  Ipv4Address src_prefix;
+  std::uint8_t src_prefix_len = 0;  // 0 = wildcard
+  Ipv4Address dst_prefix;
+  std::uint8_t dst_prefix_len = 0;
+  std::uint16_t src_port_lo = 0;
+  std::uint16_t src_port_hi = 0xffff;
+  std::uint16_t dst_port_lo = 0;
+  std::uint16_t dst_port_hi = 0xffff;
+  std::optional<IpProto> proto;  // nullopt = any
+  AclAction action = AclAction::kPermit;
+
+  [[nodiscard]] bool matches(const FiveTuple& t) const;
+};
+
+/// Priority-ordered ACL. Rule sets at cloud gateways are small relative
+/// to routing tables (hundreds to low thousands), so a sorted linear
+/// probe with early exit is both simple and representative; the classifier
+/// counts evaluated rules so benches can expose matching cost.
+class Acl {
+ public:
+  void add_rule(AclRule rule);
+  bool remove_rule(std::uint32_t rule_id);
+
+  /// Returns the action of the highest-priority matching rule, or the
+  /// default action when nothing matches.
+  [[nodiscard]] AclAction evaluate(const FiveTuple& t) const;
+
+  /// Like evaluate, but also reports the matching rule id.
+  [[nodiscard]] std::pair<AclAction, std::optional<std::uint32_t>>
+  evaluate_verbose(const FiveTuple& t) const;
+
+  void set_default_action(AclAction a) { default_action_ = a; }
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+  [[nodiscard]] std::uint64_t rules_evaluated() const {
+    return rules_evaluated_;
+  }
+
+ private:
+  std::vector<AclRule> rules_;  // kept sorted by priority
+  AclAction default_action_ = AclAction::kPermit;
+  mutable std::uint64_t rules_evaluated_ = 0;
+};
+
+}  // namespace albatross

@@ -1,0 +1,10 @@
+#include "tables/cuckoo_table.hpp"
+
+namespace albatross {
+
+// Explicit instantiations for the key/value combinations the gateway
+// services use, keeping their code-gen out of every including TU.
+template class CuckooTable<std::uint64_t, std::uint64_t>;
+template class CuckooTable<FiveTuple, std::uint64_t>;
+
+}  // namespace albatross

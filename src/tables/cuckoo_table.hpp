@@ -1,0 +1,233 @@
+// Bucketed cuckoo hash table: 2 candidate buckets x 4 slots, BFS-free
+// random-walk eviction with a bounded kick chain. This is the exact-match
+// engine behind the VM-NC mapping table, the conn/flow table and the SNAT
+// session table — the "large flow table" style lookups DPUs are good at
+// and which Albatross keeps in DRAM on the CPU side.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace albatross {
+
+/// Hash adaptor: 64-bit mixes of the key for the two bucket choices.
+template <typename Key>
+struct CuckooHasher {
+  std::uint64_t operator()(const Key& k) const {
+    return mix64(std::hash<Key>{}(k));
+  }
+};
+
+template <>
+struct CuckooHasher<FiveTuple> {
+  std::uint64_t operator()(const FiveTuple& t) const {
+    const auto bytes = five_tuple_bytes(t);
+    return mix64(fnv1a64(std::span<const std::uint8_t>{bytes}));
+  }
+};
+
+template <typename Key, typename Value, typename Hasher = CuckooHasher<Key>>
+class CuckooTable {
+ public:
+  static constexpr std::size_t kSlotsPerBucket = 4;
+  static constexpr int kMaxKicks = 128;
+
+  /// `capacity_hint` is rounded up to a power-of-two bucket count giving
+  /// ~ 75% max load factor headroom.
+  explicit CuckooTable(std::size_t capacity_hint = 1024) {
+    std::size_t buckets = 2;
+    while (buckets * kSlotsPerBucket * 3 / 4 < capacity_hint) buckets <<= 1;
+    buckets_.resize(buckets);
+    bucket_mask_ = buckets - 1;
+  }
+
+  /// Inserts or updates. Returns false only when the kick chain fails
+  /// (table effectively full).
+  bool insert(const Key& key, Value value) {
+    const std::uint64_t h = hasher_(key);
+    const std::size_t b1 = h & bucket_mask_;
+    const std::size_t b2 = alt_bucket(b1, h);
+    if (try_update(b1, key, value) || try_update(b2, key, value)) return true;
+    for (auto& s : stash_) {
+      if (s.key == key) {
+        s.value = std::move(value);
+        return true;
+      }
+    }
+    if (try_insert(b1, key, value) || try_insert(b2, key, value)) {
+      ++size_;
+      return true;
+    }
+    // Random-walk eviction starting from b1.
+    std::size_t bucket = b1;
+    Key cur_key = key;
+    Value cur_val = std::move(value);
+    for (int kick = 0; kick < kMaxKicks; ++kick) {
+      const std::size_t victim = kick_seed_++ % kSlotsPerBucket;
+      auto& slot = buckets_[bucket].slots[victim];
+      std::swap(cur_key, slot.key);
+      std::swap(cur_val, slot.value);
+      const std::uint64_t vh = hasher_(cur_key);
+      const std::size_t vb1 = vh & bucket_mask_;
+      const std::size_t vb2 = alt_bucket(vb1, vh);
+      bucket = (bucket == vb1) ? vb2 : vb1;
+      if (try_insert(bucket, cur_key, cur_val)) {
+        ++size_;
+        return true;
+      }
+    }
+    // Kick chain exhausted. The walk already wrote the caller's entry
+    // into the table and left one displaced entry in hand; park it in
+    // the stash so no previously stored entry is ever lost.
+    ++insert_failures_;
+    if (stash_.size() >= kStashCapacity) return false;
+    stash_.push_back(Slot{cur_key, std::move(cur_val)});
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] std::optional<Value> find(const Key& key) const {
+    const Slot* v = locate(key);
+    return v ? std::optional<Value>(v->value) : std::nullopt;
+  }
+
+  /// Mutable access for in-place state updates (stateful NFs).
+  Value* find_mut(const Key& key) {
+    auto* v = const_cast<Slot*>(locate(key));
+    return v ? &v->value : nullptr;
+  }
+
+  bool erase(const Key& key) {
+    const std::uint64_t h = hasher_(key);
+    for (const std::size_t b :
+         {h & bucket_mask_, alt_bucket(h & bucket_mask_, h)}) {
+      auto& bucket = buckets_[b];
+      for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+        if (bucket.occupied[s] && bucket.slots[s].key == key) {
+          bucket.occupied[s] = false;
+          --size_;
+          return true;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < stash_.size(); ++i) {
+      if (stash_[i].key == key) {
+        stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Visits every occupied entry; `fn(key, value) -> bool keep`.
+  template <typename Fn>
+  void for_each_erase_if(Fn&& fn) {
+    for (auto& bucket : buckets_) {
+      for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+        if (bucket.occupied[s] &&
+            !fn(bucket.slots[s].key, bucket.slots[s].value)) {
+          bucket.occupied[s] = false;
+          --size_;
+        }
+      }
+    }
+    for (std::size_t i = stash_.size(); i-- > 0;) {
+      if (!fn(stash_[i].key, stash_[i].value)) {
+        stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+        --size_;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const {
+    return buckets_.size() * kSlotsPerBucket;
+  }
+  [[nodiscard]] double load_factor() const {
+    return static_cast<double>(size_) / static_cast<double>(capacity());
+  }
+  [[nodiscard]] std::uint64_t insert_failures() const {
+    return insert_failures_;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    Value value{};
+  };
+  struct Bucket {
+    std::array<Slot, kSlotsPerBucket> slots{};
+    std::array<bool, kSlotsPerBucket> occupied{};
+  };
+
+  [[nodiscard]] std::size_t alt_bucket(std::size_t b, std::uint64_t h) const {
+    // Partial-key cuckoo: the alternate bucket is derived from a second
+    // mix so either bucket can be computed from the key alone.
+    return (b ^ mix64(h >> 32 | 1)) & bucket_mask_;
+  }
+
+  /// Looks the key up in both candidate buckets and the stash.
+  const Slot* locate(const Key& key) const {
+    const std::uint64_t h = hasher_(key);
+    const Slot* v = find_slot(h & bucket_mask_, key);
+    if (v == nullptr) v = find_slot(alt_bucket(h & bucket_mask_, h), key);
+    if (v == nullptr) {
+      for (const auto& s : stash_) {
+        if (s.key == key) return &s;
+      }
+    }
+    return v;
+  }
+
+  const Slot* find_slot(std::size_t b, const Key& key) const {
+    const auto& bucket = buckets_[b];
+    for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+      if (bucket.occupied[s] && bucket.slots[s].key == key) {
+        return &bucket.slots[s];
+      }
+    }
+    return nullptr;
+  }
+
+  bool try_update(std::size_t b, const Key& key, const Value& value) {
+    auto& bucket = buckets_[b];
+    for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+      if (bucket.occupied[s] && bucket.slots[s].key == key) {
+        bucket.slots[s].value = value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool try_insert(std::size_t b, const Key& key, const Value& value) {
+    auto& bucket = buckets_[b];
+    for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+      if (!bucket.occupied[s]) {
+        bucket.slots[s] = {key, value};
+        bucket.occupied[s] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static constexpr std::size_t kStashCapacity = 8;
+
+  std::vector<Bucket> buckets_;
+  std::vector<Slot> stash_;
+  std::size_t bucket_mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t insert_failures_ = 0;
+  std::uint64_t kick_seed_ = 0x9e3779b9;
+  Hasher hasher_;
+};
+
+}  // namespace albatross

@@ -1,0 +1,45 @@
+#include "tables/flow_table.hpp"
+
+namespace albatross {
+
+FlowTable::FlowTable(std::size_t capacity_hint, NanoTime idle_timeout)
+    : table_(capacity_hint), idle_timeout_(idle_timeout) {}
+
+FlowState* FlowTable::lookup(const FiveTuple& tuple, NanoTime now,
+                             bool create_on_miss) {
+  if (FlowState* s = table_.find_mut(tuple)) {
+    ++stats_.hits;
+    s->last_seen = now;
+    return s;
+  }
+  ++stats_.misses;
+  if (!create_on_miss) return nullptr;
+  FlowState fresh;
+  fresh.created = now;
+  fresh.last_seen = now;
+  if (!table_.insert(tuple, fresh)) {
+    ++stats_.insert_failures;
+    return nullptr;
+  }
+  ++stats_.inserts;
+  return table_.find_mut(tuple);
+}
+
+std::optional<FlowState> FlowTable::peek(const FiveTuple& tuple) const {
+  return table_.find(tuple);
+}
+
+bool FlowTable::erase(const FiveTuple& tuple) { return table_.erase(tuple); }
+
+std::size_t FlowTable::age(NanoTime now) {
+  std::size_t reclaimed = 0;
+  table_.for_each_erase_if([&](const FiveTuple&, const FlowState& s) {
+    const bool keep = now - s.last_seen <= idle_timeout_;
+    if (!keep) ++reclaimed;
+    return keep;
+  });
+  stats_.aged_out += reclaimed;
+  return reclaimed;
+}
+
+}  // namespace albatross

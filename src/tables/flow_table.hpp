@@ -1,0 +1,68 @@
+// Connection/flow table with aging, built on the cuckoo table. This is
+// the substrate for stateful NFs (SNAT, L4 LB sessions): Tofino could not
+// self-update or age entries (§2.1), which is exactly what this table
+// does on the CPU — entries are created by the data path on first packet
+// and aged out by an incremental scan, no control-plane round trip.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "tables/cuckoo_table.hpp"
+
+namespace albatross {
+
+/// Per-flow connection state.
+struct FlowState {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  NanoTime created = 0;
+  NanoTime last_seen = 0;
+  std::uint32_t nat_ip = 0;       ///< SNAT translation, 0 = none
+  std::uint16_t nat_port = 0;
+  std::uint16_t backend = 0;      ///< L4 LB backend index
+  bool syn_seen = false;
+  bool fin_seen = false;
+};
+
+struct FlowTableStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t insert_failures = 0;
+  std::uint64_t aged_out = 0;
+};
+
+/// Flow table with idle-timeout aging. Not thread-safe by design: each
+/// data core owns its own partition (the paper's §7 lesson — shared
+/// per-flow state is the scalability killer; see StatefulNf for the
+/// shared-state counter-model).
+class FlowTable {
+ public:
+  explicit FlowTable(std::size_t capacity_hint = 1 << 16,
+                     NanoTime idle_timeout = 30 * kSecond);
+
+  /// Looks up the flow; on miss creates it (if `create_on_miss`).
+  /// Returns nullptr when the table rejects the insert.
+  FlowState* lookup(const FiveTuple& tuple, NanoTime now,
+                    bool create_on_miss = true);
+
+  [[nodiscard]] std::optional<FlowState> peek(const FiveTuple& tuple) const;
+
+  bool erase(const FiveTuple& tuple);
+
+  /// Incremental aging pass: removes flows idle beyond the timeout.
+  /// Returns the number of entries reclaimed.
+  std::size_t age(NanoTime now);
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] const FlowTableStats& stats() const { return stats_; }
+
+ private:
+  CuckooTable<FiveTuple, FlowState> table_;
+  NanoTime idle_timeout_;
+  FlowTableStats stats_;
+};
+
+}  // namespace albatross

@@ -1,0 +1,171 @@
+#include "tables/lpm_dir24.hpp"
+
+#include <cassert>
+
+namespace albatross {
+namespace {
+
+constexpr std::uint32_t mask_prefix(std::uint32_t addr, std::uint8_t depth) {
+  return depth == 0 ? 0
+                    : (depth >= 32 ? addr : addr & ~((1u << (32 - depth)) - 1));
+}
+
+}  // namespace
+
+LpmDir24::LpmDir24() : tbl24_(1u << 24, 0) {}
+
+std::uint32_t LpmDir24::alloc_tbl8(std::uint32_t inherit_entry) {
+  std::uint32_t group;
+  if (!free_tbl8_.empty()) {
+    group = free_tbl8_.back();
+    free_tbl8_.pop_back();
+    tbl8_[group].assign(256, inherit_entry);
+  } else {
+    group = static_cast<std::uint32_t>(tbl8_.size());
+    tbl8_.emplace_back(256, inherit_entry);
+  }
+  return group;
+}
+
+void LpmDir24::free_tbl8(std::uint32_t group) { free_tbl8_.push_back(group); }
+
+bool LpmDir24::add(Ipv4Address prefix, std::uint8_t depth, NextHop next_hop) {
+  if (depth < 1 || depth > 32 || next_hop > kMaxNextHop) return false;
+  const std::uint32_t p = mask_prefix(prefix.addr, depth);
+  rules_[{depth, p}] = next_hop;
+
+  if (depth <= 24) {
+    const std::uint32_t first = p >> 8;
+    const std::uint32_t count = 1u << (24 - depth);
+    const std::uint32_t e = entry(depth, next_hop, /*extended=*/false);
+    for (std::uint32_t i = first; i < first + count; ++i) {
+      const std::uint32_t cur = tbl24_[i];
+      if ((cur & kValid) == 0) {
+        tbl24_[i] = e;
+      } else if (cur & kExtended) {
+        // Update slots inside the group owned by rules no deeper than us.
+        auto& group = tbl8_[cur & kPayloadMask];
+        const std::uint32_t sub = entry(depth, next_hop, false);
+        for (auto& slot : group) {
+          if ((slot & kValid) == 0 || entry_depth(slot) <= depth) slot = sub;
+        }
+      } else if (entry_depth(cur) <= depth) {
+        tbl24_[i] = e;
+      }
+    }
+    return true;
+  }
+
+  // depth > 24: one tbl24 slot, expansion inside a tbl8 group.
+  const std::uint32_t idx = p >> 8;
+  std::uint32_t cur = tbl24_[idx];
+  if ((cur & kValid) == 0 || (cur & kExtended) == 0) {
+    // Promote: the new group inherits the previous flat entry (or stays
+    // invalid) so addresses not covered by the deep rule keep resolving.
+    const std::uint32_t inherit = (cur & kValid) ? cur : 0u;
+    const std::uint32_t group = alloc_tbl8(inherit);
+    tbl24_[idx] = kValid | kExtended | group;
+    cur = tbl24_[idx];
+  }
+  auto& group = tbl8_[cur & kPayloadMask];
+  const std::uint32_t first = p & 0xff;
+  const std::uint32_t count = 1u << (32 - depth);
+  const std::uint32_t e = entry(depth, next_hop, false);
+  for (std::uint32_t i = first; i < first + count; ++i) {
+    const std::uint32_t slot = group[i];
+    if ((slot & kValid) == 0 || entry_depth(slot) <= depth) group[i] = e;
+  }
+  return true;
+}
+
+std::optional<std::pair<std::uint8_t, NextHop>> LpmDir24::covering_rule(
+    std::uint32_t prefix, std::uint8_t depth) const {
+  for (int d = depth - 1; d >= 1; --d) {
+    const auto it =
+        rules_.find({static_cast<std::uint8_t>(d),
+                     mask_prefix(prefix, static_cast<std::uint8_t>(d))});
+    if (it != rules_.end()) {
+      return std::make_pair(static_cast<std::uint8_t>(d), it->second);
+    }
+  }
+  return std::nullopt;
+}
+
+bool LpmDir24::remove(Ipv4Address prefix, std::uint8_t depth) {
+  if (depth < 1 || depth > 32) return false;
+  const std::uint32_t p = mask_prefix(prefix.addr, depth);
+  if (rules_.erase({depth, p}) == 0) return false;
+
+  const auto cover = covering_rule(p, depth);
+  const std::uint32_t replacement =
+      cover ? entry(cover->first, cover->second, false) : 0u;
+
+  if (depth <= 24) {
+    const std::uint32_t first = p >> 8;
+    const std::uint32_t count = 1u << (24 - depth);
+    for (std::uint32_t i = first; i < first + count; ++i) {
+      const std::uint32_t cur = tbl24_[i];
+      if ((cur & kValid) == 0) continue;
+      if (cur & kExtended) {
+        auto& group = tbl8_[cur & kPayloadMask];
+        for (auto& slot : group) {
+          if ((slot & kValid) != 0 && entry_depth(slot) == depth) {
+            slot = replacement;
+          }
+        }
+      } else if (entry_depth(cur) == depth) {
+        tbl24_[i] = replacement;
+      }
+    }
+    return true;
+  }
+
+  const std::uint32_t idx = p >> 8;
+  const std::uint32_t cur = tbl24_[idx];
+  if ((cur & kValid) == 0 || (cur & kExtended) == 0) return true;
+  const std::uint32_t group_idx = cur & kPayloadMask;
+  auto& group = tbl8_[group_idx];
+  const std::uint32_t first = p & 0xff;
+  const std::uint32_t count = 1u << (32 - depth);
+  for (std::uint32_t i = first; i < first + count; ++i) {
+    if ((group[i] & kValid) != 0 && entry_depth(group[i]) == depth) {
+      group[i] = replacement;
+    }
+  }
+  // Collapse the group back to a flat tbl24 entry when no deep rule
+  // remains inside it, reclaiming tbl8 memory.
+  bool has_deep = false;
+  for (const auto slot : group) {
+    if ((slot & kValid) != 0 && entry_depth(slot) > 24) {
+      has_deep = true;
+      break;
+    }
+  }
+  if (!has_deep) {
+    const auto flat_cover = covering_rule(p, 25);
+    tbl24_[idx] =
+        flat_cover ? entry(flat_cover->first, flat_cover->second, false) : 0u;
+    free_tbl8(group_idx);
+  }
+  return true;
+}
+
+std::optional<NextHop> LpmDir24::lookup(Ipv4Address addr) const {
+  const std::uint32_t e = tbl24_[addr.addr >> 8];
+  if ((e & kValid) == 0) return std::nullopt;
+  if ((e & kExtended) == 0) return e & kPayloadMask;
+  const std::uint32_t slot = tbl8_[e & kPayloadMask][addr.addr & 0xff];
+  if ((slot & kValid) == 0) return std::nullopt;
+  return slot & kPayloadMask;
+}
+
+std::size_t LpmDir24::tbl8_groups_in_use() const {
+  return tbl8_.size() - free_tbl8_.size();
+}
+
+std::size_t LpmDir24::memory_bytes() const {
+  return tbl24_.size() * sizeof(std::uint32_t) +
+         tbl8_.size() * 256 * sizeof(std::uint32_t);
+}
+
+}  // namespace albatross

@@ -1,0 +1,80 @@
+// DIR-24-8 longest-prefix-match table for IPv4, the same layout DPDK's
+// rte_lpm uses. One of Albatross's headline advantages over both DPUs and
+// Sailfish (Tab. 6) is holding >10M LPM rules (the VXLAN routing table)
+// in DRAM: a full /24 direct-index array plus dynamically allocated /32
+// expansion groups gives O(1) lookups at any rule count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace albatross {
+
+/// Route target produced by a lookup (24-bit payload like rte_lpm).
+using NextHop = std::uint32_t;
+constexpr NextHop kMaxNextHop = (1u << 24) - 1;
+
+class LpmDir24 {
+ public:
+  LpmDir24();
+
+  /// Adds (or replaces) a prefix route. depth in [1,32].
+  /// Returns false for invalid depth or next_hop out of 24-bit range.
+  bool add(Ipv4Address prefix, std::uint8_t depth, NextHop next_hop);
+
+  /// Removes a route; longer rules shadowed by it are re-exposed.
+  bool remove(Ipv4Address prefix, std::uint8_t depth);
+
+  /// Longest-prefix-match lookup. O(1): one or two array reads.
+  [[nodiscard]] std::optional<NextHop> lookup(Ipv4Address addr) const;
+
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+  [[nodiscard]] std::size_t tbl8_groups_in_use() const;
+
+  /// Approximate DRAM footprint, used by the Tab. 6 capacity comparison.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  // Entry encoding (tbl24 and tbl8 share it):
+  //   bit 31: valid
+  //   bit 30: tbl24 only — points to a tbl8 group instead of a next hop
+  //   bits 29..24: depth of the owning rule (1..32)
+  //   bits 23..0: next hop, or tbl8 group index
+  static constexpr std::uint32_t kValid = 1u << 31;
+  static constexpr std::uint32_t kExtended = 1u << 30;
+  static constexpr std::uint32_t kPayloadMask = (1u << 24) - 1;
+
+  static constexpr std::uint32_t entry(std::uint8_t depth, std::uint32_t payload,
+                                       bool extended) {
+    return kValid | (extended ? kExtended : 0u) |
+           (std::uint32_t{depth} << 24) | (payload & kPayloadMask);
+  }
+  static constexpr std::uint8_t entry_depth(std::uint32_t e) {
+    return static_cast<std::uint8_t>((e >> 24) & 0x3f);
+  }
+
+  std::uint32_t alloc_tbl8(std::uint32_t inherit_entry);
+  void free_tbl8(std::uint32_t group);
+
+  /// Writes `e` over the expansion range of (prefix, depth), but only
+  /// into slots whose current owner depth is <= depth (rule shadowing).
+  void write_range(std::uint32_t prefix, std::uint8_t depth, std::uint32_t e);
+
+  /// Finds the best covering rule shallower than `depth` for re-exposure
+  /// after a delete.
+  [[nodiscard]] std::optional<std::pair<std::uint8_t, NextHop>> covering_rule(
+      std::uint32_t prefix, std::uint8_t depth) const;
+
+  std::vector<std::uint32_t> tbl24_;              // 2^24 entries
+  std::vector<std::vector<std::uint32_t>> tbl8_;  // groups of 256
+  std::vector<std::uint32_t> free_tbl8_;
+
+  // Rule store for delete semantics: key = (depth, prefix-bits).
+  std::map<std::pair<std::uint8_t, std::uint32_t>, NextHop> rules_;
+};
+
+}  // namespace albatross

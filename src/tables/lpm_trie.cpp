@@ -1,0 +1,46 @@
+#include "tables/lpm_trie.hpp"
+
+namespace albatross {
+
+bool LpmTrie::add(Ipv4Address prefix, std::uint8_t depth, NextHop next_hop) {
+  if (depth < 1 || depth > 32 || next_hop > kMaxNextHop) return false;
+  Node* n = root_.get();
+  for (std::uint8_t i = 0; i < depth; ++i) {
+    const std::size_t bit = (prefix.addr >> (31 - i)) & 1;
+    if (!n->child[bit]) n->child[bit] = std::make_unique<Node>();
+    n = n->child[bit].get();
+  }
+  if (!n->next_hop) ++rules_;
+  n->next_hop = next_hop;
+  return true;
+}
+
+bool LpmTrie::remove(Ipv4Address prefix, std::uint8_t depth) {
+  if (depth < 1 || depth > 32) return false;
+  Node* n = root_.get();
+  for (std::uint8_t i = 0; i < depth; ++i) {
+    const std::size_t bit = (prefix.addr >> (31 - i)) & 1;
+    if (!n->child[bit]) return false;
+    n = n->child[bit].get();
+  }
+  if (!n->next_hop) return false;
+  n->next_hop.reset();
+  --rules_;
+  // Interior nodes are not pruned; the reference implementation values
+  // simplicity over memory.
+  return true;
+}
+
+std::optional<NextHop> LpmTrie::lookup(Ipv4Address addr) const {
+  const Node* n = root_.get();
+  std::optional<NextHop> best;
+  for (int i = 0; i < 32 && n != nullptr; ++i) {
+    if (n->next_hop) best = n->next_hop;
+    const std::size_t bit = (addr.addr >> (31 - i)) & 1;
+    n = n->child[bit].get();
+  }
+  if (n != nullptr && n->next_hop) best = n->next_hop;
+  return best;
+}
+
+}  // namespace albatross

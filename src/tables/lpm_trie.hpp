@@ -1,0 +1,36 @@
+// Reference binary-trie LPM. Slow (O(depth) per lookup) but trivially
+// correct; the property-based tests cross-check LpmDir24 against it under
+// randomized add/remove/lookup sequences. It also stands in for the
+// "software LPM" DPU implementations §2.2 criticises, so the LPM bench
+// can show the direct-index table's constant-time advantage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "tables/lpm_dir24.hpp"
+
+namespace albatross {
+
+class LpmTrie {
+ public:
+  LpmTrie() : root_(std::make_unique<Node>()) {}
+
+  bool add(Ipv4Address prefix, std::uint8_t depth, NextHop next_hop);
+  bool remove(Ipv4Address prefix, std::uint8_t depth);
+  [[nodiscard]] std::optional<NextHop> lookup(Ipv4Address addr) const;
+  [[nodiscard]] std::size_t rule_count() const { return rules_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::optional<NextHop> next_hop;
+  };
+
+  std::unique_ptr<Node> root_;
+  std::size_t rules_ = 0;
+};
+
+}  // namespace albatross

@@ -1,0 +1,55 @@
+#include "tables/meter.hpp"
+
+namespace albatross {
+
+TokenBucket::TokenBucket(double rate_pps, double burst_pkts)
+    : rate_pps_(rate_pps), burst_(burst_pkts), tokens_(burst_pkts) {}
+
+void TokenBucket::set_rate(double rate_pps, double burst_pkts) {
+  rate_pps_ = rate_pps;
+  burst_ = burst_pkts;
+  if (tokens_ > burst_) tokens_ = burst_;
+}
+
+void TokenBucket::refill(NanoTime now) {
+  if (now <= last_) return;
+  const double elapsed_s =
+      static_cast<double>(now - last_) / static_cast<double>(kSecond);
+  tokens_ += rate_pps_ * elapsed_s;
+  if (tokens_ > burst_) tokens_ = burst_;
+  last_ = now;
+}
+
+bool TokenBucket::consume(NanoTime now, double pkts) {
+  if (rate_pps_ <= 0.0) return true;  // unlimited
+  refill(now);
+  if (tokens_ >= pkts) {
+    tokens_ -= pkts;
+    return true;
+  }
+  return false;
+}
+
+double TokenBucket::tokens_at(NanoTime now) const {
+  if (rate_pps_ <= 0.0) return burst_;
+  double t = tokens_;
+  if (now > last_) {
+    t += rate_pps_ * static_cast<double>(now - last_) /
+         static_cast<double>(kSecond);
+    if (t > burst_) t = burst_;
+  }
+  return t;
+}
+
+TrTcmMeter::TrTcmMeter(double cir_pps, double cbs_pkts, double pir_pps,
+                       double pbs_pkts)
+    : committed_(cir_pps, cbs_pkts), peak_(pir_pps, pbs_pkts) {}
+
+MeterColor TrTcmMeter::color(NanoTime now, double pkts) {
+  // trTCM: check the peak rate first; non-conformance there is RED.
+  if (!peak_.consume(now, pkts)) return MeterColor::kRed;
+  if (!committed_.consume(now, pkts)) return MeterColor::kYellow;
+  return MeterColor::kGreen;
+}
+
+}  // namespace albatross

@@ -1,0 +1,57 @@
+// Rate-limiting meters. The NIC pipeline's overload protection (§4.3)
+// uses token-bucket meters in both limiter stages; the trTCM variant
+// provides the GREEN/YELLOW/RED coloring the first stage (color_table)
+// uses to decide which traffic overflows into the second stage.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace albatross {
+
+enum class MeterColor : std::uint8_t { kGreen, kYellow, kRed };
+
+/// Classic single-rate token bucket, metered in *packets* per second —
+/// the paper's overload meters are pps-based (e.g. "first stage set
+/// 8 Mpps and second stage set 2 Mpps").
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+
+  /// rate_pps: sustained packets/sec; burst: bucket depth in packets.
+  TokenBucket(double rate_pps, double burst_pkts);
+
+  /// Charges `pkts` tokens at virtual time `now`; true = conforming.
+  bool consume(NanoTime now, double pkts = 1.0);
+
+  /// Peeks at the fill level without consuming.
+  [[nodiscard]] double tokens_at(NanoTime now) const;
+
+  void set_rate(double rate_pps, double burst_pkts);
+  [[nodiscard]] double rate_pps() const { return rate_pps_; }
+
+ private:
+  void refill(NanoTime now);
+
+  double rate_pps_ = 0.0;   // 0 = unlimited
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  NanoTime last_ = 0;
+};
+
+/// Two-rate three-color marker (RFC 2698 semantics, pps-denominated):
+/// under CIR -> GREEN, between CIR and PIR -> YELLOW, above PIR -> RED.
+class TrTcmMeter {
+ public:
+  TrTcmMeter() = default;
+  TrTcmMeter(double cir_pps, double cbs_pkts, double pir_pps, double pbs_pkts);
+
+  MeterColor color(NanoTime now, double pkts = 1.0);
+
+ private:
+  TokenBucket committed_;
+  TokenBucket peak_;
+};
+
+}  // namespace albatross

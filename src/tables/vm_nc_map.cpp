@@ -1,0 +1,62 @@
+#include "tables/vm_nc_map.hpp"
+
+namespace albatross {
+
+VmNcMap::VmNcMap(std::size_t capacity_hint) : table_(capacity_hint) {}
+
+bool VmNcMap::insert(Vni vni, Ipv4Address vm_ip, const VmLocation& loc) {
+  return table_.insert(key(vni, vm_ip), loc);
+}
+
+std::optional<VmLocation> VmNcMap::lookup(Vni vni, Ipv4Address vm_ip) const {
+  return table_.find(key(vni, vm_ip));
+}
+
+bool VmNcMap::erase(Vni vni, Ipv4Address vm_ip) {
+  return table_.erase(key(vni, vm_ip));
+}
+
+std::optional<std::uint16_t> VmNcMap::migrate(Vni vni, Ipv4Address vm_ip,
+                                              Ipv4Address new_nc) {
+  VmLocation* loc = table_.find_mut(key(vni, vm_ip));
+  if (loc == nullptr) return std::nullopt;
+  loc->nc_ip = new_nc;
+  ++loc->version;
+  return loc->version;
+}
+
+std::size_t VmNcMap::memory_bytes() const {
+  // Each slot stores key + VmLocation + occupancy; use the table's
+  // geometric capacity as the resident estimate.
+  return table_.capacity() * (sizeof(std::uint64_t) + sizeof(VmLocation) + 1);
+}
+
+Ipv4Address VmNcMap::synthetic_vm_ip(Vni vni, std::uint32_t vm_index) {
+  // 10.x.y.z private space carved per tenant.
+  return Ipv4Address{0x0a000000u | ((vni & 0xfff) << 12) |
+                     (vm_index & 0xfff)};
+}
+
+Ipv4Address VmNcMap::synthetic_nc_ip(Vni vni, std::uint32_t vm_index) {
+  // 192.168/16-style NC fabric collapsed into 172.16/12 space.
+  const auto host = static_cast<std::uint32_t>(
+      mix64((std::uint64_t{vni} << 20) | vm_index) & 0xfffff);
+  return Ipv4Address{0xac100000u | host};
+}
+
+std::size_t VmNcMap::populate_synthetic(std::uint32_t tenants,
+                                        std::uint32_t vms_per_tenant) {
+  std::size_t inserted = 0;
+  for (Vni vni = 1; vni <= tenants; ++vni) {
+    for (std::uint32_t vm = 0; vm < vms_per_tenant; ++vm) {
+      VmLocation loc;
+      loc.nc_ip = synthetic_nc_ip(vni, vm);
+      loc.vm_mac = MacAddress::from_u64(0x020000000000ull |
+                                        (std::uint64_t{vni} << 16) | vm);
+      if (insert(vni, synthetic_vm_ip(vni, vm), loc)) ++inserted;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace albatross

@@ -1,0 +1,61 @@
+// VM -> NC (network container / host) mapping table. This is the table
+// that consumed 96.4% of Sailfish's pipeline-1,3 SRAM (Tab. 1) for
+// millions of tenants; Albatross hosts it in DRAM where capacity is a
+// non-issue. Keyed by (VNI, VM IP), it returns the physical host (NC) a
+// VM currently lives on plus the VTEP to tunnel to.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "tables/cuckoo_table.hpp"
+
+namespace albatross {
+
+struct VmLocation {
+  Ipv4Address nc_ip;        ///< physical host address (VTEP endpoint)
+  MacAddress vm_mac;        ///< inner MAC to rewrite toward the VM
+  std::uint16_t version = 0;///< bumped on live migration
+};
+
+class VmNcMap {
+ public:
+  explicit VmNcMap(std::size_t capacity_hint = 1 << 20);
+
+  bool insert(Vni vni, Ipv4Address vm_ip, const VmLocation& loc);
+  [[nodiscard]] std::optional<VmLocation> lookup(Vni vni,
+                                                 Ipv4Address vm_ip) const;
+  bool erase(Vni vni, Ipv4Address vm_ip);
+
+  /// Live migration: atomically repoints the VM to a new NC and bumps
+  /// the mapping version (vSwitches use the version to invalidate their
+  /// cached entries learned from the gateway, §3.2). Returns the new
+  /// version, or nullopt when the VM is unknown.
+  std::optional<std::uint16_t> migrate(Vni vni, Ipv4Address vm_ip,
+                                       Ipv4Address new_nc);
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  /// DRAM footprint estimate for the Tab. 6 capacity argument.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Synthesises `vms_per_tenant` mappings for tenants [0, tenants),
+  /// used by workload setup. Returns number inserted.
+  std::size_t populate_synthetic(std::uint32_t tenants,
+                                 std::uint32_t vms_per_tenant);
+
+  /// Deterministic layout of the synthetic population, shared with the
+  /// traffic generators so generated flows always hit the table.
+  static Ipv4Address synthetic_vm_ip(Vni vni, std::uint32_t vm_index);
+  static Ipv4Address synthetic_nc_ip(Vni vni, std::uint32_t vm_index);
+
+ private:
+  static std::uint64_t key(Vni vni, Ipv4Address vm_ip) {
+    return (std::uint64_t{vni} << 32) | vm_ip.addr;
+  }
+
+  CuckooTable<std::uint64_t, VmLocation> table_;
+};
+
+}  // namespace albatross

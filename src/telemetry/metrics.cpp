@@ -1,0 +1,165 @@
+#include "telemetry/metrics.hpp"
+
+#include <sstream>
+
+#include "core/platform.hpp"
+
+namespace albatross {
+
+void MetricsRegistry::register_counter(std::string name, Labels labels,
+                                       std::function<double()> fn,
+                                       std::string help) {
+  entries_.push_back(Entry{std::move(name), std::move(labels),
+                           MetricKind::kCounter, std::move(help),
+                           std::move(fn), nullptr});
+}
+
+void MetricsRegistry::register_gauge(std::string name, Labels labels,
+                                     std::function<double()> fn,
+                                     std::string help) {
+  entries_.push_back(Entry{std::move(name), std::move(labels),
+                           MetricKind::kGauge, std::move(help), std::move(fn),
+                           nullptr});
+}
+
+void MetricsRegistry::register_histogram(
+    std::string name, Labels labels,
+    std::function<const LogHistogram*()> fn, std::string help) {
+  entries_.push_back(Entry{std::move(name), std::move(labels),
+                           MetricKind::kHistogram, std::move(help), nullptr,
+                           std::move(fn)});
+}
+
+std::vector<MetricSample> MetricsRegistry::collect() const {
+  std::vector<MetricSample> out;
+  for (const auto& e : entries_) {
+    if (e.kind == MetricKind::kHistogram) {
+      const LogHistogram* h = e.histogram();
+      if (h == nullptr) continue;
+      const std::pair<const char*, double> quantiles[] = {
+          {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}};
+      for (const auto& [qname, q] : quantiles) {
+        Labels l = e.labels;
+        l["quantile"] = qname;
+        out.push_back(MetricSample{e.name, std::move(l),
+                                   static_cast<double>(h->quantile(q))});
+      }
+      out.push_back(MetricSample{e.name + "_count", e.labels,
+                                 static_cast<double>(h->count())});
+      out.push_back(MetricSample{e.name + "_mean", e.labels, h->mean()});
+    } else {
+      out.push_back(MetricSample{e.name, e.labels, e.scalar()});
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << "=\"" << v << '"';
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string MetricsRegistry::expose() const {
+  std::ostringstream os;
+  std::string last_name;
+  for (const auto& e : entries_) {
+    if (e.name != last_name) {
+      if (!e.help.empty()) os << "# HELP " << e.name << ' ' << e.help << '\n';
+      os << "# TYPE " << e.name << ' '
+         << (e.kind == MetricKind::kCounter
+                 ? "counter"
+                 : e.kind == MetricKind::kGauge ? "gauge" : "summary")
+         << '\n';
+      last_name = e.name;
+    }
+    if (e.kind == MetricKind::kHistogram) {
+      const LogHistogram* h = e.histogram();
+      if (h == nullptr) continue;
+      for (const auto& [qname, q] : std::initializer_list<
+               std::pair<const char*, double>>{
+               {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}}) {
+        Labels l = e.labels;
+        l["quantile"] = qname;
+        os << e.name << render_labels(l) << ' '
+           << static_cast<double>(h->quantile(q)) << '\n';
+      }
+      os << e.name << "_count" << render_labels(e.labels) << ' '
+         << h->count() << '\n';
+    } else {
+      os << e.name << render_labels(e.labels) << ' ' << e.scalar() << '\n';
+    }
+  }
+  return os.str();
+}
+
+void register_platform_metrics(MetricsRegistry& registry,
+                               Platform& platform) {
+  for (PodId pod = 0; pod < platform.pod_count(); ++pod) {
+    const Labels l{{"pod", std::to_string(pod)}};
+    registry.register_counter(
+        "albatross_pod_offered_packets", l,
+        [&platform, pod] {
+          return static_cast<double>(platform.telemetry(pod).offered);
+        },
+        "packets offered to the pod at NIC ingress");
+    registry.register_counter(
+        "albatross_pod_delivered_packets", l,
+        [&platform, pod] {
+          return static_cast<double>(platform.telemetry(pod).delivered);
+        },
+        "packets delivered to the wire");
+    registry.register_counter(
+        "albatross_pod_disordered_packets", l, [&platform, pod] {
+          return static_cast<double>(
+              platform.telemetry(pod).delivered_disordered);
+        });
+    registry.register_counter(
+        "albatross_pod_rate_limited_packets", l, [&platform, pod] {
+          return static_cast<double>(
+              platform.telemetry(pod).dropped_rate_limit);
+        });
+    registry.register_histogram(
+        "albatross_pod_wire_latency_ns", l,
+        [&platform, pod] { return &platform.telemetry(pod).wire_latency; },
+        "ingress-to-wire latency");
+    registry.register_counter(
+        "albatross_reorder_hol_timeouts", l, [&platform, pod] {
+          return static_cast<double>(
+              platform.nic().engine(pod).total_stats().timeout_releases);
+        });
+    registry.register_counter(
+        "albatross_reorder_drop_releases", l, [&platform, pod] {
+          return static_cast<double>(
+              platform.nic().engine(pod).total_stats().drop_releases);
+        });
+    registry.register_counter(
+        "albatross_pod_cpu_processed", l, [&platform, pod] {
+          return static_cast<double>(platform.pod(pod).stats().processed);
+        });
+  }
+  registry.register_counter(
+      "albatross_gop_dropped_stage2", {}, [&platform] {
+        return static_cast<double>(
+            platform.nic().limiter().stats().dropped_stage2);
+      });
+  registry.register_counter(
+      "albatross_gop_heavy_hitters_installed", {}, [&platform] {
+        return static_cast<double>(
+            platform.nic().limiter().stats().heavy_hitters_installed);
+      });
+  registry.register_gauge(
+      "albatross_cache_l3_hit_rate", {},
+      [&platform] { return platform.cache().l3_hit_rate(); },
+      "modelled shared-L3 hit rate for the current working set");
+}
+
+}  // namespace albatross

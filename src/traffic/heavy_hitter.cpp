@@ -1,0 +1,80 @@
+#include "traffic/heavy_hitter.hpp"
+
+#include <algorithm>
+
+namespace albatross {
+
+RateProfile::RateProfile(
+    std::initializer_list<std::pair<NanoTime, double>> steps) {
+  for (const auto& s : steps) add_step(s.first, s.second);
+}
+
+void RateProfile::add_step(NanoTime at, double pps) {
+  steps_.emplace_back(at, pps);
+  std::sort(steps_.begin(), steps_.end());
+}
+
+double RateProfile::rate_at(NanoTime t) const {
+  double rate = 0.0;
+  for (const auto& [at, pps] : steps_) {
+    if (at > t) break;
+    rate = pps;
+  }
+  return rate;
+}
+
+std::optional<NanoTime> RateProfile::next_change(NanoTime t) const {
+  for (const auto& [at, pps] : steps_) {
+    if (at > t) return at;
+  }
+  return std::nullopt;
+}
+
+HeavyHitterSource::HeavyHitterSource(HeavyHitterConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  advance_from(cfg_.start);
+}
+
+void HeavyHitterSource::advance_from(NanoTime t) {
+  // Walk forward through profile segments until one has a positive rate
+  // and yields an arrival inside the segment.
+  NanoTime cursor = t;
+  for (int guard = 0; guard < 1024; ++guard) {
+    const double rate = cfg_.profile.rate_at(cursor);
+    const auto change = cfg_.profile.next_change(cursor);
+    if (rate > 0.0) {
+      const double mean_ns = 1e9 / rate;
+      const double gap =
+          cfg_.poisson ? rng_.next_exponential(mean_ns) : mean_ns;
+      const NanoTime candidate =
+          cursor + static_cast<NanoTime>(gap < 1.0 ? 1.0 : gap);
+      if (!change || candidate < *change) {
+        next_ = candidate;
+        return;
+      }
+      cursor = *change;  // arrival spills past a rate change: re-sample
+      continue;
+    }
+    if (!change) {
+      next_ = std::nullopt;  // zero rate forever
+      return;
+    }
+    cursor = *change;
+  }
+  next_ = std::nullopt;
+}
+
+std::optional<NanoTime> HeavyHitterSource::next_time() const { return next_; }
+
+PacketPtr HeavyHitterSource::emit() {
+  if (!next_) return nullptr;
+  auto pkt =
+      Packet::make_synthetic(cfg_.flow.tuple, cfg_.flow.vni, cfg_.packet_bytes);
+  pkt->rx_time = *next_;
+  pkt->flow_id = cfg_.flow.flow_id;
+  pkt->seq_in_flow = emitted_++;
+  advance_from(*next_);
+  return pkt;
+}
+
+}  // namespace albatross

@@ -1,0 +1,48 @@
+#include "traffic/microburst.hpp"
+
+namespace albatross {
+
+MicroburstSource::MicroburstSource(MicroburstConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  flows_.reserve(cfg_.num_flows);
+  const std::uint32_t tenants = cfg_.tenants == 0 ? 1 : cfg_.tenants;
+  for (std::uint64_t i = 0; i < cfg_.num_flows; ++i) {
+    // Offset ids so microburst flows don't collide with background ones.
+    const Vni vni = 1 + static_cast<Vni>(i % tenants);
+    flows_.push_back(make_flow(0x4000'0000ull + i, vni,
+                               static_cast<std::uint32_t>(i / tenants)));
+  }
+  schedule_next_burst(cfg_.start);
+}
+
+void MicroburstSource::schedule_next_burst(NanoTime after) {
+  next_ = after + static_cast<NanoTime>(rng_.next_exponential(
+                      static_cast<double>(cfg_.mean_burst_gap)));
+  // Geometric burst length with the configured mean (min 1).
+  const double u = rng_.next_exponential(
+      static_cast<double>(cfg_.mean_burst_packets));
+  remaining_in_burst_ = static_cast<std::size_t>(u) + 1;
+  burst_flow_ = rng_.next_below(flows_.size());
+  ++bursts_;
+}
+
+std::optional<NanoTime> MicroburstSource::next_time() const { return next_; }
+
+PacketPtr MicroburstSource::emit() {
+  FlowInfo& f = cfg_.single_flow_bursts
+                    ? flows_[burst_flow_]
+                    : flows_[rng_.next_below(flows_.size())];
+  auto pkt = Packet::make_synthetic(f.tuple, f.vni, cfg_.packet_bytes);
+  pkt->rx_time = next_;
+  pkt->flow_id = f.flow_id;
+  pkt->seq_in_flow = f.packets_emitted++;
+
+  if (--remaining_in_burst_ > 0) {
+    next_ += static_cast<NanoTime>(1e9 / cfg_.burst_rate_pps);
+  } else {
+    schedule_next_burst(next_);
+  }
+  return pkt;
+}
+
+}  // namespace albatross

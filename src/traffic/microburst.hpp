@@ -1,0 +1,50 @@
+// Microburst source. Production cloud traffic is bursty on sub-second
+// timescales: Fig. 10's observation is that micro-bursts raise a single
+// RSS core's utilisation by ~50% in under a second while PLB spreads the
+// same burst across tens of cores. This source emits line-rate packet
+// trains at random intervals on top of an idle baseline.
+#pragma once
+
+#include "traffic/flow_gen.hpp"
+
+namespace albatross {
+
+struct MicroburstConfig {
+  std::size_t num_flows = 1000;     ///< flows the bursts are drawn from
+  std::uint32_t tenants = 50;
+  /// Mean gap between burst starts (exponential).
+  NanoTime mean_burst_gap = 10 * kMillisecond;
+  /// Packets per burst (geometrically distributed around this mean).
+  std::size_t mean_burst_packets = 2000;
+  /// Rate *inside* a burst — bursts arrive back-to-back at line rate.
+  double burst_rate_pps = 10e6;
+  std::size_t packet_bytes = 256;
+  NanoTime start = 0;
+  std::uint64_t seed = 11;
+  /// Each burst sticks to one flow (true, worst case for RSS) or sprays
+  /// over flows (false).
+  bool single_flow_bursts = true;
+};
+
+class MicroburstSource final : public TrafficSource {
+ public:
+  explicit MicroburstSource(MicroburstConfig cfg);
+
+  [[nodiscard]] std::optional<NanoTime> next_time() const override;
+  PacketPtr emit() override;
+
+  [[nodiscard]] std::uint64_t bursts_started() const { return bursts_; }
+
+ private:
+  void schedule_next_burst(NanoTime after);
+
+  MicroburstConfig cfg_;
+  Rng rng_;
+  std::vector<FlowInfo> flows_;
+  NanoTime next_ = 0;
+  std::size_t remaining_in_burst_ = 0;
+  std::size_t burst_flow_ = 0;
+  std::uint64_t bursts_ = 0;
+};
+
+}  // namespace albatross

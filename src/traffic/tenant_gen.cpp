@@ -1,0 +1,87 @@
+#include "traffic/tenant_gen.hpp"
+
+#include <limits>
+
+namespace albatross {
+
+TenantTrafficSource::TenantTrafficSource(std::vector<TenantSpec> tenants,
+                                         NanoTime start, std::uint64_t seed)
+    : rng_(seed) {
+  tenants_.reserve(tenants.size());
+  std::uint64_t next_flow_id = 0x8000'0000ull;
+  for (auto& spec : tenants) {
+    PerTenant t;
+    t.spec = std::move(spec);
+    for (std::size_t i = 0; i < t.spec.flows; ++i) {
+      t.flows.push_back(make_flow(next_flow_id++, t.spec.vni,
+                                  static_cast<std::uint32_t>(i)));
+    }
+    advance(t, start);
+    tenants_.push_back(std::move(t));
+  }
+}
+
+void TenantTrafficSource::advance(PerTenant& t, NanoTime from) {
+  NanoTime cursor = from;
+  for (int guard = 0; guard < 1024; ++guard) {
+    const double rate = t.spec.profile.rate_at(cursor);
+    const auto change = t.spec.profile.next_change(cursor);
+    if (rate > 0.0) {
+      const auto gap = static_cast<NanoTime>(1e9 / rate);
+      const NanoTime candidate = cursor + (gap < 1 ? 1 : gap);
+      if (!change || candidate < *change) {
+        t.next = candidate;
+        return;
+      }
+      cursor = *change;
+      continue;
+    }
+    if (!change) {
+      t.next = std::nullopt;
+      return;
+    }
+    cursor = *change;
+  }
+  t.next = std::nullopt;
+}
+
+std::size_t TenantTrafficSource::earliest() const {
+  std::size_t best = tenants_.size();
+  NanoTime best_t = std::numeric_limits<NanoTime>::max();
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].next && *tenants_[i].next < best_t) {
+      best_t = *tenants_[i].next;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<NanoTime> TenantTrafficSource::next_time() const {
+  const std::size_t i = earliest();
+  if (i == tenants_.size()) return std::nullopt;
+  return tenants_[i].next;
+}
+
+PacketPtr TenantTrafficSource::emit() {
+  const std::size_t i = earliest();
+  if (i == tenants_.size()) return nullptr;
+  PerTenant& t = tenants_[i];
+  FlowInfo& f = t.flows[t.rr++ % t.flows.size()];
+  auto pkt = Packet::make_synthetic(f.tuple, f.vni, t.spec.packet_bytes);
+  pkt->rx_time = *t.next;
+  pkt->flow_id = f.flow_id;
+  pkt->seq_in_flow = f.packets_emitted++;
+  ++t.emitted;
+  advance(t, *t.next);
+  return pkt;
+}
+
+std::uint64_t TenantTrafficSource::emitted(Vni vni) const {
+  for (const auto& t : tenants_) {
+    if (t.spec.vni == vni) return t.emitted;
+  }
+  return 0;
+}
+
+}  // namespace albatross

@@ -1,0 +1,48 @@
+// Per-tenant traffic for the overload-protection experiments (Fig. 13/14):
+// four tenants at 4/3/2/1 Mpps, tenant 1 ramping to 34 Mpps at t=15s.
+// Each tenant is a HeavyHitter-style CBR stream over a handful of flows,
+// tagged with the tenant's VNI so the NIC's two-stage rate limiter can
+// attribute it.
+#pragma once
+
+#include "traffic/heavy_hitter.hpp"
+
+namespace albatross {
+
+struct TenantSpec {
+  Vni vni = 0;
+  RateProfile profile;
+  std::size_t flows = 4;          ///< concurrent flows of this tenant
+  std::size_t packet_bytes = 256;
+};
+
+/// A source emitting the union of all tenants' streams. Per-packet flow
+/// choice round-robins across each tenant's flows.
+class TenantTrafficSource final : public TrafficSource {
+ public:
+  TenantTrafficSource(std::vector<TenantSpec> tenants, NanoTime start,
+                      std::uint64_t seed = 23);
+
+  [[nodiscard]] std::optional<NanoTime> next_time() const override;
+  PacketPtr emit() override;
+
+  /// Packets emitted so far for a given tenant (offered load oracle).
+  [[nodiscard]] std::uint64_t emitted(Vni vni) const;
+
+ private:
+  struct PerTenant {
+    TenantSpec spec;
+    std::vector<FlowInfo> flows;
+    std::optional<NanoTime> next;
+    std::size_t rr = 0;
+    std::uint64_t emitted = 0;
+  };
+
+  void advance(PerTenant& t, NanoTime from);
+  [[nodiscard]] std::size_t earliest() const;
+
+  std::vector<PerTenant> tenants_;
+  Rng rng_;
+};
+
+}  // namespace albatross

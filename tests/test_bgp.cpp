@@ -1,0 +1,224 @@
+// BGP-lite: message wire format, session FSM, route propagation, hold
+// timers, the switch control-plane saturation model, the proxy's peer
+// reduction and BFD failure detection.
+#include <gtest/gtest.h>
+
+#include "bgp/bfd.hpp"
+#include "bgp/message.hpp"
+#include "bgp/proxy.hpp"
+#include "bgp/session.hpp"
+#include "bgp/switch_model.hpp"
+
+namespace albatross {
+namespace {
+
+TEST(BgpMessage, SerializeDeserializeRoundTrip) {
+  BgpUpdate u;
+  u.nlri = {RoutePrefix{Ipv4Address::from_octets(100, 64, 0, 0), 24},
+            RoutePrefix{Ipv4Address::from_octets(100, 64, 1, 0), 24}};
+  u.withdrawn = {RoutePrefix{Ipv4Address::from_octets(100, 65, 0, 0), 24}};
+  u.next_hop = 0x0a000001;
+  u.as_path = {64512, 65001};
+  const auto msg = BgpMessage::make_update(u);
+  const auto bytes = msg.serialize();
+  const auto parsed = BgpMessage::deserialize(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, BgpMsgType::kUpdate);
+  EXPECT_EQ(parsed->update.nlri, u.nlri);
+  EXPECT_EQ(parsed->update.withdrawn, u.withdrawn);
+  EXPECT_EQ(parsed->update.next_hop, u.next_hop);
+  EXPECT_EQ(parsed->update.as_path, u.as_path);
+
+  const auto open = BgpMessage::make_open(64512, 42, 90);
+  const auto open2 = BgpMessage::deserialize(open.serialize());
+  ASSERT_TRUE(open2.has_value());
+  EXPECT_EQ(open2->open.asn, 64512u);
+  EXPECT_EQ(open2->open.router_id, 42u);
+  EXPECT_EQ(open2->open.hold_time_s, 90);
+
+  const auto notif = BgpMessage::deserialize(
+      BgpMessage::make_notification(6, 2).serialize());
+  ASSERT_TRUE(notif.has_value());
+  EXPECT_EQ(notif->notif.code, 6);
+}
+
+TEST(BgpMessage, RejectsCorruptInput) {
+  auto bytes = BgpMessage::make_keepalive().serialize();
+  bytes[0] = 0x00;  // break the marker
+  EXPECT_FALSE(BgpMessage::deserialize(bytes).has_value());
+  auto bytes2 = BgpMessage::make_keepalive().serialize();
+  bytes2.push_back(0);  // length mismatch
+  EXPECT_FALSE(BgpMessage::deserialize(bytes2).has_value());
+  EXPECT_FALSE(
+      BgpMessage::deserialize(std::vector<std::uint8_t>(5, 0)).has_value());
+}
+
+TEST(BgpMessage, ProcessingCostsRankSensibly) {
+  BgpUpdate big;
+  big.nlri.resize(100);
+  EXPECT_GT(BgpMessage::make_update(big).processing_cost(),
+            BgpMessage::make_update(BgpUpdate{}).processing_cost());
+  EXPECT_GT(BgpMessage::make_open(1, 1, 90).processing_cost(),
+            BgpMessage::make_keepalive().processing_cost());
+}
+
+TEST(BgpSession, EstablishAndExchangeRoutes) {
+  EventLoop loop;
+  BgpSession a(loop, BgpSessionConfig{.asn = 64512, .router_id = 1});
+  BgpSession b(loop,
+               BgpSessionConfig{.asn = 65001, .router_id = 2, .passive = true});
+  bool a_up = false;
+  a.set_on_established([&](NanoTime) { a_up = true; });
+
+  bgp_connect(a, b, kMillisecond, nullptr, nullptr, 0);
+  loop.run_until(30 * kSecond);
+  EXPECT_EQ(a.state(), BgpState::kEstablished);
+  EXPECT_EQ(b.state(), BgpState::kEstablished);
+  EXPECT_TRUE(a_up);
+
+  // Route advertisement propagates into the peer's rib_in.
+  const RoutePrefix vip{Ipv4Address::from_octets(100, 64, 0, 0), 24};
+  a.announce(vip, 0x0a000001, loop.now());
+  loop.run_until(loop.now() + kSecond);
+  ASSERT_EQ(b.rib_in().count(vip), 1u);
+  EXPECT_EQ(b.rib_in().at(vip).next_hop, 0x0a000001u);
+
+  a.withdraw(vip, loop.now());
+  loop.run_until(loop.now() + kSecond);
+  EXPECT_EQ(b.rib_in().count(vip), 0u);
+}
+
+TEST(BgpSession, RoutesAnnouncedBeforeEstablishmentAreFlushed) {
+  EventLoop loop;
+  BgpSession a(loop, BgpSessionConfig{.asn = 64512, .router_id = 1});
+  BgpSession b(loop,
+               BgpSessionConfig{.asn = 65001, .router_id = 2, .passive = true});
+  const RoutePrefix vip{Ipv4Address::from_octets(100, 64, 9, 0), 24};
+  a.bind(&b, kMillisecond, nullptr);
+  b.bind(&a, kMillisecond, nullptr);
+  a.announce(vip, 42, 0);  // before start
+  a.start(0);
+  b.start(0);
+  loop.run_until(30 * kSecond);
+  EXPECT_EQ(b.rib_in().count(vip), 1u);
+}
+
+TEST(BgpSession, LinkFailureTriggersReconnect) {
+  EventLoop loop;
+  BgpSession a(loop, BgpSessionConfig{.asn = 1, .router_id = 1});
+  BgpSession b(loop, BgpSessionConfig{.asn = 2, .router_id = 2,
+                                      .passive = true});
+  int downs = 0;
+  a.set_on_down([&](NanoTime) { ++downs; });
+  bgp_connect(a, b, kMillisecond, nullptr, nullptr, 0);
+  loop.run_until(20 * kSecond);
+  ASSERT_EQ(a.state(), BgpState::kEstablished);
+
+  a.link_failure(loop.now());
+  b.link_failure(loop.now());
+  EXPECT_EQ(a.state(), BgpState::kIdle);
+  EXPECT_EQ(downs, 1);
+  // Auto-reconnect within the retry interval.
+  loop.run_until(loop.now() + 30 * kSecond);
+  EXPECT_EQ(a.state(), BgpState::kEstablished);
+}
+
+TEST(SwitchModel, FewPeersConvergeFast) {
+  EventLoop loop;
+  SwitchConfig cfg;
+  UplinkSwitch sw(loop, cfg);
+  std::vector<std::unique_ptr<BgpSession>> gws;
+  for (int i = 0; i < 16; ++i) {
+    gws.push_back(std::make_unique<BgpSession>(
+        loop, BgpSessionConfig{.asn = 64512,
+                               .router_id = 100u + static_cast<std::uint32_t>(i)}));
+    sw.add_peer(*gws.back(), 0);
+    gws.back()->announce(
+        RoutePrefix{Ipv4Address{0x64400000u + (static_cast<std::uint32_t>(i) << 8)}, 24},
+        1, 0);
+  }
+  loop.run_until(60 * kSecond);
+  EXPECT_EQ(sw.established_count(), 16u);
+  EXPECT_EQ(sw.routes_learned(), 16u);
+
+  // Restart: 16 peers re-converge quickly (well under a minute).
+  sw.restart(loop.now());
+  const NanoTime t0 = loop.now();
+  NanoTime converged = -1;
+  while (loop.now() < t0 + 30 * 60 * kSecond) {
+    loop.run_until(loop.now() + kSecond);
+    if (sw.established_count() == 16 && sw.routes_learned() == 16) {
+      converged = loop.now() - t0;
+      break;
+    }
+  }
+  ASSERT_GT(converged, 0);
+  EXPECT_LT(converged, 60 * kSecond);
+}
+
+TEST(BgpProxy, OneUplinkPeerManyPods) {
+  EventLoop loop;
+  UplinkSwitch sw(loop, SwitchConfig{});
+  BgpProxy proxy(loop, sw, BgpProxyConfig{}, 0);
+  EXPECT_EQ(sw.peer_count(), 1u);  // only the proxy peers with the switch
+
+  std::vector<std::unique_ptr<BgpSession>> pods;
+  for (int i = 0; i < 4; ++i) {
+    pods.push_back(std::make_unique<BgpSession>(
+        loop, BgpSessionConfig{.asn = 64600,
+                               .router_id = 200u + static_cast<std::uint32_t>(i)}));
+    proxy.attach_pod(*pods.back(), 0);
+  }
+  loop.run_until(30 * kSecond);
+  EXPECT_EQ(proxy.pods_attached(), 4u);
+  EXPECT_EQ(sw.peer_count(), 1u);  // still 1: the whole point (Fig. 7)
+
+  // Pod VIPs reach the switch through the proxy with proxy next-hop.
+  for (int i = 0; i < 4; ++i) {
+    pods[static_cast<std::size_t>(i)]->announce(
+        RoutePrefix{Ipv4Address{0x64600000u + (static_cast<std::uint32_t>(i) << 8)}, 24},
+        100u + static_cast<std::uint32_t>(i), loop.now());
+  }
+  loop.run_until(loop.now() + 5 * kSecond);
+  EXPECT_EQ(sw.routes_learned(), 4u);
+  EXPECT_GE(proxy.routes_proxied(), 4u);
+}
+
+TEST(Bfd, DetectsLossAfterThreeMissedProbes) {
+  EventLoop loop;
+  BfdConfig cfg;
+  cfg.tx_interval = 50 * kMillisecond;
+  BfdSession a(loop, cfg), b(loop, cfg);
+  bool link_ok = true;  // harness-controlled loss switch
+  int a_down_events = 0;
+  a.set_tx([&](NanoTime t) {
+    if (link_ok) b.on_rx(t);
+  });
+  b.set_tx([&](NanoTime t) {
+    if (link_ok) a.on_rx(t);
+  });
+  a.set_on_state([&](BfdState s, NanoTime) {
+    if (s == BfdState::kDown) ++a_down_events;
+  });
+  a.start(0);
+  b.start(0);
+  loop.run_until(kSecond);
+  EXPECT_EQ(a.state(), BfdState::kUp);
+  EXPECT_EQ(b.state(), BfdState::kUp);
+
+  // Cut the link: 3 * 50ms detect window -> down within ~250ms.
+  link_ok = false;
+  const NanoTime cut = loop.now();
+  loop.run_until(cut + 300 * kMillisecond);
+  EXPECT_EQ(a.state(), BfdState::kDown);
+  EXPECT_EQ(a_down_events, 1);
+  EXPECT_GE(a.failures_detected(), 1u);
+
+  // Restore: comes back up.
+  link_ok = true;
+  loop.run_until(loop.now() + 300 * kMillisecond);
+  EXPECT_EQ(a.state(), BfdState::kUp);
+}
+
+}  // namespace
+}  // namespace albatross

@@ -1,0 +1,264 @@
+// Unit tests for the common substrate: hashes (including the published
+// Microsoft RSS verification vectors), RNG/distributions, histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/endian.hpp"
+#include "common/hash.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace albatross {
+namespace {
+
+TEST(Endian, RoundTrip) {
+  std::uint8_t buf[8];
+  store_be16(buf, 0xBEEF);
+  EXPECT_EQ(load_be16(buf), 0xBEEF);
+  store_be32(buf, 0xDEADBEEF);
+  EXPECT_EQ(load_be32(buf), 0xDEADBEEFu);
+  store_be64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(load_be64(buf), 0x0123456789ABCDEFull);
+  store_le32(buf, 0xCAFEBABE);
+  EXPECT_EQ(load_le32(buf), 0xCAFEBABEu);
+  store_le64(buf, 0x1122334455667788ull);
+  EXPECT_EQ(load_le64(buf), 0x1122334455667788ull);
+}
+
+TEST(Endian, ByteOrderOnWire) {
+  std::uint8_t buf[4];
+  store_be32(buf, 0x0A0B0C0D);
+  EXPECT_EQ(buf[0], 0x0A);
+  EXPECT_EQ(buf[3], 0x0D);
+  store_le32(buf, 0x0A0B0C0D);
+  EXPECT_EQ(buf[0], 0x0D);
+  EXPECT_EQ(buf[3], 0x0A);
+}
+
+// Published Microsoft RSS verification suite vectors (IPv4 with TCP/UDP
+// port extension). Source: the canonical "Verifying the RSS hash
+// calculation" table.
+struct RssVector {
+  FiveTuple tuple;
+  std::uint32_t expected;
+};
+
+class ToeplitzVectors : public ::testing::TestWithParam<RssVector> {};
+
+TEST_P(ToeplitzVectors, MatchesPublishedHash) {
+  EXPECT_EQ(rss_hash(GetParam().tuple), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Microsoft, ToeplitzVectors,
+    ::testing::Values(
+        // dst 161.142.100.80:1766 <- src 66.9.149.187:2794
+        RssVector{FiveTuple{Ipv4Address::from_octets(66, 9, 149, 187),
+                            Ipv4Address::from_octets(161, 142, 100, 80),
+                            2794, 1766, IpProto::kTcp},
+                  0x51ccc178u},
+        // dst 65.69.140.83:4739 <- src 199.92.111.2:14230
+        RssVector{FiveTuple{Ipv4Address::from_octets(199, 92, 111, 2),
+                            Ipv4Address::from_octets(65, 69, 140, 83),
+                            14230, 4739, IpProto::kTcp},
+                  0xc626b0eau},
+        // dst 12.22.207.184:38024 <- src 24.19.198.95:12898
+        RssVector{FiveTuple{Ipv4Address::from_octets(24, 19, 198, 95),
+                            Ipv4Address::from_octets(12, 22, 207, 184),
+                            12898, 38024, IpProto::kTcp},
+                  0x5c2b394au},
+        // dst 209.142.163.6:2217 <- src 38.27.205.30:48228
+        RssVector{FiveTuple{Ipv4Address::from_octets(38, 27, 205, 30),
+                            Ipv4Address::from_octets(209, 142, 163, 6),
+                            48228, 2217, IpProto::kTcp},
+                  0xafc7327fu},
+        // dst 202.188.127.2:1303 <- src 153.39.163.191:44251
+        RssVector{FiveTuple{Ipv4Address::from_octets(153, 39, 163, 191),
+                            Ipv4Address::from_octets(202, 188, 127, 2),
+                            44251, 1303, IpProto::kTcp},
+                  0x10e828a2u}));
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 test vectors (CRC32C of 32 zero bytes / 32 0xff bytes).
+  std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8a9136aau);
+  std::vector<std::uint8_t> ones(32, 0xff);
+  EXPECT_EQ(crc32c(ones), 0x62a8ab43u);
+  // "123456789" -> 0xe3069283 (Castagnoli check value).
+  const std::string digits = "123456789";
+  EXPECT_EQ(crc32c(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(digits.data()),
+                digits.size())),
+            0xe3069283u);
+}
+
+TEST(Crc32c, FiveTupleStability) {
+  FiveTuple t{Ipv4Address::from_octets(10, 0, 0, 1),
+              Ipv4Address::from_octets(10, 0, 0, 2), 1234, 80,
+              IpProto::kUdp};
+  const auto h1 = crc32c(t);
+  const auto h2 = crc32c(t);
+  EXPECT_EQ(h1, h2);
+  t.src_port = 1235;
+  EXPECT_NE(crc32c(t), h1);
+}
+
+TEST(Mix64, Avalanche) {
+  // Single-bit input changes should flip roughly half the output bits.
+  int total = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = mix64(0x1234567890abcdefull);
+    const std::uint64_t b = mix64(0x1234567890abcdefull ^ (1ull << bit));
+    total += std::popcount(a ^ b);
+  }
+  const double avg = static_cast<double>(total) / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const auto r = rng.next_range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.next_gaussian(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ParetoTail) {
+  Rng rng(17);
+  int above2x = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_pareto(1.0, 2.0);
+    EXPECT_GE(v, 1.0);
+    if (v > 2.0) ++above2x;
+  }
+  // P(X > 2) = (1/2)^2 = 0.25 for Pareto(xm=1, alpha=2).
+  EXPECT_NEAR(static_cast<double>(above2x) / n, 0.25, 0.01);
+}
+
+TEST(Zipf, SkewConcentratesMass) {
+  Rng rng(19);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  // Rank 0 should dominate rank 99 by roughly 100x under alpha=1.
+  EXPECT_GT(counts[0], counts[99] * 30);
+  // PMF sums to ~1.
+  double mass = 0;
+  for (std::size_t i = 0; i < 1000; ++i) mass += zipf.pmf(i);
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(Zipf, UniformWhenAlphaZero) {
+  Rng rng(23);
+  ZipfSampler zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+TEST(LogHistogram, ExactSmallValues) {
+  LogHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 31u);
+}
+
+TEST(LogHistogram, QuantileAccuracy) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  // Log-linear buckets guarantee a few percent relative error.
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50000.0, 2500.0);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.99)), 99000.0, 4000.0);
+  EXPECT_EQ(h.quantile(1.0), 100000u);
+}
+
+TEST(LogHistogram, FractionAbove) {
+  LogHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(10);
+  h.record(1'000'000);
+  EXPECT_NEAR(h.fraction_above(100'000), 0.01, 1e-6);
+}
+
+TEST(LogHistogram, MergeAndClear) {
+  LogHistogram a, b;
+  a.record(100);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max(), 1000u);
+  a.clear();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.quantile(0.5), 0u);
+}
+
+TEST(LogHistogram, MeanTracksSum) {
+  LogHistogram h;
+  h.record_n(10, 5);
+  h.record_n(20, 5);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(RunningStats, WelfordMatchesClosedForm) {
+  RunningStats s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+  EXPECT_NEAR(s.variance(), 9.1666, 1e-3);  // sample variance of 1..10
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Types, MacRoundTrip) {
+  const auto m = MacAddress::from_u64(0x001122334455ull);
+  EXPECT_EQ(m.to_u64(), 0x001122334455ull);
+  EXPECT_EQ(m.bytes[0], 0x00);
+  EXPECT_EQ(m.bytes[5], 0x55);
+}
+
+TEST(Types, Ipv4Formatting) {
+  EXPECT_EQ(Ipv4Address::from_octets(192, 168, 1, 10).to_string(),
+            "192.168.1.10");
+}
+
+TEST(Types, PaperConstants) {
+  EXPECT_EQ(kReorderQueueEntries, 4096u);
+  EXPECT_EQ(kReorderTimeout, 100 * kMicrosecond);
+  EXPECT_EQ(kPsnIndexMask, 0xfffu);
+}
+
+}  // namespace
+}  // namespace albatross

@@ -1,0 +1,144 @@
+// Containerization: pod sizing rules, NUMA-aware placement, 10-second
+// elasticity, make-before-break handover and the AZ cost model.
+#include <gtest/gtest.h>
+
+#include "container/cost_model.hpp"
+#include "container/orchestrator.hpp"
+#include "container/pod_spec.hpp"
+
+namespace albatross {
+namespace {
+
+TEST(PodSpec, ReorderQueuesProportionalToCores) {
+  // §4.1: a 40-core pod gets twice the queues of a 20-core pod; the
+  // production 44-core pod runs 4 queues; clamp to [1, 8].
+  EXPECT_EQ(reorder_queues_for_cores(44), 4);
+  EXPECT_EQ(reorder_queues_for_cores(40) , 2 * reorder_queues_for_cores(20));
+  EXPECT_EQ(reorder_queues_for_cores(1), 1);
+  EXPECT_EQ(reorder_queues_for_cores(200), 8);
+}
+
+TEST(PodSpec, RoleNames) {
+  EXPECT_EQ(gateway_role_name(GatewayRole::kXgw), "XGW");
+  EXPECT_EQ(gateway_role_name(GatewayRole::kSlb), "SLB");
+}
+
+ServerSpec default_server() { return ServerSpec{}; }
+
+TEST(Orchestrator, PlacesPodsWithinOneNumaNode) {
+  Orchestrator orch;
+  orch.add_server(default_server());
+  PodSpec spec;
+  spec.data_cores = 44;
+  spec.ctrl_cores = 2;
+  const auto p1 = orch.deploy(spec, 0);
+  ASSERT_TRUE(p1.has_value());
+  const auto p2 = orch.deploy(spec, 0);
+  ASSERT_TRUE(p2.has_value());
+  // 46+46 > 48: the second pod must land on the other NUMA node.
+  EXPECT_NE(p1->numa_node, p2->numa_node);
+  // A third 46-core pod cannot fit on this server.
+  EXPECT_FALSE(orch.deploy(spec, 0).has_value());
+  EXPECT_NEAR(orch.core_utilization(), 92.0 / 96.0, 1e-9);
+}
+
+TEST(Orchestrator, TenSecondElasticity) {
+  Orchestrator orch;
+  orch.add_server(default_server());
+  PodSpec spec;
+  spec.data_cores = 8;
+  const auto p = orch.deploy(spec, 5 * kSecond);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ready_at, 15 * kSecond);  // Tab. 6's 10 seconds
+  EXPECT_EQ(p->vfs.vfs.size(), 4u);      // robustness wiring
+}
+
+TEST(Orchestrator, FourPodsPerServerFig15Density) {
+  Orchestrator orch;
+  orch.add_server(default_server());
+  PodSpec spec;
+  spec.data_cores = 20;
+  spec.ctrl_cores = 2;
+  int placed = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (orch.deploy(spec, 0)) ++placed;
+  }
+  EXPECT_EQ(placed, 4);  // 2 pods per NUMA node x 2 nodes
+  EXPECT_EQ(orch.placements().size(), 4u);
+}
+
+TEST(Orchestrator, NumaPreferenceHonored) {
+  Orchestrator orch;
+  orch.add_server(default_server());
+  PodSpec spec;
+  spec.data_cores = 8;
+  spec.numa_preference = 1;
+  const auto p = orch.deploy(spec, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->numa_node, 1);
+}
+
+TEST(Orchestrator, ScaleUpMakeBeforeBreak) {
+  Orchestrator orch;
+  orch.add_server(default_server());
+  PodSpec small;
+  small.data_cores = 8;
+  const auto p = orch.deploy(small, 0);
+  ASSERT_TRUE(p.has_value());
+
+  PodSpec big = small;
+  big.data_cores = 20;
+  const auto scaled = orch.scale_up(p->pod, big, 100 * kSecond);
+  ASSERT_TRUE(scaled.has_value());
+  // New pod ready in 10s, traffic cutover only after 30s validation
+  // (§7: advertise first, validate, then withdraw the old route).
+  EXPECT_EQ(scaled->first.ready_at, 110 * kSecond);
+  EXPECT_EQ(scaled->second, 140 * kSecond);
+  EXPECT_TRUE(orch.remove(p->pod));
+  EXPECT_FALSE(orch.remove(p->pod));
+}
+
+TEST(Orchestrator, SpillsToSecondServer) {
+  Orchestrator orch;
+  orch.add_server(default_server());
+  orch.add_server(default_server());
+  PodSpec spec;
+  spec.data_cores = 44;
+  spec.ctrl_cores = 2;
+  std::set<std::uint16_t> servers;
+  for (int i = 0; i < 4; ++i) {
+    const auto p = orch.deploy(spec, 0);
+    ASSERT_TRUE(p.has_value());
+    servers.insert(p->server);
+  }
+  EXPECT_EQ(servers.size(), 2u);
+}
+
+TEST(AzCostModel, Fig15CostAndPowerArithmetic) {
+  AzCostModel model;
+  const auto legacy = model.legacy_az();
+  const auto alba = model.albatross_az();
+  // 8 roles x 4 gateways = 32 physical devices vs 8 servers.
+  EXPECT_EQ(legacy.devices, 32u);
+  EXPECT_EQ(alba.devices, 8u);
+  // Cost: 8 x 2 = 16 vs 32 -> 50% reduction.
+  EXPECT_DOUBLE_EQ(alba.total_cost / legacy.total_cost, 0.5);
+  // Power: 12 x 500 + 20 x 300 = 12000W vs 8 x 900 = 7200W -> -40%.
+  EXPECT_DOUBLE_EQ(legacy.total_power_w, 12000.0);
+  EXPECT_DOUBLE_EQ(alba.total_power_w, 7200.0);
+  EXPECT_NEAR(1.0 - alba.total_power_w / legacy.total_power_w, 0.40, 1e-9);
+}
+
+TEST(AzCostModel, DensitySweep) {
+  AzCostModel model;
+  // Higher pod density -> fewer servers -> lower cost, monotonic.
+  double prev = 1e18;
+  for (std::uint32_t density : {1u, 2u, 4u, 8u}) {
+    const auto r = model.albatross_az(AzRequirements{}, density);
+    EXPECT_LT(r.total_cost, prev);
+    prev = r.total_cost;
+  }
+}
+
+}  // namespace
+}  // namespace albatross

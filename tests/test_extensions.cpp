@@ -1,0 +1,231 @@
+// Tests for the paper's operational/extension mechanisms:
+//  - PLB->RSS fallback watchdog (§4.1 remediation 5)
+//  - protocol-priority-queue ablation (§4.3 GOP technique 2)
+//  - FPGA session offload (§7 future-offload plan #1)
+//  - dual BGP proxy redundancy (§5)
+#include <gtest/gtest.h>
+
+#include "bgp/proxy.hpp"
+#include "bgp/switch_model.hpp"
+#include "core/fallback.hpp"
+#include "core/platform.hpp"
+#include "core/scenario.hpp"
+#include "nic/session_offload.hpp"
+#include "traffic/heavy_hitter.hpp"
+
+namespace albatross {
+namespace {
+
+// ---------------------------------------------------------------- offload
+
+FiveTuple flow_tuple(std::uint16_t i) {
+  return FiveTuple{Ipv4Address{0x0a000000u + i},
+                   Ipv4Address::from_octets(8, 0, 0, 1), i, 443,
+                   IpProto::kUdp};
+}
+
+TEST(SessionOffload, MissThenInstallThenHit) {
+  SessionOffload off;
+  EXPECT_FALSE(off.fast_path(flow_tuple(1), 256, 0).has_value());
+  EXPECT_EQ(off.stats().misses, 1u);
+  EXPECT_TRUE(off.install(flow_tuple(1), 7, 100));
+  const auto lat = off.fast_path(flow_tuple(1), 256, 200);
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_EQ(*lat, off.config().fpga_process_ns);
+  const auto s = off.peek(flow_tuple(1));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->packets, 1u);
+  EXPECT_EQ(s->bytes, 256u);
+  EXPECT_EQ(s->action, 7u);
+  EXPECT_TRUE(off.remove(flow_tuple(1)));
+  EXPECT_FALSE(off.fast_path(flow_tuple(1), 256, 300).has_value());
+}
+
+TEST(SessionOffload, InstallIsIdempotent) {
+  SessionOffload off;
+  EXPECT_TRUE(off.install(flow_tuple(2), 1, 0));
+  EXPECT_TRUE(off.install(flow_tuple(2), 1, 10));
+  EXPECT_EQ(off.stats().installs, 1u);
+  EXPECT_EQ(off.size(), 1u);
+}
+
+TEST(SessionOffload, CapacityBounded) {
+  SessionOffloadConfig cfg;
+  cfg.capacity = 16;
+  SessionOffload off(cfg);
+  int installed = 0;
+  for (std::uint16_t i = 0; i < 64; ++i) {
+    if (off.install(flow_tuple(i), 0, 0)) ++installed;
+  }
+  EXPECT_EQ(installed, 16);
+  EXPECT_GT(off.stats().install_rejected_full, 0u);
+  EXPECT_EQ(off.bram_bytes(), 16u * 45);
+}
+
+TEST(SessionOffload, AgingReclaimsIdleSessions) {
+  SessionOffloadConfig cfg;
+  cfg.idle_timeout = kSecond;
+  SessionOffload off(cfg);
+  off.install(flow_tuple(1), 0, 0);
+  off.install(flow_tuple(2), 0, 0);
+  off.fast_path(flow_tuple(1), 64, 900 * kMillisecond);  // refresh #1
+  EXPECT_EQ(off.age(1500 * kMillisecond), 1u);
+  EXPECT_TRUE(off.peek(flow_tuple(1)).has_value());
+  EXPECT_FALSE(off.peek(flow_tuple(2)).has_value());
+}
+
+TEST(SessionOffload, PlatformFastPathBypassesCpu) {
+  auto s = SinglePodScenario::make(ServiceKind::kVpcInternet, 2, LbMode::kPlb);
+  s.platform->nic().enable_session_offload(s.pod);
+
+  // A single long-lived flow: first packet takes the CPU path and
+  // installs the session; the rest ride the FPGA.
+  HeavyHitterConfig hh;
+  hh.flow = make_flow(0xcafe, 5, 0);
+  hh.profile = RateProfile{{0, 200'000.0}};
+  s.platform->attach_source(std::make_unique<HeavyHitterSource>(hh), s.pod);
+  s.platform->run_until(50 * kMillisecond);
+
+  const auto& off = s.platform->nic().session_offload(s.pod);
+  EXPECT_GT(off.stats().fast_path_hits, 5000u);
+  // The CPU only saw the pre-install packets.
+  EXPECT_LT(s.platform->pod(s.pod).stats().processed, 50u);
+  // Everything was delivered, and fast-path latency is far below the
+  // PCIe round trip (no DMA on the offloaded path).
+  const auto& t = s.platform->telemetry(s.pod);
+  EXPECT_GT(static_cast<double>(t.delivered) /
+                static_cast<double>(t.offered),
+            0.999);
+  EXPECT_LT(t.wire_latency.quantile(0.5), 3'000u);  // ~1.5us vs ~9us
+}
+
+// ---------------------------------------------------------- fallback
+
+TEST(FallbackWatchdog, TripsUnderSustainedHol) {
+  // Silent-drop traffic (drop flag disabled) wedges reorder heads; the
+  // watchdog must flip the pod to RSS.
+  auto s = SinglePodScenario::make(ServiceKind::kVpcVpc, 2, LbMode::kPlb,
+                                   200, 20'000, /*drop_flag=*/false);
+  // All traffic at the ACL-denied prefix: every packet is silently
+  // dropped on the CPU -> continuous HOL timeouts.
+  HeavyHitterConfig bad;
+  bad.flow = make_flow(0xdead, 3, 0);
+  bad.flow.tuple.dst_ip = Ipv4Address::from_octets(9, 9, 9, 5);
+  bad.profile = RateProfile{{0, 500'000.0}};
+  s.platform->attach_source(std::make_unique<HeavyHitterSource>(bad), s.pod);
+
+  FallbackWatchdog dog(*s.platform, s.pod,
+                       FallbackWatchdogConfig{.enabled = true,
+                                              .check_period = 5 * kMillisecond,
+                                              .hol_rate_threshold = 1000.0,
+                                              .consecutive_windows = 3});
+  dog.arm();
+  s.platform->run_until(200 * kMillisecond);
+  EXPECT_TRUE(dog.triggered());
+  EXPECT_EQ(s.platform->nic().pod_mode(s.pod), LbMode::kRss);
+  EXPECT_GE(dog.checks_run(), 3u);
+}
+
+TEST(FallbackWatchdog, QuietPodStaysOnPlb) {
+  auto s = SinglePodScenario::make(ServiceKind::kVpcVpc, 2, LbMode::kPlb);
+  PoissonFlowConfig bg;
+  bg.num_flows = 500;
+  bg.rate_pps = 200'000;
+  s.platform->attach_source(std::make_unique<PoissonFlowSource>(bg), s.pod);
+  FallbackWatchdog dog(*s.platform, s.pod);
+  dog.arm();
+  s.platform->run_until(100 * kMillisecond);
+  EXPECT_FALSE(dog.triggered());
+  EXPECT_EQ(s.platform->nic().pod_mode(s.pod), LbMode::kPlb);
+}
+
+TEST(FallbackWatchdog, DisabledNeverChecks) {
+  auto s = SinglePodScenario::make(ServiceKind::kVpcVpc, 1, LbMode::kPlb);
+  FallbackWatchdog dog(*s.platform, s.pod,
+                       FallbackWatchdogConfig{.enabled = false});
+  dog.arm();
+  s.platform->run_until(50 * kMillisecond);
+  EXPECT_EQ(dog.checks_run(), 0u);
+}
+
+// ------------------------------------------------- priority queues
+
+TEST(PriorityQueues, DisabledSendsBfdThroughDataPath) {
+  PktDirConfig cfg;
+  cfg.priority_queues_enabled = false;
+  PktDir dir;
+  dir.configure_pod(0, cfg);
+  auto bfd = Packet::make_synthetic(
+      FiveTuple{Ipv4Address{1}, Ipv4Address{2}, 49152, kBfdPort,
+                IpProto::kUdp},
+      0, 80);
+  EXPECT_EQ(dir.classify_annotated(0, *bfd).cls, PktClass::kPlb);
+}
+
+TEST(PriorityQueues, DataPathBfdReachesCtrlPlaneWhenUncongested) {
+  // Even via the data path, surviving BFD packets must land at the
+  // ctrl plane (GwPod consumes local protocol packets after the run
+  // loop) and release their reorder entries via the drop flag.
+  PlatformConfig pc;
+  Platform platform(pc);
+  GwPodConfig gp;
+  gp.data_cores = 2;
+  PktDirConfig dir;
+  dir.priority_queues_enabled = false;
+  const PodId pod = platform.create_pod(gp, 0, dir, LbMode::kPlb);
+
+  std::uint64_t ctrl_rx = 0;
+  platform.pod(pod).set_protocol_handler(
+      [&](PacketPtr, NanoTime) { ++ctrl_rx; });
+
+  HeavyHitterConfig bfd;
+  bfd.flow = make_flow(0xbfd, 0, 0);
+  bfd.flow.tuple.dst_port = kBfdPort;
+  bfd.profile = RateProfile{{0, 1000.0}};
+  platform.attach_source(std::make_unique<HeavyHitterSource>(bfd), pod);
+  platform.run_until(100 * kMillisecond);
+
+  EXPECT_NEAR(static_cast<double>(ctrl_rx), 100.0, 5.0);
+  // Reorder entries released via drop flags, not HOL timeouts.
+  const auto stats = platform.nic().engine(pod).total_stats();
+  EXPECT_EQ(stats.timeout_releases, 0u);
+  EXPECT_GE(stats.drop_releases, ctrl_rx - 1);
+}
+
+// -------------------------------------------------- dual BGP proxy
+
+TEST(DualBgpProxy, SurvivesPrimaryProxyFailure) {
+  EventLoop loop;
+  UplinkSwitch uplink(loop, SwitchConfig{});
+  BgpProxyConfig cfg_a;
+  cfg_a.router_id = 0x0a640001;
+  BgpProxyConfig cfg_b;
+  cfg_b.router_id = 0x0a640002;
+  BgpProxy primary(loop, uplink, cfg_a, 0);
+  BgpProxy standby(loop, uplink, cfg_b, 0);
+  EXPECT_EQ(uplink.peer_count(), 2u);  // dual proxies = 2 peers (not m)
+
+  // One pod peers with BOTH proxies (dual iBGP uplinks).
+  BgpSession to_primary(loop, BgpSessionConfig{.asn = 64600, .router_id = 9});
+  BgpSession to_standby(loop,
+                        BgpSessionConfig{.asn = 64600, .router_id = 10});
+  primary.attach_pod(to_primary, 0);
+  standby.attach_pod(to_standby, 0);
+  loop.run_until(30 * kSecond);
+
+  const RoutePrefix vip{Ipv4Address::from_octets(100, 100, 0, 0), 24};
+  to_primary.announce(vip, 9, loop.now());
+  to_standby.announce(vip, 10, loop.now());
+  loop.run_until(loop.now() + 5 * kSecond);
+  EXPECT_EQ(uplink.routes_learned(), 2u);  // one path via each proxy
+
+  // Primary proxy dies: its switch session and routes vanish, but the
+  // VIP stays reachable via the standby.
+  primary.uplink_session().stop(loop.now());
+  loop.run_until(loop.now() + 5 * kSecond);
+  EXPECT_EQ(uplink.routes_learned(), 1u);
+  EXPECT_EQ(uplink.established_count(), 1u);
+}
+
+}  // namespace
+}  // namespace albatross

@@ -1,0 +1,263 @@
+// Gateway service chains, cost profiles, RSS indirection, GW pod core
+// model (queueing, drop-flag emission, protocol path) and the Sailfish
+// comparator constants.
+#include <gtest/gtest.h>
+
+#include "gateway/gw_pod.hpp"
+#include "gateway/rss.hpp"
+#include "gateway/sailfish_model.hpp"
+#include "gateway/service.hpp"
+#include "nic/nic_pipeline.hpp"
+#include "tables/vm_nc_map.hpp"
+
+namespace albatross {
+namespace {
+
+struct GatewayFixture : public ::testing::Test {
+  GatewayFixture() {
+    tables.populate(/*tenants=*/50, /*routes=*/5000, /*data_cores=*/4);
+    // Pin the cache model to the production regime (multi-GB working
+    // set, ~35% L3 hits) so cost calibration matches Tab. 3 regardless
+    // of the scaled-down table population.
+    cache.set_working_set_bytes(4ull << 30);
+  }
+  ServiceTables tables;
+  CacheModel cache;
+  Rng rng{7};
+};
+
+TEST_F(GatewayFixture, TablesArePopulatedConsistently) {
+  EXPECT_EQ(tables.vm_nc.size(), 200u);  // 50 tenants x 4 VMs
+  EXPECT_GE(tables.vxlan_routes.rule_count(), 5000u);
+  EXPECT_TRUE(tables.vm_nc.lookup(7, VmNcMap::synthetic_vm_ip(7, 0))
+                  .has_value());
+  // Internet routes resolve generator destinations (8.0.0.0/8).
+  EXPECT_TRUE(tables.internet_routes
+                  .lookup(Ipv4Address::from_octets(8, 1, 2, 3))
+                  .has_value());
+  EXPECT_EQ(tables.per_core_conntrack.size(), 4u);
+  EXPECT_GT(tables.memory_bytes(), 64u << 20);
+}
+
+TEST_F(GatewayFixture, AllServicesForwardValidTraffic) {
+  for (const auto kind :
+       {ServiceKind::kVpcVpc, ServiceKind::kVpcInternet, ServiceKind::kVpcIdc,
+        ServiceKind::kVpcCloudService}) {
+    auto svc = make_service(kind, tables, cache, 0);
+    ASSERT_NE(svc, nullptr);
+    EXPECT_EQ(svc->kind(), kind);
+    auto pkt = Packet::make_synthetic(
+        FiveTuple{VmNcMap::synthetic_vm_ip(7, 0),
+                  Ipv4Address::from_octets(8, 0, 0, 1), 1000, 2000,
+                  IpProto::kUdp},
+        7, 256);
+    const auto out = svc->process(*pkt, 0, false, 0, rng);
+    EXPECT_EQ(out.action, ServiceAction::kForward);
+    EXPECT_GT(out.cpu_ns, 0);
+    EXPECT_LT(out.cpu_ns, 50 * kMicrosecond);  // §4.1 latency ceiling
+  }
+}
+
+TEST_F(GatewayFixture, AclDenyDropsPacket) {
+  auto svc = make_service(ServiceKind::kVpcVpc, tables, cache, 0);
+  auto pkt = Packet::make_synthetic(
+      FiveTuple{VmNcMap::synthetic_vm_ip(7, 0),
+                Ipv4Address::from_octets(9, 9, 9, 1), 1, 2, IpProto::kUdp},
+      7, 256);
+  EXPECT_EQ(svc->process(*pkt, 0, false, 0, rng).action,
+            ServiceAction::kDrop);
+}
+
+TEST_F(GatewayFixture, VpcInternetCreatesSnatSessions) {
+  auto svc = make_service(ServiceKind::kVpcInternet, tables, cache, 0);
+  const FiveTuple flow{VmNcMap::synthetic_vm_ip(3, 1),
+                       Ipv4Address::from_octets(8, 8, 8, 8), 1234, 80,
+                       IpProto::kUdp};
+  auto pkt = Packet::make_synthetic(flow, 3, 256);
+  svc->process(*pkt, /*core=*/2, false, 1000, rng);
+  const auto st = tables.per_core_conntrack[2]->peek(flow);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_NE(st->nat_ip, 0u);
+  EXPECT_EQ(st->packets, 1u);
+  // Second packet on the same core reuses the session.
+  auto pkt2 = Packet::make_synthetic(flow, 3, 256);
+  svc->process(*pkt2, 2, false, 2000, rng);
+  EXPECT_EQ(tables.per_core_conntrack[2]->peek(flow)->packets, 2u);
+}
+
+TEST_F(GatewayFixture, ServiceCostRanking) {
+  // Tab. 3 ordering: Internet is the most expensive; VPC-VPC cheapest.
+  auto mean_cost = [&](ServiceKind kind) {
+    auto svc = make_service(kind, tables, cache, 0);
+    double sum = 0;
+    for (int i = 0; i < 5000; ++i) {
+      auto pkt = Packet::make_synthetic(
+          FiveTuple{VmNcMap::synthetic_vm_ip(1, 0),
+                    Ipv4Address::from_octets(8, 0, 0, 1),
+                    static_cast<std::uint16_t>(i), 2000, IpProto::kUdp},
+          1, 256);
+      sum += static_cast<double>(svc->process(*pkt, 0, false, i, rng).cpu_ns);
+    }
+    return sum / 5000;
+  };
+  const double vpc = mean_cost(ServiceKind::kVpcVpc);
+  const double internet = mean_cost(ServiceKind::kVpcInternet);
+  const double idc = mean_cost(ServiceKind::kVpcIdc);
+  const double cs = mean_cost(ServiceKind::kVpcCloudService);
+  EXPECT_GT(internet, vpc * 1.3);
+  EXPECT_GT(idc, vpc);
+  EXPECT_LT(cs, idc * 1.1);
+  // Per-core capacity ~ 1 Mpps class (0.9-1.6 Mpps across services).
+  EXPECT_GT(1e3 / internet, 0.75);
+  EXPECT_LT(1e3 / vpc, 1.8);
+}
+
+TEST(ServiceProfiles, NamesAndShapes) {
+  EXPECT_EQ(service_name(ServiceKind::kVpcInternet), "VPC-Internet");
+  EXPECT_GT(service_profile(ServiceKind::kVpcInternet).mem_accesses,
+            service_profile(ServiceKind::kVpcVpc).mem_accesses);
+}
+
+TEST(RssIndirection, EqualSpreadAndRetarget) {
+  RssIndirection rss(4);
+  std::vector<int> counts(4, 0);
+  for (std::uint32_t h = 0; h < 1024; ++h) ++counts[rss.queue_for_hash(h)];
+  for (int c : counts) EXPECT_EQ(c, 256);
+  rss.set_entry(0, 3);
+  EXPECT_EQ(rss.entry(0), 3);
+  EXPECT_EQ(rss.queue_for_hash(128), 3u);  // bucket 0 retargeted
+  // Flow-stable.
+  FiveTuple t{Ipv4Address{1}, Ipv4Address{2}, 3, 4, IpProto::kTcp};
+  EXPECT_EQ(rss.queue_for(t), rss.queue_for(t));
+}
+
+struct PodFixture : public ::testing::Test {
+  PodFixture() {
+    tables.populate(20, 1000, 4);
+    cache.set_working_set_bytes(tables.memory_bytes());
+  }
+  EventLoop loop;
+  ServiceTables tables;
+  CacheModel cache;
+};
+
+TEST_F(PodFixture, ProcessesAndEmits) {
+  GwPodConfig cfg;
+  cfg.data_cores = 2;
+  GwPod pod(cfg, loop, tables, cache);
+  std::vector<NanoTime> emissions;
+  pod.set_egress([&](PacketPtr, NanoTime t) { emissions.push_back(t); });
+
+  for (int i = 0; i < 10; ++i) {
+    pod.deliver(Packet::make_synthetic(
+                    FiveTuple{VmNcMap::synthetic_vm_ip(1, 0),
+                              Ipv4Address::from_octets(8, 0, 0, 1),
+                              static_cast<std::uint16_t>(i), 2, IpProto::kUdp},
+                    1, 256),
+                static_cast<std::uint16_t>(i % 2), i * 1000);
+  }
+  loop.run();
+  EXPECT_EQ(emissions.size(), 10u);
+  EXPECT_EQ(pod.stats().processed, 10u);
+  EXPECT_EQ(pod.stats().forwarded, 10u);
+  EXPECT_GT(pod.core_busy_ns(0), 0);
+  EXPECT_GT(pod.core_busy_ns(1), 0);
+  EXPECT_EQ(pod.core_processed(0) + pod.core_processed(1), 10u);
+  EXPECT_GT(pod.service_histogram().count(), 0u);
+}
+
+TEST_F(PodFixture, DropFlagSentForAclDrops) {
+  GwPodConfig cfg;
+  cfg.data_cores = 1;
+  cfg.drop_flag_enabled = true;
+  GwPod pod(cfg, loop, tables, cache);
+  std::uint64_t drop_notifications = 0;
+  pod.set_egress([&](PacketPtr pkt, NanoTime) {
+    PlbMeta m;
+    if (pkt->peek_plb_meta(m) && m.drop) ++drop_notifications;
+  });
+  // ACL-blocked destination with a PLB meta attached.
+  auto pkt = Packet::make_synthetic(
+      FiveTuple{VmNcMap::synthetic_vm_ip(1, 0),
+                Ipv4Address::from_octets(9, 9, 9, 1), 1, 2, IpProto::kUdp},
+      1, 256);
+  PlbMeta m;
+  m.psn = 0;
+  pkt->attach_plb_meta(m);
+  pod.deliver(std::move(pkt), 0, 0);
+  loop.run();
+  EXPECT_EQ(pod.stats().dropped_service, 1u);
+  EXPECT_EQ(pod.stats().drop_flags_sent, 1u);
+  EXPECT_EQ(drop_notifications, 1u);
+}
+
+TEST_F(PodFixture, SilentDropWhenFlagDisabled) {
+  GwPodConfig cfg;
+  cfg.data_cores = 1;
+  cfg.drop_flag_enabled = false;
+  GwPod pod(cfg, loop, tables, cache);
+  std::uint64_t emissions = 0;
+  pod.set_egress([&](PacketPtr, NanoTime) { ++emissions; });
+  auto pkt = Packet::make_synthetic(
+      FiveTuple{VmNcMap::synthetic_vm_ip(1, 0),
+                Ipv4Address::from_octets(9, 9, 9, 1), 1, 2, IpProto::kUdp},
+      1, 256);
+  PlbMeta m;
+  pkt->attach_plb_meta(m);
+  pod.deliver(std::move(pkt), 0, 0);
+  loop.run();
+  EXPECT_EQ(pod.stats().dropped_service, 1u);
+  EXPECT_EQ(pod.stats().drop_flags_sent, 0u);
+  EXPECT_EQ(emissions, 0u);
+}
+
+TEST_F(PodFixture, RingOverflowCountsDrops) {
+  GwPodConfig cfg;
+  cfg.data_cores = 1;
+  cfg.rx_ring_capacity = 4;
+  GwPod pod(cfg, loop, tables, cache);
+  pod.set_egress([](PacketPtr, NanoTime) {});
+  // Burst far beyond the ring without letting the core run.
+  for (int i = 0; i < 20; ++i) {
+    pod.deliver(Packet::make_synthetic(
+                    FiveTuple{VmNcMap::synthetic_vm_ip(1, 0),
+                              Ipv4Address::from_octets(8, 0, 0, 1), 1, 2,
+                              IpProto::kUdp},
+                    1, 256),
+                0, 0);
+  }
+  loop.run();
+  EXPECT_GT(pod.stats().dropped_ring, 0u);
+  EXPECT_EQ(pod.stats().processed + pod.stats().dropped_ring, 20u);
+}
+
+TEST_F(PodFixture, PriorityPacketsGoToProtocolHandler) {
+  GwPodConfig cfg;
+  GwPod pod(cfg, loop, tables, cache);
+  std::uint64_t protocol_rx = 0;
+  pod.set_protocol_handler([&](PacketPtr, NanoTime) { ++protocol_rx; });
+  pod.deliver(Packet::make_synthetic(FiveTuple{}, 0, 80), kPriorityQueue, 0);
+  loop.run();
+  EXPECT_EQ(protocol_rx, 1u);
+  EXPECT_EQ(pod.stats().protocol_packets, 1u);
+  EXPECT_EQ(pod.stats().processed, 0u);  // not a data packet
+}
+
+TEST(SailfishModel, Tab6Constants) {
+  const auto rows = gateway_comparison();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "Sailfish");
+  // Tab. 6 relationships.
+  EXPECT_GT(rows[1].lpm_rules_millions / rows[0].lpm_rules_millions, 49.0);
+  EXPECT_LT(rows[1].elasticity_seconds, 11.0);
+  EXPECT_GT(rows[0].elasticity_seconds, 24 * 3600.0);
+  EXPECT_DOUBLE_EQ(rows[1].price_per_device, 2.0);
+  EXPECT_DOUBLE_EQ(rows[1].price_per_az / rows[0].price_per_az, 0.5);
+  EXPECT_DOUBLE_EQ(rows[0].throughput_gbps / rows[1].throughput_gbps, 4.0);
+  EXPECT_NEAR(rows[0].packet_rate_mpps / rows[1].packet_rate_mpps, 15.0, 3.5);
+  EXPECT_DOUBLE_EQ(rows[1].latency_us / rows[0].latency_us, 10.0);
+  EXPECT_DOUBLE_EQ(rows[2].throughput_gbps, 3200.0);
+}
+
+}  // namespace
+}  // namespace albatross

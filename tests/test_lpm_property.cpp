@@ -1,0 +1,73 @@
+// Property-based cross-check: LpmDir24 must agree with the reference
+// binary trie under randomized add/remove sequences and lookups, across
+// seeds (parameterized) — the classic differential-testing harness for
+// routing tables.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tables/lpm_dir24.hpp"
+#include "tables/lpm_trie.hpp"
+
+namespace albatross {
+namespace {
+
+class LpmDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmDifferential, AgreesWithReferenceTrie) {
+  Rng rng(GetParam());
+  LpmDir24 fast;
+  LpmTrie ref;
+
+  struct Rule {
+    Ipv4Address prefix;
+    std::uint8_t depth;
+  };
+  std::vector<Rule> live;
+
+  // Cluster prefixes into a few /16 neighbourhoods so rules overlap and
+  // shadowing paths actually execute.
+  const auto random_prefix = [&rng] {
+    const std::uint32_t base = static_cast<std::uint32_t>(
+        rng.next_below(4)) << 28;
+    return Ipv4Address{base | static_cast<std::uint32_t>(
+                                  rng.next_below(1 << 20))};
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const auto op = rng.next_below(10);
+    if (op < 6 || live.empty()) {
+      const auto depth =
+          static_cast<std::uint8_t>(8 + rng.next_below(25));  // 8..32
+      const auto prefix = random_prefix();
+      const auto hop = static_cast<NextHop>(rng.next_below(kMaxNextHop));
+      ASSERT_EQ(fast.add(prefix, depth, hop), ref.add(prefix, depth, hop));
+      live.push_back(Rule{prefix, depth});
+    } else {
+      const std::size_t i = rng.next_below(live.size());
+      const Rule r = live[i];
+      ASSERT_EQ(fast.remove(r.prefix, r.depth), ref.remove(r.prefix, r.depth));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    // Probe lookups near live rules plus a few uniform randoms.
+    for (int probe = 0; probe < 4; ++probe) {
+      Ipv4Address addr;
+      if (!live.empty() && probe < 3) {
+        const Rule& r = live[rng.next_below(live.size())];
+        addr = Ipv4Address{r.prefix.addr ^ static_cast<std::uint32_t>(
+                                               rng.next_below(1 << 10))};
+      } else {
+        addr = Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+      }
+      ASSERT_EQ(fast.lookup(addr), ref.lookup(addr))
+          << "addr=" << addr.to_string() << " step=" << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmDifferential,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull, 21ull, 34ull));
+
+}  // namespace
+}  // namespace albatross

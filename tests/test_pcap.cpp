@@ -1,0 +1,87 @@
+// pcap writer/reader and the capture tap.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "packet/parser.hpp"
+#include "packet/pcap.hpp"
+
+namespace albatross {
+namespace {
+
+PacketPtr sample_packet(std::uint16_t sport) {
+  UdpFlowSpec spec;
+  spec.tuple = FiveTuple{Ipv4Address::from_octets(10, 0, 0, 1),
+                         Ipv4Address::from_octets(8, 8, 8, 8), sport, 53,
+                         IpProto::kUdp};
+  return build_udp_packet(spec);
+}
+
+TEST(Pcap, SerializeDeserializeRoundTrip) {
+  PcapFile file;
+  file.add(*sample_packet(1000), 1 * kMicrosecond);
+  file.add(*sample_packet(1001), 2500);  // sub-microsecond truncates
+  const auto bytes = file.serialize();
+  // Global header: magic + version 2.4 + ethernet linktype.
+  EXPECT_EQ(bytes[0], 0xd4);  // little-endian magic on disk
+  ASSERT_GE(bytes.size(), 24u);
+
+  const auto parsed = PcapFile::deserialize(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->records()[0].timestamp, 1 * kMicrosecond);
+  EXPECT_EQ(parsed->records()[0].data.size(), sample_packet(1000)->size());
+  // The captured frame still parses as the original packet.
+  const auto reparsed = parse_packet(parsed->records()[0].data);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->l4_src, 1000);
+  EXPECT_EQ(reparsed->l4_dst, 53);
+}
+
+TEST(Pcap, RejectsCorruptImages) {
+  EXPECT_FALSE(PcapFile::deserialize({1, 2, 3}).has_value());
+  PcapFile file;
+  file.add(*sample_packet(1), 0);
+  auto bytes = file.serialize();
+  bytes[0] = 0x00;  // bad magic
+  EXPECT_FALSE(PcapFile::deserialize(bytes).has_value());
+  auto truncated = file.serialize();
+  truncated.pop_back();
+  EXPECT_FALSE(PcapFile::deserialize(truncated).has_value());
+}
+
+TEST(Pcap, FileIo) {
+  const std::string path = "/tmp/albatross_test_capture.pcap";
+  PcapFile file;
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    file.add(*sample_packet(i), i * kMillisecond);
+  }
+  ASSERT_TRUE(file.write_file(path));
+  const auto back = PcapFile::read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), 5u);
+  EXPECT_EQ(back->records()[4].timestamp, 4 * kMillisecond);
+  std::remove(path.c_str());
+  EXPECT_FALSE(PcapFile::read_file("/no/such/file.pcap").has_value());
+}
+
+TEST(PcapTap, FilterAndBudget) {
+  PcapTap tap(/*max_packets=*/3);
+  const auto target = sample_packet(7777);
+  tap.set_filter(target->tuple);
+  // Non-matching packets are ignored.
+  EXPECT_FALSE(tap.observe(*sample_packet(1), 0));
+  EXPECT_EQ(tap.captured(), 0u);
+  // Matching packets captured up to the budget.
+  for (int i = 0; i < 5; ++i) {
+    tap.observe(*sample_packet(7777), i * 1000);
+  }
+  EXPECT_EQ(tap.captured(), 3u);
+  EXPECT_EQ(tap.dropped_over_budget(), 2u);
+  // Clearing the filter captures everything (budget already spent).
+  tap.clear_filter();
+  EXPECT_FALSE(tap.observe(*sample_packet(42), 0));
+}
+
+}  // namespace
+}  // namespace albatross

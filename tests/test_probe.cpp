@@ -1,0 +1,142 @@
+// Zoonet-style probe telemetry: wire format, collector accounting, and
+// the §3.2 design point itself — probes pinned to RSS stay in order and
+// measure clean latency even on a PLB pod, plus housekeeping aging.
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "core/scenario.hpp"
+#include "gateway/probe.hpp"
+
+namespace albatross {
+namespace {
+
+FiveTuple probe_path() {
+  return FiveTuple{Ipv4Address::from_octets(10, 0, 0, 1),
+                   Ipv4Address::from_octets(10, 200, 0, 1), 42000,
+                   kProbePort, IpProto::kUdp};
+}
+
+TEST(Probe, PayloadRoundTrip) {
+  ProbePayload p{7, 123456789ull, 42 * kMicrosecond};
+  std::uint8_t buf[ProbePayload::kWireSize];
+  p.serialize(buf);
+  const auto r = ProbePayload::deserialize(buf, sizeof buf);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->stream_id, 7u);
+  EXPECT_EQ(r->sequence, 123456789ull);
+  EXPECT_EQ(r->tx_time, 42 * kMicrosecond);
+  buf[0] ^= 0xff;  // corrupt the magic
+  EXPECT_FALSE(ProbePayload::deserialize(buf, sizeof buf).has_value());
+  EXPECT_FALSE(ProbePayload::deserialize(buf, 4).has_value());
+}
+
+TEST(Probe, BuildAndExtract) {
+  auto pkt = build_probe_packet(3, 99, 1000, probe_path());
+  const auto p = extract_probe(*pkt);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->stream_id, 3u);
+  EXPECT_EQ(p->sequence, 99u);
+  // Non-probe packets are rejected.
+  UdpFlowSpec other;
+  other.tuple = probe_path();
+  other.tuple.dst_port = 53;
+  EXPECT_FALSE(extract_probe(*build_udp_packet(other)).has_value());
+}
+
+TEST(Probe, CollectorCountsLossAndReordering) {
+  ProbeCollector collector;
+  EXPECT_TRUE(collector.observe(ProbePayload{1, 0, 0}, 10'000));
+  EXPECT_TRUE(collector.observe(ProbePayload{1, 1, 100}, 11'000));
+  EXPECT_TRUE(collector.observe(ProbePayload{1, 4, 200}, 12'000));  // 2,3 lost
+  EXPECT_FALSE(collector.observe(ProbePayload{1, 2, 300}, 13'000)); // late
+  const auto* s = collector.stream(1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->received, 4u);
+  EXPECT_EQ(s->lost, 2u);
+  EXPECT_EQ(s->reordered, 1u);
+  EXPECT_EQ(s->latency.count(), 4u);
+  EXPECT_EQ(collector.stream(42), nullptr);
+}
+
+TEST(Probe, RssPinnedProbesStayOrderedOnPlbPod) {
+  // The §3.2 rule: probes (stateful for telemetry) are pinned to RSS in
+  // pkt_dir, so they never ride the spray path and their samples come
+  // back in injection order even while data traffic is PLB-sprayed.
+  PlatformConfig pc;
+  Platform platform(pc);
+  GwPodConfig gp;
+  gp.data_cores = 4;
+  PktDirConfig dir;
+  dir.rss_pinned_dst_ports = {kProbePort};
+  const PodId pod = platform.create_pod(gp, 0, dir, LbMode::kPlb);
+
+  // Inject probes every 100us through the full NIC ingress path;
+  // the order oracle plays the Zoonet backend's sequence check.
+  platform.enable_order_oracle(true);
+  for (int i = 0; i < 200; ++i) {
+    auto pkt = build_probe_packet(5, static_cast<std::uint64_t>(i),
+                                  i * 100 * kMicrosecond, probe_path());
+    pkt->flow_id = 0x50000;
+    pkt->seq_in_flow = static_cast<std::uint64_t>(i);
+    Packet* raw = pkt.release();
+    platform.loop().schedule_at(i * 100 * kMicrosecond, [&platform, raw, pod] {
+      // Deliver through the full NIC ingress path.
+      auto owned = PacketPtr(raw);
+      owned->rx_time = platform.loop().now();
+      // Use a one-shot source shim: direct ingress via a tiny source.
+      struct OneShot final : TrafficSource {
+        PacketPtr pkt;
+        NanoTime at;
+        std::optional<NanoTime> next_time() const override {
+          return pkt ? std::optional<NanoTime>(at) : std::nullopt;
+        }
+        PacketPtr emit() override { return std::move(pkt); }
+      };
+      auto src = std::make_unique<OneShot>();
+      src->pkt = std::move(owned);
+      src->at = platform.loop().now();
+      platform.attach_source(std::move(src), pod);
+    });
+  }
+  platform.run_until(30 * kMillisecond);
+
+  const auto& t = platform.telemetry(pod);
+  EXPECT_EQ(t.offered, 200u);
+  EXPECT_EQ(t.delivered, 200u);
+  EXPECT_EQ(t.flow_order_violations, 0u);
+  EXPECT_EQ(t.delivered_disordered, 0u);
+  // Pinned probes all used the same RSS queue -> one core processed all.
+  std::uint64_t cores_used = 0;
+  for (CoreId c = 0; c < 4; ++c) {
+    if (platform.pod(pod).core_processed(c) > 0) ++cores_used;
+  }
+  EXPECT_EQ(cores_used, 1u);
+}
+
+TEST(Probe, HousekeepingAgesConntrackAndOffload) {
+  auto s = SinglePodScenario::make(ServiceKind::kVpcInternet, 2, LbMode::kPlb);
+  s.platform->nic().enable_session_offload(
+      s.pod, SessionOffloadConfig{.capacity = 1024,
+                                  .fpga_process_ns = 400,
+                                  .idle_timeout = 50 * kMillisecond});
+  s.platform->enable_housekeeping(20 * kMillisecond);
+
+  // A short burst of flows, then silence: housekeeping must reclaim
+  // both conntrack entries (30s timeout - not reached here) and
+  // offloaded sessions (50ms timeout - reached).
+  PoissonFlowConfig bg;
+  bg.num_flows = 200;
+  bg.rate_pps = 200'000;
+  auto src = std::make_unique<PoissonFlowSource>(bg);
+  auto* raw = src.get();
+  s.platform->attach_source(std::move(src), s.pod);
+  s.platform->run_until(20 * kMillisecond);
+  raw->set_rate(0);  // silence
+  s.platform->run_until(200 * kMillisecond);
+
+  EXPECT_GT(s.platform->housekeeping_reclaimed(), 0u);
+  EXPECT_EQ(s.platform->nic().session_offload(s.pod).size(), 0u);
+}
+
+}  // namespace
+}  // namespace albatross

@@ -1,0 +1,152 @@
+// SLB (L4 load balancer role): consistent-hash ring properties, session
+// stickiness across backend churn, health transitions, weights.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gateway/slb.hpp"
+
+namespace albatross {
+namespace {
+
+FiveTuple client(std::uint32_t ip, std::uint16_t port) {
+  return FiveTuple{Ipv4Address{ip}, Ipv4Address::from_octets(100, 64, 0, 1),
+                   port, 443, IpProto::kTcp};
+}
+
+TEST(ConsistentHashRing, EmptyRingHasNoOwner) {
+  ConsistentHashRing ring;
+  EXPECT_FALSE(ring.owner(12345).has_value());
+}
+
+TEST(ConsistentHashRing, CoversWholeSpaceAndWraps) {
+  ConsistentHashRing ring(8);
+  ring.add(0, 1);
+  ring.add(1, 1);
+  // Any hash maps to some backend, including past the last vnode (wrap).
+  for (std::uint64_t h :
+       {0ull, 1ull << 32, ~0ull, 0xdeadbeefdeadbeefull}) {
+    const auto o = ring.owner(h);
+    ASSERT_TRUE(o.has_value());
+    EXPECT_LE(*o, 1);
+  }
+  EXPECT_EQ(ring.vnode_count(), 16u);
+}
+
+TEST(ConsistentHashRing, BalancedDistribution) {
+  ConsistentHashRing ring(64);
+  for (std::uint16_t b = 0; b < 8; ++b) ring.add(b, 1);
+  std::map<std::uint16_t, int> counts;
+  for (std::uint64_t i = 0; i < 80'000; ++i) {
+    ++counts[*ring.owner(mix64(i))];
+  }
+  for (const auto& [b, c] : counts) {
+    EXPECT_GT(c, 5'000) << "backend " << b;   // within ~2x of fair share
+    EXPECT_LT(c, 20'000) << "backend " << b;
+  }
+}
+
+TEST(ConsistentHashRing, RemovalOnlyRemapsVictimShare) {
+  // The consistent-hashing property: removing one of N backends must
+  // remap ~1/N of the key space, leaving everything else untouched.
+  ConsistentHashRing ring(64);
+  for (std::uint16_t b = 0; b < 8; ++b) ring.add(b, 1);
+  std::vector<std::uint16_t> before;
+  for (std::uint64_t i = 0; i < 20'000; ++i) {
+    before.push_back(*ring.owner(mix64(i)));
+  }
+  ring.remove(3);
+  std::uint64_t moved = 0;
+  for (std::uint64_t i = 0; i < 20'000; ++i) {
+    const auto after = *ring.owner(mix64(i));
+    EXPECT_NE(after, 3);
+    if (after != before[i]) {
+      EXPECT_EQ(before[i], 3);  // only keys owned by 3 may move
+      ++moved;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(moved) / 20'000, 1.0 / 8, 0.04);
+}
+
+TEST(ConsistentHashRing, WeightsShiftShare) {
+  ConsistentHashRing ring(64);
+  ring.add(0, 1);
+  ring.add(1, 3);  // 3x weight
+  int heavy = 0;
+  for (std::uint64_t i = 0; i < 40'000; ++i) {
+    if (*ring.owner(mix64(i)) == 1) ++heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / 40'000, 0.75, 0.06);
+}
+
+TEST(SlbService, NewConnectionsSpreadAcrossBackends) {
+  SlbService slb(Ipv4Address::from_octets(100, 64, 0, 1), 443, 4);
+  for (int b = 0; b < 4; ++b) {
+    slb.add_backend(Backend{Ipv4Address{0x0a010000u + b}, 8080, 1, true});
+  }
+  std::map<std::uint16_t, int> counts;
+  for (std::uint32_t c = 0; c < 4000; ++c) {
+    const auto b = slb.forward(client(0x0b000000u + c, 30000), 0, 0, 0x02);
+    ASSERT_TRUE(b.has_value());
+    ++counts[*b];
+  }
+  EXPECT_EQ(counts.size(), 4u);
+  EXPECT_EQ(slb.stats().connections, 4000u);
+}
+
+TEST(SlbService, SessionsStickEvenWhenBackendTurnsUnhealthy) {
+  SlbService slb(Ipv4Address{1}, 443, 2);
+  slb.add_backend(Backend{Ipv4Address{0x0a010001}, 80, 1, true});
+  slb.add_backend(Backend{Ipv4Address{0x0a010002}, 80, 1, true});
+
+  const FiveTuple c1 = client(0x0b000001, 1234);
+  const auto first = slb.forward(c1, 0, 0, 0x02 /*SYN*/);
+  ASSERT_TRUE(first.has_value());
+  // Backend goes unhealthy: existing session drains to the same place.
+  slb.set_healthy(*first, false);
+  const auto sticky = slb.forward(c1, 0, 1000, 0x10 /*ACK*/);
+  ASSERT_TRUE(sticky.has_value());
+  EXPECT_EQ(*sticky, *first);
+  EXPECT_GE(slb.stats().stuck_to_session, 1u);
+
+  // NEW connections avoid it.
+  for (std::uint32_t c = 0; c < 200; ++c) {
+    const auto b = slb.forward(client(0x0c000000u + c, 999), 0,
+                               2000 + c, 0x02);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_NE(*b, *first);
+  }
+}
+
+TEST(SlbService, FinTearsDownSession) {
+  SlbService slb(Ipv4Address{1}, 443, 1);
+  slb.add_backend(Backend{Ipv4Address{0x0a010001}, 80, 1, true});
+  const FiveTuple c1 = client(7, 7);
+  slb.forward(c1, 0, 0, 0x02);
+  EXPECT_EQ(slb.stats().connections, 1u);
+  slb.forward(c1, 0, 100, 0x01 /*FIN*/);  // sticky, then torn down
+  // The next SYN counts as a fresh connection.
+  slb.forward(c1, 0, 200, 0x02);
+  EXPECT_EQ(slb.stats().connections, 2u);
+}
+
+TEST(SlbService, NoHealthyBackendDrops) {
+  SlbService slb(Ipv4Address{1}, 443, 1);
+  const auto b0 =
+      slb.add_backend(Backend{Ipv4Address{0x0a010001}, 80, 1, true});
+  slb.set_healthy(b0, false);
+  EXPECT_FALSE(slb.forward(client(1, 1), 0, 0, 0x02).has_value());
+  EXPECT_EQ(slb.stats().no_backend_drops, 1u);
+}
+
+TEST(SlbService, SessionAging) {
+  SlbService slb(Ipv4Address{1}, 443, 2, /*sessions_per_core=*/256);
+  slb.add_backend(Backend{Ipv4Address{0x0a010001}, 80, 1, true});
+  for (std::uint32_t c = 0; c < 10; ++c) {
+    slb.forward(client(c, 1), static_cast<CoreId>(c % 2), 0, 0x02);
+  }
+  EXPECT_EQ(slb.age_sessions(120 * kSecond), 10u);  // 60s idle timeout
+}
+
+}  // namespace
+}  // namespace albatross

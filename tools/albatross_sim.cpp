@@ -1,0 +1,182 @@
+// albatross_sim — command-line experiment runner. Stands up one
+// simulated Albatross GW pod, drives a configurable workload, and
+// prints an operator-style report plus (optionally) the full metrics
+// exposition. The CLI exists so experiments beyond the canned benches
+// are one shell line, not a new C++ file.
+//
+//   albatross_sim [--service vpc|internet|idc|cloud] [--cores N]
+//                 [--mode plb|rss] [--rate-mpps R] [--flows N]
+//                 [--duration-ms T] [--hitter-mpps R] [--drop-flag 0|1]
+//                 [--offload] [--metrics]
+//   albatross_sim --config experiment.json    (see core/config.hpp schema)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/config.hpp"
+#include "core/platform.hpp"
+#include "core/scenario.hpp"
+#include "telemetry/metrics.hpp"
+#include "traffic/heavy_hitter.hpp"
+
+using namespace albatross;
+
+namespace {
+
+struct Options {
+  ServiceKind service = ServiceKind::kVpcVpc;
+  std::uint16_t cores = 8;
+  LbMode mode = LbMode::kPlb;
+  double rate_mpps = 2.0;
+  std::size_t flows = 5000;
+  NanoTime duration = 100 * kMillisecond;
+  double hitter_mpps = 0.0;
+  bool drop_flag = true;
+  bool offload = false;
+  bool metrics = false;
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(
+      stderr,
+      "usage: albatross_sim [--service vpc|internet|idc|cloud] [--cores N]\n"
+      "                     [--mode plb|rss] [--rate-mpps R] [--flows N]\n"
+      "                     [--duration-ms T] [--hitter-mpps R]\n"
+      "                     [--drop-flag 0|1] [--offload] [--metrics]\n");
+  std::exit(2);
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_and_exit();
+      return argv[++i];
+    };
+    if (a == "--service") {
+      const std::string v = next();
+      if (v == "vpc") opt.service = ServiceKind::kVpcVpc;
+      else if (v == "internet") opt.service = ServiceKind::kVpcInternet;
+      else if (v == "idc") opt.service = ServiceKind::kVpcIdc;
+      else if (v == "cloud") opt.service = ServiceKind::kVpcCloudService;
+      else return false;
+    } else if (a == "--cores") {
+      opt.cores = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (a == "--mode") {
+      const std::string v = next();
+      if (v == "plb") opt.mode = LbMode::kPlb;
+      else if (v == "rss") opt.mode = LbMode::kRss;
+      else return false;
+    } else if (a == "--rate-mpps") {
+      opt.rate_mpps = std::atof(next());
+    } else if (a == "--flows") {
+      opt.flows = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--duration-ms") {
+      opt.duration = std::atoll(next()) * kMillisecond;
+    } else if (a == "--hitter-mpps") {
+      opt.hitter_mpps = std::atof(next());
+    } else if (a == "--drop-flag") {
+      opt.drop_flag = std::atoi(next()) != 0;
+    } else if (a == "--offload") {
+      opt.offload = true;
+    } else if (a == "--metrics") {
+      opt.metrics = true;
+    } else if (a == "--help" || a == "-h") {
+      usage_and_exit();
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Declarative mode: --config file.json runs a whole experiment spec.
+  if (argc == 3 && std::string(argv[1]) == "--config") {
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      const auto result = run_experiment_from_json(text.str());
+      for (std::size_t i = 0; i < result.pods.size(); ++i) {
+        const auto& r = result.pods[i];
+        std::printf("pod %zu: delivered %.3f Mpps (loss %.3f%%), mean "
+                    "%.1f us, p99 %.1f us, disorder %.1e\n",
+                    i, r.delivered_mpps, r.loss_rate * 100,
+                    r.mean_latency_us, r.p99_latency_us, r.disorder_rate);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  Options opt;
+  if (!parse_args(argc, argv, opt)) usage_and_exit();
+
+  auto scenario = SinglePodScenario::make(opt.service, opt.cores, opt.mode,
+                                          200, 20'000, opt.drop_flag);
+  Platform& platform = *scenario.platform;
+  if (opt.offload) platform.nic().enable_session_offload(scenario.pod);
+  platform.enable_order_oracle(opt.flows <= 100'000);
+
+  PoissonFlowConfig bg;
+  bg.num_flows = opt.flows;
+  bg.rate_pps = opt.rate_mpps * 1e6;
+  platform.attach_source(std::make_unique<PoissonFlowSource>(bg),
+                         scenario.pod);
+  if (opt.hitter_mpps > 0.0) {
+    HeavyHitterConfig hh;
+    hh.flow = make_flow(0x777777, 7, 0);
+    hh.profile = RateProfile{{0, opt.hitter_mpps * 1e6}};
+    platform.attach_source(std::make_unique<HeavyHitterSource>(hh),
+                           scenario.pod);
+  }
+
+  platform.run_until(opt.duration);
+
+  const PodTelemetry& t = platform.telemetry(scenario.pod);
+  const auto r = summarize(t, opt.duration);
+  std::printf("albatross_sim: %s, %u cores, %s mode, %.2f Mpps offered, "
+              "%lld ms\n",
+              std::string(service_name(opt.service)).c_str(), opt.cores,
+              opt.mode == LbMode::kPlb ? "PLB" : "RSS", opt.rate_mpps,
+              static_cast<long long>(opt.duration / kMillisecond));
+  std::printf("  delivered    : %.3f Mpps (loss %.3f%%)\n", r.delivered_mpps,
+              r.loss_rate * 100);
+  std::printf("  latency      : mean %.1f us, p99 %.1f us\n",
+              r.mean_latency_us, r.p99_latency_us);
+  std::printf("  ordering     : disorder %.1e, violations %llu\n",
+              r.disorder_rate,
+              static_cast<unsigned long long>(t.flow_order_violations));
+  const auto reorder = platform.nic().engine(scenario.pod).total_stats();
+  std::printf("  reorder      : in-order %llu, best-effort %llu, HOL "
+              "timeouts %llu, drop releases %llu\n",
+              static_cast<unsigned long long>(reorder.in_order_tx),
+              static_cast<unsigned long long>(reorder.best_effort_tx),
+              static_cast<unsigned long long>(reorder.timeout_releases),
+              static_cast<unsigned long long>(reorder.drop_releases));
+  if (opt.offload) {
+    const auto& off = platform.nic().session_offload(scenario.pod).stats();
+    std::printf("  offload      : fpga hits %llu, installs %llu\n",
+                static_cast<unsigned long long>(off.fast_path_hits),
+                static_cast<unsigned long long>(off.installs));
+  }
+
+  if (opt.metrics) {
+    MetricsRegistry registry;
+    register_platform_metrics(registry, platform);
+    std::printf("\n%s", registry.expose().c_str());
+  }
+  return 0;
+}
