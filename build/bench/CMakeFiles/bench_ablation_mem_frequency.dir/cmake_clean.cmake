@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mem_frequency.dir/bench_ablation_mem_frequency.cpp.o"
+  "CMakeFiles/bench_ablation_mem_frequency.dir/bench_ablation_mem_frequency.cpp.o.d"
+  "bench_ablation_mem_frequency"
+  "bench_ablation_mem_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mem_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ratelimiter.dir/bench_ablation_ratelimiter.cpp.o"
+  "CMakeFiles/bench_ablation_ratelimiter.dir/bench_ablation_ratelimiter.cpp.o.d"
+  "bench_ablation_ratelimiter"
+  "bench_ablation_ratelimiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ratelimiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bgp_proxy_scaling.dir/bench_bgp_proxy_scaling.cpp.o"
+  "CMakeFiles/bench_bgp_proxy_scaling.dir/bench_bgp_proxy_scaling.cpp.o.d"
+  "bench_bgp_proxy_scaling"
+  "bench_bgp_proxy_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bgp_proxy_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

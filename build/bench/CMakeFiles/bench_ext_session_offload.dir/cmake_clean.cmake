@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_session_offload.dir/bench_ext_session_offload.cpp.o"
+  "CMakeFiles/bench_ext_session_offload.dir/bench_ext_session_offload.cpp.o.d"
+  "bench_ext_session_offload"
+  "bench_ext_session_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_session_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

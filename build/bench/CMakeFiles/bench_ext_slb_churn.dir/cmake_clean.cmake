@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_slb_churn.dir/bench_ext_slb_churn.cpp.o"
+  "CMakeFiles/bench_ext_slb_churn.dir/bench_ext_slb_churn.cpp.o.d"
+  "bench_ext_slb_churn"
+  "bench_ext_slb_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_slb_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

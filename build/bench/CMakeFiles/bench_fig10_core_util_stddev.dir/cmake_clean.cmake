@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_core_util_stddev.dir/bench_fig10_core_util_stddev.cpp.o"
+  "CMakeFiles/bench_fig10_core_util_stddev.dir/bench_fig10_core_util_stddev.cpp.o.d"
+  "bench_fig10_core_util_stddev"
+  "bench_fig10_core_util_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_core_util_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig10_core_util_stddev.
+# This may be replaced when dependencies are built.

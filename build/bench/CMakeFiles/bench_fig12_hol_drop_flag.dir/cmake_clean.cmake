@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_hol_drop_flag.dir/bench_fig12_hol_drop_flag.cpp.o"
+  "CMakeFiles/bench_fig12_hol_drop_flag.dir/bench_fig12_hol_drop_flag.cpp.o.d"
+  "bench_fig12_hol_drop_flag"
+  "bench_fig12_hol_drop_flag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_hol_drop_flag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

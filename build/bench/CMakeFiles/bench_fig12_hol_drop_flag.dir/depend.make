@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_hol_drop_flag.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_14_tenant_ratelimit.dir/bench_fig13_14_tenant_ratelimit.cpp.o"
+  "CMakeFiles/bench_fig13_14_tenant_ratelimit.dir/bench_fig13_14_tenant_ratelimit.cpp.o.d"
+  "bench_fig13_14_tenant_ratelimit"
+  "bench_fig13_14_tenant_ratelimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_tenant_ratelimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

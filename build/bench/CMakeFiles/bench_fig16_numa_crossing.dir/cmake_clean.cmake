@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_numa_crossing.dir/bench_fig16_numa_crossing.cpp.o"
+  "CMakeFiles/bench_fig16_numa_crossing.dir/bench_fig16_numa_crossing.cpp.o.d"
+  "bench_fig16_numa_crossing"
+  "bench_fig16_numa_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_numa_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gop_priority_queues.dir/bench_gop_priority_queues.cpp.o"
+  "CMakeFiles/bench_gop_priority_queues.dir/bench_gop_priority_queues.cpp.o.d"
+  "bench_gop_priority_queues"
+  "bench_gop_priority_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gop_priority_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

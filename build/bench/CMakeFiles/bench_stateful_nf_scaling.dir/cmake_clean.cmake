@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stateful_nf_scaling.dir/bench_stateful_nf_scaling.cpp.o"
+  "CMakeFiles/bench_stateful_nf_scaling.dir/bench_stateful_nf_scaling.cpp.o.d"
+  "bench_stateful_nf_scaling"
+  "bench_stateful_nf_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stateful_nf_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

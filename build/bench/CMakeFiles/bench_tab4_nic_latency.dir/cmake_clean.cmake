@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_nic_latency.dir/bench_tab4_nic_latency.cpp.o"
+  "CMakeFiles/bench_tab4_nic_latency.dir/bench_tab4_nic_latency.cpp.o.d"
+  "bench_tab4_nic_latency"
+  "bench_tab4_nic_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_nic_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

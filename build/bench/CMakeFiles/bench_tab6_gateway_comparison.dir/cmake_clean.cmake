@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_gateway_comparison.dir/bench_tab6_gateway_comparison.cpp.o"
+  "CMakeFiles/bench_tab6_gateway_comparison.dir/bench_tab6_gateway_comparison.cpp.o.d"
+  "bench_tab6_gateway_comparison"
+  "bench_tab6_gateway_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_gateway_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_containerized_gateways.dir/containerized_gateways.cpp.o"
+  "CMakeFiles/example_containerized_gateways.dir/containerized_gateways.cpp.o.d"
+  "example_containerized_gateways"
+  "example_containerized_gateways.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_containerized_gateways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heavy_hitter_forensics.dir/heavy_hitter_forensics.cpp.o"
+  "CMakeFiles/example_heavy_hitter_forensics.dir/heavy_hitter_forensics.cpp.o.d"
+  "example_heavy_hitter_forensics"
+  "example_heavy_hitter_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heavy_hitter_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

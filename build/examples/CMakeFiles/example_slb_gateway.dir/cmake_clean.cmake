@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_slb_gateway.dir/slb_gateway.cpp.o"
+  "CMakeFiles/example_slb_gateway.dir/slb_gateway.cpp.o.d"
+  "example_slb_gateway"
+  "example_slb_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_slb_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/bfd.cpp" "src/CMakeFiles/albatross.dir/bgp/bfd.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/bgp/bfd.cpp.o.d"
+  "/root/repo/src/bgp/message.cpp" "src/CMakeFiles/albatross.dir/bgp/message.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/bgp/message.cpp.o.d"
+  "/root/repo/src/bgp/proxy.cpp" "src/CMakeFiles/albatross.dir/bgp/proxy.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/bgp/proxy.cpp.o.d"
+  "/root/repo/src/bgp/session.cpp" "src/CMakeFiles/albatross.dir/bgp/session.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/bgp/session.cpp.o.d"
+  "/root/repo/src/bgp/switch_model.cpp" "src/CMakeFiles/albatross.dir/bgp/switch_model.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/bgp/switch_model.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/CMakeFiles/albatross.dir/common/hash.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/common/hash.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/albatross.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/CMakeFiles/albatross.dir/common/json.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/common/json.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/albatross.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/common/rng.cpp.o.d"
+  "/root/repo/src/container/cost_model.cpp" "src/CMakeFiles/albatross.dir/container/cost_model.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/container/cost_model.cpp.o.d"
+  "/root/repo/src/container/orchestrator.cpp" "src/CMakeFiles/albatross.dir/container/orchestrator.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/container/orchestrator.cpp.o.d"
+  "/root/repo/src/container/pod_spec.cpp" "src/CMakeFiles/albatross.dir/container/pod_spec.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/container/pod_spec.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/albatross.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/fallback.cpp" "src/CMakeFiles/albatross.dir/core/fallback.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/core/fallback.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/CMakeFiles/albatross.dir/core/platform.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/core/platform.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/albatross.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/gateway/gw_pod.cpp" "src/CMakeFiles/albatross.dir/gateway/gw_pod.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/gateway/gw_pod.cpp.o.d"
+  "/root/repo/src/gateway/probe.cpp" "src/CMakeFiles/albatross.dir/gateway/probe.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/gateway/probe.cpp.o.d"
+  "/root/repo/src/gateway/rss.cpp" "src/CMakeFiles/albatross.dir/gateway/rss.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/gateway/rss.cpp.o.d"
+  "/root/repo/src/gateway/sailfish_model.cpp" "src/CMakeFiles/albatross.dir/gateway/sailfish_model.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/gateway/sailfish_model.cpp.o.d"
+  "/root/repo/src/gateway/service.cpp" "src/CMakeFiles/albatross.dir/gateway/service.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/gateway/service.cpp.o.d"
+  "/root/repo/src/gateway/services_vpc.cpp" "src/CMakeFiles/albatross.dir/gateway/services_vpc.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/gateway/services_vpc.cpp.o.d"
+  "/root/repo/src/gateway/slb.cpp" "src/CMakeFiles/albatross.dir/gateway/slb.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/gateway/slb.cpp.o.d"
+  "/root/repo/src/gateway/stateful_nf.cpp" "src/CMakeFiles/albatross.dir/gateway/stateful_nf.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/gateway/stateful_nf.cpp.o.d"
+  "/root/repo/src/nic/basic_pipeline.cpp" "src/CMakeFiles/albatross.dir/nic/basic_pipeline.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/nic/basic_pipeline.cpp.o.d"
+  "/root/repo/src/nic/dma.cpp" "src/CMakeFiles/albatross.dir/nic/dma.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/nic/dma.cpp.o.d"
+  "/root/repo/src/nic/nic_pipeline.cpp" "src/CMakeFiles/albatross.dir/nic/nic_pipeline.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/nic/nic_pipeline.cpp.o.d"
+  "/root/repo/src/nic/pkt_dir.cpp" "src/CMakeFiles/albatross.dir/nic/pkt_dir.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/nic/pkt_dir.cpp.o.d"
+  "/root/repo/src/nic/plb_dispatch.cpp" "src/CMakeFiles/albatross.dir/nic/plb_dispatch.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/nic/plb_dispatch.cpp.o.d"
+  "/root/repo/src/nic/plb_reorder.cpp" "src/CMakeFiles/albatross.dir/nic/plb_reorder.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/nic/plb_reorder.cpp.o.d"
+  "/root/repo/src/nic/rate_limiter.cpp" "src/CMakeFiles/albatross.dir/nic/rate_limiter.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/nic/rate_limiter.cpp.o.d"
+  "/root/repo/src/nic/resources.cpp" "src/CMakeFiles/albatross.dir/nic/resources.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/nic/resources.cpp.o.d"
+  "/root/repo/src/nic/session_offload.cpp" "src/CMakeFiles/albatross.dir/nic/session_offload.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/nic/session_offload.cpp.o.d"
+  "/root/repo/src/nic/sriov.cpp" "src/CMakeFiles/albatross.dir/nic/sriov.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/nic/sriov.cpp.o.d"
+  "/root/repo/src/packet/headers.cpp" "src/CMakeFiles/albatross.dir/packet/headers.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/packet/headers.cpp.o.d"
+  "/root/repo/src/packet/mbuf_pool.cpp" "src/CMakeFiles/albatross.dir/packet/mbuf_pool.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/packet/mbuf_pool.cpp.o.d"
+  "/root/repo/src/packet/packet.cpp" "src/CMakeFiles/albatross.dir/packet/packet.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/packet/packet.cpp.o.d"
+  "/root/repo/src/packet/parser.cpp" "src/CMakeFiles/albatross.dir/packet/parser.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/packet/parser.cpp.o.d"
+  "/root/repo/src/packet/pcap.cpp" "src/CMakeFiles/albatross.dir/packet/pcap.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/packet/pcap.cpp.o.d"
+  "/root/repo/src/sim/cache_model.cpp" "src/CMakeFiles/albatross.dir/sim/cache_model.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/sim/cache_model.cpp.o.d"
+  "/root/repo/src/sim/event_loop.cpp" "src/CMakeFiles/albatross.dir/sim/event_loop.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/sim/event_loop.cpp.o.d"
+  "/root/repo/src/sim/numa.cpp" "src/CMakeFiles/albatross.dir/sim/numa.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/sim/numa.cpp.o.d"
+  "/root/repo/src/sim/ring.cpp" "src/CMakeFiles/albatross.dir/sim/ring.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/sim/ring.cpp.o.d"
+  "/root/repo/src/tables/acl.cpp" "src/CMakeFiles/albatross.dir/tables/acl.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/tables/acl.cpp.o.d"
+  "/root/repo/src/tables/cuckoo_table.cpp" "src/CMakeFiles/albatross.dir/tables/cuckoo_table.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/tables/cuckoo_table.cpp.o.d"
+  "/root/repo/src/tables/flow_table.cpp" "src/CMakeFiles/albatross.dir/tables/flow_table.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/tables/flow_table.cpp.o.d"
+  "/root/repo/src/tables/lpm_dir24.cpp" "src/CMakeFiles/albatross.dir/tables/lpm_dir24.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/tables/lpm_dir24.cpp.o.d"
+  "/root/repo/src/tables/lpm_trie.cpp" "src/CMakeFiles/albatross.dir/tables/lpm_trie.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/tables/lpm_trie.cpp.o.d"
+  "/root/repo/src/tables/meter.cpp" "src/CMakeFiles/albatross.dir/tables/meter.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/tables/meter.cpp.o.d"
+  "/root/repo/src/tables/vm_nc_map.cpp" "src/CMakeFiles/albatross.dir/tables/vm_nc_map.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/tables/vm_nc_map.cpp.o.d"
+  "/root/repo/src/telemetry/metrics.cpp" "src/CMakeFiles/albatross.dir/telemetry/metrics.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/telemetry/metrics.cpp.o.d"
+  "/root/repo/src/traffic/flow_gen.cpp" "src/CMakeFiles/albatross.dir/traffic/flow_gen.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/traffic/flow_gen.cpp.o.d"
+  "/root/repo/src/traffic/heavy_hitter.cpp" "src/CMakeFiles/albatross.dir/traffic/heavy_hitter.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/traffic/heavy_hitter.cpp.o.d"
+  "/root/repo/src/traffic/microburst.cpp" "src/CMakeFiles/albatross.dir/traffic/microburst.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/traffic/microburst.cpp.o.d"
+  "/root/repo/src/traffic/tenant_gen.cpp" "src/CMakeFiles/albatross.dir/traffic/tenant_gen.cpp.o" "gcc" "src/CMakeFiles/albatross.dir/traffic/tenant_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gateway.dir/test_gateway.cpp.o"
+  "CMakeFiles/test_gateway.dir/test_gateway.cpp.o.d"
+  "test_gateway"
+  "test_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

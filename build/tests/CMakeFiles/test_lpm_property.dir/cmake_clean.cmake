@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpm_property.dir/test_lpm_property.cpp.o"
+  "CMakeFiles/test_lpm_property.dir/test_lpm_property.cpp.o.d"
+  "test_lpm_property"
+  "test_lpm_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpm_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

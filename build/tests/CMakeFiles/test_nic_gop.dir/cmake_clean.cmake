@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic_gop.dir/test_nic_gop.cpp.o"
+  "CMakeFiles/test_nic_gop.dir/test_nic_gop.cpp.o.d"
+  "test_nic_gop"
+  "test_nic_gop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic_gop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

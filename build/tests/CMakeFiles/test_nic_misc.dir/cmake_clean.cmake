@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic_misc.dir/test_nic_misc.cpp.o"
+  "CMakeFiles/test_nic_misc.dir/test_nic_misc.cpp.o.d"
+  "test_nic_misc"
+  "test_nic_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic_plb.dir/test_nic_plb.cpp.o"
+  "CMakeFiles/test_nic_plb.dir/test_nic_plb.cpp.o.d"
+  "test_nic_plb"
+  "test_nic_plb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic_plb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_misc.dir/test_property_misc.cpp.o"
+  "CMakeFiles/test_property_misc.dir/test_property_misc.cpp.o.d"
+  "test_property_misc"
+  "test_property_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slb.dir/test_slb.cpp.o"
+  "CMakeFiles/test_slb.dir/test_slb.cpp.o.d"
+  "test_slb"
+  "test_slb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

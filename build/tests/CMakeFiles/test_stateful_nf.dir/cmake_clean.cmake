@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stateful_nf.dir/test_stateful_nf.cpp.o"
+  "CMakeFiles/test_stateful_nf.dir/test_stateful_nf.cpp.o.d"
+  "test_stateful_nf"
+  "test_stateful_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stateful_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

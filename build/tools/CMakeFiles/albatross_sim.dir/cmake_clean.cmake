@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/albatross_sim.dir/albatross_sim.cpp.o"
+  "CMakeFiles/albatross_sim.dir/albatross_sim.cpp.o.d"
+  "albatross_sim"
+  "albatross_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/albatross_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
