@@ -1,0 +1,121 @@
+// Extension: failover & recovery timing under deterministic chaos.
+// The paper's availability story (BFD detection §4.3, BGP-proxy VIP
+// withdrawal Fig. 7, 10 s container elasticity §7/Tab. 6) is exercised
+// end-to-end by the chaos subsystem: crash a gateway pod under live
+// traffic and measure detection latency, blackhole duration, packets
+// lost, and total time to a fully recovered replacement — then sweep
+// the transient fault kinds and compare their recovery envelopes.
+#include "bench_util.hpp"
+#include "chaos/recovery.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+namespace {
+
+struct CrashOutcome {
+  IncidentRecord incident;
+  std::uint64_t post_cutover_loss = 0;
+  double rate_pps = 0.0;
+};
+
+CrashOutcome run_pod_crash(std::uint16_t gateways, double rate_pps) {
+  ChaosHarnessConfig cfg;
+  cfg.gateways = gateways;
+  cfg.servers = std::max<std::uint16_t>(2, gateways);
+  GatewayChaosHarness harness(cfg);
+  for (std::uint16_t g = 0; g < gateways; ++g) {
+    harness.attach_background_traffic(g, rate_pps, 200, 1 + g);
+  }
+  RecoveryController controller(harness);
+  controller.arm();
+
+  FaultPlan plan;
+  plan.events.push_back({8 * kSecond, FaultKind::kPodCrash, 0, 0, 0.0});
+  FaultInjector injector(harness.loop(), harness);
+  injector.schedule(plan);
+  harness.platform().run_until(25 * kSecond);
+
+  CrashOutcome out;
+  out.rate_pps = rate_pps;
+  out.incident = controller.incidents().at(0);
+  const auto mark = harness.platform().telemetry(harness.pod(0)).blackholed;
+  harness.platform().run_until(30 * kSecond);
+  out.post_cutover_loss =
+      harness.platform().telemetry(harness.pod(0)).blackholed - mark;
+  return out;
+}
+
+IncidentRecord run_transient(FaultKind kind, NanoTime duration) {
+  ChaosHarnessConfig cfg;
+  cfg.gateways = 1;
+  GatewayChaosHarness harness(cfg);
+  harness.attach_background_traffic(0, 50'000.0, 200);
+  RecoveryController controller(harness);
+  controller.arm();
+  FaultPlan plan;
+  plan.events.push_back({8 * kSecond, kind, 0, duration, 0.0});
+  FaultInjector injector(harness.loop(), harness);
+  injector.schedule(plan);
+  harness.platform().run_until(20 * kSecond);
+  return controller.incidents().empty() ? IncidentRecord{}
+                                        : controller.incidents().at(0);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Extension: failover & recovery timing (chaos subsystem)",
+               "§4.3 BFD + Fig. 7 BGP proxy + §7 10 s elasticity");
+
+  print_row("%-10s %12s %12s %12s %12s %10s", "gateways", "detect ms",
+            "blackhole ms", "lost pkts", "recover s", "post-loss");
+  bool ok = true;
+  for (const std::uint16_t gateways : {1, 2, 4}) {
+    const auto r = run_pod_crash(gateways, 50'000.0);
+    print_row("%-10u %12.1f %12.1f %12llu %12.2f %10llu", gateways,
+              static_cast<double>(r.incident.detect_latency()) / 1e6,
+              static_cast<double>(r.incident.blackhole_ns()) / 1e6,
+              static_cast<unsigned long long>(r.incident.packets_lost),
+              static_cast<double>(r.incident.recovery_ns()) / 1e9,
+              static_cast<unsigned long long>(r.post_cutover_loss));
+    ok &= r.incident.recovered && r.incident.redeployed;
+    ok &= r.incident.recovery_ns() < 40 * kSecond;
+    ok &= r.post_cutover_loss == 0;
+  }
+
+  print_row("\n%-18s %12s %12s %12s %10s", "transient fault", "detect ms",
+            "recover s", "lost pkts", "redeploy");
+  for (const auto& [kind, duration] :
+       {std::pair{FaultKind::kLinkFlap, 500 * kMillisecond},
+        std::pair{FaultKind::kBfdTimeout, 500 * kMillisecond},
+        std::pair{FaultKind::kBgpReset, 0 * kMillisecond}}) {
+    const auto inc = run_transient(kind, duration);
+    if (inc.detected_at == 0) {
+      // Control-plane-only faults never trip BFD: that IS the result
+      // (the paper's control/data decoupling).
+      print_row("%-18s %12s %12s %12s %10s",
+                std::string(fault_kind_name(kind)).c_str(), "-", "-", "-",
+                "no incident");
+      continue;
+    }
+    print_row("%-18s %12.1f %12.2f %12llu %10s",
+              std::string(fault_kind_name(kind)).c_str(),
+              static_cast<double>(inc.detect_latency()) / 1e6,
+              static_cast<double>(inc.recovery_ns()) / 1e9,
+              static_cast<unsigned long long>(inc.packets_lost),
+              inc.redeployed ? "yes" : "no");
+    ok &= inc.recovered && !inc.redeployed;
+  }
+
+  print_row("\nShape: detection is the BFD envelope (3 x 50 ms), the "
+            "blackhole ends milliseconds later when the proxies pull the "
+            "VIP, and crash recovery is dominated by the 10 s pod start "
+            "plus validation — well inside the 40 s bound, with zero "
+            "loss after cutover.");
+  if (!ok) {
+    print_row("BOUND VIOLATION: see rows above");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "chaos/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace albatross {
+
+namespace {
+
+constexpr std::string_view kKindNames[kFaultKindCount] = {
+    "pod_crash",    "core_stall", "nic_reorder_stuck", "nic_dma_error",
+    "link_flap",    "bgp_reset",  "bfd_timeout",       "hitter_storm",
+};
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind k) {
+  return kKindNames[static_cast<std::size_t>(k)];
+}
+
+FaultKind fault_kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    if (kKindNames[i] == name) return static_cast<FaultKind>(i);
+  }
+  throw std::runtime_error("unknown fault kind: " + std::string(name));
+}
+
+void FaultPlan::sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+FaultPlan FaultPlan::from_json(const JsonValue& v) {
+  FaultPlan plan;
+  plan.name = v.get_string("name", "chaos");
+  plan.seed = static_cast<std::uint64_t>(v.get_int("seed", 0));
+  for (const auto& ev : v["events"].as_array()) {
+    FaultEvent e;
+    e.at = static_cast<NanoTime>(ev.get_number("at_ms", 0.0) *
+                                 static_cast<double>(kMillisecond));
+    e.kind = fault_kind_from_name(ev.get_string("kind", "pod_crash"));
+    e.gateway = static_cast<std::uint16_t>(ev.get_int("gateway", 0));
+    e.duration = static_cast<NanoTime>(ev.get_number("duration_ms", 0.0) *
+                                       static_cast<double>(kMillisecond));
+    e.magnitude = ev.get_number("magnitude", 0.0);
+    plan.events.push_back(e);
+  }
+  plan.sort();
+  return plan;
+}
+
+JsonValue FaultPlan::to_json() const {
+  JsonArray evs;
+  for (const auto& e : events) {
+    JsonObject o;
+    o["at_ms"] = JsonValue(static_cast<double>(e.at) /
+                           static_cast<double>(kMillisecond));
+    o["kind"] = JsonValue(std::string(fault_kind_name(e.kind)));
+    o["gateway"] = JsonValue(static_cast<std::int64_t>(e.gateway));
+    o["duration_ms"] = JsonValue(static_cast<double>(e.duration) /
+                                 static_cast<double>(kMillisecond));
+    o["magnitude"] = JsonValue(e.magnitude);
+    evs.emplace_back(std::move(o));
+  }
+  JsonObject root;
+  root["name"] = JsonValue(name);
+  root["seed"] = JsonValue(static_cast<std::int64_t>(seed));
+  root["events"] = JsonValue(std::move(evs));
+  return JsonValue(std::move(root));
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t count,
+                            std::size_t gateways, NanoTime horizon,
+                            NanoTime t_min) {
+  FaultPlan plan;
+  plan.name = "random";
+  plan.seed = seed;
+  Rng rng(seed);
+  if (gateways == 0) gateways = 1;
+  if (horizon <= t_min) horizon = t_min + kSecond;
+  for (std::size_t i = 0; i < count; ++i) {
+    FaultEvent e;
+    e.at = t_min + static_cast<NanoTime>(rng.next_below(
+                       static_cast<std::uint64_t>(horizon - t_min)));
+    e.kind = static_cast<FaultKind>(rng.next_below(kFaultKindCount));
+    e.gateway = static_cast<std::uint16_t>(rng.next_below(gateways));
+    switch (e.kind) {
+      case FaultKind::kPodCrash:
+        e.duration = 0;  // permanent until the controller redeploys
+        break;
+      case FaultKind::kCoreStall:
+        e.duration = rng.next_range(1, 20) * kMillisecond;
+        e.magnitude = static_cast<double>(rng.next_range(1, 4));
+        break;
+      case FaultKind::kNicReorderStuck:
+        e.duration = rng.next_range(1, 5) * kMillisecond;
+        break;
+      case FaultKind::kNicDmaError:
+        e.duration = rng.next_range(5, 50) * kMillisecond;
+        e.magnitude = static_cast<double>(rng.next_range(4, 16));
+        break;
+      case FaultKind::kLinkFlap:
+        e.duration = rng.next_range(200, 2000) * kMillisecond;
+        break;
+      case FaultKind::kBgpReset:
+      case FaultKind::kBfdTimeout:
+        e.duration = rng.next_range(200, 1000) * kMillisecond;
+        break;
+      case FaultKind::kHitterStorm:
+        e.duration = rng.next_range(10, 100) * kMillisecond;
+        e.magnitude = 1e6 * static_cast<double>(rng.next_range(1, 4));
+        break;
+    }
+    plan.events.push_back(e);
+  }
+  plan.sort();
+  return plan;
+}
+
+}  // namespace albatross

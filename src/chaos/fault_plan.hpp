@@ -1,0 +1,73 @@
+// FaultPlan: a deterministic script of fault events for the chaos
+// subsystem. Every failure mode the paper's availability story touches
+// is representable — GW pod crash (§7 elasticity), data-core stall,
+// NIC module faults (reorder engine stuck / DMA degradation, §4.1),
+// link flap, BGP session reset and BFD false positives (§4.3), and a
+// heavy-hitter storm (§4.2) — as (time, kind, target, duration,
+// magnitude) tuples. Plans are JSON round-trippable so chaos
+// experiments live in version-controlled files, and seeded-random
+// plans make fuzz-style availability sweeps reproducible: the same
+// seed always yields the same incident timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+
+namespace albatross {
+
+enum class FaultKind : std::uint8_t {
+  kPodCrash,        ///< gateway pod dies; traffic blackholes until reroute
+  kCoreStall,       ///< data cores wedge for `duration` (lock/GC analogue)
+  kNicReorderStuck, ///< FPGA reorder module frozen for `duration`
+  kNicDmaError,     ///< PCIe DMA degraded `magnitude`x for `duration`
+  kLinkFlap,        ///< server uplink down for `duration`
+  kBgpReset,        ///< pod iBGP sessions reset; control-plane only
+  kBfdTimeout,      ///< BFD probes suppressed (false positive detection)
+  kHitterStorm,     ///< heavy hitter at `magnitude` pps for `duration`
+};
+
+inline constexpr std::size_t kFaultKindCount = 8;
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind k);
+/// Throws std::runtime_error on an unknown name.
+[[nodiscard]] FaultKind fault_kind_from_name(std::string_view name);
+
+struct FaultEvent {
+  NanoTime at = 0;          ///< injection time
+  FaultKind kind = FaultKind::kPodCrash;
+  std::uint16_t gateway = 0;  ///< harness gateway index
+  NanoTime duration = 0;      ///< fault window; 0 = permanent (pod crash)
+  double magnitude = 0.0;     ///< kind-specific: slowdown, pps, core count
+};
+
+/// An ordered fault script. `seed` names the plan's provenance when it
+/// was generated randomly (0 = hand-written) and seeds nothing at run
+/// time — execution is already deterministic on the event loop.
+struct FaultPlan {
+  std::string name = "chaos";
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  /// Sorts events by injection time (stable: script order breaks ties).
+  void sort();
+
+  /// Parses {"name":..,"seed":..,"events":[{"at_ms":..,"kind":..,
+  /// "gateway":..,"duration_ms":..,"magnitude":..}]}. Throws
+  /// std::runtime_error on unknown kinds.
+  static FaultPlan from_json(const JsonValue& v);
+  [[nodiscard]] JsonValue to_json() const;
+
+  /// Seeded-random plan: `count` events over [t_min, horizon) against
+  /// `gateways` targets, drawn from every fault kind. Identical inputs
+  /// yield an identical plan.
+  static FaultPlan random(std::uint64_t seed, std::size_t count,
+                          std::size_t gateways, NanoTime horizon,
+                          NanoTime t_min = kSecond);
+};
+
+}  // namespace albatross

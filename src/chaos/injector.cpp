@@ -1,0 +1,21 @@
+#include "chaos/injector.hpp"
+
+namespace albatross {
+
+void FaultInjector::schedule(const FaultPlan& plan) {
+  for (const FaultEvent& e : plan.events) {
+    loop_.schedule_at(e.at, [this, e] {
+      ++stats_.applied;
+      ++stats_.by_kind[static_cast<std::size_t>(e.kind)];
+      surface_.apply(e, loop_.now());
+    });
+    if (e.duration > 0) {
+      loop_.schedule_at(e.at + e.duration, [this, e] {
+        ++stats_.cleared;
+        surface_.clear(e, loop_.now());
+      });
+    }
+  }
+}
+
+}  // namespace albatross

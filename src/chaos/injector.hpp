@@ -1,0 +1,49 @@
+// FaultInjector: replays a FaultPlan on the discrete-event loop against
+// any FaultSurface. The injector owns only timing — apply() fires at
+// each event's `at`, clear() at `at + duration` for bounded faults —
+// which keeps the scheduling logic testable with a mock surface and the
+// gateway wiring (GatewayChaosHarness) free of plan mechanics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "chaos/fault_plan.hpp"
+#include "sim/event_loop.hpp"
+
+namespace albatross {
+
+/// Something faults can be injected into. The harness implements this
+/// against the full platform stack; tests implement it with mocks.
+class FaultSurface {
+ public:
+  virtual ~FaultSurface() = default;
+  virtual void apply(const FaultEvent& e, NanoTime now) = 0;
+  /// Called at `at + duration` for events with a nonzero duration.
+  virtual void clear(const FaultEvent& e, NanoTime now) = 0;
+};
+
+struct FaultInjectorStats {
+  std::uint64_t applied = 0;
+  std::uint64_t cleared = 0;
+  std::array<std::uint64_t, kFaultKindCount> by_kind{};
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(EventLoop& loop, FaultSurface& surface)
+      : loop_(loop), surface_(surface) {}
+
+  /// Schedules every event of `plan` (copied) onto the loop. May be
+  /// called repeatedly to layer plans.
+  void schedule(const FaultPlan& plan);
+
+  [[nodiscard]] const FaultInjectorStats& stats() const { return stats_; }
+
+ private:
+  EventLoop& loop_;
+  FaultSurface& surface_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace albatross

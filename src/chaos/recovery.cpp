@@ -1,0 +1,125 @@
+#include "chaos/recovery.hpp"
+
+#include <sstream>
+
+namespace albatross {
+
+RecoveryController::RecoveryController(GatewayChaosHarness& harness,
+                                       RecoveryConfig cfg)
+    : harness_(harness), cfg_(cfg) {
+  open_.assign(harness_.gateway_count(), -1);
+}
+
+void RecoveryController::arm() {
+  harness_.set_on_gateway_down(
+      [this](std::uint16_t g, NanoTime t) { on_down(g, t); });
+  harness_.set_on_gateway_up(
+      [this](std::uint16_t g, NanoTime t) { on_up(g, t); });
+  harness_.set_on_vip_routed(
+      [this](std::uint16_t g, bool routed, NanoTime t) {
+        on_routed(g, routed, t);
+      });
+}
+
+void RecoveryController::on_down(std::uint16_t g, NanoTime now) {
+  if (open_[g] >= 0) return;  // already mid-recovery for this gateway
+
+  IncidentRecord rec;
+  rec.kind = harness_.last_fault_kind(g);
+  rec.gateway = g;
+  rec.fault_at = harness_.last_fault_at(g);
+  rec.detected_at = now;
+  open_[g] = static_cast<std::ptrdiff_t>(incidents_.size());
+  incidents_.push_back(rec);
+  ++opened_;
+
+  // Step 1 — stop the bleeding: pull the VIP through every proxy so
+  // upstream reroutes to healthy gateways.
+  harness_.withdraw_vip(g, now);
+  if (!harness_.vip_routed(g)) {
+    // Nothing to converge away from (the VIP was never installed, or a
+    // prior withdrawal already took it out): the withdraw is trivially
+    // confirmed now. The in-flight-UPDATE case keeps rib_in populated
+    // at this instant, so it still resolves through the routed edge.
+    IncidentRecord& rec = incidents_[static_cast<std::size_t>(open_[g])];
+    rec.withdrawn_at = now;
+    rec.packets_lost =
+        harness_.platform().telemetry(harness_.pod(g)).blackholed -
+        harness_.blackhole_mark(g);
+    packets_lost_ += rec.packets_lost;
+  }
+
+  // Step 2 — if the pod is actually dead, rebuild it. Transient faults
+  // (link flap, BFD false positive) recover on their own via on_up.
+  if (!harness_.alive(g) && cfg_.redeploy_on_crash) {
+    const auto ticket = harness_.redeploy(g, now);
+    if (ticket) {
+      const std::size_t idx = static_cast<std::size_t>(open_[g]);
+      incidents_[idx].redeployed = true;
+      incidents_[idx].replacement_ready_at = ticket->placement.ready_at;
+      incidents_[idx].cutover_at = ticket->cutover;
+      ++redeploys_;
+      EventLoop& loop = harness_.loop();
+      loop.schedule_at(ticket->placement.ready_at, [this, g] {
+        harness_.restore(g, harness_.loop().now());
+      });
+      loop.schedule_at(ticket->cutover, [this, old = ticket->old_orch_pod] {
+        harness_.finish_redeploy(old);
+      });
+    }
+  }
+}
+
+void RecoveryController::on_up(std::uint16_t g, NanoTime now) {
+  if (open_[g] < 0) return;
+  // BFD sees the gateway again (flap ended, false positive cleared, or
+  // the replacement booted). Put its VIP back; the routed edge closes
+  // the incident.
+  harness_.announce_vip(g, now);
+}
+
+void RecoveryController::on_routed(std::uint16_t g, bool routed,
+                                   NanoTime now) {
+  if (open_[g] < 0) return;
+  const std::size_t idx = static_cast<std::size_t>(open_[g]);
+  IncidentRecord& rec = incidents_[idx];
+  if (!routed) {
+    if (rec.withdrawn_at == 0) {
+      rec.withdrawn_at = now;
+      // Loss stops accruing once upstream reroutes: the blackholed
+      // counter delta over [fault, withdraw] is the incident's loss.
+      rec.packets_lost =
+          harness_.platform().telemetry(harness_.pod(g)).blackholed -
+          harness_.blackhole_mark(g);
+      packets_lost_ += rec.packets_lost;
+    }
+    return;
+  }
+  if (rec.withdrawn_at != 0) close_incident(idx, now);
+}
+
+void RecoveryController::close_incident(std::size_t idx, NanoTime now) {
+  IncidentRecord& rec = incidents_[idx];
+  rec.recovered_at = now;
+  rec.recovered = true;
+  open_[rec.gateway] = -1;
+  ++recovered_;
+  detect_hist_.record(static_cast<std::uint64_t>(rec.detect_latency()));
+  blackhole_hist_.record(static_cast<std::uint64_t>(rec.blackhole_ns()));
+  recovery_hist_.record(static_cast<std::uint64_t>(rec.recovery_ns()));
+}
+
+std::string RecoveryController::timeline() const {
+  std::ostringstream os;
+  for (const auto& r : incidents_) {
+    os << fault_kind_name(r.kind) << " g" << r.gateway
+       << " fault=" << r.fault_at << " detect=" << r.detected_at
+       << " withdrawn=" << r.withdrawn_at
+       << " ready=" << r.replacement_ready_at
+       << " recovered=" << r.recovered_at << " lost=" << r.packets_lost
+       << (r.recovered ? "" : " OPEN") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace albatross

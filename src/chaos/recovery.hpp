@@ -1,0 +1,106 @@
+// RecoveryController: the availability control loop the paper implies
+// but never names. It subscribes to the harness's BFD and route events
+// and closes the failure-handling cycle: BFD detects (§4.3) -> the BGP
+// proxy withdraws the victim's VIP (Fig. 7) -> if the pod is dead, the
+// Orchestrator deploys a replacement via the make-before-break scale_up
+// machinery (§7, 10 s pod elasticity) -> the replacement re-announces
+// and traffic cuts over. Each incident's timeline — detection latency,
+// blackhole duration, packets lost, total recovery time — is recorded
+// into LogHistograms exported through MetricsRegistry, so every future
+// change can be scored on availability, not just Mpps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/harness.hpp"
+#include "common/histogram.hpp"
+
+namespace albatross {
+
+struct RecoveryConfig {
+  /// Deploy a replacement pod when the victim is actually dead; off =
+  /// detection/withdraw only (measure the blackhole, skip the rebuild).
+  bool redeploy_on_crash = true;
+};
+
+struct IncidentRecord {
+  FaultKind kind = FaultKind::kPodCrash;
+  std::uint16_t gateway = 0;
+  NanoTime fault_at = 0;
+  NanoTime detected_at = 0;    ///< switch-side BFD declared down
+  NanoTime withdrawn_at = 0;   ///< VIP gone from the switch RIB
+  NanoTime replacement_ready_at = 0;  ///< 0 = no redeploy needed
+  NanoTime cutover_at = 0;     ///< old placement released (redeploys)
+  NanoTime recovered_at = 0;   ///< VIP routed again
+  std::uint64_t packets_lost = 0;  ///< blackholed between fault & reroute
+  bool redeployed = false;
+  bool recovered = false;
+
+  [[nodiscard]] NanoTime detect_latency() const {
+    return detected_at - fault_at;
+  }
+  /// Traffic-to-nowhere window: fault -> routes pulled upstream.
+  [[nodiscard]] NanoTime blackhole_ns() const {
+    return withdrawn_at > fault_at ? withdrawn_at - fault_at : 0;
+  }
+  [[nodiscard]] NanoTime recovery_ns() const {
+    return recovered_at > fault_at ? recovered_at - fault_at : 0;
+  }
+};
+
+class RecoveryController {
+ public:
+  explicit RecoveryController(GatewayChaosHarness& harness,
+                              RecoveryConfig cfg = {});
+
+  /// Installs the harness callbacks. Call once, before running.
+  void arm();
+
+  [[nodiscard]] const std::vector<IncidentRecord>& incidents() const {
+    return incidents_;
+  }
+  [[nodiscard]] std::uint64_t incidents_opened() const { return opened_; }
+  [[nodiscard]] std::uint64_t incidents_recovered() const {
+    return recovered_;
+  }
+  [[nodiscard]] std::uint64_t redeploys() const { return redeploys_; }
+  [[nodiscard]] std::uint64_t packets_lost_total() const {
+    return packets_lost_;
+  }
+  [[nodiscard]] const LogHistogram& detect_latency_hist() const {
+    return detect_hist_;
+  }
+  [[nodiscard]] const LogHistogram& blackhole_hist() const {
+    return blackhole_hist_;
+  }
+  [[nodiscard]] const LogHistogram& recovery_hist() const {
+    return recovery_hist_;
+  }
+
+  /// Canonical text rendering of every incident (virtual-time
+  /// nanoseconds), used to assert deterministic replay: same plan +
+  /// same seed => byte-identical timeline.
+  [[nodiscard]] std::string timeline() const;
+
+ private:
+  void on_down(std::uint16_t g, NanoTime now);
+  void on_up(std::uint16_t g, NanoTime now);
+  void on_routed(std::uint16_t g, bool routed, NanoTime now);
+  void close_incident(std::size_t idx, NanoTime now);
+
+  GatewayChaosHarness& harness_;
+  RecoveryConfig cfg_;
+  std::vector<IncidentRecord> incidents_;
+  std::vector<std::ptrdiff_t> open_;  ///< per gateway: incident idx or -1
+  std::uint64_t opened_ = 0;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t redeploys_ = 0;
+  std::uint64_t packets_lost_ = 0;
+  LogHistogram detect_hist_;
+  LogHistogram blackhole_hist_;
+  LogHistogram recovery_hist_;
+};
+
+}  // namespace albatross

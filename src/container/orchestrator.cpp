@@ -31,6 +31,7 @@ std::optional<Placement> Orchestrator::deploy(const PodSpec& spec,
       p.pod = next_pod_id_++;
       p.numa_node = node;
       p.first_core = server.cores_used[node];
+      p.cores = spec.total_cores();
       p.ready_at = now + cfg_.pod_startup;
       p.vfs = *vfs;
       server.cores_used[node] =
@@ -48,11 +49,22 @@ bool Orchestrator::remove(PodId pod) {
       std::find_if(placements_.begin(), placements_.end(),
                    [pod](const Placement& p) { return p.pod == pod; });
   if (it == placements_.end()) return false;
-  // Core accounting is approximate on removal (fragmentation is not
-  // modelled; production compacts by rescheduling).
-  servers_[it->server].sriov.release(pod);
+  // Return the pod's cores to its NUMA node and its VFs to the NIC so a
+  // replacement can land on the same server (fragmentation within a node
+  // is still not modelled; production compacts by rescheduling).
+  Server& server = servers_[it->server];
+  server.cores_used[it->numa_node] = static_cast<std::uint16_t>(
+      server.cores_used[it->numa_node] - it->cores);
+  server.sriov.release(pod);
   placements_.erase(it);
   return true;
+}
+
+const Placement* Orchestrator::placement(PodId pod) const {
+  const auto it =
+      std::find_if(placements_.begin(), placements_.end(),
+                   [pod](const Placement& p) { return p.pod == pod; });
+  return it != placements_.end() ? &*it : nullptr;
 }
 
 std::optional<std::pair<Placement, NanoTime>> Orchestrator::scale_up(

@@ -27,6 +27,7 @@ struct Placement {
   PodId pod = 0;
   std::uint16_t numa_node = 0;
   std::uint16_t first_core = 0;    ///< node-local core offset
+  std::uint16_t cores = 0;         ///< cores charged to the node
   NanoTime ready_at = 0;           ///< deploy time + pod startup
   PodVfSet vfs;
 };
@@ -61,6 +62,8 @@ class Orchestrator {
   [[nodiscard]] const std::vector<Placement>& placements() const {
     return placements_;
   }
+  /// Placement of a live pod, or nullptr once removed.
+  [[nodiscard]] const Placement* placement(PodId pod) const;
   [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
 
   /// Fraction of data cores allocated across all servers.

@@ -6,7 +6,6 @@
 #include "traffic/microburst.hpp"
 
 namespace albatross {
-namespace {
 
 ServiceKind service_from_name(const std::string& name) {
   if (name == "vpc" || name == "vpc-vpc") return ServiceKind::kVpcVpc;
@@ -25,8 +24,6 @@ LbMode mode_from_name(const std::string& name) {
   if (name == "rss") return LbMode::kRss;
   throw std::runtime_error("unknown mode: " + name);
 }
-
-}  // namespace
 
 std::unique_ptr<Platform> build_platform_from_json(
     const JsonValue& cfg, std::vector<PodId>& pods_out) {

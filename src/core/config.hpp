@@ -38,6 +38,11 @@ struct ExperimentResult {
   NanoTime duration = 0;
 };
 
+/// Name -> enum helpers shared by every JSON loader (experiment and
+/// chaos configs). Throw std::runtime_error on unknown names.
+[[nodiscard]] ServiceKind service_from_name(const std::string& name);
+[[nodiscard]] LbMode mode_from_name(const std::string& name);
+
 /// Builds a Platform (+pods) from the config; `pods_out` receives the
 /// created pod ids in declaration order. Throws std::runtime_error on
 /// unknown service/mode names.

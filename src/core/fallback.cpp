@@ -7,11 +7,19 @@ FallbackWatchdog::FallbackWatchdog(Platform& platform, PodId pod,
     : platform_(platform), pod_(pod), cfg_(cfg) {}
 
 void FallbackWatchdog::arm() {
-  if (!cfg_.enabled) return;
+  if (!cfg_.enabled || armed_) return;
+  armed_ = true;
   last_check_ = platform_.loop().now();
   last_timeouts_ =
       platform_.nic().engine(pod_).total_stats().timeout_releases;
   platform_.loop().schedule_in(cfg_.check_period, [this] { check(); });
+}
+
+void FallbackWatchdog::rearm() {
+  if (!triggered_) return;
+  platform_.nic().set_pod_mode(pod_, LbMode::kPlb);
+  triggered_ = false;
+  bad_windows_ = 0;
 }
 
 void FallbackWatchdog::check() {
@@ -34,14 +42,16 @@ void FallbackWatchdog::check() {
       // packets simply stop reserving PSNs).
       platform_.nic().set_pod_mode(pod_, LbMode::kRss);
       triggered_ = true;
+      ++trips_;
       triggered_at_ = now;
     }
   } else {
     bad_windows_ = 0;
   }
-  if (!triggered_) {
-    platform_.loop().schedule_in(cfg_.check_period, [this] { check(); });
-  }
+  // Keep sampling even after a trip: the counters stay fresh, a later
+  // rearm() picks up monitoring with no gap, and repeated episodes after
+  // a rearm can trip the fallback again.
+  platform_.loop().schedule_in(cfg_.check_period, [this] { check(); });
 }
 
 }  // namespace albatross

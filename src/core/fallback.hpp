@@ -30,8 +30,16 @@ class FallbackWatchdog {
   /// Starts periodic checks on the platform's event loop.
   void arm();
 
+  /// Returns the pod to PLB mode and resumes watching for the next
+  /// episode. A no-op unless tripped. Monitoring itself never stops on a
+  /// trip (the watchdog keeps sampling), so rearm() can be called at any
+  /// later virtual time — e.g. by the recovery controller once the
+  /// underlying NIC fault clears.
+  void rearm();
+
   [[nodiscard]] bool triggered() const { return triggered_; }
   [[nodiscard]] NanoTime triggered_at() const { return triggered_at_; }
+  [[nodiscard]] std::uint64_t trip_count() const { return trips_; }
   [[nodiscard]] std::uint64_t checks_run() const { return checks_; }
   [[nodiscard]] double last_hol_rate() const { return last_rate_; }
 
@@ -45,7 +53,9 @@ class FallbackWatchdog {
   NanoTime last_check_ = 0;
   int bad_windows_ = 0;
   bool triggered_ = false;
+  bool armed_ = false;
   NanoTime triggered_at_ = 0;
+  std::uint64_t trips_ = 0;
   std::uint64_t checks_ = 0;
   double last_rate_ = 0.0;
 };

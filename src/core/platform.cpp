@@ -40,6 +40,7 @@ PodId Platform::create_pod(const GwPodConfig& pod_cfg,
   pods_.push_back(std::move(pod));
   telemetry_.emplace_back();
   armed_deadline_.push_back(0);
+  offline_.push_back(false);
   return id;
 }
 
@@ -69,6 +70,12 @@ void Platform::handle_ingress(PacketPtr pkt, PodId pod, NanoTime now) {
   ++tel.offered;
   TenantCounters& tc = tenants_[pkt->vni];
   ++tc.offered;
+  if (offline_[pod]) {
+    // The pod is dead but routes still point at it: the packet vanishes.
+    ++tel.blackholed;
+    ++tc.dropped_other;
+    return;
+  }
 
   IngressResult r = nic_.ingress(std::move(pkt), pod, now);
   switch (r.outcome) {
@@ -156,6 +163,10 @@ void Platform::arm_reorder_timer(PodId pod) {
     handle_emissions(nic_.drain_expired(pod, loop_.now()), pod);
     arm_reorder_timer(pod);
   });
+}
+
+void Platform::set_pod_offline(PodId pod, bool offline) {
+  offline_[pod] = offline;
 }
 
 const TenantCounters& Platform::tenant(Vni vni) const {

@@ -51,6 +51,7 @@ struct PodTelemetry {
   std::uint64_t delivered_disordered = 0;
   std::uint64_t dropped_rate_limit = 0;
   std::uint64_t dropped_reorder_full = 0;
+  std::uint64_t blackholed = 0;  ///< arrived while the pod was offline
   std::uint64_t flow_order_violations = 0;  ///< oracle per-flow check
 
   [[nodiscard]] double disorder_rate() const {
@@ -105,6 +106,13 @@ class Platform {
   /// Resets telemetry counters/histograms (post-warmup).
   void reset_telemetry();
 
+  /// Fault injection (chaos subsystem): an offline pod blackholes its
+  /// ingress — packets are counted in PodTelemetry::blackholed and
+  /// freed, exactly what upstream routers see between a pod dying and
+  /// its routes being withdrawn.
+  void set_pod_offline(PodId pod, bool offline);
+  [[nodiscard]] bool pod_offline(PodId pod) const { return offline_[pod]; }
+
   /// Starts the ctrl-core housekeeping loop: periodic aging of per-core
   /// conntrack partitions and (when enabled) the FPGA session-offload
   /// table — the table-aging work Tofino could not do on-chip (§2.1)
@@ -137,6 +145,7 @@ class Platform {
   std::vector<SourceBinding> sources_;
 
   std::vector<NanoTime> armed_deadline_;  ///< per pod, 0 = none
+  std::vector<bool> offline_;             ///< per pod blackhole switch
 
   bool order_oracle_ = false;
   std::uint64_t housekeeping_reclaimed_ = 0;

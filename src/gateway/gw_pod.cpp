@@ -59,6 +59,7 @@ void GwPod::start_core(CoreId core_id, NanoTime now) {
   ServiceOutcome outcome =
       service_->process(*pkt, core_id, !sprayed, now, rng_);
   outcome.cpu_ns += balancer_.maybe_stall(now, recent_load_);
+  if (now < core.stall_until) outcome.cpu_ns += core.stall_until - now;
 
   const NanoTime done = now + outcome.cpu_ns;
   core.busy_ns += outcome.cpu_ns;
@@ -141,6 +142,13 @@ std::uint64_t GwPod::core_processed(CoreId core) const {
 
 std::uint64_t GwPod::core_ring_drops(CoreId core) const {
   return cores_[core % cores_.size()]->ring.stats().drops;
+}
+
+void GwPod::inject_core_stall(CoreId core, NanoTime duration, NanoTime now) {
+  Core& c = *cores_[core % cores_.size()];
+  const NanoTime until = now + duration;
+  if (until > c.stall_until) c.stall_until = until;
+  ++core_stalls_;
 }
 
 }  // namespace albatross

@@ -78,11 +78,19 @@ class GwPod {
   Service& service() { return *service_; }
   NumaBalancer& balancer() { return balancer_; }
 
+  /// Fault injection (chaos subsystem): freezes one data core until
+  /// `now + duration` — packets landing on it during the window pay the
+  /// remaining stall on top of their service time, so its RX ring backs
+  /// up exactly like a run loop wedged on a lock.
+  void inject_core_stall(CoreId core, NanoTime duration, NanoTime now);
+  [[nodiscard]] std::uint64_t core_stalls() const { return core_stalls_; }
+
  private:
   struct Core {
     PacketRing ring;
     bool busy = false;
     NanoTime busy_ns = 0;
+    NanoTime stall_until = 0;
     std::uint64_t processed = 0;
     Core(std::size_t cap) : ring(cap) {}
   };
@@ -100,6 +108,7 @@ class GwPod {
   EgressFn egress_;
   ProtocolFn protocol_;
   GwPodStats stats_;
+  std::uint64_t core_stalls_ = 0;
   LogHistogram service_hist_;
   double recent_load_ = 0.0;  ///< smoothed, drives the balancer model
 };

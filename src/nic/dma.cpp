@@ -5,8 +5,11 @@ namespace albatross {
 NanoTime DmaChannel::transfer(NanoTime now, std::size_t bytes) {
   ++stats_.transfers;
   stats_.bytes += bytes;
+  const bool faulty = now < fault_until_;
+  if (faulty) ++stats_.faulted_transfers;
+  const double slow = faulty ? fault_slowdown_ : 1.0;
   const auto wire_ns = static_cast<NanoTime>(
-      static_cast<double>(bytes) * 8.0 / cfg_.bandwidth_gbps);
+      static_cast<double>(bytes) * 8.0 * slow / cfg_.bandwidth_gbps);
   const NanoTime start = channel_free_ > now ? channel_free_ : now;
   // Descriptor pressure: if the backlog (time the channel is booked
   // ahead) exceeds what the descriptor ring can cover at the average

@@ -22,6 +22,7 @@ struct DmaStats {
   std::uint64_t transfers = 0;
   std::uint64_t bytes = 0;
   std::uint64_t descriptor_stalls = 0;
+  std::uint64_t faulted_transfers = 0;  ///< completed inside a fault window
 };
 
 /// One DMA direction (RX toward host or TX toward wire) of one NIC.
@@ -37,9 +38,20 @@ class DmaChannel {
   [[nodiscard]] const DmaConfig& config() const { return cfg_; }
   void set_config(const DmaConfig& cfg) { cfg_ = cfg; }
 
+  /// Fault injection (chaos subsystem): transfers submitted before
+  /// `until` pay `slowdown`x latency, modelling a PCIe error-retry storm
+  /// or a degraded DMA engine. The window replaces any earlier one.
+  void inject_fault(NanoTime until, double slowdown = 8.0) {
+    fault_until_ = until;
+    fault_slowdown_ = slowdown > 1.0 ? slowdown : 1.0;
+  }
+  [[nodiscard]] bool faulted(NanoTime now) const { return now < fault_until_; }
+
  private:
   DmaConfig cfg_;
   NanoTime channel_free_ = 0;
+  NanoTime fault_until_ = 0;
+  double fault_slowdown_ = 1.0;
   DmaStats stats_;
 };
 

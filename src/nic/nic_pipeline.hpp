@@ -113,6 +113,22 @@ class NicPipeline {
   /// Ingress latency the NIC adds before DMA (Tab. 4 RX sum sans DMA).
   [[nodiscard]] NanoTime rx_pipeline_latency(bool plb) const;
 
+  // --- fault injection (chaos subsystem) -------------------------------
+  /// Degrades both DMA directions of a pod's slice until `until`
+  /// (latency multiplied by `slowdown`), modelling PCIe error retries.
+  void inject_dma_fault(PodId pod, NanoTime until, double slowdown = 8.0) {
+    slice(pod).dma_rx.inject_fault(until, slowdown);
+    slice(pod).dma_tx.inject_fault(until, slowdown);
+  }
+  /// Wedges the pod's reorder module until `until`.
+  void inject_reorder_stall(PodId pod, NanoTime until) {
+    slice(pod).plb->inject_reorder_stall(until);
+  }
+  [[nodiscard]] std::uint64_t dma_faulted_transfers(PodId pod) const {
+    return pods_[pod].dma_rx.stats().faulted_transfers +
+           pods_[pod].dma_tx.stats().faulted_transfers;
+  }
+
  private:
   struct PodSlice {
     std::unique_ptr<PlbEngine> plb;

@@ -68,6 +68,12 @@ class PlbEngine {
   /// reorder FIFO was full.
   [[nodiscard]] std::uint64_t ingress_drops() const { return ingress_drops_; }
 
+  /// Fault injection (chaos subsystem): wedges every reorder queue's
+  /// check logic until `until`.
+  void inject_reorder_stall(NanoTime until) {
+    for (auto& q : queues_) q->inject_stall(until);
+  }
+
  private:
   PlbEngineConfig cfg_;
   std::vector<std::unique_ptr<ReorderQueue>> queues_;

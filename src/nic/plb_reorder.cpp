@@ -63,6 +63,9 @@ void ReorderQueue::writeback(PacketPtr pkt, const PlbMeta& meta, NanoTime now,
 }
 
 void ReorderQueue::drain(NanoTime now, std::vector<ReorderEgress>& out) {
+  // Injected module stall: the reorder check clock is frozen, nothing
+  // leaves the queue until the stall window ends.
+  if (now < stuck_until_) return;
   while (head_ != tail_) {
     const std::uint32_t s = slot(head_);
     BitmapEntry& be = bitmap_[s];
@@ -123,7 +126,11 @@ void ReorderQueue::drain(NanoTime now, std::vector<ReorderEgress>& out) {
 
 std::optional<NanoTime> ReorderQueue::head_deadline() const {
   if (head_ == tail_) return std::nullopt;
-  return fifo_ts_[head_ & (entries_ - 1)] + timeout_;
+  const NanoTime deadline = fifo_ts_[head_ & (entries_ - 1)] + timeout_;
+  // While stalled the check cannot run, so the effective deadline is the
+  // stall end; returning the past deadline would re-arm a timer at the
+  // current virtual time forever.
+  return deadline > stuck_until_ ? deadline : stuck_until_;
 }
 
 std::size_t ReorderQueue::bram_bytes() const {

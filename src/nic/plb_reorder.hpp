@@ -76,6 +76,15 @@ class ReorderQueue {
   /// Virtual time at which the current head times out (Case 1), if any.
   [[nodiscard]] std::optional<NanoTime> head_deadline() const;
 
+  /// Fault injection (chaos subsystem): freezes the reorder check until
+  /// `until`, modelling a wedged FPGA reorder module. Dispatch and
+  /// write-back keep filling the structures; drain() refuses to emit, so
+  /// HOL timeouts pile up and release in a burst once the stall lifts.
+  void inject_stall(NanoTime until) {
+    if (until > stuck_until_) stuck_until_ = until;
+  }
+  [[nodiscard]] bool stalled(NanoTime now) const { return now < stuck_until_; }
+
   [[nodiscard]] std::uint32_t in_flight() const { return tail_ - head_; }
   [[nodiscard]] std::uint32_t capacity() const { return entries_; }
   [[nodiscard]] const ReorderQueueStats& stats() const { return stats_; }
@@ -104,6 +113,7 @@ class ReorderQueue {
   std::vector<NanoTime> fifo_ts_;
   std::uint32_t head_ = 0;  // free-running
   std::uint32_t tail_ = 0;  // free-running; next PSN to assign
+  NanoTime stuck_until_ = 0;
   std::vector<PacketPtr> buf_;
   std::vector<PlbMeta> buf_meta_;
   std::vector<BitmapEntry> bitmap_;

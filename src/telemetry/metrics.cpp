@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "chaos/recovery.hpp"
 #include "core/platform.hpp"
 
 namespace albatross {
@@ -127,6 +128,16 @@ void register_platform_metrics(MetricsRegistry& registry,
           return static_cast<double>(
               platform.telemetry(pod).dropped_rate_limit);
         });
+    registry.register_counter(
+        "albatross_pod_blackholed_packets", l,
+        [&platform, pod] {
+          return static_cast<double>(platform.telemetry(pod).blackholed);
+        },
+        "packets lost to an offline pod (chaos faults)");
+    registry.register_gauge(
+        "albatross_pod_offline", l,
+        [&platform, pod] { return platform.pod_offline(pod) ? 1.0 : 0.0; },
+        "1 while the pod blackholes ingress");
     registry.register_histogram(
         "albatross_pod_wire_latency_ns", l,
         [&platform, pod] { return &platform.telemetry(pod).wire_latency; },
@@ -160,6 +171,47 @@ void register_platform_metrics(MetricsRegistry& registry,
       "albatross_cache_l3_hit_rate", {},
       [&platform] { return platform.cache().l3_hit_rate(); },
       "modelled shared-L3 hit rate for the current working set");
+}
+
+void register_chaos_metrics(MetricsRegistry& registry,
+                            const RecoveryController& controller,
+                            const FaultInjector* injector) {
+  registry.register_counter(
+      "albatross_chaos_incidents_total", {},
+      [&controller] {
+        return static_cast<double>(controller.incidents_opened());
+      },
+      "incidents opened by the recovery controller (BFD detections)");
+  registry.register_counter(
+      "albatross_chaos_incidents_recovered", {}, [&controller] {
+        return static_cast<double>(controller.incidents_recovered());
+      });
+  registry.register_counter(
+      "albatross_chaos_redeploys_total", {},
+      [&controller] { return static_cast<double>(controller.redeploys()); },
+      "replacement pods deployed after crashes");
+  registry.register_counter(
+      "albatross_chaos_packets_lost_total", {}, [&controller] {
+        return static_cast<double>(controller.packets_lost_total());
+      });
+  registry.register_histogram(
+      "albatross_chaos_detect_latency_ns", {},
+      [&controller] { return &controller.detect_latency_hist(); },
+      "fault injection to BFD detection");
+  registry.register_histogram(
+      "albatross_chaos_blackhole_ns", {},
+      [&controller] { return &controller.blackhole_hist(); },
+      "fault injection to upstream route withdrawal");
+  registry.register_histogram(
+      "albatross_chaos_recovery_ns", {},
+      [&controller] { return &controller.recovery_hist(); },
+      "fault injection to traffic restored");
+  if (injector != nullptr) {
+    registry.register_counter(
+        "albatross_chaos_faults_injected", {},
+        [injector] { return static_cast<double>(injector->stats().applied); },
+        "fault events applied by the injector");
+  }
 }
 
 }  // namespace albatross

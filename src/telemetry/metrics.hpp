@@ -64,11 +64,21 @@ class MetricsRegistry {
   std::vector<Entry> entries_;
 };
 
-class Platform;  // forward; defined in core/platform.hpp
+class Platform;            // forward; defined in core/platform.hpp
+class RecoveryController;  // forward; defined in chaos/recovery.hpp
+class FaultInjector;       // forward; defined in chaos/injector.hpp
 
 /// Wires a platform's live statistics into a registry: per-pod offered/
-/// delivered/drops, wire-latency quantiles, reorder-engine counters,
-/// GOP verdicts and pkt_dir classification counts.
+/// delivered/drops (including chaos blackholes), wire-latency quantiles,
+/// reorder-engine counters, GOP verdicts and pkt_dir classification
+/// counts.
 void register_platform_metrics(MetricsRegistry& registry, Platform& platform);
+
+/// Wires the chaos/recovery subsystem into a registry: incident
+/// counters, packets lost, and the detect/blackhole/recovery latency
+/// histograms (plus injector totals when given).
+void register_chaos_metrics(MetricsRegistry& registry,
+                            const RecoveryController& controller,
+                            const FaultInjector* injector = nullptr);
 
 }  // namespace albatross

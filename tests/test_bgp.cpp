@@ -8,6 +8,7 @@
 #include "bgp/proxy.hpp"
 #include "bgp/session.hpp"
 #include "bgp/switch_model.hpp"
+#include "chaos/harness.hpp"
 
 namespace albatross {
 namespace {
@@ -218,6 +219,49 @@ TEST(Bfd, DetectsLossAfterThreeMissedProbes) {
   link_ok = true;
   loop.run_until(loop.now() + 300 * kMillisecond);
   EXPECT_EQ(a.state(), BfdState::kUp);
+}
+
+// ---------------------------------------------- dual-proxy failover
+
+TEST(DualBgpProxy, VipSurvivesProxyCrashAndRejoinsOnRestore) {
+  // Full-stack version of the §5 redundancy claim: every gateway holds
+  // an iBGP session to BOTH proxies, so killing one proxy's uplink
+  // leaves the VIP routed via the other, with no BFD incident.
+  ChaosHarnessConfig cfg;
+  cfg.gateways = 1;
+  cfg.dual_proxy = true;
+  GatewayChaosHarness harness(cfg);
+  harness.platform().run_until(8 * kSecond);  // initial convergence
+  ASSERT_TRUE(harness.vip_routed(0));
+  ASSERT_EQ(harness.proxy_count(), 2u);
+
+  harness.crash_proxy(0, harness.loop().now());
+  harness.platform().run_until(harness.loop().now() + 5 * kSecond);
+  EXPECT_TRUE(harness.vip_routed(0));  // standby path still installed
+  EXPECT_EQ(harness.proxy(0).uplink_session().state(), BgpState::kIdle);
+  EXPECT_EQ(harness.counters().gateway_down_events, 0u);  // no incident
+
+  // Restored proxy re-establishes and re-learns the VIP from its pod
+  // session's adj-rib-out flush.
+  harness.restore_proxy(0, harness.loop().now());
+  harness.platform().run_until(harness.loop().now() + 10 * kSecond);
+  EXPECT_EQ(harness.proxy(0).uplink_session().state(),
+            BgpState::kEstablished);
+  const BgpSession* sw0 = harness.proxy(0).uplink_session().peer();
+  EXPECT_EQ(sw0->rib_in().count(harness.vip(0)), 1u);
+  EXPECT_TRUE(harness.vip_routed(0));
+}
+
+TEST(DualBgpProxy, LosingBothProxiesUnroutesTheVip) {
+  ChaosHarnessConfig cfg;
+  cfg.gateways = 1;
+  GatewayChaosHarness harness(cfg);
+  harness.platform().run_until(8 * kSecond);
+  ASSERT_TRUE(harness.vip_routed(0));
+  harness.crash_proxy(0, harness.loop().now());
+  harness.crash_proxy(1, harness.loop().now());
+  harness.platform().run_until(harness.loop().now() + 5 * kSecond);
+  EXPECT_FALSE(harness.vip_routed(0));
 }
 
 }  // namespace

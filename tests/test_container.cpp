@@ -114,6 +114,61 @@ TEST(Orchestrator, SpillsToSecondServer) {
   EXPECT_EQ(servers.size(), 2u);
 }
 
+TEST(Orchestrator, RemoveReturnsCoresAndVfs) {
+  // Regression: remove() used to return only the VFs, leaking the NUMA
+  // core reservation and making every crash->redeploy cycle shrink the
+  // server until deploys failed.
+  Orchestrator orch;
+  orch.add_server(ServerSpec{});
+  PodSpec spec;
+  spec.data_cores = 44;
+  spec.ctrl_cores = 2;
+  const auto p1 = orch.deploy(spec, 0);
+  const auto p2 = orch.deploy(spec, 0);
+  ASSERT_TRUE(p1.has_value());
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p1->cores, 46);
+  ASSERT_FALSE(orch.deploy(spec, 0).has_value());  // server full
+
+  ASSERT_TRUE(orch.remove(p1->pod));
+  EXPECT_EQ(orch.placement(p1->pod), nullptr);
+  EXPECT_NE(orch.placement(p2->pod), nullptr);
+  EXPECT_NEAR(orch.core_utilization(), 46.0 / 96.0, 1e-9);
+
+  // The freed node must accept a replacement — repeatedly.
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    const auto r = orch.deploy(spec, 0);
+    ASSERT_TRUE(r.has_value()) << "cycle " << cycle;
+    EXPECT_EQ(r->vfs.vfs.size(), 4u);
+    ASSERT_TRUE(orch.remove(r->pod));
+  }
+  EXPECT_NEAR(orch.core_utilization(), 46.0 / 96.0, 1e-9);
+  EXPECT_FALSE(orch.remove(p1->pod));  // double-remove refused
+}
+
+TEST(Orchestrator, CrashRedeployViaScaleUpKeepsCapacityStable) {
+  // The recovery controller's crash path: scale_up a same-size
+  // replacement, then remove the victim at cutover. Capacity must be
+  // identical after any number of incidents.
+  Orchestrator orch;
+  orch.add_server(ServerSpec{});
+  PodSpec spec;
+  spec.data_cores = 20;
+  spec.ctrl_cores = 2;
+  auto p = orch.deploy(spec, 0);
+  ASSERT_TRUE(p.has_value());
+  PodId pod = p->pod;
+  const double base = orch.core_utilization();
+  for (int i = 0; i < 5; ++i) {
+    const auto r = orch.scale_up(pod, spec, (i + 1) * kSecond);
+    ASSERT_TRUE(r.has_value());
+    ASSERT_TRUE(orch.remove(pod));
+    pod = r->first.pod;
+    EXPECT_DOUBLE_EQ(orch.core_utilization(), base);
+  }
+  EXPECT_EQ(orch.placements().size(), 1u);
+}
+
 TEST(AzCostModel, Fig15CostAndPowerArithmetic) {
   AzCostModel model;
   const auto legacy = model.legacy_az();

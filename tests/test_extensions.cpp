@@ -126,6 +126,52 @@ TEST(FallbackWatchdog, TripsUnderSustainedHol) {
   EXPECT_GE(dog.checks_run(), 3u);
 }
 
+TEST(FallbackWatchdog, KeepsMonitoringAfterTripAndRearms) {
+  // The watchdog must not go blind after tripping: checks continue, and
+  // rearm() returns the pod to PLB so a second episode can trip again.
+  auto s = SinglePodScenario::make(ServiceKind::kVpcVpc, 2, LbMode::kPlb,
+                                   200, 20'000, /*drop_flag=*/false);
+  HeavyHitterConfig bad;
+  bad.flow = make_flow(0xdead, 3, 0);
+  bad.flow.tuple.dst_ip = Ipv4Address::from_octets(9, 9, 9, 5);
+  bad.profile = RateProfile{{0, 500'000.0}};  // pathological forever
+  s.platform->attach_source(std::make_unique<HeavyHitterSource>(bad), s.pod);
+
+  FallbackWatchdog dog(*s.platform, s.pod,
+                       FallbackWatchdogConfig{.enabled = true,
+                                              .check_period = 5 * kMillisecond,
+                                              .hol_rate_threshold = 1000.0,
+                                              .consecutive_windows = 3});
+  dog.arm();
+  dog.arm();  // idempotent: must not double the check chain
+  s.platform->run_until(200 * kMillisecond);
+  ASSERT_TRUE(dog.triggered());
+  EXPECT_EQ(dog.trip_count(), 1u);
+  const auto checks_at_trip = dog.checks_run();
+
+  // Sampling continued past the trip.
+  s.platform->run_until(300 * kMillisecond);
+  EXPECT_GT(dog.checks_run(), checks_at_trip);
+
+  // Operator (or recovery controller) re-arms: back to PLB...
+  dog.rearm();
+  EXPECT_FALSE(dog.triggered());
+  EXPECT_EQ(s.platform->nic().pod_mode(s.pod), LbMode::kPlb);
+  EXPECT_EQ(dog.trip_count(), 1u);
+
+  // ...and the still-pathological workload trips it a second time.
+  s.platform->run_until(600 * kMillisecond);
+  EXPECT_TRUE(dog.triggered());
+  EXPECT_EQ(dog.trip_count(), 2u);
+  EXPECT_EQ(s.platform->nic().pod_mode(s.pod), LbMode::kRss);
+
+  // Second rearm clears it again; rearm on an untripped dog is a no-op.
+  dog.rearm();
+  dog.rearm();
+  EXPECT_EQ(dog.trip_count(), 2u);
+  EXPECT_EQ(s.platform->nic().pod_mode(s.pod), LbMode::kPlb);
+}
+
 TEST(FallbackWatchdog, QuietPodStaysOnPlb) {
   auto s = SinglePodScenario::make(ServiceKind::kVpcVpc, 2, LbMode::kPlb);
   PoissonFlowConfig bg;

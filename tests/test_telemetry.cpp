@@ -2,6 +2,7 @@
 // round-trip, parser, v6 Toeplitz with the published test vectors).
 #include <gtest/gtest.h>
 
+#include "chaos/recovery.hpp"
 #include "core/scenario.hpp"
 #include "packet/parser.hpp"
 #include "telemetry/metrics.hpp"
@@ -72,6 +73,51 @@ TEST(Metrics, PlatformRegistrationCoversPodsAndGop) {
   EXPECT_LE(delivered, offered);
   EXPECT_GT(hit_rate, 0.2);
   EXPECT_LT(hit_rate, 0.6);
+}
+
+TEST(Metrics, ChaosRegistrationExportsIncidentCountersAndHistograms) {
+  ChaosHarnessConfig cfg;
+  cfg.gateways = 1;
+  GatewayChaosHarness harness(cfg);
+  harness.attach_background_traffic(0, 20'000.0, 50);
+  RecoveryController controller(harness);
+  controller.arm();
+  FaultPlan plan;
+  plan.events.push_back({8 * kSecond, FaultKind::kPodCrash, 0, 0, 0.0});
+  FaultInjector injector(harness.loop(), harness);
+  injector.schedule(plan);
+
+  MetricsRegistry reg;
+  register_platform_metrics(reg, harness.platform());
+  register_chaos_metrics(reg, controller, &injector);
+
+  harness.platform().run_until(9 * kSecond);  // crash detected + withdrawn
+  const std::string text = reg.expose();
+  for (const char* name :
+       {"albatross_chaos_incidents_total", "albatross_chaos_redeploys_total",
+        "albatross_chaos_packets_lost_total",
+        "albatross_chaos_detect_latency_ns", "albatross_chaos_blackhole_ns",
+        "albatross_chaos_recovery_ns", "albatross_chaos_faults_injected",
+        "albatross_pod_blackholed_packets", "albatross_pod_offline"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("albatross_chaos_incidents_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("albatross_chaos_faults_injected 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("albatross_pod_offline{pod=\"0\"} 1"),
+            std::string::npos);
+
+  // Values are live: once the replacement cuts over, the incident
+  // histograms are fed and the offline gauge drops back to 0.
+  harness.platform().run_until(25 * kSecond);
+  const std::string after = reg.expose();
+  EXPECT_NE(after.find("albatross_chaos_incidents_recovered 1"),
+            std::string::npos);
+  EXPECT_NE(after.find("albatross_pod_offline{pod=\"0\"} 0"),
+            std::string::npos);
+  EXPECT_NE(after.find("albatross_chaos_recovery_ns_count 1"),
+            std::string::npos);
 }
 
 // ------------------------------------------------------------------ IPv6

@@ -9,6 +9,10 @@
 //                 [--duration-ms T] [--hitter-mpps R] [--drop-flag 0|1]
 //                 [--offload] [--metrics]
 //   albatross_sim --config experiment.json    (see core/config.hpp schema)
+//   albatross_sim chaos --plan chaos.json [--metrics]
+//                 (see chaos/experiment.hpp schema; replays a fault plan
+//                  against a gateway fleet and prints the incident
+//                  timeline — same plan + seed => identical output)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -16,6 +20,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "chaos/experiment.hpp"
 #include "core/config.hpp"
 #include "core/platform.hpp"
 #include "core/scenario.hpp"
@@ -93,9 +98,64 @@ bool parse_args(int argc, char** argv, Options& opt) {
   return true;
 }
 
+int run_chaos(int argc, char** argv) {
+  const char* plan_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--plan" && i + 1 < argc) {
+      plan_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: albatross_sim chaos --plan chaos.json\n");
+      return 2;
+    }
+  }
+  if (plan_path == nullptr) {
+    std::fprintf(stderr, "usage: albatross_sim chaos --plan chaos.json\n");
+    return 2;
+  }
+  std::ifstream in(plan_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", plan_path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const auto r = run_chaos_experiment_from_json(text.str());
+    std::printf("chaos: %u gateways, %lld ms, %llu faults injected "
+                "(%llu cleared)\n",
+                r.gateways,
+                static_cast<long long>(r.duration / kMillisecond),
+                static_cast<unsigned long long>(r.injected.applied),
+                static_cast<unsigned long long>(r.injected.cleared));
+    std::printf("  incidents    : %zu opened, %llu withdraws, %llu "
+                "redeploys\n",
+                r.incidents.size(),
+                static_cast<unsigned long long>(r.harness.withdraws),
+                static_cast<unsigned long long>(r.harness.redeploys));
+    std::printf("  packets      : %llu delivered, %llu blackholed, %llu "
+                "lost to incidents\n",
+                static_cast<unsigned long long>(r.delivered_total),
+                static_cast<unsigned long long>(r.blackholed_total),
+                static_cast<unsigned long long>(r.packets_lost));
+    std::printf("  detect  (us) : %s\n", r.detect_summary.c_str());
+    std::printf("  recover (us) : %s\n", r.recovery_summary.c_str());
+    std::printf("timeline:\n%s", r.timeline.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Chaos mode: replay a fault plan against a gateway fleet.
+  if (argc >= 2 && std::string(argv[1]) == "chaos") {
+    return run_chaos(argc, argv);
+  }
+
   // Declarative mode: --config file.json runs a whole experiment spec.
   if (argc == 3 && std::string(argv[1]) == "--config") {
     std::ifstream in(argv[2]);
