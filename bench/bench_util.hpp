@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "check/trace_gen.hpp"
 #include "core/platform.hpp"
 #include "core/scenario.hpp"
 #include "traffic/flow_gen.hpp"
@@ -47,12 +48,8 @@ inline SaturationResult measure_saturation(ServiceKind service,
                                            NanoTime duration,
                                            std::uint64_t seed = 1) {
   auto s = SinglePodScenario::make(service, cores, mode);
-  PoissonFlowConfig cfg;
-  cfg.num_flows = 20'000;  // scaled stand-in for 500K concurrent flows
-  cfg.tenants = 200;
-  cfg.rate_pps = offered_pps;
-  cfg.seed = seed;
-  s.platform->attach_source(std::make_unique<PoissonFlowSource>(cfg), s.pod);
+  s.platform->attach_source(check::make_background_source(offered_pps, seed),
+                            s.pod);
 
   // Warmup fifth, then measure.
   const NanoTime warmup = duration / 5;

@@ -1,0 +1,122 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/platform.hpp"
+
+namespace albatross::check {
+
+FuzzReport run_trace(const FuzzTrace& trace) {
+  const TraceScenario& sc = trace.scenario;
+
+  PlatformConfig pc;
+  pc.tenants = sc.tenants;
+  pc.routes = 2'000;
+  pc.tables_data_cores = sc.data_cores;
+  // Scaled-down GOP so the two-stage limiter actually meters (and the
+  // conformance probe sees real boundary decisions) at fuzz volumes.
+  pc.nic.gop.stage1_rate_pps = sc.gop_stage1_pps;
+  pc.nic.gop.stage2_rate_pps = sc.gop_stage2_pps;
+  pc.nic.gop.burst_seconds = sc.gop_burst_seconds;
+  Platform platform(pc);
+
+  GwPodConfig gp;
+  gp.service = sc.service;
+  gp.data_cores = sc.data_cores;
+  gp.drop_flag_enabled = sc.drop_flag;
+  gp.seed = sc.seed | 1;
+  const PodId pod = platform.create_pod(gp, 0, PktDirConfig{}, sc.mode);
+
+  ConformanceHarness harness;
+  harness.attach(platform);
+
+  // Fault ops are scheduled directly on the loop so they fire between
+  // packet arrivals at their exact trace timestamps.
+  for (const auto& op : trace.ops) {
+    switch (op.kind) {
+      case TraceOpKind::kPacket:
+        break;
+      case TraceOpKind::kReorderStall:
+        platform.loop().schedule_at(op.at, [&platform, pod, op] {
+          platform.nic().inject_reorder_stall(
+              pod, platform.loop().now() + op.duration);
+        });
+        break;
+      case TraceOpKind::kDmaFault:
+        platform.loop().schedule_at(op.at, [&platform, pod, op] {
+          platform.nic().inject_dma_fault(
+              pod, platform.loop().now() + op.duration,
+              op.magnitude > 1.0 ? op.magnitude : 8.0);
+        });
+        break;
+      case TraceOpKind::kCoreStall:
+        platform.loop().schedule_at(op.at, [&platform, pod, op] {
+          platform.pod(pod).inject_core_stall(op.core, op.duration,
+                                              platform.loop().now());
+        });
+        break;
+    }
+  }
+
+  platform.attach_source(std::make_unique<TraceSource>(trace), pod);
+
+  // Drain to quiesce: the source is finite and reorder timers terminate,
+  // so run() ends once the last in-flight packet resolves.
+  platform.loop().run();
+
+  harness.finish();
+
+  FuzzReport report;
+  report.violations = harness.log().total();
+  report.details = harness.log().entries();
+  report.packets = trace.packet_count();
+  report.offered = platform.telemetry(pod).offered;
+  report.delivered = platform.telemetry(pod).delivered;
+  report.events = platform.loop().events_processed();
+  report.ledger_checked = !harness.ledger_skipped();
+  harness.detach();
+  return report;
+}
+
+FuzzTrace shrink_trace(const FuzzTrace& failing, std::size_t max_runs) {
+  FuzzTrace best = failing;
+  if (best.ops.empty() || max_runs == 0) return best;
+
+  std::size_t runs = 0;
+  std::size_t chunk = std::max<std::size_t>(1, best.ops.size() / 2);
+  while (chunk >= 1 && runs < max_runs) {
+    bool removed_any = false;
+    for (std::size_t start = 0;
+         start < best.ops.size() && runs < max_runs;) {
+      FuzzTrace candidate = best;
+      const std::size_t end = std::min(start + chunk, candidate.ops.size());
+      candidate.ops.erase(candidate.ops.begin() + static_cast<std::ptrdiff_t>(start),
+                          candidate.ops.begin() + static_cast<std::ptrdiff_t>(end));
+      ++runs;
+      if (!candidate.ops.empty() && run_trace(candidate).violated()) {
+        best = std::move(candidate);  // keep the cut, retry same offset
+        removed_any = true;
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;
+    chunk = chunk > 1 ? chunk / 2 : 1;
+  }
+  return best;
+}
+
+FuzzOutcome fuzz_one(std::uint64_t seed, std::uint64_t ticks,
+                     ChaosMode chaos) {
+  FuzzOutcome out;
+  out.trace = generate_trace(seed, ticks, chaos);
+  out.report = run_trace(out.trace);
+  if (out.report.violated()) {
+    out.trace = shrink_trace(out.trace);
+    out.report = run_trace(out.trace);
+  }
+  return out;
+}
+
+}  // namespace albatross::check

@@ -1,0 +1,46 @@
+// Fuzz driver: runs a generated (or replayed) trace through the real
+// platform with every invariant probe armed, and greedily shrinks a
+// violating trace to a small reproducer before dumping it as JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/probes.hpp"
+#include "check/trace_gen.hpp"
+
+namespace albatross::check {
+
+/// Outcome of one trace execution.
+struct FuzzReport {
+  std::uint64_t violations = 0;
+  std::vector<InvariantViolation> details;  ///< first ViolationLog entries
+  std::uint64_t packets = 0;        ///< packet ops in the trace
+  std::uint64_t offered = 0;        ///< packets that reached ingress
+  std::uint64_t delivered = 0;
+  std::uint64_t events = 0;         ///< loop events processed
+  bool ledger_checked = false;      ///< false = loop never quiesced
+
+  [[nodiscard]] bool violated() const { return violations != 0; }
+};
+
+/// Builds the trace's platform, arms a ConformanceHarness, injects the
+/// fault ops, replays the packet ops and runs the loop to quiesce.
+FuzzReport run_trace(const FuzzTrace& trace);
+
+/// Greedy ddmin-style shrink: repeatedly removes chunks of ops while the
+/// trace still violates, halving the chunk size when stuck. Bounded by
+/// `max_runs` re-executions so shrinking stays interactive.
+FuzzTrace shrink_trace(const FuzzTrace& failing, std::size_t max_runs = 200);
+
+/// One end-to-end fuzz iteration: generate, run, shrink on violation.
+struct FuzzOutcome {
+  FuzzTrace trace;      ///< shrunk when violated, original otherwise
+  FuzzReport report;    ///< report for `trace` as returned
+};
+
+FuzzOutcome fuzz_one(std::uint64_t seed, std::uint64_t ticks,
+                     ChaosMode chaos);
+
+}  // namespace albatross::check

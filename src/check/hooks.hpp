@@ -1,0 +1,83 @@
+// Conformance hook interfaces. The production modules (reorder engine,
+// tenant rate limiter, GW pod) each expose an optional probe pointer;
+// when armed, they report the raw events an invariant checker needs —
+// reservations, write-backs, emissions, admit verdicts, core completions.
+// The interfaces live here (depending only on common/types.hpp) so the
+// data-path headers can include them without pulling in src/check's
+// oracles; a null probe costs one predictable branch per event.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace albatross {
+
+/// How a reorder-FIFO entry was resolved (head pointer advanced).
+enum class ReorderResolution : std::uint8_t {
+  kInOrder,   ///< Case 4: transmitted in order
+  kDropFlag,  ///< Case 4 with the active drop flag: released, no emission
+  kTimeout,   ///< Case 1: HOL timeout release
+};
+
+/// Observes one pod's reorder queues. `ordq` is the queue index inside
+/// the pod's PLB engine.
+class ReorderProbeHook {
+ public:
+  virtual ~ReorderProbeHook() = default;
+
+  /// PSN reserved at dispatch (FIFO append).
+  virtual void on_reserve(std::uint16_t ordq, Psn psn, NanoTime now) = 0;
+
+  /// CPU write-back passed the legal check (BUF/BITMAP updated).
+  virtual void on_writeback(std::uint16_t ordq, Psn psn, bool drop,
+                            NanoTime now) = 0;
+
+  /// FIFO head resolved: the entry reserved at `reserved_at` left the
+  /// window (in-order tx, drop release, or HOL timeout).
+  virtual void on_resolve(std::uint16_t ordq, Psn psn,
+                          ReorderResolution how, NanoTime reserved_at,
+                          NanoTime now) = 0;
+
+  /// A packet left the engine best-effort (legal-check failure, Case 3
+  /// alias, or a stale packet flushed by a timeout release).
+  virtual void on_best_effort(std::uint16_t ordq, Psn psn, NanoTime now) = 0;
+};
+
+/// Which stage of the two-stage limiter produced a verdict.
+enum class RlStage : std::uint8_t {
+  kBypass,    ///< pre_check bypass entry (top-tier tenant)
+  kPreMeter,  ///< installed heavy-hitter meter
+  kStage1,    ///< color_table
+  kStage2,    ///< meter_table
+};
+
+/// Observes every admit decision of the tenant rate limiter. The verdict
+/// is reported as pass/drop plus the deciding stage so a conformance
+/// checker can mirror each stage's token bucket analytically.
+class RateLimiterProbeHook {
+ public:
+  virtual ~RateLimiterProbeHook() = default;
+  virtual void on_admit(Vni vni, RlStage stage, bool passed,
+                        NanoTime now) = 0;
+};
+
+/// Why a packet delivered to a GW pod never produced an egress.
+enum class PodDropKind : std::uint8_t {
+  kRing,      ///< RX descriptor ring overflow
+  kService,   ///< ACL / rate-rule drop on the data core
+  kProtocol,  ///< consumed by the control plane (not a loss)
+};
+
+/// Observes a GW pod's packet ledger: every data-path delivery must end
+/// as exactly one forward or one accounted drop.
+class GwPodProbeHook {
+ public:
+  virtual ~GwPodProbeHook() = default;
+  virtual void on_data_rx(PodId pod, CoreId core, NanoTime now) = 0;
+  virtual void on_forward(PodId pod, CoreId core, NanoTime now) = 0;
+  virtual void on_drop(PodId pod, CoreId core, PodDropKind kind,
+                       NanoTime now) = 0;
+};
+
+}  // namespace albatross

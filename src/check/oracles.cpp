@@ -1,0 +1,81 @@
+#include "check/oracles.hpp"
+
+namespace albatross::check {
+
+namespace {
+
+constexpr std::uint32_t prefix_mask(std::uint8_t depth) {
+  return depth == 0 ? 0u : ~std::uint32_t{0} << (32 - depth);
+}
+
+}  // namespace
+
+bool LinearLpmOracle::add(Ipv4Address prefix, std::uint8_t depth,
+                          NextHop hop) {
+  if (depth > 32 || hop > kMaxNextHop) return false;
+  const std::uint32_t mask = prefix_mask(depth);
+  const std::uint32_t value = prefix.addr & mask;
+  for (auto& r : rules_) {
+    if (r.depth == depth && r.value == value) {
+      r.hop = hop;  // same insert-or-update contract as LpmDir24/LpmTrie
+      return true;
+    }
+  }
+  rules_.push_back(Rule{value, mask, depth, hop});
+  return true;
+}
+
+bool LinearLpmOracle::remove(Ipv4Address prefix, std::uint8_t depth) {
+  if (depth > 32) return false;
+  const std::uint32_t value = prefix.addr & prefix_mask(depth);
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->depth == depth && it->value == value) {
+      rules_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<NextHop> LinearLpmOracle::lookup(Ipv4Address addr) const {
+  const Rule* best = nullptr;
+  for (const auto& r : rules_) {
+    if ((addr.addr & r.mask) != r.value) continue;
+    if (best == nullptr || r.depth > best->depth) best = &r;
+  }
+  return best != nullptr ? std::optional<NextHop>(best->hop) : std::nullopt;
+}
+
+double TokenBucketOracle::level_at(NanoTime now) const {
+  if (rate_pps_ <= 0.0) return burst_;
+  const NanoTime dt = now > last_ ? now - last_ : 0;
+  const double refilled =
+      level_ + rate_pps_ * (static_cast<double>(dt) / 1e9);
+  return refilled < burst_ ? refilled : burst_;
+}
+
+bool TokenBucketOracle::consume(NanoTime now, double pkts) {
+  if (rate_pps_ <= 0.0) return true;  // unlimited, same as TokenBucket
+  level_ = level_at(now);
+  if (now > last_) last_ = now;
+  if (level_ >= pkts) {
+    level_ -= pkts;
+    return true;
+  }
+  return false;
+}
+
+void TokenBucketOracle::resync(bool observed_pass, double pkts) {
+  if (rate_pps_ <= 0.0) return;
+  if (observed_pass) {
+    // We predicted a drop but the meter passed: put the level at empty
+    // post-consume, i.e. the meter saw exactly enough tokens.
+    level_ = 0.0;
+  } else {
+    // We predicted a pass but the meter dropped: undo our charge.
+    level_ += pkts;
+    if (level_ > burst_) level_ = burst_;
+  }
+}
+
+}  // namespace albatross::check

@@ -1,0 +1,181 @@
+// Reference oracles for differential conformance testing. Each oracle is
+// the dumbest possible executable model of a production structure — an
+// unordered_map for the cuckoo/flow tables, a linear rule scan for LPM, a
+// closed-form allowance for the token bucket, a PSN sort for the reorder
+// engine. They trade every ounce of performance for being obviously
+// correct, which is exactly what makes disagreement with the optimized
+// implementation meaningful (the Kugelblitz argument for trusting timed
+// executable models).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "tables/lpm_dir24.hpp"  // NextHop
+
+namespace albatross::check {
+
+/// Hash functor so FiveTuple (and any key with std::hash) works in the
+/// oracle maps without touching the production hash path.
+template <typename Key>
+struct OracleHash {
+  std::size_t operator()(const Key& k) const { return std::hash<Key>{}(k); }
+};
+
+template <>
+struct OracleHash<FiveTuple> {
+  std::size_t operator()(const FiveTuple& t) const {
+    const auto bytes = five_tuple_bytes(t);
+    return static_cast<std::size_t>(
+        fnv1a64(std::span<const std::uint8_t>{bytes}));
+  }
+};
+
+/// Exact-match table oracle: mirrors CuckooTable's observable contract
+/// (insert-or-update, find, erase, size) on an unordered_map.
+template <typename Key, typename Value>
+class MapTableOracle {
+ public:
+  bool insert(const Key& key, const Value& value) {
+    map_[key] = value;
+    return true;
+  }
+
+  [[nodiscard]] std::optional<Value> find(const Key& key) const {
+    const auto it = map_.find(key);
+    return it != map_.end() ? std::optional<Value>(it->second) : std::nullopt;
+  }
+
+  bool erase(const Key& key) { return map_.erase(key) != 0; }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  [[nodiscard]] const std::unordered_map<Key, Value, OracleHash<Key>>&
+  entries() const {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<Key, Value, OracleHash<Key>> map_;
+};
+
+/// Flow-table oracle: the map oracle plus last-seen timestamps and the
+/// idle-timeout aging rule, mirroring FlowTable's lifecycle.
+class FlowLifecycleOracle {
+ public:
+  explicit FlowLifecycleOracle(NanoTime idle_timeout)
+      : idle_timeout_(idle_timeout) {}
+
+  /// Returns true when the flow existed before this touch.
+  bool touch(const FiveTuple& tuple, NanoTime now) {
+    auto [it, fresh] = last_seen_.try_emplace(tuple, now);
+    if (!fresh) it->second = now;
+    return !fresh;
+  }
+
+  bool erase(const FiveTuple& tuple) { return last_seen_.erase(tuple) != 0; }
+
+  /// Removes flows idle beyond the timeout; returns the count removed.
+  std::size_t age(NanoTime now) {
+    std::size_t removed = 0;
+    for (auto it = last_seen_.begin(); it != last_seen_.end();) {
+      if (now - it->second > idle_timeout_) {
+        it = last_seen_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  [[nodiscard]] bool contains(const FiveTuple& tuple) const {
+    return last_seen_.contains(tuple);
+  }
+  [[nodiscard]] std::size_t size() const { return last_seen_.size(); }
+
+ private:
+  NanoTime idle_timeout_;
+  std::unordered_map<FiveTuple, NanoTime, OracleHash<FiveTuple>> last_seen_;
+};
+
+/// Linear-scan LPM oracle: O(rules) longest-prefix-match over an
+/// unindexed rule list. Slower than LpmTrie but with no shared structure
+/// at all, so it cross-checks both LpmDir24 and the trie.
+class LinearLpmOracle {
+ public:
+  bool add(Ipv4Address prefix, std::uint8_t depth, NextHop hop);
+  bool remove(Ipv4Address prefix, std::uint8_t depth);
+  [[nodiscard]] std::optional<NextHop> lookup(Ipv4Address addr) const;
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  struct Rule {
+    std::uint32_t value = 0;  ///< prefix bits, masked
+    std::uint32_t mask = 0;
+    std::uint8_t depth = 0;
+    NextHop hop = 0;
+  };
+  std::vector<Rule> rules_;
+};
+
+/// Analytic token-bucket oracle: tracks the allowance in closed form
+/// (level = min(burst, level + rate * dt)) so every production meter can
+/// be checked against the textbook definition. `divergence` reports how
+/// far the observed decision sat from the oracle's decision boundary.
+class TokenBucketOracle {
+ public:
+  TokenBucketOracle() = default;
+  TokenBucketOracle(double rate_pps, double burst_pkts, NanoTime birth = 0)
+      : rate_pps_(rate_pps), burst_(burst_pkts), level_(burst_pkts),
+        last_(birth) {}
+
+  /// Allowance at `now` without consuming.
+  [[nodiscard]] double level_at(NanoTime now) const;
+
+  /// Charges one packet; true = conforming per the analytic model.
+  bool consume(NanoTime now, double pkts = 1.0);
+
+  /// Forces the oracle to agree with an observed decision so one
+  /// boundary-rounding disagreement does not cascade into drift.
+  void resync(bool observed_pass, double pkts = 1.0);
+
+  [[nodiscard]] double rate_pps() const { return rate_pps_; }
+  [[nodiscard]] double burst() const { return burst_; }
+
+ private:
+  double rate_pps_ = 0.0;
+  double burst_ = 0.0;
+  double level_ = 0.0;
+  NanoTime last_ = 0;
+};
+
+/// Sort-by-PSN reorder oracle: records every PSN handed to the reorder
+/// engine with its fate (kept or drop-flagged); the expected in-order
+/// emission sequence under no timeouts is simply the kept PSNs sorted
+/// ascending.
+class ReorderSortOracle {
+ public:
+  void record(Psn psn, bool dropped) {
+    if (!dropped) kept_.push_back(psn);
+  }
+
+  /// Expected in-order emission sequence (ascending PSN).
+  [[nodiscard]] std::vector<Psn> expected() const {
+    std::vector<Psn> out = kept_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  [[nodiscard]] std::size_t kept_count() const { return kept_.size(); }
+
+ private:
+  std::vector<Psn> kept_;
+};
+
+}  // namespace albatross::check

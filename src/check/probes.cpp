@@ -1,0 +1,429 @@
+#include "check/probes.hpp"
+
+#include <cmath>
+
+#include "common/hash.hpp"
+#include "core/platform.hpp"
+
+namespace albatross::check {
+
+// ---------------------------------------------------------------------------
+// ViolationLog
+
+void ViolationLog::report(std::string invariant, std::string detail,
+                          NanoTime at) {
+  ++total_;
+  ++per_invariant_[invariant];
+  if (entries_.size() < kMaxDetailed) {
+    entries_.push_back(
+        InvariantViolation{std::move(invariant), std::move(detail), at});
+  }
+}
+
+std::uint64_t ViolationLog::count(const std::string& invariant) const {
+  const auto it = per_invariant_.find(invariant);
+  return it != per_invariant_.end() ? it->second : 0;
+}
+
+// ---------------------------------------------------------------------------
+// ReorderInvariantProbe
+
+namespace {
+
+std::string reorder_ctx(PodId pod, std::uint16_t ordq, Psn psn) {
+  return "pod=" + std::to_string(pod) + " ordq=" + std::to_string(ordq) +
+         " psn=" + std::to_string(psn);
+}
+
+}  // namespace
+
+void ReorderInvariantProbe::on_reserve(std::uint16_t ordq, Psn psn,
+                                       NanoTime now) {
+  ++counters_.reserves;
+  QueueState& q = queues_[ordq];
+  if (!q.seen) {
+    q.seen = true;
+    q.next_reserve = psn;
+    q.next_head = psn;
+  }
+  if (psn != q.next_reserve) {
+    log_->report("reorder.reserve-order",
+                 reorder_ctx(pod_, ordq, psn) +
+                     " expected=" + std::to_string(q.next_reserve),
+                 now);
+    // Re-anchor so one skip does not flood the log.
+    q.next_reserve = psn;
+  }
+  q.next_reserve = psn + 1;
+  q.outstanding.emplace(psn, Outstanding{now, false, false});
+}
+
+void ReorderInvariantProbe::on_writeback(std::uint16_t ordq, Psn psn,
+                                         bool drop, NanoTime now) {
+  (void)now;
+  ++counters_.writebacks;
+  QueueState& q = queues_[ordq];
+  const auto it = q.outstanding.find(psn);
+  if (it == q.outstanding.end()) {
+    // A write-back for a PSN we no longer track: a stale packet whose low
+    // 12 bits alias into the window after a wrap. Legal (the hardware's
+    // cheap legal check admits it; Case 3 cleans it up) — count, no flag.
+    ++counters_.alias_writebacks;
+    return;
+  }
+  it->second.wb_seen = true;
+  it->second.wb_drop = drop;
+}
+
+void ReorderInvariantProbe::on_resolve(std::uint16_t ordq, Psn psn,
+                                       ReorderResolution how,
+                                       NanoTime reserved_at, NanoTime now) {
+  switch (how) {
+    case ReorderResolution::kInOrder:
+      ++counters_.resolved_in_order;
+      break;
+    case ReorderResolution::kDropFlag:
+      ++counters_.resolved_drop;
+      break;
+    case ReorderResolution::kTimeout:
+      ++counters_.resolved_timeout;
+      break;
+  }
+
+  QueueState& q = queues_[ordq];
+  const auto it = q.outstanding.find(psn);
+  if (it == q.outstanding.end()) {
+    log_->report("reorder.double-resolve",
+                 reorder_ctx(pod_, ordq, psn) + " resolved without a live"
+                 " reservation",
+                 now);
+    return;
+  }
+
+  if (psn != q.next_head) {
+    log_->report("reorder.head-order",
+                 reorder_ctx(pod_, ordq, psn) +
+                     " expected head=" + std::to_string(q.next_head),
+                 now);
+  }
+  q.next_head = psn + 1;
+
+  // The head must leave the window within timeout + slack of its
+  // reservation: the platform's reorder timer fires just past the
+  // deadline, so anything later means the reorder check was not running
+  // (e.g. a wedged module).
+  const NanoTime waited = now - it->second.reserved_at;
+  if (waited > timeout_ + slack_) {
+    log_->report("reorder.latency",
+                 reorder_ctx(pod_, ordq, psn) + " waited " +
+                     std::to_string(waited) + "ns > timeout+slack=" +
+                     std::to_string(timeout_ + slack_) + "ns",
+                 now);
+  }
+  if (reserved_at != it->second.reserved_at) {
+    log_->report("reorder.timestamp",
+                 reorder_ctx(pod_, ordq, psn) +
+                     " engine reserved_at=" + std::to_string(reserved_at) +
+                     " probe saw " + std::to_string(it->second.reserved_at),
+                 now);
+  }
+
+  switch (how) {
+    case ReorderResolution::kTimeout:
+      if (waited <= timeout_) {
+        log_->report("reorder.premature-timeout",
+                     reorder_ctx(pod_, ordq, psn) + " released after only " +
+                         std::to_string(waited) + "ns",
+                     now);
+      }
+      break;
+    case ReorderResolution::kInOrder:
+      if (!it->second.wb_seen || it->second.wb_drop) {
+        log_->report("reorder.inorder-writeback",
+                     reorder_ctx(pod_, ordq, psn) +
+                         " in-order tx without a matching non-drop"
+                         " write-back",
+                     now);
+      }
+      break;
+    case ReorderResolution::kDropFlag:
+      if (!it->second.wb_seen || !it->second.wb_drop) {
+        log_->report("reorder.dropflag-writeback",
+                     reorder_ctx(pod_, ordq, psn) +
+                         " drop release without a drop write-back",
+                     now);
+      }
+      break;
+  }
+
+  q.outstanding.erase(it);
+}
+
+void ReorderInvariantProbe::on_best_effort(std::uint16_t ordq, Psn psn,
+                                           NanoTime now) {
+  (void)ordq;
+  (void)psn;
+  (void)now;
+  ++counters_.best_effort;
+}
+
+void ReorderInvariantProbe::finish(NanoTime now) {
+  for (const auto& [ordq, q] : queues_) {
+    if (q.outstanding.empty()) continue;
+    log_->report("reorder.leak",
+                 "pod=" + std::to_string(pod_) + " ordq=" +
+                     std::to_string(ordq) + " entries=" +
+                     std::to_string(q.outstanding.size()) +
+                     " never resolved",
+                 now);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MeterConformanceProbe
+
+TokenBucketOracle& MeterConformanceProbe::bucket_for(RlStage stage, Vni vni) {
+  const double b = cfg_.burst_seconds;
+  switch (stage) {
+    case RlStage::kPreMeter: {
+      auto [it, fresh] = pre_.try_emplace(
+          vni, TokenBucketOracle(cfg_.pre_meter_rate_pps,
+                                 cfg_.pre_meter_rate_pps * b));
+      return it->second;
+    }
+    case RlStage::kStage1: {
+      const std::uint32_t slot = vni % cfg_.color_entries;
+      auto [it, fresh] = stage1_.try_emplace(
+          slot,
+          TokenBucketOracle(cfg_.stage1_rate_pps, cfg_.stage1_rate_pps * b));
+      return it->second;
+    }
+    default: {  // kStage2 (kBypass never reaches here)
+      const std::uint32_t slot =
+          static_cast<std::uint32_t>(mix64(vni) % cfg_.meter_entries);
+      auto [it, fresh] = stage2_.try_emplace(
+          slot,
+          TokenBucketOracle(cfg_.stage2_rate_pps, cfg_.stage2_rate_pps * b));
+      return it->second;
+    }
+  }
+}
+
+void MeterConformanceProbe::on_admit(Vni vni, RlStage stage, bool passed,
+                                     NanoTime now) {
+  ++checks_;
+  if (stage == RlStage::kBypass) {
+    if (!passed) {
+      log_->report("meter.bypass",
+                   "vni=" + std::to_string(vni) + " bypass entry dropped",
+                   now);
+    }
+    return;
+  }
+
+  TokenBucketOracle& oracle = bucket_for(stage, vni);
+  const double level = oracle.level_at(now);  // pre-consume allowance
+  const bool predicted = oracle.consume(now);
+  if (predicted == passed) return;
+
+  ++divergences_;
+  // One-token conformance band: a divergence only counts as a violation
+  // when the analytic allowance sat more than one token away from the
+  // decision boundary (level >= 1 admits, so the boundary is 1.0).
+  const double distance = std::abs(level - 1.0);
+  if (distance > 1.0) {
+    log_->report(
+        "meter.conformance",
+        "vni=" + std::to_string(vni) + " stage=" +
+            std::to_string(static_cast<int>(stage)) + " meter said " +
+            (passed ? "pass" : "drop") + " but analytic level=" +
+            std::to_string(level) + " tokens",
+        now);
+  }
+  oracle.resync(passed);
+}
+
+// ---------------------------------------------------------------------------
+// PodLedgerProbe
+
+PodLedgerCounters& PodLedgerProbe::slot(PodId pod) {
+  if (per_pod_.size() <= pod) per_pod_.resize(pod + 1);
+  return per_pod_[pod];
+}
+
+const PodLedgerCounters& PodLedgerProbe::pod_counters(PodId pod) const {
+  static const PodLedgerCounters kEmpty;
+  return pod < per_pod_.size() ? per_pod_[pod] : kEmpty;
+}
+
+void PodLedgerProbe::on_data_rx(PodId pod, CoreId core, NanoTime now) {
+  (void)core;
+  (void)now;
+  ++slot(pod).data_rx;
+}
+
+void PodLedgerProbe::on_forward(PodId pod, CoreId core, NanoTime now) {
+  (void)core;
+  (void)now;
+  ++slot(pod).forwards;
+}
+
+void PodLedgerProbe::on_drop(PodId pod, CoreId core, PodDropKind kind,
+                             NanoTime now) {
+  (void)core;
+  (void)now;
+  PodLedgerCounters& c = slot(pod);
+  switch (kind) {
+    case PodDropKind::kRing:
+      ++c.ring_drops;
+      break;
+    case PodDropKind::kService:
+      ++c.service_drops;
+      break;
+    case PodDropKind::kProtocol:
+      ++c.protocol_local;
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ConformanceHarness
+
+ConformanceHarness::~ConformanceHarness() { detach(); }
+
+void ConformanceHarness::attach(Platform& platform) {
+  detach();
+  platform_ = &platform;
+
+  for (PodId pod = 0; pod < platform.pod_count(); ++pod) {
+    auto probe = std::make_unique<ReorderInvariantProbe>(
+        log_, pod, kReorderTimeout, cfg_.reorder_slack);
+    platform.nic().attach_reorder_probe(pod, probe.get());
+    platform.pod(pod).set_probe(&ledger_probe_);
+    reorder_probes_.push_back(std::move(probe));
+  }
+
+  meter_probe_ = std::make_unique<MeterConformanceProbe>(
+      log_, platform.nic().limiter().config());
+  platform.nic().attach_limiter_probe(meter_probe_.get());
+
+  // Virtual-clock monotonicity: the loop promises time never runs
+  // backwards; the observer asserts it on every event.
+  platform.loop().set_observer([this](NanoTime at) {
+    ++events_observed_;
+    if (at < last_event_time_) {
+      log_.report("clock.monotonic",
+                   "event at " + std::to_string(at) + "ns after clock hit " +
+                       std::to_string(last_event_time_) + "ns",
+                   at);
+    } else {
+      last_event_time_ = at;
+    }
+  });
+}
+
+void ConformanceHarness::detach() {
+  if (platform_ == nullptr) return;
+  for (PodId pod = 0; pod < platform_->pod_count(); ++pod) {
+    platform_->nic().attach_reorder_probe(pod, nullptr);
+    platform_->pod(pod).set_probe(nullptr);
+  }
+  platform_->nic().attach_limiter_probe(nullptr);
+  platform_->loop().set_observer(nullptr);
+  reorder_probes_.clear();
+  meter_probe_.reset();
+  platform_ = nullptr;
+}
+
+std::uint64_t ConformanceHarness::finish() {
+  if (platform_ == nullptr) return log_.total();
+  const NanoTime now = platform_->loop().now();
+
+  for (auto& probe : reorder_probes_) probe->finish(now);
+
+  // The conservation ledger only balances once every in-flight packet
+  // has either hit the wire or an accounted drop.
+  ledger_skipped_ = platform_->loop().pending() != 0;
+  if (ledger_skipped_) return log_.total();
+
+  std::uint64_t delivered_total = 0;
+  std::uint64_t offload_total = 0;
+  std::uint64_t forwards_total = 0;
+  for (PodId pod = 0; pod < platform_->pod_count(); ++pod) {
+    const PodTelemetry& tel = platform_->telemetry(pod);
+    const GwPodStats& ps = platform_->pod(pod).stats();
+    const PodLedgerCounters& lc = ledger_probe_.pod_counters(pod);
+    const std::uint64_t offload_hits =
+        platform_->nic().session_offload_enabled(pod)
+            ? platform_->nic().session_offload(pod).stats().fast_path_hits
+            : 0;
+    // Priority-queue deliveries skip on_data_rx; protocol_packets counts
+    // both those and data-path packets the ctrl plane consumed.
+    const std::uint64_t priority_rx = ps.protocol_packets - lc.protocol_local;
+
+    // Ingress conservation: every offered packet lands in exactly one
+    // accounted bucket.
+    const std::uint64_t accounted = tel.blackholed + tel.dropped_rate_limit +
+                                    tel.dropped_reorder_full + offload_hits +
+                                    priority_rx + lc.data_rx;
+    if (accounted != tel.offered) {
+      log_.report("ledger.ingress",
+                  "pod=" + std::to_string(pod) + " offered=" +
+                      std::to_string(tel.offered) + " accounted=" +
+                      std::to_string(accounted),
+                  now);
+    }
+
+    // CPU conservation: every data-path delivery ends as exactly one
+    // forward or one accounted drop.
+    const std::uint64_t cpu_out = lc.forwards + lc.ring_drops +
+                                  lc.service_drops + lc.protocol_local;
+    if (cpu_out != lc.data_rx) {
+      log_.report("ledger.pod",
+                  "pod=" + std::to_string(pod) + " data_rx=" +
+                      std::to_string(lc.data_rx) + " outcomes=" +
+                      std::to_string(cpu_out),
+                  now);
+    }
+
+    delivered_total += tel.delivered;
+    offload_total += offload_hits;
+    forwards_total += lc.forwards;
+  }
+
+  // Wire conservation (aggregate — the basic pipeline is shared): each
+  // CPU forward or offload hit produces exactly one wire emission, minus
+  // split headers whose payload slot was reclaimed in flight.
+  const std::uint64_t split_drops =
+      platform_->nic().basic().stats().headers_dropped_payload_gone;
+  const std::uint64_t expected_wire =
+      offload_total + forwards_total - split_drops;
+  if (delivered_total != expected_wire) {
+    log_.report("ledger.wire",
+                "delivered=" + std::to_string(delivered_total) +
+                    " expected=" + std::to_string(expected_wire) +
+                    " (offload=" + std::to_string(offload_total) +
+                    " forwards=" + std::to_string(forwards_total) +
+                    " split_drops=" + std::to_string(split_drops) + ")",
+                now);
+  }
+
+  return log_.total();
+}
+
+ReorderProbeCounters ConformanceHarness::reorder_counters() const {
+  ReorderProbeCounters sum;
+  for (const auto& p : reorder_probes_) {
+    const ReorderProbeCounters& c = p->counters();
+    sum.reserves += c.reserves;
+    sum.writebacks += c.writebacks;
+    sum.alias_writebacks += c.alias_writebacks;
+    sum.best_effort += c.best_effort;
+    sum.resolved_in_order += c.resolved_in_order;
+    sum.resolved_drop += c.resolved_drop;
+    sum.resolved_timeout += c.resolved_timeout;
+  }
+  return sum;
+}
+
+}  // namespace albatross::check

@@ -1,0 +1,237 @@
+// Invariant probes: the runtime half of the conformance subsystem. Each
+// probe implements one of the hook interfaces in check/hooks.hpp and
+// checks mechanism-level invariants that must hold regardless of traffic
+// shape — packet conservation, exactly-once FIFO resolution, bounded
+// head-of-line latency, meter conformance against the analytic oracle.
+//
+// What is deliberately NOT an invariant: disorder, best-effort emissions
+// and HOL timeouts. All three are legal behaviour of the paper's design
+// (the service-time tail crosses the 100us timeout with small but
+// non-zero probability), so the probes bound *how* the mechanism resolves
+// them rather than asserting they never happen.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/hooks.hpp"
+#include "check/oracles.hpp"
+#include "common/types.hpp"
+#include "nic/rate_limiter.hpp"
+
+namespace albatross {
+class Platform;
+}  // namespace albatross
+
+namespace albatross::check {
+
+/// One detected invariant breach.
+struct InvariantViolation {
+  std::string invariant;  ///< stable id, e.g. "reorder.latency"
+  std::string detail;     ///< human-readable specifics
+  NanoTime at = 0;        ///< virtual time of detection
+};
+
+/// Bounded violation sink: every report is counted, the first
+/// `kMaxDetailed` keep their details (a wedged module would otherwise
+/// produce one violation per queued packet).
+class ViolationLog {
+ public:
+  static constexpr std::size_t kMaxDetailed = 64;
+
+  void report(std::string invariant, std::string detail, NanoTime at);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<InvariantViolation>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::uint64_t count(const std::string& invariant) const;
+
+ private:
+  std::uint64_t total_ = 0;
+  std::vector<InvariantViolation> entries_;
+  std::unordered_map<std::string, std::uint64_t> per_invariant_;
+};
+
+/// Aggregate event counters a probe accumulated (exported as metrics).
+struct ReorderProbeCounters {
+  std::uint64_t reserves = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t alias_writebacks = 0;  ///< legal 12-bit aliases observed
+  std::uint64_t best_effort = 0;
+  std::uint64_t resolved_in_order = 0;
+  std::uint64_t resolved_drop = 0;
+  std::uint64_t resolved_timeout = 0;
+};
+
+/// Watches one pod's reorder queues. Invariants:
+///   reorder.reserve-order   PSNs are assigned strictly sequentially
+///   reorder.head-order      heads resolve strictly sequentially
+///   reorder.double-resolve  a PSN resolves at most once
+///   reorder.latency         reserve->resolve latency <= timeout + slack
+///                           (a wedged reorder module breaks exactly this)
+///   reorder.premature-timeout  a kTimeout resolution actually waited
+///   reorder.inorder-writeback  Case-4 tx requires a non-drop write-back
+///   reorder.dropflag-writeback drop release requires a drop write-back
+///   reorder.leak            no FIFO entry outstanding at quiesce
+class ReorderInvariantProbe final : public ReorderProbeHook {
+ public:
+  ReorderInvariantProbe(ViolationLog& log, PodId pod,
+                        NanoTime timeout = kReorderTimeout,
+                        NanoTime slack = 2 * kMicrosecond)
+      : log_(&log), pod_(pod), timeout_(timeout), slack_(slack) {}
+
+  void on_reserve(std::uint16_t ordq, Psn psn, NanoTime now) override;
+  void on_writeback(std::uint16_t ordq, Psn psn, bool drop,
+                    NanoTime now) override;
+  void on_resolve(std::uint16_t ordq, Psn psn, ReorderResolution how,
+                  NanoTime reserved_at, NanoTime now) override;
+  void on_best_effort(std::uint16_t ordq, Psn psn, NanoTime now) override;
+
+  /// End-of-run check: leaked (never-resolved) FIFO entries.
+  void finish(NanoTime now);
+
+  [[nodiscard]] const ReorderProbeCounters& counters() const {
+    return counters_;
+  }
+
+ private:
+  struct Outstanding {
+    NanoTime reserved_at = 0;
+    bool wb_seen = false;
+    bool wb_drop = false;
+  };
+  struct QueueState {
+    bool seen = false;
+    Psn next_reserve = 0;  ///< next PSN reserve() must hand out
+    Psn next_head = 0;     ///< next PSN on_resolve must report
+    std::unordered_map<Psn, Outstanding> outstanding;
+  };
+
+  ViolationLog* log_;
+  PodId pod_;
+  NanoTime timeout_;
+  NanoTime slack_;
+  ReorderProbeCounters counters_;
+  std::unordered_map<std::uint16_t, QueueState> queues_;
+};
+
+/// Mirrors every stage of the tenant rate limiter with an analytic
+/// TokenBucketOracle and flags decisions that diverge by more than one
+/// token ("meter.conformance"). One-token tolerance absorbs the
+/// boundary case where the observed meter and the oracle disagree on a
+/// packet sitting exactly at the allowance; the oracle resyncs after a
+/// divergence so a single rounding step cannot cascade.
+class MeterConformanceProbe final : public RateLimiterProbeHook {
+ public:
+  MeterConformanceProbe(ViolationLog& log, RateLimiterConfig cfg)
+      : log_(&log), cfg_(cfg) {}
+
+  void on_admit(Vni vni, RlStage stage, bool passed, NanoTime now) override;
+
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+  [[nodiscard]] std::uint64_t divergences() const { return divergences_; }
+
+ private:
+  TokenBucketOracle& bucket_for(RlStage stage, Vni vni);
+
+  ViolationLog* log_;
+  RateLimiterConfig cfg_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t divergences_ = 0;
+  std::unordered_map<std::uint32_t, TokenBucketOracle> stage1_;
+  std::unordered_map<std::uint32_t, TokenBucketOracle> stage2_;
+  std::unordered_map<Vni, TokenBucketOracle> pre_;
+};
+
+/// Per-pod CPU-side packet ledger counters.
+struct PodLedgerCounters {
+  std::uint64_t data_rx = 0;
+  std::uint64_t forwards = 0;
+  std::uint64_t ring_drops = 0;
+  std::uint64_t service_drops = 0;
+  std::uint64_t protocol_local = 0;  ///< consumed by ctrl plane, not lost
+};
+
+/// Records the fate of every data-path delivery; the conservation check
+/// itself runs in ConformanceHarness::finish().
+class PodLedgerProbe final : public GwPodProbeHook {
+ public:
+  explicit PodLedgerProbe(ViolationLog& log) : log_(&log) {}
+
+  void on_data_rx(PodId pod, CoreId core, NanoTime now) override;
+  void on_forward(PodId pod, CoreId core, NanoTime now) override;
+  void on_drop(PodId pod, CoreId core, PodDropKind kind,
+               NanoTime now) override;
+
+  [[nodiscard]] const PodLedgerCounters& pod_counters(PodId pod) const;
+
+ private:
+  PodLedgerCounters& slot(PodId pod);
+
+  ViolationLog* log_;
+  std::vector<PodLedgerCounters> per_pod_;
+};
+
+/// Arms every probe on a Platform and owns the shared violation log.
+/// Usage:
+///   ConformanceHarness harness;
+///   harness.attach(platform);      // after create_pod calls
+///   ... run the simulation to quiesce ...
+///   harness.finish();              // leak + conservation checks
+///   harness.log().total() == 0     // conformant run
+class ConformanceHarness {
+ public:
+  struct Config {
+    NanoTime reorder_slack = 2 * kMicrosecond;
+  };
+
+  ConformanceHarness() : ConformanceHarness(Config{}) {}
+  explicit ConformanceHarness(Config cfg) : cfg_(cfg) {}
+  ~ConformanceHarness();
+
+  ConformanceHarness(const ConformanceHarness&) = delete;
+  ConformanceHarness& operator=(const ConformanceHarness&) = delete;
+
+  /// Arms probes on every registered pod, the shared rate limiter and
+  /// the event loop. Call after all create_pod() calls.
+  void attach(Platform& platform);
+
+  /// Detaches all probes (also done by the destructor).
+  void detach();
+
+  /// End-of-run checks: reorder-FIFO leaks and the packet-conservation
+  /// ledger. Only meaningful once the event loop has drained; ledger
+  /// checks are skipped (and counted in `ledger_skipped`) while events
+  /// are still pending. Returns the total violation count.
+  std::uint64_t finish();
+
+  [[nodiscard]] const ViolationLog& log() const { return log_; }
+  [[nodiscard]] bool ledger_skipped() const { return ledger_skipped_; }
+  [[nodiscard]] std::uint64_t events_observed() const {
+    return events_observed_;
+  }
+
+  /// Aggregated reorder counters across pods (metrics export).
+  [[nodiscard]] ReorderProbeCounters reorder_counters() const;
+  [[nodiscard]] const PodLedgerProbe& ledger() const { return ledger_probe_; }
+  [[nodiscard]] const MeterConformanceProbe* meter() const {
+    return meter_probe_.get();
+  }
+
+ private:
+  Config cfg_;
+  Platform* platform_ = nullptr;
+  ViolationLog log_;
+  std::vector<std::unique_ptr<ReorderInvariantProbe>> reorder_probes_;
+  std::unique_ptr<MeterConformanceProbe> meter_probe_;
+  PodLedgerProbe ledger_probe_{log_};
+  NanoTime last_event_time_ = 0;
+  std::uint64_t events_observed_ = 0;
+  bool ledger_skipped_ = false;
+};
+
+}  // namespace albatross::check

@@ -1,0 +1,29 @@
+// Seed plumbing for property tests: every randomized test derives its
+// seed through test_seed() so a CI failure can be reproduced locally with
+//   ALBATROSS_TEST_SEED=<n> ctest -R <test>
+// Tests wrap assertions in SCOPED_TRACE(seed_banner(seed)) so the seed is
+// printed whenever one fails.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace albatross::check {
+
+/// ALBATROSS_TEST_SEED (decimal) when set, `fallback` otherwise.
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("ALBATROSS_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return v;
+  }
+  return fallback;
+}
+
+[[nodiscard]] inline std::string seed_banner(std::uint64_t seed) {
+  return "seed=" + std::to_string(seed) +
+         " (rerun with ALBATROSS_TEST_SEED=" + std::to_string(seed) + ")";
+}
+
+}  // namespace albatross::check

@@ -1,0 +1,274 @@
+#include "check/trace_gen.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+
+namespace albatross::check {
+
+std::size_t FuzzTrace::packet_count() const {
+  std::size_t n = 0;
+  for (const auto& op : ops) {
+    if (op.kind == TraceOpKind::kPacket) ++n;
+  }
+  return n;
+}
+
+FuzzTrace generate_trace(std::uint64_t seed, std::uint64_t ticks,
+                         ChaosMode chaos) {
+  Rng rng(seed ^ 0xa1ba7055f022ull);
+  FuzzTrace trace;
+  TraceScenario& sc = trace.scenario;
+  sc.seed = seed;
+  sc.service = static_cast<ServiceKind>(rng.next_below(4));
+  sc.mode = rng.next_bool(0.85) ? LbMode::kPlb : LbMode::kRss;
+  sc.data_cores = static_cast<std::uint16_t>(2 + rng.next_below(3));
+  sc.tenants = static_cast<std::uint32_t>(8 + rng.next_below(57));
+  sc.flows = static_cast<std::uint32_t>(64 + rng.next_below(449));
+  sc.packet_bytes = 128 + 64 * rng.next_below(8);
+  sc.drop_flag = rng.next_bool(0.9);
+  sc.horizon = static_cast<NanoTime>(ticks) * kFuzzTick;
+
+  // Offered rate 0.5-4 Mpps: enough to exercise the scaled-down meters
+  // and fill reorder windows without making a 10k-tick run slow.
+  const double rate_pps = 0.5e6 + rng.next_double() * 3.5e6;
+  const double mean_gap_ns = 1e9 / rate_pps;
+
+  ZipfSampler zipf(sc.flows, 0.9);
+  NanoTime t = 0;
+  while (true) {
+    t += static_cast<NanoTime>(
+        std::max(1.0, rng.next_exponential(mean_gap_ns)));
+    if (t >= sc.horizon) break;
+    TraceOp op;
+    op.kind = TraceOpKind::kPacket;
+    op.at = t;
+    op.flow = static_cast<std::uint32_t>(zipf.sample(rng));
+    trace.ops.push_back(op);
+  }
+
+  if (chaos != ChaosMode::kNone) {
+    // A handful of fault windows spread over the horizon.
+    const std::uint64_t faults = 1 + rng.next_below(3);
+    for (std::uint64_t i = 0; i < faults; ++i) {
+      TraceOp op;
+      op.at = static_cast<NanoTime>(
+          rng.next_below(static_cast<std::uint64_t>(
+              std::max<NanoTime>(1, sc.horizon / 2))));
+      const bool stall_allowed = chaos == ChaosMode::kReorderStall;
+      const std::uint64_t pick = rng.next_below(stall_allowed ? 3 : 2);
+      switch (pick) {
+        case 0:
+          op.kind = TraceOpKind::kDmaFault;
+          op.duration = static_cast<NanoTime>(
+              (50 + rng.next_below(200)) * kMicrosecond);
+          op.magnitude = 2.0 + rng.next_double() * 8.0;
+          break;
+        case 1:
+          op.kind = TraceOpKind::kCoreStall;
+          op.core = static_cast<std::uint16_t>(
+              rng.next_below(sc.data_cores));
+          op.duration = static_cast<NanoTime>(
+              (100 + rng.next_below(900)) * kMicrosecond);
+          break;
+        default:
+          // Long enough past the 100us reorder timeout that head
+          // resolutions provably exceed timeout + slack.
+          op.kind = TraceOpKind::kReorderStall;
+          op.duration = static_cast<NanoTime>(
+              (300 + rng.next_below(700)) * kMicrosecond);
+          break;
+      }
+      trace.ops.push_back(op);
+    }
+    std::stable_sort(trace.ops.begin(), trace.ops.end(),
+                     [](const TraceOp& a, const TraceOp& b) {
+                       return a.at < b.at;
+                     });
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSource
+
+TraceSource::TraceSource(const FuzzTrace& trace) : trace_(&trace) {
+  const TraceScenario& sc = trace.scenario;
+  const std::uint32_t tenants = sc.tenants == 0 ? 1 : sc.tenants;
+  flows_.reserve(sc.flows);
+  for (std::uint32_t i = 0; i < sc.flows; ++i) {
+    const Vni vni = 1 + static_cast<Vni>(i % tenants);
+    flows_.push_back(make_flow(i, vni, i / tenants));
+  }
+  skip_to_packet();
+}
+
+void TraceSource::skip_to_packet() {
+  while (next_op_ < trace_->ops.size() &&
+         trace_->ops[next_op_].kind != TraceOpKind::kPacket) {
+    ++next_op_;
+  }
+}
+
+std::optional<NanoTime> TraceSource::next_time() const {
+  if (next_op_ >= trace_->ops.size()) return std::nullopt;
+  return trace_->ops[next_op_].at;
+}
+
+PacketPtr TraceSource::emit() {
+  const TraceOp& op = trace_->ops[next_op_++];
+  skip_to_packet();
+  FlowInfo& f = flows_[op.flow % flows_.size()];
+  auto pkt =
+      Packet::make_synthetic(f.tuple, f.vni, trace_->scenario.packet_bytes);
+  pkt->rx_time = op.at;
+  pkt->flow_id = f.flow_id;
+  pkt->seq_in_flow = f.packets_emitted++;
+  return pkt;
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip
+
+namespace {
+
+const char* op_kind_name(TraceOpKind k) {
+  switch (k) {
+    case TraceOpKind::kPacket: return "packet";
+    case TraceOpKind::kReorderStall: return "reorder_stall";
+    case TraceOpKind::kDmaFault: return "dma_fault";
+    case TraceOpKind::kCoreStall: return "core_stall";
+  }
+  return "packet";
+}
+
+std::optional<TraceOpKind> op_kind_from(const std::string& name) {
+  if (name == "packet") return TraceOpKind::kPacket;
+  if (name == "reorder_stall") return TraceOpKind::kReorderStall;
+  if (name == "dma_fault") return TraceOpKind::kDmaFault;
+  if (name == "core_stall") return TraceOpKind::kCoreStall;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string trace_to_json(const FuzzTrace& trace) {
+  const TraceScenario& sc = trace.scenario;
+  JsonObject scenario;
+  // Seeds are 64-bit; JSON numbers are doubles, so keep the seed textual.
+  scenario["seed"] = JsonValue(std::to_string(sc.seed));
+  scenario["service"] = JsonValue(static_cast<std::int64_t>(sc.service));
+  scenario["mode"] =
+      JsonValue(std::string(sc.mode == LbMode::kPlb ? "plb" : "rss"));
+  scenario["data_cores"] = JsonValue(static_cast<std::int64_t>(sc.data_cores));
+  scenario["tenants"] = JsonValue(static_cast<std::int64_t>(sc.tenants));
+  scenario["flows"] = JsonValue(static_cast<std::int64_t>(sc.flows));
+  scenario["packet_bytes"] =
+      JsonValue(static_cast<std::int64_t>(sc.packet_bytes));
+  scenario["drop_flag"] = JsonValue(sc.drop_flag);
+  scenario["horizon_ns"] = JsonValue(static_cast<std::int64_t>(sc.horizon));
+  scenario["gop_stage1_pps"] = JsonValue(sc.gop_stage1_pps);
+  scenario["gop_stage2_pps"] = JsonValue(sc.gop_stage2_pps);
+  scenario["gop_burst_seconds"] = JsonValue(sc.gop_burst_seconds);
+
+  JsonArray ops;
+  ops.reserve(trace.ops.size());
+  for (const auto& op : trace.ops) {
+    JsonObject o;
+    o["kind"] = JsonValue(std::string(op_kind_name(op.kind)));
+    o["at"] = JsonValue(static_cast<std::int64_t>(op.at));
+    switch (op.kind) {
+      case TraceOpKind::kPacket:
+        o["flow"] = JsonValue(static_cast<std::int64_t>(op.flow));
+        break;
+      case TraceOpKind::kCoreStall:
+        o["core"] = JsonValue(static_cast<std::int64_t>(op.core));
+        o["duration_ns"] = JsonValue(static_cast<std::int64_t>(op.duration));
+        break;
+      case TraceOpKind::kDmaFault:
+        o["duration_ns"] = JsonValue(static_cast<std::int64_t>(op.duration));
+        o["magnitude"] = JsonValue(op.magnitude);
+        break;
+      case TraceOpKind::kReorderStall:
+        o["duration_ns"] = JsonValue(static_cast<std::int64_t>(op.duration));
+        break;
+    }
+    ops.emplace_back(std::move(o));
+  }
+
+  JsonObject root;
+  root["format"] = JsonValue(std::string("albatross-fuzz-trace-v1"));
+  root["scenario"] = JsonValue(std::move(scenario));
+  root["ops"] = JsonValue(std::move(ops));
+  return JsonValue(std::move(root)).dump();
+}
+
+std::optional<FuzzTrace> trace_from_json(const std::string& text) {
+  const auto parsed = json_parse(text);
+  if (!parsed || !parsed->is_object()) return std::nullopt;
+  const JsonValue& root = *parsed;
+  if (root.get_string("format", "") != "albatross-fuzz-trace-v1") {
+    return std::nullopt;
+  }
+
+  FuzzTrace trace;
+  TraceScenario& sc = trace.scenario;
+  const JsonValue& s = root["scenario"];
+  if (!s.is_object()) return std::nullopt;
+  sc.seed = std::strtoull(s.get_string("seed", "1").c_str(), nullptr, 10);
+  sc.service = static_cast<ServiceKind>(s.get_int("service", 0) & 3);
+  sc.mode = s.get_string("mode", "plb") == "rss" ? LbMode::kRss : LbMode::kPlb;
+  sc.data_cores = static_cast<std::uint16_t>(s.get_int("data_cores", 2));
+  sc.tenants = static_cast<std::uint32_t>(s.get_int("tenants", 16));
+  sc.flows = static_cast<std::uint32_t>(s.get_int("flows", 128));
+  sc.packet_bytes = static_cast<std::size_t>(s.get_int("packet_bytes", 256));
+  sc.drop_flag = s.get_bool("drop_flag", true);
+  sc.horizon = s.get_int("horizon_ns", 10'000 * kFuzzTick);
+  sc.gop_stage1_pps = s.get_number("gop_stage1_pps", sc.gop_stage1_pps);
+  sc.gop_stage2_pps = s.get_number("gop_stage2_pps", sc.gop_stage2_pps);
+  sc.gop_burst_seconds =
+      s.get_number("gop_burst_seconds", sc.gop_burst_seconds);
+  if (sc.data_cores == 0 || sc.flows == 0 || sc.tenants == 0) {
+    return std::nullopt;
+  }
+
+  const JsonValue& ops = root["ops"];
+  if (!ops.is_array()) return std::nullopt;
+  trace.ops.reserve(ops.as_array().size());
+  for (const auto& o : ops.as_array()) {
+    const auto kind = op_kind_from(o.get_string("kind", ""));
+    if (!kind) return std::nullopt;
+    TraceOp op;
+    op.kind = *kind;
+    op.at = o.get_int("at", 0);
+    op.flow = static_cast<std::uint32_t>(o.get_int("flow", 0));
+    op.core = static_cast<std::uint16_t>(o.get_int("core", 0));
+    op.duration = o.get_int("duration_ns", 0);
+    op.magnitude = o.get_number("magnitude", 0.0);
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Shared background-traffic helpers
+
+PoissonFlowConfig background_flow_config(double rate_pps,
+                                         std::uint64_t seed) {
+  PoissonFlowConfig cfg;
+  cfg.num_flows = 20'000;  // scaled stand-in for 500K concurrent flows
+  cfg.tenants = 200;
+  cfg.rate_pps = rate_pps;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::unique_ptr<TrafficSource> make_background_source(double rate_pps,
+                                                      std::uint64_t seed) {
+  return std::make_unique<PoissonFlowSource>(
+      background_flow_config(rate_pps, seed));
+}
+
+}  // namespace albatross::check

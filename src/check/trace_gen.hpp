@@ -1,0 +1,115 @@
+// Seeded trace generation for the conformance fuzzer. A trace is an
+// explicit, replayable list of operations — packet arrivals plus optional
+// fault injections — with absolute virtual timestamps, so removing an op
+// during shrinking never shifts the timing of the ops that remain. The
+// scenario geometry (cores, tenants, rates) is derived deterministically
+// from the seed; the whole trace round-trips through JSON for --replay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gateway/service.hpp"
+#include "nic/nic_pipeline.hpp"
+#include "traffic/flow_gen.hpp"
+
+namespace albatross::check {
+
+/// One virtual "tick" of fuzz time (the --ticks unit).
+constexpr NanoTime kFuzzTick = 1 * kMicrosecond;
+
+/// Which fault classes a generated trace may contain. Benign faults (DMA
+/// slowdown, core stalls) degrade performance but must never break an
+/// invariant; a reorder stall wedges the FPGA reorder check and is the
+/// intentional bug the probes exist to catch.
+enum class ChaosMode : std::uint8_t {
+  kNone,          ///< packets only
+  kBenign,        ///< + DMA faults and core stalls
+  kReorderStall,  ///< + wedged reorder module (invariant-breaking)
+};
+
+enum class TraceOpKind : std::uint8_t {
+  kPacket,        ///< one packet arrival from flow `flow`
+  kReorderStall,  ///< wedge the pod's reorder check for `duration`
+  kDmaFault,      ///< degrade the pod's DMA channels (x `magnitude`)
+  kCoreStall,     ///< freeze data core `core` for `duration`
+};
+
+struct TraceOp {
+  TraceOpKind kind = TraceOpKind::kPacket;
+  NanoTime at = 0;          ///< absolute virtual time
+  std::uint32_t flow = 0;   ///< kPacket: scenario flow index
+  NanoTime duration = 0;    ///< fault ops
+  std::uint16_t core = 0;   ///< kCoreStall target
+  double magnitude = 0.0;   ///< kDmaFault slowdown factor
+};
+
+/// Platform geometry a trace runs against, derived from the seed.
+struct TraceScenario {
+  std::uint64_t seed = 1;
+  ServiceKind service = ServiceKind::kVpcVpc;
+  LbMode mode = LbMode::kPlb;
+  std::uint16_t data_cores = 2;
+  std::uint32_t tenants = 16;
+  std::uint32_t flows = 128;
+  std::size_t packet_bytes = 256;
+  bool drop_flag = true;
+  NanoTime horizon = 10'000 * kFuzzTick;
+  /// Scaled-down GOP rates so the two-stage limiter actually meters at
+  /// fuzz traffic volumes (the production 8 Mpps default never drops at
+  /// these scales).
+  double gop_stage1_pps = 2e6;
+  double gop_stage2_pps = 5e5;
+  double gop_burst_seconds = 5e-4;
+};
+
+/// A fully materialised fuzz input: scenario + time-sorted op list.
+struct FuzzTrace {
+  TraceScenario scenario;
+  std::vector<TraceOp> ops;
+
+  [[nodiscard]] std::size_t packet_count() const;
+};
+
+/// Derives scenario geometry and a randomized op list from `seed`.
+FuzzTrace generate_trace(std::uint64_t seed, std::uint64_t ticks,
+                         ChaosMode chaos);
+
+/// Replays a trace's packet ops as a TrafficSource: flow tuples use the
+/// same canonical make_flow() layout the platform tables are populated
+/// with, timestamps come verbatim from the ops.
+class TraceSource final : public TrafficSource {
+ public:
+  explicit TraceSource(const FuzzTrace& trace);
+
+  [[nodiscard]] std::optional<NanoTime> next_time() const override;
+  PacketPtr emit() override;
+
+ private:
+  void skip_to_packet();
+
+  const FuzzTrace* trace_;
+  std::vector<FlowInfo> flows_;
+  std::size_t next_op_ = 0;
+};
+
+/// JSON round-trip for --dump / --replay (uses the repo's own parser).
+[[nodiscard]] std::string trace_to_json(const FuzzTrace& trace);
+std::optional<FuzzTrace> trace_from_json(const std::string& text);
+
+// --- shared background-traffic helpers (bench + tests) -------------------
+
+/// The canonical scaled-down background mix used by the benches and the
+/// integration tests: 20K concurrent flows over 200 tenants standing in
+/// for the paper's 500K-flow production workload.
+[[nodiscard]] PoissonFlowConfig background_flow_config(double rate_pps,
+                                                       std::uint64_t seed);
+
+[[nodiscard]] std::unique_ptr<TrafficSource> make_background_source(
+    double rate_pps, std::uint64_t seed);
+
+}  // namespace albatross::check

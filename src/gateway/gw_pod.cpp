@@ -27,10 +27,14 @@ void GwPod::deliver(PacketPtr pkt, std::uint16_t rx_queue, NanoTime now) {
   }
   Core& core = *cores_[rx_queue % cores_.size()];
   const auto core_id = static_cast<CoreId>(rx_queue % cores_.size());
+  if (probe_ != nullptr) probe_->on_data_rx(cfg_.id, core_id, now);
   if (!core.ring.push(std::move(pkt))) {
     // RX descriptor overflow: one of the CPU-side loss sources that
     // strands reorder-FIFO entries (the packet never comes back).
     ++stats_.dropped_ring;
+    if (probe_ != nullptr) {
+      probe_->on_drop(cfg_.id, core_id, PodDropKind::kRing, now);
+    }
     return;
   }
   if (!core.busy) start_core(core_id, now);
@@ -90,6 +94,9 @@ void GwPod::finish_packet(CoreId core_id, PacketPtr pkt,
        (pkt->tuple.dst_port == kBgpPort || pkt->tuple.src_port == kBgpPort));
   if (outcome.action == ServiceAction::kForward && local_protocol) {
     ++stats_.protocol_packets;
+    if (probe_ != nullptr) {
+      probe_->on_drop(cfg_.id, core_id, PodDropKind::kProtocol, done);
+    }
     PlbMeta rel_meta;
     if (pkt->strip_plb_meta(rel_meta) && cfg_.drop_flag_enabled && egress_) {
       auto release = Packet::make_synthetic(pkt->tuple, pkt->vni, 64);
@@ -109,6 +116,9 @@ void GwPod::finish_packet(CoreId core_id, PacketPtr pkt,
 
   if (outcome.action == ServiceAction::kDrop) {
     ++stats_.dropped_service;
+    if (probe_ != nullptr) {
+      probe_->on_drop(cfg_.id, core_id, PodDropKind::kService, done);
+    }
     PlbMeta meta;
     if (cfg_.drop_flag_enabled && pkt->peek_plb_meta(meta)) {
       // Active drop flag (Fig. 12): notify the NIC so it releases the
@@ -121,6 +131,7 @@ void GwPod::finish_packet(CoreId core_id, PacketPtr pkt,
     // Without the flag (or for RSS packets) the drop is silent.
   } else {
     ++stats_.forwarded;
+    if (probe_ != nullptr) probe_->on_forward(cfg_.id, core_id, done);
     if (egress_) egress_(std::move(pkt), done);
   }
 

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "gateway/service.hpp"
@@ -85,6 +86,10 @@ class GwPod {
   void inject_core_stall(CoreId core, NanoTime duration, NanoTime now);
   [[nodiscard]] std::uint64_t core_stalls() const { return core_stalls_; }
 
+  /// Arms a conformance probe on the pod's packet ledger (src/check);
+  /// nullptr disarms.
+  void set_probe(GwPodProbeHook* probe) { probe_ = probe; }
+
  private:
   struct Core {
     PacketRing ring;
@@ -108,6 +113,7 @@ class GwPod {
   EgressFn egress_;
   ProtocolFn protocol_;
   GwPodStats stats_;
+  GwPodProbeHook* probe_ = nullptr;
   std::uint64_t core_stalls_ = 0;
   LogHistogram service_hist_;
   double recent_load_ = 0.0;  ///< smoothed, drives the balancer model

@@ -113,6 +113,16 @@ class NicPipeline {
   /// Ingress latency the NIC adds before DMA (Tab. 4 RX sum sans DMA).
   [[nodiscard]] NanoTime rx_pipeline_latency(bool plb) const;
 
+  // --- conformance probes (src/check) ----------------------------------
+  /// Arms a reorder-invariant probe on one pod's PLB engine.
+  void attach_reorder_probe(PodId pod, ReorderProbeHook* probe) {
+    slice(pod).plb->set_probe(probe);
+  }
+  /// Arms an admit probe on the shared tenant rate limiter.
+  void attach_limiter_probe(RateLimiterProbeHook* probe) {
+    limiter_.set_probe(probe);
+  }
+
   // --- fault injection (chaos subsystem) -------------------------------
   /// Degrades both DMA directions of a pod's slice until `until`
   /// (latency multiplied by `slowdown`), modelling PCIe error retries.

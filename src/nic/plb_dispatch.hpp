@@ -74,6 +74,14 @@ class PlbEngine {
     for (auto& q : queues_) q->inject_stall(until);
   }
 
+  /// Arms a conformance probe on every reorder queue (src/check);
+  /// nullptr disarms.
+  void set_probe(ReorderProbeHook* probe) {
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      queues_[i]->set_probe(probe, static_cast<std::uint16_t>(i));
+    }
+  }
+
  private:
   PlbEngineConfig cfg_;
   std::vector<std::unique_ptr<ReorderQueue>> queues_;

@@ -28,12 +28,12 @@ std::optional<Psn> ReorderQueue::reserve(NanoTime now) {
   fifo_ts_[s] = now;
   ++tail_;
   ++stats_.reserved;
+  if (probe_ != nullptr) probe_->on_reserve(ordq_id_, psn, now);
   return psn;
 }
 
 void ReorderQueue::writeback(PacketPtr pkt, const PlbMeta& meta, NanoTime now,
                              std::vector<ReorderEgress>& out) {
-  (void)now;
   const std::uint32_t in_flight = tail_ - head_;
   // Hardware legal check: 12-bit offset of meta.psn from head_ptr must
   // fall inside the FIFO window. Identical to comparing only psn[11:0]
@@ -46,6 +46,7 @@ void ReorderQueue::writeback(PacketPtr pkt, const PlbMeta& meta, NanoTime now,
     ++stats_.legal_check_fail;
     if (!meta.drop && pkt != nullptr) {
       ++stats_.best_effort_tx;
+      if (probe_ != nullptr) probe_->on_best_effort(ordq_id_, meta.psn, now);
       out.push_back(ReorderEgress{std::move(pkt), false, meta});
     }
     return;
@@ -60,6 +61,7 @@ void ReorderQueue::writeback(PacketPtr pkt, const PlbMeta& meta, NanoTime now,
   buf_[s] = std::move(pkt);
   buf_meta_[s] = meta;
   bitmap_[s] = BitmapEntry{true, meta.drop, meta.psn};
+  if (probe_ != nullptr) probe_->on_writeback(ordq_id_, meta.psn, meta.drop, now);
 }
 
 void ReorderQueue::drain(NanoTime now, std::vector<ReorderEgress>& out) {
@@ -80,6 +82,12 @@ void ReorderQueue::drain(NanoTime now, std::vector<ReorderEgress>& out) {
         ++stats_.in_order_tx;
         out.push_back(ReorderEgress{std::move(buf_[s]), true, buf_meta_[s]});
       }
+      if (probe_ != nullptr) {
+        probe_->on_resolve(ordq_id_, head_,
+                           be.drop ? ReorderResolution::kDropFlag
+                                   : ReorderResolution::kInOrder,
+                           fifo_ts_[s], now);
+      }
       be = BitmapEntry{};
       ++head_;
       continue;
@@ -94,11 +102,16 @@ void ReorderQueue::drain(NanoTime now, std::vector<ReorderEgress>& out) {
         // drop notification, which must never reach the wire.
         if (!be.drop && buf_[s] != nullptr) {
           ++stats_.best_effort_tx;
+          if (probe_ != nullptr) probe_->on_best_effort(ordq_id_, be.psn, now);
           out.push_back(ReorderEgress{std::move(buf_[s]), false, buf_meta_[s]});
         } else {
           buf_[s].reset();
         }
         be = BitmapEntry{};
+      }
+      if (probe_ != nullptr) {
+        probe_->on_resolve(ordq_id_, head_, ReorderResolution::kTimeout,
+                           fifo_ts_[s], now);
       }
       ++head_;
       continue;
@@ -110,6 +123,7 @@ void ReorderQueue::drain(NanoTime now, std::vector<ReorderEgress>& out) {
       // waiting for the true head.
       if (!be.drop && buf_[s] != nullptr) {
         ++stats_.best_effort_tx;
+        if (probe_ != nullptr) probe_->on_best_effort(ordq_id_, be.psn, now);
         out.push_back(ReorderEgress{std::move(buf_[s]), false, buf_meta_[s]});
       } else {
         buf_[s].reset();

@@ -28,6 +28,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "packet/packet.hpp"
 
 namespace albatross {
@@ -88,6 +89,14 @@ class ReorderQueue {
   [[nodiscard]] std::uint32_t in_flight() const { return tail_ - head_; }
   [[nodiscard]] std::uint32_t capacity() const { return entries_; }
   [[nodiscard]] const ReorderQueueStats& stats() const { return stats_; }
+  [[nodiscard]] NanoTime timeout() const { return timeout_; }
+
+  /// Arms a conformance probe (src/check). `ordq_id` identifies this
+  /// queue in probe reports. Pass nullptr to disarm.
+  void set_probe(ReorderProbeHook* probe, std::uint16_t ordq_id) {
+    probe_ = probe;
+    ordq_id_ = ordq_id;
+  }
 
   /// BRAM cost of one queue instance (FIFO + BITMAP + BUF descriptors),
   /// feeding the Tab. 5 resource ledger.
@@ -118,6 +127,8 @@ class ReorderQueue {
   std::vector<PlbMeta> buf_meta_;
   std::vector<BitmapEntry> bitmap_;
   ReorderQueueStats stats_;
+  ReorderProbeHook* probe_ = nullptr;
+  std::uint16_t ordq_id_ = 0;
 };
 
 }  // namespace albatross

@@ -106,9 +106,12 @@ RlVerdict TenantRateLimiter::admit(Vni vni, NanoTime now) {
   if (PreEntry* pre = find_pre(vni)) {
     if (pre->bypass) {
       ++stats_.bypassed;
+      if (probe_ != nullptr) probe_->on_admit(vni, RlStage::kBypass, true, now);
       return RlVerdict::kPass;
     }
-    if (pre->meter.consume(now)) {
+    const bool ok = pre->meter.consume(now);
+    if (probe_ != nullptr) probe_->on_admit(vni, RlStage::kPreMeter, ok, now);
+    if (ok) {
       ++stats_.passed;
       return RlVerdict::kPass;
     }
@@ -119,12 +122,16 @@ RlVerdict TenantRateLimiter::admit(Vni vni, NanoTime now) {
   // Stage 1: coarse color table, direct-indexed by VNI % 4K.
   if (color_table_[vni % color_table_.size()].consume(now)) {
     ++stats_.passed;
+    if (probe_ != nullptr) probe_->on_admit(vni, RlStage::kStage1, true, now);
     return RlVerdict::kPass;
   }
+  if (probe_ != nullptr) probe_->on_admit(vni, RlStage::kStage1, false, now);
 
   // Stage 2: fine meter table, hash-indexed. Collisions here are the
   // false-positive source the pre_check stage exists to mitigate.
-  if (meter_table_[mix64(vni) % meter_table_.size()].consume(now)) {
+  const bool ok2 = meter_table_[mix64(vni) % meter_table_.size()].consume(now);
+  if (probe_ != nullptr) probe_->on_admit(vni, RlStage::kStage2, ok2, now);
+  if (ok2) {
     ++stats_.passed_marked;
     return RlVerdict::kPassMarked;
   }

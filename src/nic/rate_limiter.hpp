@@ -28,6 +28,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "common/types.hpp"
 #include "tables/meter.hpp"
 
@@ -83,6 +84,10 @@ class TenantRateLimiter {
   [[nodiscard]] const RateLimiterStats& stats() const { return stats_; }
   [[nodiscard]] const RateLimiterConfig& config() const { return cfg_; }
 
+  /// Arms a conformance probe reporting every admit verdict with its
+  /// deciding stage (src/check); nullptr disarms.
+  void set_probe(RateLimiterProbeHook* probe) { probe_ = probe; }
+
   /// On-chip SRAM footprint of this design (Tab. "2MB" claim) and of the
   /// naive per-tenant alternative, for the ablation bench.
   [[nodiscard]] std::size_t sram_bytes() const;
@@ -120,6 +125,7 @@ class TenantRateLimiter {
   NanoTime window_start_ = 0;
   std::uint64_t sample_seq_ = 0;
   RateLimiterStats stats_;
+  RateLimiterProbeHook* probe_ = nullptr;
 };
 
 }  // namespace albatross

@@ -17,6 +17,7 @@ bool EventLoop::step() {
   const NanoTime at = top.at;
   Action fn = std::move(top.fn);
   queue_.pop();
+  if (observer_) observer_(at);
   now_ = at;
   ++processed_;
   fn();

@@ -40,6 +40,13 @@ class EventLoop {
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Conformance hook (src/check): `fn(at)` runs before each event fires,
+  /// letting an invariant probe watch the virtual clock (monotonicity,
+  /// event budget). Null by default; costs one branch per event.
+  void set_observer(std::function<void(NanoTime)> fn) {
+    observer_ = std::move(fn);
+  }
+
  private:
   struct Event {
     NanoTime at;
@@ -54,6 +61,7 @@ class EventLoop {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::function<void(NanoTime)> observer_;  // nullable; see set_observer
   NanoTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "chaos/recovery.hpp"
+#include "check/probes.hpp"
 #include "core/platform.hpp"
 
 namespace albatross {
@@ -211,6 +212,46 @@ void register_chaos_metrics(MetricsRegistry& registry,
         "albatross_chaos_faults_injected", {},
         [injector] { return static_cast<double>(injector->stats().applied); },
         "fault events applied by the injector");
+  }
+}
+
+void register_conformance_metrics(MetricsRegistry& registry,
+                                  const check::ConformanceHarness& harness) {
+  registry.register_counter(
+      "albatross_conformance_violations_total", {},
+      [&harness] { return static_cast<double>(harness.log().total()); },
+      "invariant violations detected by the conformance probes");
+  registry.register_counter(
+      "albatross_conformance_events_observed", {}, [&harness] {
+        return static_cast<double>(harness.events_observed());
+      });
+  registry.register_counter(
+      "albatross_conformance_reorder_reserves", {}, [&harness] {
+        return static_cast<double>(harness.reorder_counters().reserves);
+      });
+  registry.register_counter(
+      "albatross_conformance_reorder_resolved_in_order", {}, [&harness] {
+        return static_cast<double>(
+            harness.reorder_counters().resolved_in_order);
+      });
+  registry.register_counter(
+      "albatross_conformance_reorder_resolved_timeout", {}, [&harness] {
+        return static_cast<double>(
+            harness.reorder_counters().resolved_timeout);
+      });
+  registry.register_counter(
+      "albatross_conformance_reorder_best_effort", {}, [&harness] {
+        return static_cast<double>(harness.reorder_counters().best_effort);
+      });
+  if (harness.meter() != nullptr) {
+    registry.register_counter(
+        "albatross_conformance_meter_checks", {},
+        [&harness] { return static_cast<double>(harness.meter()->checks()); },
+        "rate-limiter decisions cross-checked against the analytic oracle");
+    registry.register_counter(
+        "albatross_conformance_meter_divergences", {}, [&harness] {
+          return static_cast<double>(harness.meter()->divergences());
+        });
   }
 }
 

@@ -81,4 +81,14 @@ void register_chaos_metrics(MetricsRegistry& registry,
                             const RecoveryController& controller,
                             const FaultInjector* injector = nullptr);
 
+namespace check {
+class ConformanceHarness;  // forward; defined in check/probes.hpp
+}  // namespace check
+
+/// Wires a conformance harness into a registry: violation totals, probe
+/// event counters (reserve/write-back/resolve breakdown) and meter
+/// divergence counts. The harness must outlive the registry's scrapes.
+void register_conformance_metrics(MetricsRegistry& registry,
+                                  const check::ConformanceHarness& harness);
+
 }  // namespace albatross

@@ -1,0 +1,144 @@
+// Sanity and cross-checks for the reference oracles themselves
+// (src/check/oracles.hpp). An oracle that silently disagrees with the
+// textbook definitions would poison every differential test built on it,
+// so the linear-scan LPM oracle is checked against BOTH production LPM
+// implementations, and the analytic token bucket against closed-form
+// expectations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "check/testseed.hpp"
+#include "common/rng.hpp"
+#include "tables/lpm_dir24.hpp"
+#include "tables/lpm_trie.hpp"
+
+namespace albatross {
+namespace {
+
+class LpmOracleDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmOracleDifferential, AgreesWithDir24AndTrie) {
+  const std::uint64_t seed = check::test_seed(GetParam());
+  SCOPED_TRACE(check::seed_banner(seed));
+  Rng rng(seed);
+
+  LpmDir24 dir24;
+  LpmTrie trie;
+  check::LinearLpmOracle oracle;
+
+  struct Rule {
+    Ipv4Address prefix;
+    std::uint8_t depth;
+  };
+  std::vector<Rule> live;
+
+  const auto random_prefix = [&rng] {
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(rng.next_below(4)) << 28;
+    return Ipv4Address{base |
+                       static_cast<std::uint32_t>(rng.next_below(1 << 20))};
+  };
+
+  for (int step = 0; step < 1500; ++step) {
+    if (rng.next_below(10) < 6 || live.empty()) {
+      const auto depth =
+          static_cast<std::uint8_t>(8 + rng.next_below(25));  // 8..32
+      const auto prefix = random_prefix();
+      const auto hop = static_cast<NextHop>(rng.next_below(kMaxNextHop));
+      const bool ok = oracle.add(prefix, depth, hop);
+      ASSERT_EQ(dir24.add(prefix, depth, hop), ok) << "step=" << step;
+      ASSERT_EQ(trie.add(prefix, depth, hop), ok) << "step=" << step;
+      live.push_back(Rule{prefix, depth});
+    } else {
+      const std::size_t i = rng.next_below(live.size());
+      const Rule r = live[i];
+      const bool ok = oracle.remove(r.prefix, r.depth);
+      ASSERT_EQ(dir24.remove(r.prefix, r.depth), ok) << "step=" << step;
+      ASSERT_EQ(trie.remove(r.prefix, r.depth), ok) << "step=" << step;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    for (int probe = 0; probe < 4; ++probe) {
+      Ipv4Address addr;
+      if (!live.empty() && probe < 3) {
+        const Rule& r = live[rng.next_below(live.size())];
+        addr = Ipv4Address{r.prefix.addr ^ static_cast<std::uint32_t>(
+                                               rng.next_below(1 << 10))};
+      } else {
+        addr = Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+      }
+      const auto want = oracle.lookup(addr);
+      ASSERT_EQ(dir24.lookup(addr), want)
+          << "addr=" << addr.to_string() << " step=" << step;
+      ASSERT_EQ(trie.lookup(addr), want)
+          << "addr=" << addr.to_string() << " step=" << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmOracleDifferential,
+                         ::testing::Values(3ull, 7ull, 42ull));
+
+TEST(LpmOracle, RejectsInvalidRules) {
+  check::LinearLpmOracle oracle;
+  EXPECT_FALSE(oracle.add(Ipv4Address::from_octets(10, 0, 0, 0), 33, 1));
+  EXPECT_FALSE(
+      oracle.add(Ipv4Address::from_octets(10, 0, 0, 0), 8, kMaxNextHop + 1));
+  EXPECT_EQ(oracle.rule_count(), 0u);
+  EXPECT_FALSE(oracle.remove(Ipv4Address::from_octets(10, 0, 0, 0), 8));
+}
+
+TEST(LpmOracle, LongestPrefixWinsAndReexposesOnDelete) {
+  check::LinearLpmOracle oracle;
+  const auto addr = Ipv4Address::from_octets(10, 1, 2, 3);
+  ASSERT_TRUE(oracle.add(Ipv4Address::from_octets(10, 0, 0, 0), 8, 100));
+  ASSERT_TRUE(oracle.add(Ipv4Address::from_octets(10, 1, 0, 0), 16, 200));
+  EXPECT_EQ(oracle.lookup(addr), 200u);
+  ASSERT_TRUE(oracle.remove(Ipv4Address::from_octets(10, 1, 0, 0), 16));
+  EXPECT_EQ(oracle.lookup(addr), 100u);
+  ASSERT_TRUE(oracle.remove(Ipv4Address::from_octets(10, 0, 0, 0), 8));
+  EXPECT_EQ(oracle.lookup(addr), std::nullopt);
+}
+
+TEST(TokenBucketOracle, ClosedFormRefillAndBurstCap) {
+  check::TokenBucketOracle oracle(1e6, 100.0);  // 1 Mpps, 100-pkt bucket
+  // Starts full; draining 100 packets at t=0 empties it.
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(oracle.consume(0));
+  EXPECT_FALSE(oracle.consume(0));
+  // 1 Mpps == 1 token/us: after 50us exactly ~50 tokens are back.
+  EXPECT_NEAR(oracle.level_at(50 * kMicrosecond), 50.0, 1e-6);
+  // The bucket never exceeds its depth no matter how long it idles.
+  EXPECT_NEAR(oracle.level_at(10 * kSecond), 100.0, 1e-6);
+}
+
+TEST(TokenBucketOracle, ResyncAbsorbsBoundaryDisagreement) {
+  check::TokenBucketOracle oracle(1e6, 10.0);
+  // Observed implementation passed a packet the oracle would have
+  // dropped: resync zeroes the allowance (the packet was spent).
+  oracle.resync(true);
+  EXPECT_NEAR(oracle.level_at(0), 0.0, 1e-9);
+  // Observed drop refunds the charge, capped at the bucket depth.
+  oracle.resync(false, 100.0);
+  EXPECT_NEAR(oracle.level_at(0), 10.0, 1e-9);
+}
+
+TEST(TokenBucketOracle, ZeroRateMeansUnlimited) {
+  check::TokenBucketOracle oracle(0.0, 0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(oracle.consume(0));
+}
+
+TEST(ReorderSortOracle, ExpectedSequenceIsSortedKeptPsns) {
+  check::ReorderSortOracle oracle;
+  oracle.record(5, false);
+  oracle.record(3, true);  // drop-flagged: excluded
+  oracle.record(1, false);
+  oracle.record(4, false);
+  EXPECT_EQ(oracle.kept_count(), 3u);
+  EXPECT_EQ(oracle.expected(), (std::vector<Psn>{1, 4, 5}));
+}
+
+}  // namespace
+}  // namespace albatross

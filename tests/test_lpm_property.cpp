@@ -4,6 +4,7 @@
 // routing tables.
 #include <gtest/gtest.h>
 
+#include "check/testseed.hpp"
 #include "common/rng.hpp"
 #include "tables/lpm_dir24.hpp"
 #include "tables/lpm_trie.hpp"
@@ -14,7 +15,9 @@ namespace {
 class LpmDifferential : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(LpmDifferential, AgreesWithReferenceTrie) {
-  Rng rng(GetParam());
+  const std::uint64_t seed = check::test_seed(GetParam());
+  SCOPED_TRACE(check::seed_banner(seed));
+  Rng rng(seed);
   LpmDir24 fast;
   LpmTrie ref;
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <map>
 
+#include "check/testseed.hpp"
 #include "common/rng.hpp"
 #include "nic/plb_reorder.hpp"
 
@@ -24,7 +25,9 @@ class ReorderProperty : public ::testing::TestWithParam<Case> {};
 
 TEST_P(ReorderProperty, ExactlyOnceInOrderDelivery) {
   const Case c = GetParam();
-  Rng rng(c.seed);
+  const std::uint64_t seed = check::test_seed(c.seed);
+  SCOPED_TRACE(check::seed_banner(seed));
+  Rng rng(seed);
   ReorderQueue q(c.entries, 100 * kMicrosecond);
 
   // Event-driven mini-sim: packets dispatched at 100ns spacing, each
@@ -107,7 +110,9 @@ INSTANTIATE_TEST_SUITE_P(
 /// make progress via timeouts — at the cost of HOL events, which is the
 /// Fig. 12 mechanism.
 TEST(ReorderPropertyNoFlag, SilentDropsCauseTimeoutsButNoWedge) {
-  Rng rng(99);
+  const std::uint64_t seed = check::test_seed(99);
+  SCOPED_TRACE(check::seed_banner(seed));
+  Rng rng(seed);
   ReorderQueue q(256, 100 * kMicrosecond);
   std::vector<ReorderEgress> out;
   std::uint64_t silent_drops = 0;

@@ -1,0 +1,121 @@
+// Differential property tests (docs/CONFORMANCE.md): the cuckoo table
+// and the aging flow table must agree with their naive unordered_map
+// oracles under randomized op sequences — the exact-match analogue of the
+// LPM-vs-trie cross-check in test_lpm_property.cpp.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "check/testseed.hpp"
+#include "common/rng.hpp"
+#include "tables/cuckoo_table.hpp"
+#include "tables/flow_table.hpp"
+
+namespace albatross {
+namespace {
+
+FiveTuple tuple_for(std::uint64_t i) {
+  FiveTuple t;
+  t.src_ip = Ipv4Address{static_cast<std::uint32_t>(0x0a000000u + i)};
+  t.dst_ip = Ipv4Address{static_cast<std::uint32_t>(
+      0xc0a80000u + (mix64(i) & 0xffff))};
+  t.src_port = static_cast<std::uint16_t>(1024 + (i % 50000));
+  t.dst_port = static_cast<std::uint16_t>(80 + (mix64(i ^ 7) % 1000));
+  t.proto = (i & 1) != 0 ? IpProto::kTcp : IpProto::kUdp;
+  return t;
+}
+
+class CuckooDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CuckooDifferential, AgreesWithMapOracle) {
+  const std::uint64_t seed = check::test_seed(GetParam());
+  SCOPED_TRACE(check::seed_banner(seed));
+  Rng rng(seed);
+
+  CuckooTable<FiveTuple, std::uint64_t> table(4096);
+  check::MapTableOracle<FiveTuple, std::uint64_t> oracle;
+
+  // Key pool well under capacity so the kick chain cannot run the table
+  // out of room (capacity-pressure behaviour has its own test).
+  constexpr std::uint64_t kKeys = 1500;
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t k = rng.next_below(kKeys);
+    const FiveTuple key = tuple_for(k);
+    const auto op = rng.next_below(10);
+    if (op < 6) {
+      const std::uint64_t value = rng.next_u64();
+      ASSERT_TRUE(table.insert(key, value)) << "step=" << step;
+      oracle.insert(key, value);
+    } else if (op < 8) {
+      ASSERT_EQ(table.erase(key), oracle.erase(key)) << "step=" << step;
+    } else {
+      ASSERT_EQ(table.find(key), oracle.find(key)) << "step=" << step;
+    }
+    if (step % 512 == 0) {
+      ASSERT_EQ(table.size(), oracle.size()) << "step=" << step;
+    }
+  }
+
+  // Full sweep: every oracle entry is present with the right value, and
+  // the sizes agree so the table holds nothing extra.
+  ASSERT_EQ(table.size(), oracle.size());
+  for (const auto& [key, value] : oracle.entries()) {
+    const auto found = table.find(key);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CuckooDifferential,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull));
+
+class FlowTableDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableDifferential, LifecycleAgreesWithOracle) {
+  const std::uint64_t seed = check::test_seed(GetParam());
+  SCOPED_TRACE(check::seed_banner(seed));
+  Rng rng(seed);
+
+  constexpr NanoTime kIdle = 5 * kMillisecond;
+  FlowTable table(1 << 14, kIdle);
+  check::FlowLifecycleOracle oracle(kIdle);
+
+  constexpr std::uint64_t kFlows = 1200;
+  NanoTime now = 0;
+  for (int step = 0; step < 15000; ++step) {
+    now += rng.next_below(20 * kMicrosecond);
+    const FiveTuple key = tuple_for(rng.next_below(kFlows));
+    const auto op = rng.next_below(20);
+    if (op < 14) {
+      const bool existed = oracle.touch(key, now);
+      FlowState* s = table.lookup(key, now, true);
+      ASSERT_NE(s, nullptr) << "step=" << step;
+      ++s->packets;
+      EXPECT_EQ(s->packets > 1, existed) << "step=" << step;
+    } else if (op < 16) {
+      ASSERT_EQ(table.erase(key), oracle.erase(key)) << "step=" << step;
+    } else if (op < 19) {
+      ASSERT_EQ(table.peek(key).has_value(), oracle.contains(key))
+          << "step=" << step;
+    } else {
+      ASSERT_EQ(table.age(now), oracle.age(now)) << "step=" << step;
+      ASSERT_EQ(table.size(), oracle.size()) << "step=" << step;
+    }
+  }
+
+  // Jump past the idle timeout: one aging pass must empty both.
+  now += kIdle + 1;
+  EXPECT_EQ(table.age(now), oracle.age(now));
+  EXPECT_EQ(table.size(), oracle.size());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableDifferential,
+                         ::testing::Values(1ull, 4ull, 9ull, 16ull, 25ull));
+
+}  // namespace
+}  // namespace albatross

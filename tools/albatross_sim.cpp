@@ -13,6 +13,12 @@
 //                 (see chaos/experiment.hpp schema; replays a fault plan
 //                  against a gateway fleet and prints the incident
 //                  timeline — same plan + seed => identical output)
+//   albatross_sim fuzz [--seed N] [--seeds K] [--ticks T]
+//                 [--chaos none|benign|stall] [--dump file.json]
+//                 (randomized conformance fuzzing, docs/CONFORMANCE.md;
+//                  a violating trace is shrunk and dumped, exit 1)
+//   albatross_sim fuzz --replay file.json
+//                 (re-runs a dumped trace deterministically)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +27,7 @@
 #include <sstream>
 
 #include "chaos/experiment.hpp"
+#include "check/fuzz.hpp"
 #include "core/config.hpp"
 #include "core/platform.hpp"
 #include "core/scenario.hpp"
@@ -50,7 +57,11 @@ struct Options {
       "usage: albatross_sim [--service vpc|internet|idc|cloud] [--cores N]\n"
       "                     [--mode plb|rss] [--rate-mpps R] [--flows N]\n"
       "                     [--duration-ms T] [--hitter-mpps R]\n"
-      "                     [--drop-flag 0|1] [--offload] [--metrics]\n");
+      "                     [--drop-flag 0|1] [--offload] [--metrics]\n"
+      "       albatross_sim chaos --plan chaos.json\n"
+      "       albatross_sim fuzz [--seed N] [--seeds K] [--ticks T]\n"
+      "                     [--chaos none|benign|stall] [--dump f.json]\n"
+      "                     [--replay f.json]\n");
   std::exit(2);
 }
 
@@ -148,12 +159,130 @@ int run_chaos(int argc, char** argv) {
   return 0;
 }
 
+void print_fuzz_report(const check::FuzzReport& r) {
+  std::printf("  packets=%llu offered=%llu delivered=%llu events=%llu "
+              "ledger=%s violations=%llu\n",
+              static_cast<unsigned long long>(r.packets),
+              static_cast<unsigned long long>(r.offered),
+              static_cast<unsigned long long>(r.delivered),
+              static_cast<unsigned long long>(r.events),
+              r.ledger_checked ? "checked" : "skipped",
+              static_cast<unsigned long long>(r.violations));
+  for (const auto& v : r.details) {
+    std::printf("  VIOLATION %s at %lldns: %s\n", v.invariant.c_str(),
+                static_cast<long long>(v.at), v.detail.c_str());
+  }
+}
+
+int run_fuzz(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::uint64_t seeds = 1;
+  std::uint64_t ticks = 10'000;
+  check::ChaosMode chaos = check::ChaosMode::kBenign;
+  std::string dump_path;
+  std::string replay_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fuzz: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--seeds") {
+      seeds = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--ticks") {
+      ticks = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--chaos") {
+      const std::string v = next();
+      if (v == "none") chaos = check::ChaosMode::kNone;
+      else if (v == "benign") chaos = check::ChaosMode::kBenign;
+      else if (v == "stall") chaos = check::ChaosMode::kReorderStall;
+      else {
+        std::fprintf(stderr, "fuzz: unknown --chaos %s\n", v.c_str());
+        return 2;
+      }
+    } else if (a == "--dump") {
+      dump_path = next();
+    } else if (a == "--replay") {
+      replay_path = next();
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: albatross_sim fuzz [--seed N] [--seeds K] [--ticks T]\n"
+          "                          [--chaos none|benign|stall]\n"
+          "                          [--dump file.json] [--replay file.json]\n");
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", replay_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto trace = check::trace_from_json(text.str());
+    if (!trace) {
+      std::fprintf(stderr, "fuzz: %s is not a valid trace\n",
+                   replay_path.c_str());
+      return 1;
+    }
+    const auto report = check::run_trace(*trace);
+    std::printf("fuzz replay %s: seed=%llu ops=%zu %s\n",
+                replay_path.c_str(),
+                static_cast<unsigned long long>(trace->scenario.seed),
+                trace->ops.size(),
+                report.violated() ? "VIOLATED" : "clean");
+    print_fuzz_report(report);
+    return report.violated() ? 1 : 0;
+  }
+
+  for (std::uint64_t s = seed; s < seed + seeds; ++s) {
+    const auto outcome = check::fuzz_one(s, ticks, chaos);
+    if (!outcome.report.violated()) {
+      std::printf("fuzz seed=%llu ticks=%llu: clean (%llu packets, %llu "
+                  "events)\n",
+                  static_cast<unsigned long long>(s),
+                  static_cast<unsigned long long>(ticks),
+                  static_cast<unsigned long long>(outcome.report.packets),
+                  static_cast<unsigned long long>(outcome.report.events));
+      continue;
+    }
+    std::printf("fuzz seed=%llu ticks=%llu: VIOLATED (shrunk to %zu ops)\n",
+                static_cast<unsigned long long>(s),
+                static_cast<unsigned long long>(ticks),
+                outcome.trace.ops.size());
+    print_fuzz_report(outcome.report);
+    const std::string path = dump_path.empty()
+                                 ? "fuzz-trace-" + std::to_string(s) + ".json"
+                                 : dump_path;
+    std::ofstream out(path);
+    out << check::trace_to_json(outcome.trace) << "\n";
+    std::printf("  reproducer dumped to %s (replay with: albatross_sim fuzz "
+                "--replay %s)\n",
+                path.c_str(), path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Chaos mode: replay a fault plan against a gateway fleet.
   if (argc >= 2 && std::string(argv[1]) == "chaos") {
     return run_chaos(argc, argv);
+  }
+
+  // Fuzz mode: randomized conformance runs with invariant probes armed.
+  if (argc >= 2 && std::string(argv[1]) == "fuzz") {
+    return run_fuzz(argc, argv);
   }
 
   // Declarative mode: --config file.json runs a whole experiment spec.
