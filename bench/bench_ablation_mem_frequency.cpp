@@ -16,9 +16,9 @@ double capacity_at(std::uint32_t mts) {
   cache.set_working_set_bytes(4ull << 30);
   const auto p = service_profile(ServiceKind::kVpcInternet);
   const double per_pkt =
-      static_cast<double>(p.base_ns) +
+      static_cast<double>(p.base_ns.count()) +
       static_cast<double>(p.mem_accesses) *
-          cache.mean_access_latency(0, 0, false);
+          cache.mean_access_latency(NumaNodeId{0}, NumaNodeId{0}, false);
   return 1e3 / per_pkt;
 }
 

@@ -46,15 +46,15 @@ double innocent_delivery(bool color_collision, bool meter_collision,
          dominant % cfg.color_entries == innocent % cfg.color_entries) {
     ++dominant;
   }
-  if (install_dominant) rl.install_heavy_hitter(dominant, 0);
+  if (install_dominant) rl.install_heavy_hitter(dominant, Nanos{0});
 
   std::uint64_t pass = 0, total = 0;
   // Interleaved offering over 2 simulated seconds.
-  NanoTime next_innocent = 0, next_partner = 0, next_dominant = 0;
-  const NanoTime gi = static_cast<NanoTime>(1e9 / 9000);
-  const NanoTime gp = static_cast<NanoTime>(1e9 / 8000);
-  const NanoTime gd = static_cast<NanoTime>(1e9 / 40000);
-  for (NanoTime t = 0; t < 2 * kSecond; t += 10'000) {
+  NanoTime next_innocent = Nanos{0}, next_partner = Nanos{0}, next_dominant = Nanos{0};
+  const NanoTime gi = nanos_from_double(1e9 / 9000);
+  const NanoTime gp = nanos_from_double(1e9 / 8000);
+  const NanoTime gd = nanos_from_double(1e9 / 40000);
+  for (NanoTime t = NanoTime{0}; t < 2 * kSecond; t += NanoTime{10'000}) {
     if (color_collision && t >= next_partner) {
       rl.admit(partner, t);
       next_partner += gp;
@@ -81,14 +81,15 @@ int main() {
 
   TenantRateLimiter rl;
   print_row("SRAM, naive 1M per-tenant meters : %8.1f MB",
-            TenantRateLimiter::naive_sram_bytes(1'000'000) / 1e6);
+            static_cast<double>(TenantRateLimiter::naive_sram_bytes(1'000'000)) /
+                1e6);
   print_row("SRAM, two-stage (4K+4K+2x128)    : %8.1f MB   (paper: 2 MB, "
             "100x reduction)",
-            rl.sram_bytes() / 1e6);
+            static_cast<double>(rl.sram_bytes()) / 1e6);
   print_row("reduction factor                 : %8.0fx",
             static_cast<double>(
                 TenantRateLimiter::naive_sram_bytes(1'000'000)) /
-                rl.sram_bytes());
+                static_cast<double>(rl.sram_bytes()));
 
   print_row("\nInnocent tenant at 9k pps (limits: stage1 8k + stage2 2k):");
   print_row("%-52s %10s", "scenario", "delivered");

@@ -66,14 +66,14 @@ AblationResult run(std::uint16_t queues) {
   // The heavy hitter: 55% of pod capacity concentrated on ONE ordq.
   HeavyHitterConfig hh;
   hh.flow = make_flow(0x4040, 7, 0);
-  hh.profile = RateProfile{{0, 0.55 * capacity_pps}};
+  hh.profile = RateProfile{{NanoTime{0}, 0.55 * capacity_pps}};
   s.platform->attach_source(std::make_unique<HeavyHitterSource>(hh), s.pod);
 
   // The HOL source: ACL-denied packets on the hitter's queue whose
   // silent drops stall the FIFO head for 100us each.
   HeavyHitterConfig hole;
   hole.flow = make_hole_flow(hh.flow, queues);
-  hole.profile = RateProfile{{0, 0.01 * capacity_pps}};
+  hole.profile = RateProfile{{NanoTime{0}, 0.01 * capacity_pps}};
   s.platform->attach_source(std::make_unique<HeavyHitterSource>(hole),
                             s.pod);
 
@@ -98,7 +98,8 @@ int main() {
                "§4.1 'Reorder queue granularity', SIGCOMM'25 Albatross");
   print_row("%-8s %12s %16s %18s %10s", "queues", "entries/q",
             "hitter loss (C1)", "pkts >60us (C2)", "p99(us)");
-  for (const std::uint16_t q : {1, 2, 4, 8}) {
+  constexpr std::uint16_t kQueueCounts[] = {1, 2, 4, 8};
+  for (const std::uint16_t q : kQueueCounts) {
     const auto r = run(q);
     print_row("%-8u %12u %15.2f%% %17.2f%% %10.1f", q, kBufferBudget / q,
               r.hitter_loss * 100, r.bg_delayed_share * 100, r.p99_us);

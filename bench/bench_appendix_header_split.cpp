@@ -48,8 +48,9 @@ SplitOutcome run(bool split, double offered_pps, std::size_t frame_bytes) {
 
   SplitOutcome r;
   const auto& t = platform.telemetry(pod);
-  const double secs = static_cast<double>(duration) / 1e9;
-  r.wire_gbps = static_cast<double>(t.delivered) * frame_bytes * 8 / secs /
+  const double secs = static_cast<double>(duration.count()) / 1e9;
+  r.wire_gbps = static_cast<double>(t.delivered) *
+                static_cast<double>(frame_bytes) * 8 / secs /
                 1e9;
   // PCIe accounting is inside the per-pod DMA channels; approximate the
   // RX direction from delivered packets x bytes-after-split.

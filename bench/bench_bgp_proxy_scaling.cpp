@@ -24,12 +24,12 @@ double convergence_seconds(std::size_t peers) {
         loop,
         BgpSessionConfig{.asn = 64512,
                          .router_id = 100u + static_cast<std::uint32_t>(i)}));
-    sw.add_peer(*gws.back(), 0);
+    sw.add_peer(*gws.back(), Nanos{0});
     gws.back()->announce(
         RoutePrefix{Ipv4Address{0x64400000u +
                                 (static_cast<std::uint32_t>(i) << 8)},
                     24},
-        1, 0);
+        1, Nanos{0});
   }
   loop.run_until(240 * kSecond);  // initial convergence
   sw.restart(loop.now());
@@ -37,7 +37,7 @@ double convergence_seconds(std::size_t peers) {
   while (loop.now() - t0 < 3600 * kSecond) {
     loop.run_until(loop.now() + kSecond);
     if (sw.established_count() == peers && sw.routes_learned() == peers) {
-      return static_cast<double>(loop.now() - t0) / 1e9;
+      return static_cast<double>((loop.now() - t0).count()) / 1e9;
     }
   }
   return -1.0;  // did not converge within an hour
@@ -66,19 +66,19 @@ int main() {
   // Live: one server with 4 pods behind a proxy -> 1 switch peer.
   EventLoop loop;
   UplinkSwitch sw(loop, SwitchConfig{});
-  BgpProxy proxy(loop, sw, BgpProxyConfig{}, 0);
+  BgpProxy proxy(loop, sw, BgpProxyConfig{}, NanoTime{});
   std::vector<std::unique_ptr<BgpSession>> pods;
   for (int i = 0; i < 4; ++i) {
     pods.push_back(std::make_unique<BgpSession>(
         loop,
         BgpSessionConfig{.asn = 64600,
                          .router_id = 300u + static_cast<std::uint32_t>(i)}));
-    proxy.attach_pod(*pods.back(), 0);
+    proxy.attach_pod(*pods.back(), Nanos{0});
     pods.back()->announce(
         RoutePrefix{Ipv4Address{0x64650000u +
                                 (static_cast<std::uint32_t>(i) << 8)},
                     24},
-        7, 0);
+        7, Nanos{0});
   }
   loop.run_until(60 * kSecond);
   print_row("\n[live] 4 GW pods behind one proxy: switch peers=%zu, "

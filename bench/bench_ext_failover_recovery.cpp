@@ -31,7 +31,7 @@ CrashOutcome run_pod_crash(std::uint16_t gateways, double rate_pps) {
   controller.arm();
 
   FaultPlan plan;
-  plan.events.push_back({8 * kSecond, FaultKind::kPodCrash, 0, 0, 0.0});
+  plan.events.push_back({8 * kSecond, FaultKind::kPodCrash, 0, NanoTime{0}, 0.0});
   FaultInjector injector(harness.loop(), harness);
   injector.schedule(plan);
   harness.platform().run_until(25 * kSecond);
@@ -71,13 +71,14 @@ int main() {
   print_row("%-10s %12s %12s %12s %12s %10s", "gateways", "detect ms",
             "blackhole ms", "lost pkts", "recover s", "post-loss");
   bool ok = true;
-  for (const std::uint16_t gateways : {1, 2, 4}) {
+  constexpr std::uint16_t kGatewayCounts[] = {1, 2, 4};
+  for (const std::uint16_t gateways : kGatewayCounts) {
     const auto r = run_pod_crash(gateways, 50'000.0);
     print_row("%-10u %12.1f %12.1f %12llu %12.2f %10llu", gateways,
-              static_cast<double>(r.incident.detect_latency()) / 1e6,
-              static_cast<double>(r.incident.blackhole_ns()) / 1e6,
+              static_cast<double>(r.incident.detect_latency().count()) / 1e6,
+              static_cast<double>(r.incident.blackhole_ns().count()) / 1e6,
               static_cast<unsigned long long>(r.incident.packets_lost),
-              static_cast<double>(r.incident.recovery_ns()) / 1e9,
+              static_cast<double>(r.incident.recovery_ns().count()) / 1e9,
               static_cast<unsigned long long>(r.post_cutover_loss));
     ok &= r.incident.recovered && r.incident.redeployed;
     ok &= r.incident.recovery_ns() < 40 * kSecond;
@@ -91,7 +92,7 @@ int main() {
         std::pair{FaultKind::kBfdTimeout, 500 * kMillisecond},
         std::pair{FaultKind::kBgpReset, 0 * kMillisecond}}) {
     const auto inc = run_transient(kind, duration);
-    if (inc.detected_at == 0) {
+    if (inc.detected_at == NanoTime{0}) {
       // Control-plane-only faults never trip BFD: that IS the result
       // (the paper's control/data decoupling).
       print_row("%-18s %12s %12s %12s %10s",
@@ -101,8 +102,8 @@ int main() {
     }
     print_row("%-18s %12.1f %12.2f %12llu %10s",
               std::string(fault_kind_name(kind)).c_str(),
-              static_cast<double>(inc.detect_latency()) / 1e6,
-              static_cast<double>(inc.recovery_ns()) / 1e9,
+              static_cast<double>(inc.detect_latency().count()) / 1e6,
+              static_cast<double>(inc.recovery_ns().count()) / 1e9,
               static_cast<unsigned long long>(inc.packets_lost),
               inc.redeployed ? "yes" : "no");
     ok &= inc.recovered && !inc.redeployed;

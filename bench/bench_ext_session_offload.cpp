@@ -41,7 +41,7 @@ OffloadOutcome run(bool offload, std::size_t num_flows, double offered_pps) {
   const auto& t = s.platform->telemetry(s.pod);
   r.delivered_mpps =
       static_cast<double>(t.delivered) /
-      (static_cast<double>(duration) / 1e9) / 1e6;
+      (static_cast<double>(duration.count()) / 1e9) / 1e6;
   r.p50_us = static_cast<double>(t.wire_latency.quantile(0.5)) / 1e3;
   r.cpu_processed = s.platform->pod(s.pod).stats().processed;
   r.fpga_hits = offload ? s.platform->nic()

@@ -64,7 +64,7 @@ int main() {
   constexpr std::uint32_t kLive = 20'000;
   std::vector<std::uint16_t> pinned(kLive);
   for (std::uint32_t c = 0; c < kLive; ++c) {
-    pinned[c] = *slb.forward(client(c), static_cast<CoreId>(c % 8), 0,
+    pinned[c] = *slb.forward(client(c), static_cast<CoreId>(c % 8), Nanos{0},
                              0x02 /*SYN*/);
   }
   slb.set_healthy(3, false);  // backend 3 dies

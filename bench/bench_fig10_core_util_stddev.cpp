@@ -42,16 +42,17 @@ UtilSeries run(LbMode mode) {
   // Sample per-core utilisation every 5ms over 200ms (stands in for the
   // paper's one-week sampling).
   UtilSeries out;
-  std::vector<NanoTime> prev(kCores, 0);
+  std::vector<NanoTime> prev(kCores, NanoTime{});
   const NanoTime window = 5 * kMillisecond;
   for (int sample = 0; sample < 40; ++sample) {
     s.platform->run_until((sample + 1) * window);
     RunningStats per_core;
-    for (CoreId c = 0; c < kCores; ++c) {
+    for (std::uint16_t i = 0; i < kCores; ++i) {
+      const CoreId c{i};
       const NanoTime busy = s.platform->pod(s.pod).core_busy_ns(c);
       const double util =
-          static_cast<double>(busy - prev[c]) / static_cast<double>(window);
-      prev[c] = busy;
+          static_cast<double>((busy - prev[i]).count()) / static_cast<double>(window.count());
+      prev[i] = busy;
       per_core.add(util * 100.0);
       out.max_single_core = std::max(out.max_single_core, util * 100.0);
     }

@@ -60,7 +60,7 @@ PodResult run_pod(double load, std::uint64_t seed,
   mb.single_flow_bursts = false;
   mb.mean_burst_packets = 200;
   mb.burst_rate_pps = 10e6;
-  mb.mean_burst_gap = static_cast<NanoTime>(
+  mb.mean_burst_gap = nanos_from_double(
       200.0 / (load * capacity_pps * 0.2) * 1e9);
   mb.seed = seed + 1;
   platform.attach_source(std::make_unique<MicroburstSource>(mb), pod);
@@ -105,7 +105,7 @@ int main() {
        {20 * kMicrosecond, 50 * kMicrosecond, 100 * kMicrosecond,
         200 * kMicrosecond}) {
     const auto r = run_pod(0.20, 999, to);
-    print_row("%-12lld %12.1e", static_cast<long long>(to / 1000),
+    print_row("%-12lld %12.1e", static_cast<long long>((to / 1000).count()),
               r.disorder_rate);
   }
   print_row("\nShape: >99%% under 30us; higher-load pods shift mass into "

@@ -37,13 +37,13 @@ HolResult run(bool drop_flag, double acl_drop_share) {
   HeavyHitterConfig bad;
   bad.flow = make_flow(0xac10, 9, 0);
   bad.flow.tuple.dst_ip = Ipv4Address::from_octets(9, 9, 9, 99);
-  bad.profile = RateProfile{{0, total * acl_drop_share}};
+  bad.profile = RateProfile{{NanoTime{0}, total * acl_drop_share}};
   s.platform->attach_source(std::make_unique<HeavyHitterSource>(bad), s.pod);
 
   const NanoTime duration = 150 * kMillisecond;
   s.platform->run_until(duration);
   const auto stats = s.platform->nic().engine(s.pod).total_stats();
-  const double secs = static_cast<double>(duration) / 1e9;
+  const double secs = static_cast<double>(duration.count()) / 1e9;
   HolResult r;
   r.hol_events_per_s = static_cast<double>(stats.timeout_releases) / secs;
   r.drop_releases_per_s = static_cast<double>(stats.drop_releases) / secs;

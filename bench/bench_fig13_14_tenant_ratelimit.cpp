@@ -39,12 +39,12 @@ void run(bool gop_enabled) {
     TenantSpec spec;
     spec.vni = v;
     spec.profile =
-        RateProfile{{0, static_cast<double>(5 - v) * 1e6 * kScale}};
+        RateProfile{{NanoTime{0}, static_cast<double>(5 - v) * 1e6 * kScale}};
     if (v == 1) spec.profile.add_step(kBurstAt, 34e6 * kScale);
     tenants.push_back(spec);
   }
   platform.attach_source(
-      std::make_unique<TenantTrafficSource>(std::move(tenants), 0), pod);
+      std::make_unique<TenantTrafficSource>(std::move(tenants), NanoTime{}), pod);
 
   // Sample per-tenant delivery in 25ms windows.
   std::printf("%-10s", "t(ms)");
@@ -58,7 +58,7 @@ void run(bool gop_enabled) {
     for (Vni v = 1; v <= 4; ++v) {
       const auto delivered = platform.tenant(v).delivered;
       const double mpps = static_cast<double>(delivered - prev[v]) /
-                          (static_cast<double>(window) / 1e9) / 1e6;
+                          (static_cast<double>(window.count()) / 1e9) / 1e6;
       prev[v] = delivered;
       std::printf("  %8.2f", mpps / kScale);  // report at paper scale
     }

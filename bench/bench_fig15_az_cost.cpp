@@ -39,7 +39,7 @@ int main() {
   spec.ctrl_cores = 2;
   int placed = 0;
   for (int i = 0; i < 32; ++i) {
-    if (orch.deploy(spec, 0)) ++placed;
+    if (orch.deploy(spec, Nanos{0})) ++placed;
   }
   print_row("[live] orchestrator packed %d/32 GW pods on %zu servers "
             "(4 pods/server, 2 per NUMA node); core utilisation %.0f%%",

@@ -19,8 +19,8 @@ double capacity(std::uint16_t mem_node, std::uint16_t mem_accesses_override) {
                               ? mem_accesses_override
                               : p.mem_accesses;
   const double per_pkt =
-      static_cast<double>(p.base_ns) +
-      accesses * cache.mean_access_latency(0, mem_node, false);
+      static_cast<double>(p.base_ns.count()) +
+      accesses * cache.mean_access_latency(NumaNodeId{0}, NumaNodeId{mem_node}, false);
   return 1e3 / per_pkt;
 }
 

@@ -17,7 +17,8 @@ int main() {
             "PLB Mpps/core", "gap");
 
   // Simulated points (1 and 4 cores).
-  for (const std::uint16_t cores : {1, 4}) {
+  constexpr std::uint16_t kCoreCounts[] = {1, 4};
+  for (const std::uint16_t cores : kCoreCounts) {
     const auto rss = measure_saturation(ServiceKind::kVpcInternet, cores,
                                         LbMode::kRss, cores * 3e6,
                                         40 * kMillisecond, /*seed=*/2);

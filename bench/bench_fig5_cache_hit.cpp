@@ -22,7 +22,7 @@ int main() {
       std::uint64_t hits = 0;
       const int n = 200000;
       for (int i = 0; i < n; ++i) {
-        if (cache.access_latency(rng, 0, 0, affine) <=
+        if (cache.access_latency(rng, NumaNodeId{0}, NumaNodeId{0}, affine) <=
             cache.config().l3_hit_ns) {
           ++hits;
         }

@@ -33,7 +33,7 @@ Point run(LbMode mode, double hitter_fraction_of_core) {
 
   HeavyHitterConfig hh;
   hh.flow = make_flow(0xbeef, 3, 0);
-  hh.profile = RateProfile{{0, hitter_fraction_of_core * core_mpps * 1e6}};
+  hh.profile = RateProfile{{NanoTime{0}, hitter_fraction_of_core * core_mpps * 1e6}};
   s.platform->attach_source(std::make_unique<HeavyHitterSource>(hh), s.pod);
 
   const NanoTime duration = 60 * kMillisecond;
@@ -45,12 +45,13 @@ Point run(LbMode mode, double hitter_fraction_of_core) {
   p.loss = t.offered ? 1.0 - static_cast<double>(t.delivered) /
                                  static_cast<double>(t.offered)
                      : 0.0;
-  NanoTime hottest = 0;
-  for (CoreId c = 0; c < kCores; ++c) {
-    hottest = std::max(hottest, s.platform->pod(s.pod).core_busy_ns(c));
+  NanoTime hottest = NanoTime{0};
+  for (std::uint16_t c = 0; c < kCores; ++c) {
+    hottest =
+        std::max(hottest, s.platform->pod(s.pod).core_busy_ns(CoreId{c}));
   }
-  p.hot_core_util = static_cast<double>(hottest) /
-                    static_cast<double>(duration + 10 * kMillisecond);
+  p.hot_core_util = static_cast<double>(hottest.count()) /
+                    static_cast<double>((duration + 10 * kMillisecond).count());
   return p;
 }
 

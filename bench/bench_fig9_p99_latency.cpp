@@ -37,7 +37,7 @@ double p99_at_load(LbMode mode, double load) {
   mb.mean_burst_packets = 300;
   mb.burst_rate_pps = 20e6;  // line-rate trains
   const double burst_pps = load * capacity_pps * 0.3;
-  mb.mean_burst_gap = static_cast<NanoTime>(
+  mb.mean_burst_gap = nanos_from_double(
       static_cast<double>(mb.mean_burst_packets) / burst_pps * 1e9);
   mb.seed = 7;
   s.platform->attach_source(std::make_unique<MicroburstSource>(mb), s.pod);

@@ -49,19 +49,19 @@ BfdOutcome run(bool priority_queues, double overload_factor) {
         if (pkt->tuple.dst_port == kBfdPort) {
           bfd.on_rx(now);
           probe_latency.record(
-              static_cast<std::uint64_t>(now - pkt->rx_time));
+              static_cast<std::uint64_t>((now - pkt->rx_time).count()));
         }
       });
-  bfd.start(0);
+  bfd.start(Nanos{0});
   // Mark the session up before the storm begins.
-  bfd.on_rx(0);
+  bfd.on_rx(Nanos{0});
 
   // Remote peer's probes: CBR at the BFD interval.
   HeavyHitterConfig probes;
   probes.flow = make_flow(0xbfdbfd, 0, 0);
   probes.flow.tuple.dst_port = kBfdPort;
-  probes.profile = RateProfile{{0, 1e9 / static_cast<double>(
-                                          bfd_cfg.tx_interval)}};
+  probes.profile = RateProfile{{NanoTime{0}, 1e9 / static_cast<double>(
+                                          bfd_cfg.tx_interval.count())}};
   platform.attach_source(std::make_unique<HeavyHitterSource>(probes), pod);
 
   // The data-plane storm: overload_factor x pod capacity.

@@ -91,19 +91,19 @@ BENCHMARK(BM_CuckooFind);
 
 void BM_TokenBucketConsume(benchmark::State& state) {
   TokenBucket tb(1e9, 1e6);
-  NanoTime now = 0;
+  NanoTime now = NanoTime{0};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tb.consume(now += 10));
+    benchmark::DoNotOptimize(tb.consume(now += NanoTime{10}));
   }
 }
 BENCHMARK(BM_TokenBucketConsume);
 
 void BM_RateLimiterAdmit(benchmark::State& state) {
   TenantRateLimiter rl;
-  NanoTime now = 0;
+  NanoTime now = NanoTime{0};
   Vni vni = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rl.admit(++vni & 0xffff, now += 100));
+    benchmark::DoNotOptimize(rl.admit(++vni & 0xffff, now += NanoTime{100}));
   }
 }
 BENCHMARK(BM_RateLimiterAdmit);
@@ -111,9 +111,9 @@ BENCHMARK(BM_RateLimiterAdmit);
 void BM_ReorderRoundTrip(benchmark::State& state) {
   ReorderQueue q;
   std::vector<ReorderEgress> out;
-  NanoTime now = 0;
+  NanoTime now = NanoTime{0};
   for (auto _ : state) {
-    now += 100;
+    now += NanoTime{100};
     const auto psn = q.reserve(now);
     PlbMeta m;
     m.psn = *psn;

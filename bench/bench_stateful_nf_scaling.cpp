@@ -30,7 +30,8 @@ int main() {
   print_row("%-8s %12s %14s %14s %12s %14s", "cores", "write-light",
             "heavy+locked", "heavy+lockfree", "heavy+local",
             "heavy+group8");
-  for (const std::uint16_t cores : {1, 4, 8, 16, 32, 44}) {
+  constexpr std::uint16_t kCoreCounts[] = {1, 4, 8, 16, 32, 44};
+  for (const std::uint16_t cores : kCoreCounts) {
     print_row("%-8u %12.2f %14.2f %14.2f %12.2f %14.2f", cores,
               throughput(StatePlacement::kSharedLocked, false, cores),
               throughput(StatePlacement::kSharedLocked, true, cores),
@@ -50,10 +51,10 @@ int main() {
   cfg.cores = 4;
   StatefulNf nf(cfg);
   for (std::uint16_t f = 0; f < 100; ++f) {
-    for (CoreId c = 0; c < 4; ++c) {
+    for (std::uint16_t c = 0; c < 4; ++c) {
       nf.process(FiveTuple{Ipv4Address{f}, Ipv4Address{1}, f, 80,
                            IpProto::kTcp},
-                 c, c * 100);
+                 CoreId{c}, NanoTime{c * 100});
     }
   }
   print_row("\n[live] per-core NF: %llu packets, %llu sessions "

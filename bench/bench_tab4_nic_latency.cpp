@@ -13,16 +13,17 @@ int main() {
                "Tab. 4, SIGCOMM'25 Albatross");
 
   const NicTimings t;  // model defaults == paper values
+  const auto us = [](Nanos n) { return static_cast<double>(n.count()) / 1e3; };
   struct Row {
     const char* name;
     double rx_us;
     double tx_us;
   };
   const Row rows[] = {
-      {"Basic Pipeline", t.basic_rx / 1e3, t.basic_tx / 1e3},
-      {"Overload Det.", t.overload_det_rx / 1e3, 0.0},
-      {"PLB", t.plb_rx / 1e3, t.plb_tx / 1e3},
-      {"DMA", t.dma_rx_base / 1e3, t.dma_tx_base / 1e3},
+      {"Basic Pipeline", us(t.basic_rx_ns()), us(t.basic_tx_ns())},
+      {"Overload Det.", us(t.overload_det_rx_ns()), 0.0},
+      {"PLB", us(t.plb_rx_ns()), us(t.plb_tx_ns())},
+      {"DMA", us(t.dma_rx_base_ns()), us(t.dma_tx_base_ns())},
   };
   print_row("%-16s %8s %8s", "module", "RX(us)", "TX(us)");
   double rx_sum = 0, tx_sum = 0;
@@ -51,6 +52,6 @@ int main() {
             nic_us, rx_sum + tx_sum);
   print_row("Extra latency from PLB + overload detection: %.2f us "
             "(paper: ~0.5 us)",
-            (t.overload_det_rx + t.plb_rx + t.plb_tx) / 1e3);
+            us(t.overload_det_rx_ns() + t.plb_rx_ns() + t.plb_tx_ns()));
   return 0;
 }

@@ -48,9 +48,9 @@ int main() {
   PodSpec spec;
   spec.data_cores = 44;
   spec.ctrl_cores = 2;
-  const auto p = orch.deploy(spec, 0);
+  const auto p = orch.deploy(spec, Nanos{0});
   print_row("[live] GW pod deployed via orchestrator: ready at t=%.0f s "
             "(paper: 10 seconds; Sailfish: days of cluster build-out)",
-            static_cast<double>(p->ready_at) / 1e9);
+            static_cast<double>(p->ready_at.count()) / 1e9);
   return 0;
 }

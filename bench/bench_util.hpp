@@ -59,7 +59,7 @@ inline SaturationResult measure_saturation(ServiceKind service,
 
   const auto& t = s.platform->telemetry(s.pod);
   SaturationResult r;
-  const double secs = static_cast<double>(duration) / 1e9;
+  const double secs = static_cast<double>(duration.count()) / 1e9;
   r.delivered_mpps = static_cast<double>(t.delivered) / secs / 1e6;
   r.per_core_mpps = r.delivered_mpps / cores;
   r.mean_latency_us = t.wire_latency.mean() / 1000.0;

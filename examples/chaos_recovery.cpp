@@ -25,7 +25,7 @@ int main() {
 
   FaultPlan plan;
   plan.name = "walkthrough";
-  plan.events.push_back({2 * kSecond, FaultKind::kPodCrash, 0, 0, 0.0});
+  plan.events.push_back({2 * kSecond, FaultKind::kPodCrash, 0, NanoTime{0}, 0.0});
   plan.events.push_back(
       {8 * kSecond, FaultKind::kLinkFlap, 1, 500 * kMillisecond, 0.0});
 
@@ -45,10 +45,10 @@ int main() {
         "  %-12s gw%u  detect %.1f ms  blackhole %.1f ms  lost %llu pkts"
         "  recovered in %.2f s%s\n",
         std::string(fault_kind_name(inc.kind)).c_str(), inc.gateway,
-        static_cast<double>(inc.detect_latency()) / 1e6,
-        static_cast<double>(inc.blackhole_ns()) / 1e6,
+        static_cast<double>(inc.detect_latency().count()) / 1e6,
+        static_cast<double>(inc.blackhole_ns().count()) / 1e6,
         static_cast<unsigned long long>(inc.packets_lost),
-        static_cast<double>(inc.recovery_ns()) / 1e9,
+        static_cast<double>(inc.recovery_ns().count()) / 1e9,
         inc.redeployed ? "  (replacement pod)" : "");
   }
   std::printf("\ntimeline (deterministic; same plan => same bytes):\n%s",

@@ -34,12 +34,12 @@ int main() {
     const auto p = orch.deploy(spec, loop.now());
     placements.push_back(*p);
     std::printf("%-10s pod=%u numa=%u cores=[%u..%u) vfs={", spec.name.c_str(),
-                p->pod, p->numa_node, p->first_core,
-                p->first_core + spec.total_cores());
+                p->pod, p->numa_node.value(), p->first_core.value(),
+                p->first_core.value() + spec.total_cores());
     for (const auto& vf : p->vfs.vfs) {
       std::printf("nic%u.p%u ", vf.nic, vf.port);
     }
-    std::printf("} ready@%.0fs\n", static_cast<double>(p->ready_at) / 1e9);
+    std::printf("} ready@%.0fs\n", nanos_to_seconds(p->ready_at));
   }
   std::printf("server core utilisation: %.0f%%\n\n",
               orch.core_utilization() * 100);
@@ -85,14 +85,14 @@ int main() {
     return 1;
   }
   std::printf("t=%.0fs  scale-up requested (20 -> 40 data cores)\n",
-              static_cast<double>(t0) / 1e9);
+              static_cast<double>(t0.count()) / 1e9);
   std::printf("t=%.0fs  new pod ready on server %u (10s container start, "
               "Tab. 6)\n",
-              static_cast<double>(scaled->first.ready_at) / 1e9,
+              static_cast<double>((scaled->first.ready_at).count()) / 1e9,
               scaled->first.server);
   std::printf("t=%.0fs  traffic cutover after 30s of BGP validation; old "
               "pod withdraws\n",
-              static_cast<double>(scaled->second) / 1e9);
+              static_cast<double>(scaled->second.count()) / 1e9);
   orch.remove(placements[0].pod);
   std::printf("old pod removed; placements now: %zu\n\n",
               orch.placements().size());

@@ -30,7 +30,7 @@ Verdict investigate(LbMode mode, double hitter_mpps) {
 
   HeavyHitterConfig hh;
   hh.flow = make_flow(0xf00d, 13, 0);
-  hh.profile = RateProfile{{0, hitter_mpps * 1e6}};
+  hh.profile = RateProfile{{NanoTime{0}, hitter_mpps * 1e6}};
   s.platform->attach_source(std::make_unique<HeavyHitterSource>(hh), s.pod);
 
   const NanoTime window = 80 * kMillisecond;
@@ -42,12 +42,13 @@ Verdict investigate(LbMode mode, double hitter_mpps) {
                                static_cast<double>(t.offered)
                          : 0.0;
   v.p99_us = static_cast<double>(t.wire_latency.quantile(0.99)) / 1e3;
-  NanoTime hottest = 0;
-  for (CoreId c = 0; c < kCores; ++c) {
-    hottest = std::max(hottest, s.platform->pod(s.pod).core_busy_ns(c));
+  NanoTime hottest = NanoTime{0};
+  for (std::uint16_t c = 0; c < kCores; ++c) {
+    hottest =
+        std::max(hottest, s.platform->pod(s.pod).core_busy_ns(CoreId{c}));
   }
-  v.hot_core_util = static_cast<double>(hottest) /
-                    static_cast<double>(window);
+  v.hot_core_util = static_cast<double>(hottest.count()) /
+                    static_cast<double>(window.count());
   v.reorder = s.platform->nic().engine(s.pod).total_stats();
   return v;
 }

@@ -41,12 +41,13 @@ void run_incident(bool protection) {
   for (Vni v = 1; v <= 4; ++v) {
     TenantSpec spec;
     spec.vni = v;
-    spec.profile = RateProfile{{0, (5.0 - v) * 1e6 * scale}};
+    spec.profile = RateProfile{{NanoTime{0}, (5.0 - v) * 1e6 * scale}};
     if (v == 1) spec.profile.add_step(150 * kMillisecond, 34e6 * scale);
     tenants.push_back(spec);
   }
   platform.attach_source(
-      std::make_unique<TenantTrafficSource>(std::move(tenants), 0), pod);
+      std::make_unique<TenantTrafficSource>(std::move(tenants), NanoTime{}),
+      pod);
 
   platform.run_until(300 * kMillisecond);
 
@@ -86,7 +87,7 @@ int main() {
   // CPU side (the §4.3 'planned' path) and verify.
   PlatformConfig pc;
   Platform platform(pc);
-  platform.nic().limiter().install_heavy_hitter(1, 0);
+  platform.nic().limiter().install_heavy_hitter(1, Nanos{0});
   std::printf("\nCPU-assisted install: tenant 1 in pre_meter? %s\n",
               platform.nic().limiter().is_installed(1) ? "yes" : "no");
   return 0;

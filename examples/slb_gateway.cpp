@@ -26,7 +26,7 @@ int main() {
     const auto idx = slb.add_backend(
         Backend{Ipv4Address::from_octets(10, 1, 0,
                                          static_cast<std::uint8_t>(10 + b)),
-                8443, /*weight=*/b == 0 ? 2 : 1, true});
+                8443, /*weight=*/static_cast<std::uint16_t>(b == 0 ? 2 : 1), true});
     std::printf("backend %u: %s weight=%u\n", idx,
                 slb.backend(idx).rs_ip.to_string().c_str(),
                 slb.backend(idx).weight);
@@ -36,7 +36,7 @@ int main() {
   std::vector<int> per_backend(4, 0);
   for (std::uint32_t c = 0; c < 10'000; ++c) {
     const auto b = slb.forward(client_tuple(c), static_cast<CoreId>(c % 4),
-                               c, 0x02 /*SYN*/);
+                               NanoTime{c}, 0x02 /*SYN*/);
     if (b) ++per_backend[*b];
   }
   std::printf("\nnew-connection spread (backend 0 has 2x weight):\n");
@@ -52,13 +52,13 @@ int main() {
   int to_dead_existing = 0;
   for (std::uint32_t c = 0; c < 10'000; ++c) {
     const auto b = slb.forward(client_tuple(c), static_cast<CoreId>(c % 4),
-                               kSecond + c, 0x10 /*ACK*/);
+                               kSecond + NanoTime{c}, 0x10 /*ACK*/);
     if (b && *b == 2) ++to_dead_existing;
   }
   int to_dead_new = 0;
   for (std::uint32_t c = 10'000; c < 20'000; ++c) {
     const auto b = slb.forward(client_tuple(c), static_cast<CoreId>(c % 4),
-                               2 * kSecond + c, 0x02);
+                               2 * kSecond + NanoTime{c}, 0x02);
     if (b && *b == 2) ++to_dead_new;
   }
   std::printf("existing connections still pinned to backend 2 "

@@ -18,7 +18,7 @@ void BfdSession::tick(NanoTime now) {
 
   // Detection: no probe from the peer within detect_mult intervals.
   const NanoTime detect_window =
-      cfg_.tx_interval * NanoTime{cfg_.detect_mult};
+      cfg_.tx_interval * std::int64_t{cfg_.detect_mult};
   if (state_ == BfdState::kUp && now - last_rx_ > detect_window) {
     state_ = BfdState::kDown;
     ++failures_;

@@ -49,7 +49,7 @@ class BfdSession {
   BfdConfig cfg_;
   bool running_ = false;
   BfdState state_ = BfdState::kDown;
-  NanoTime last_rx_ = 0;
+  NanoTime last_rx_ = NanoTime{0};
   std::uint64_t sent_ = 0;
   std::uint64_t failures_ = 0;
   TxFn tx_;

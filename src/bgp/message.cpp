@@ -170,8 +170,8 @@ NanoTime BgpMessage::processing_cost() const {
     case BgpMsgType::kUpdate:
       // Per-prefix best-path computation dominates.
       return 2 * kMillisecond +
-             static_cast<NanoTime>(update.nlri.size() +
-                                   update.withdrawn.size()) *
+             static_cast<std::int64_t>(update.nlri.size() +
+                                      update.withdrawn.size()) *
                  200 * kMicrosecond;
     case BgpMsgType::kNotification:
       return kMillisecond;

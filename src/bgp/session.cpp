@@ -59,7 +59,7 @@ void BgpSession::start(NanoTime now) {
   open_sent_ = false;
   last_rx_ = now;
   rib_in_.clear();
-  if (retry_interval_ == 0) retry_interval_ = cfg_.connect_retry;
+  if (retry_interval_ == NanoTime{}) retry_interval_ = cfg_.connect_retry;
   if (!cfg_.passive) {
     send(BgpMessage::make_open(cfg_.asn, cfg_.router_id, cfg_.hold_time_s),
          now);
@@ -129,7 +129,7 @@ void BgpSession::arm_keepalive(NanoTime now) {
 
 void BgpSession::arm_hold_check(NanoTime now) {
   const std::uint64_t epoch = epoch_;
-  const NanoTime hold = NanoTime{cfg_.hold_time_s} * kSecond;
+  const NanoTime hold = std::int64_t{cfg_.hold_time_s} * kSecond;
   loop_.schedule_at(now + hold, [this, epoch, hold] {
     if (epoch != epoch_ || state_ == BgpState::kIdle) return;
     if (loop_.now() - last_rx_ >= hold) {

@@ -124,9 +124,9 @@ class BgpSession {
 
   BgpState state_ = BgpState::kIdle;
   bool admin_down_ = false;  ///< stop()ed: refuse peer OPENs until start()
-  NanoTime retry_interval_ = 0;  ///< current (backed-off) retry interval
+  NanoTime retry_interval_ = NanoTime{0};  ///< current (backed-off) retry interval
   std::uint64_t epoch_ = 0;  ///< invalidates timers from old incarnations
-  NanoTime last_rx_ = 0;
+  NanoTime last_rx_ = NanoTime{0};
   bool open_sent_ = false;
 
   std::map<RoutePrefix, RibEntry> rib_in_;

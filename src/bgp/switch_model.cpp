@@ -9,9 +9,7 @@ NanoTime SwitchCpu::enqueue(NanoTime arrival, NanoTime cost) {
   // RIB churn, periodic housekeeping preempting BGP).
   NanoTime effective = cost;
   if (start - arrival > cfg_->overload_backlog_threshold) {
-    effective =
-        static_cast<NanoTime>(static_cast<double>(cost) *
-                              cfg_->overload_slowdown);
+    effective = cost * cfg_->overload_slowdown;
   }
   busy_until_ = start + effective;
   busy_accum_ += effective;

@@ -33,15 +33,15 @@ class SwitchCpu final : public MessageProcessor {
   NanoTime enqueue(NanoTime arrival, NanoTime cost) override;
 
   [[nodiscard]] NanoTime backlog(NanoTime now) const {
-    return busy_until_ > now ? busy_until_ - now : 0;
+    return busy_until_ > now ? busy_until_ - now : NanoTime{};
   }
   [[nodiscard]] std::uint64_t messages() const { return messages_; }
   [[nodiscard]] NanoTime busy_ns() const { return busy_accum_; }
 
  private:
   const SwitchConfig* cfg_;
-  NanoTime busy_until_ = 0;
-  NanoTime busy_accum_ = 0;
+  NanoTime busy_until_ = NanoTime{0};
+  NanoTime busy_accum_ = NanoTime{0};
   std::uint64_t messages_ = 0;
 };
 

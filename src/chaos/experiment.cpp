@@ -14,11 +14,8 @@ FaultPlan chaos_plan_from_json(const JsonValue& cfg, std::uint16_t gateways,
     return FaultPlan::random(
         static_cast<std::uint64_t>(r.get_int("seed", 1)),
         static_cast<std::size_t>(r.get_int("count", 5)), gateways,
-        static_cast<NanoTime>(r.get_number(
-            "horizon_ms",
-            static_cast<double>(horizon) /
-                static_cast<double>(kMillisecond)) *
-                              static_cast<double>(kMillisecond)));
+        millis_to_nanos(r.get_number("horizon_ms",
+                                     nanos_to_millis(horizon))));
   }
   return FaultPlan::from_json(plan_json);
 }
@@ -41,13 +38,11 @@ ChaosExperimentResult run_chaos_experiment_from_json(
   hc.servers = static_cast<std::uint16_t>(cfg.get_int("servers", 2));
   hc.dual_proxy = cfg.get_bool("dual_proxy", true);
   hc.service = service_from_name(cfg.get_string("service", "vpc"));
-  hc.orch.handover_validation = static_cast<NanoTime>(
-      cfg.get_number("validation_ms", 5000.0) *
-      static_cast<double>(kMillisecond));
+  hc.orch.handover_validation =
+      millis_to_nanos(cfg.get_number("validation_ms", 5000.0));
 
-  const auto duration = static_cast<NanoTime>(
-      cfg.get_number("duration_ms", 30'000.0) *
-      static_cast<double>(kMillisecond));
+  const auto duration =
+      millis_to_nanos(cfg.get_number("duration_ms", 30'000.0));
   const double rate_pps = cfg.get_number("rate_mpps", 0.05) * 1e6;
   const auto flows = static_cast<std::size_t>(cfg.get_int("flows", 200));
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));

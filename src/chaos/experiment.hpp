@@ -31,7 +31,7 @@ namespace albatross {
 
 struct ChaosExperimentResult {
   std::uint16_t gateways = 0;
-  NanoTime duration = 0;
+  NanoTime duration = NanoTime{0};
   FaultInjectorStats injected;
   ChaosHarnessCounters harness;
   std::vector<IncidentRecord> incidents;

@@ -40,12 +40,10 @@ FaultPlan FaultPlan::from_json(const JsonValue& v) {
   plan.seed = static_cast<std::uint64_t>(v.get_int("seed", 0));
   for (const auto& ev : v["events"].as_array()) {
     FaultEvent e;
-    e.at = static_cast<NanoTime>(ev.get_number("at_ms", 0.0) *
-                                 static_cast<double>(kMillisecond));
+    e.at = millis_to_nanos(ev.get_number("at_ms", 0.0));
     e.kind = fault_kind_from_name(ev.get_string("kind", "pod_crash"));
     e.gateway = static_cast<std::uint16_t>(ev.get_int("gateway", 0));
-    e.duration = static_cast<NanoTime>(ev.get_number("duration_ms", 0.0) *
-                                       static_cast<double>(kMillisecond));
+    e.duration = millis_to_nanos(ev.get_number("duration_ms", 0.0));
     e.magnitude = ev.get_number("magnitude", 0.0);
     plan.events.push_back(e);
   }
@@ -57,12 +55,10 @@ JsonValue FaultPlan::to_json() const {
   JsonArray evs;
   for (const auto& e : events) {
     JsonObject o;
-    o["at_ms"] = JsonValue(static_cast<double>(e.at) /
-                           static_cast<double>(kMillisecond));
+    o["at_ms"] = JsonValue(nanos_to_millis(e.at));
     o["kind"] = JsonValue(std::string(fault_kind_name(e.kind)));
     o["gateway"] = JsonValue(static_cast<std::int64_t>(e.gateway));
-    o["duration_ms"] = JsonValue(static_cast<double>(e.duration) /
-                                 static_cast<double>(kMillisecond));
+    o["duration_ms"] = JsonValue(nanos_to_millis(e.duration));
     o["magnitude"] = JsonValue(e.magnitude);
     evs.emplace_back(std::move(o));
   }
@@ -84,13 +80,13 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t count,
   if (horizon <= t_min) horizon = t_min + kSecond;
   for (std::size_t i = 0; i < count; ++i) {
     FaultEvent e;
-    e.at = t_min + static_cast<NanoTime>(rng.next_below(
-                       static_cast<std::uint64_t>(horizon - t_min)));
+    e.at = t_min + Nanos{static_cast<std::int64_t>(rng.next_below(
+                       static_cast<std::uint64_t>((horizon - t_min).count())))};
     e.kind = static_cast<FaultKind>(rng.next_below(kFaultKindCount));
     e.gateway = static_cast<std::uint16_t>(rng.next_below(gateways));
     switch (e.kind) {
       case FaultKind::kPodCrash:
-        e.duration = 0;  // permanent until the controller redeploys
+        e.duration = NanoTime{};  // permanent until the controller redeploys
         break;
       case FaultKind::kCoreStall:
         e.duration = rng.next_range(1, 20) * kMillisecond;

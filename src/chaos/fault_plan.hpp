@@ -38,10 +38,10 @@ inline constexpr std::size_t kFaultKindCount = 8;
 [[nodiscard]] FaultKind fault_kind_from_name(std::string_view name);
 
 struct FaultEvent {
-  NanoTime at = 0;          ///< injection time
+  NanoTime at = NanoTime{0};          ///< injection time
   FaultKind kind = FaultKind::kPodCrash;
   std::uint16_t gateway = 0;  ///< harness gateway index
-  NanoTime duration = 0;      ///< fault window; 0 = permanent (pod crash)
+  NanoTime duration = NanoTime{0};      ///< fault window; 0 = permanent (pod crash)
   double magnitude = 0.0;     ///< kind-specific: slowdown, pps, core count
 };
 

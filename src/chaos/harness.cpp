@@ -17,14 +17,14 @@ GatewayChaosHarness::GatewayChaosHarness(ChaosHarnessConfig cfg)
     BgpProxyConfig pc;
     pc.router_id = 0x0a640001 + static_cast<std::uint32_t>(i);
     proxies_.push_back(
-        std::make_unique<BgpProxy>(platform_->loop(), *uplink_, pc, 0));
+        std::make_unique<BgpProxy>(platform_->loop(), *uplink_, pc, NanoTime{}));
   }
   for (std::uint16_t s = 0; s < cfg_.servers; ++s) {
     orch_.add_server(ServerSpec{});
   }
 
   gateways_.resize(cfg_.gateways);
-  for (std::uint16_t g = 0; g < cfg_.gateways; ++g) wire_gateway(g, 0);
+  for (std::uint16_t g = 0; g < cfg_.gateways; ++g) wire_gateway(g, NanoTime{});
 
   // Switch-side route callbacks -> per-gateway routed edge detection.
   // (UplinkSwitch leaves on_route free; the harness is the observer.)
@@ -203,7 +203,7 @@ void GatewayChaosHarness::apply(const FaultEvent& e, NanoTime now) {
                          ? static_cast<std::uint16_t>(e.magnitude)
                          : std::uint16_t{1};
       for (std::uint16_t c = 0; c < n && c < cfg_.data_cores; ++c) {
-        platform_->pod(gw.pod).inject_core_stall(c, e.duration, now);
+        platform_->pod(gw.pod).inject_core_stall(CoreId{c}, e.duration, now);
       }
       break;
     }

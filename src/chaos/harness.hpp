@@ -77,7 +77,7 @@ struct ChaosHarnessCounters {
 /// finish_redeploy(old_orch_pod) at cutover.
 struct RedeployTicket {
   Placement placement;
-  NanoTime cutover = 0;
+  NanoTime cutover = NanoTime{0};
   PodId old_orch_pod = 0;
 };
 
@@ -173,7 +173,7 @@ class GatewayChaosHarness final : public FaultSurface {
     bool link_ok = true;
     bool bfd_ok = true;
     FaultKind last_fault = FaultKind::kPodCrash;
-    NanoTime last_fault_at = 0;
+    NanoTime last_fault_at = NanoTime{0};
     std::uint64_t blackhole_mark = 0;
     bool routed = false;  ///< last vip_routed() value (edge detection)
   };

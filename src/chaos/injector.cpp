@@ -9,7 +9,7 @@ void FaultInjector::schedule(const FaultPlan& plan) {
       ++stats_.by_kind[static_cast<std::size_t>(e.kind)];
       surface_.apply(e, loop_.now());
     });
-    if (e.duration > 0) {
+    if (e.duration > NanoTime{}) {
       loop_.schedule_at(e.at + e.duration, [this, e] {
         ++stats_.cleared;
         surface_.clear(e, loop_.now());

@@ -41,12 +41,12 @@ void RecoveryController::on_down(std::uint16_t g, NanoTime now) {
     // prior withdrawal already took it out): the withdraw is trivially
     // confirmed now. The in-flight-UPDATE case keeps rib_in populated
     // at this instant, so it still resolves through the routed edge.
-    IncidentRecord& rec = incidents_[static_cast<std::size_t>(open_[g])];
-    rec.withdrawn_at = now;
-    rec.packets_lost =
+    IncidentRecord& inc = incidents_[static_cast<std::size_t>(open_[g])];
+    inc.withdrawn_at = now;
+    inc.packets_lost =
         harness_.platform().telemetry(harness_.pod(g)).blackholed -
         harness_.blackhole_mark(g);
-    packets_lost_ += rec.packets_lost;
+    packets_lost_ += inc.packets_lost;
   }
 
   // Step 2 — if the pod is actually dead, rebuild it. Transient faults
@@ -84,7 +84,7 @@ void RecoveryController::on_routed(std::uint16_t g, bool routed,
   const std::size_t idx = static_cast<std::size_t>(open_[g]);
   IncidentRecord& rec = incidents_[idx];
   if (!routed) {
-    if (rec.withdrawn_at == 0) {
+    if (rec.withdrawn_at == NanoTime{}) {
       rec.withdrawn_at = now;
       // Loss stops accruing once upstream reroutes: the blackholed
       // counter delta over [fault, withdraw] is the incident's loss.
@@ -95,7 +95,7 @@ void RecoveryController::on_routed(std::uint16_t g, bool routed,
     }
     return;
   }
-  if (rec.withdrawn_at != 0) close_incident(idx, now);
+  if (rec.withdrawn_at != NanoTime{}) close_incident(idx, now);
 }
 
 void RecoveryController::close_incident(std::size_t idx, NanoTime now) {
@@ -104,19 +104,19 @@ void RecoveryController::close_incident(std::size_t idx, NanoTime now) {
   rec.recovered = true;
   open_[rec.gateway] = -1;
   ++recovered_;
-  detect_hist_.record(static_cast<std::uint64_t>(rec.detect_latency()));
-  blackhole_hist_.record(static_cast<std::uint64_t>(rec.blackhole_ns()));
-  recovery_hist_.record(static_cast<std::uint64_t>(rec.recovery_ns()));
+  detect_hist_.record(rec.detect_latency());
+  blackhole_hist_.record(rec.blackhole_ns());
+  recovery_hist_.record(rec.recovery_ns());
 }
 
 std::string RecoveryController::timeline() const {
   std::ostringstream os;
   for (const auto& r : incidents_) {
     os << fault_kind_name(r.kind) << " g" << r.gateway
-       << " fault=" << r.fault_at << " detect=" << r.detected_at
-       << " withdrawn=" << r.withdrawn_at
-       << " ready=" << r.replacement_ready_at
-       << " recovered=" << r.recovered_at << " lost=" << r.packets_lost
+       << " fault=" << r.fault_at.count() << " detect=" << r.detected_at.count()
+       << " withdrawn=" << r.withdrawn_at.count()
+       << " ready=" << r.replacement_ready_at.count()
+       << " recovered=" << r.recovered_at.count() << " lost=" << r.packets_lost
        << (r.recovered ? "" : " OPEN") << '\n';
   }
   return os.str();

@@ -28,12 +28,12 @@ struct RecoveryConfig {
 struct IncidentRecord {
   FaultKind kind = FaultKind::kPodCrash;
   std::uint16_t gateway = 0;
-  NanoTime fault_at = 0;
-  NanoTime detected_at = 0;    ///< switch-side BFD declared down
-  NanoTime withdrawn_at = 0;   ///< VIP gone from the switch RIB
-  NanoTime replacement_ready_at = 0;  ///< 0 = no redeploy needed
-  NanoTime cutover_at = 0;     ///< old placement released (redeploys)
-  NanoTime recovered_at = 0;   ///< VIP routed again
+  NanoTime fault_at = NanoTime{0};
+  NanoTime detected_at = NanoTime{0};    ///< switch-side BFD declared down
+  NanoTime withdrawn_at = NanoTime{0};   ///< VIP gone from the switch RIB
+  NanoTime replacement_ready_at = NanoTime{0};  ///< 0 = no redeploy needed
+  NanoTime cutover_at = NanoTime{0};     ///< old placement released (redeploys)
+  NanoTime recovered_at = NanoTime{0};   ///< VIP routed again
   std::uint64_t packets_lost = 0;  ///< blackholed between fault & reroute
   bool redeployed = false;
   bool recovered = false;
@@ -43,10 +43,10 @@ struct IncidentRecord {
   }
   /// Traffic-to-nowhere window: fault -> routes pulled upstream.
   [[nodiscard]] NanoTime blackhole_ns() const {
-    return withdrawn_at > fault_at ? withdrawn_at - fault_at : 0;
+    return withdrawn_at > fault_at ? withdrawn_at - fault_at : NanoTime{};
   }
   [[nodiscard]] NanoTime recovery_ns() const {
-    return recovered_at > fault_at ? recovered_at - fault_at : 0;
+    return recovered_at > fault_at ? recovered_at - fault_at : NanoTime{};
   }
 };
 

@@ -52,7 +52,7 @@ FuzzReport run_trace(const FuzzTrace& trace) {
         break;
       case TraceOpKind::kCoreStall:
         platform.loop().schedule_at(op.at, [&platform, pod, op] {
-          platform.pod(pod).inject_core_stall(op.core, op.duration,
+          platform.pod(pod).inject_core_stall(CoreId{op.core}, op.duration,
                                               platform.loop().now());
         });
         break;

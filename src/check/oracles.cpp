@@ -48,9 +48,9 @@ std::optional<NextHop> LinearLpmOracle::lookup(Ipv4Address addr) const {
 
 double TokenBucketOracle::level_at(NanoTime now) const {
   if (rate_pps_ <= 0.0) return burst_;
-  const NanoTime dt = now > last_ ? now - last_ : 0;
+  const NanoTime dt = now > last_ ? now - last_ : NanoTime{};
   const double refilled =
-      level_ + rate_pps_ * (static_cast<double>(dt) / 1e9);
+      level_ + rate_pps_ * nanos_to_seconds(dt);
   return refilled < burst_ ? refilled : burst_;
 }
 

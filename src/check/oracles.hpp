@@ -81,9 +81,12 @@ class FlowLifecycleOracle {
   bool erase(const FiveTuple& tuple) { return last_seen_.erase(tuple) != 0; }
 
   /// Removes flows idle beyond the timeout; returns the count removed.
+  /// Iteration order does not leak: every expired entry is erased no
+  /// matter where the hash map puts it, and only the count is returned.
   std::size_t age(NanoTime now) {
     std::size_t removed = 0;
-    for (auto it = last_seen_.begin(); it != last_seen_.end();) {
+    for (auto it = last_seen_.begin();  // lint:allow(unordered-iteration)
+         it != last_seen_.end();) {
       if (now - it->second > idle_timeout_) {
         it = last_seen_.erase(it);
         ++removed;
@@ -131,7 +134,7 @@ class LinearLpmOracle {
 class TokenBucketOracle {
  public:
   TokenBucketOracle() = default;
-  TokenBucketOracle(double rate_pps, double burst_pkts, NanoTime birth = 0)
+  TokenBucketOracle(double rate_pps, double burst_pkts, NanoTime birth = NanoTime{})
       : rate_pps_(rate_pps), burst_(burst_pkts), level_(burst_pkts),
         last_(birth) {}
 
@@ -152,7 +155,7 @@ class TokenBucketOracle {
   double rate_pps_ = 0.0;
   double burst_ = 0.0;
   double level_ = 0.0;
-  NanoTime last_ = 0;
+  NanoTime last_ = NanoTime{0};
 };
 
 /// Sort-by-PSN reorder oracle: records every PSN handed to the reorder

@@ -1,6 +1,8 @@
 #include "check/probes.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/hash.hpp"
 #include "core/platform.hpp"
@@ -116,15 +118,15 @@ void ReorderInvariantProbe::on_resolve(std::uint16_t ordq, Psn psn,
   if (waited > timeout_ + slack_) {
     log_->report("reorder.latency",
                  reorder_ctx(pod_, ordq, psn) + " waited " +
-                     std::to_string(waited) + "ns > timeout+slack=" +
-                     std::to_string(timeout_ + slack_) + "ns",
+                     std::to_string(waited.count()) + "ns > timeout+slack=" +
+                     std::to_string((timeout_ + slack_).count()) + "ns",
                  now);
   }
   if (reserved_at != it->second.reserved_at) {
     log_->report("reorder.timestamp",
                  reorder_ctx(pod_, ordq, psn) +
-                     " engine reserved_at=" + std::to_string(reserved_at) +
-                     " probe saw " + std::to_string(it->second.reserved_at),
+                     " engine reserved_at=" + std::to_string(reserved_at.count()) +
+                     " probe saw " + std::to_string(it->second.reserved_at.count()),
                  now);
   }
 
@@ -133,7 +135,7 @@ void ReorderInvariantProbe::on_resolve(std::uint16_t ordq, Psn psn,
       if (waited <= timeout_) {
         log_->report("reorder.premature-timeout",
                      reorder_ctx(pod_, ordq, psn) + " released after only " +
-                         std::to_string(waited) + "ns",
+                         std::to_string(waited.count()) + "ns",
                      now);
       }
       break;
@@ -168,12 +170,18 @@ void ReorderInvariantProbe::on_best_effort(std::uint16_t ordq, Psn psn,
 }
 
 void ReorderInvariantProbe::finish(NanoTime now) {
-  for (const auto& [ordq, q] : queues_) {
-    if (q.outstanding.empty()) continue;
+  // Leak reports must come out in a stable order regardless of hash-map
+  // layout, so collect the queue ids and sort before reporting.
+  std::vector<std::uint16_t> leaked;
+  for (const auto& [ordq, q] : queues_) {  // lint:allow(unordered-iteration)
+    if (!q.outstanding.empty()) leaked.push_back(ordq);
+  }
+  std::sort(leaked.begin(), leaked.end());
+  for (const auto ordq : leaked) {
     log_->report("reorder.leak",
                  "pod=" + std::to_string(pod_) + " ordq=" +
                      std::to_string(ordq) + " entries=" +
-                     std::to_string(q.outstanding.size()) +
+                     std::to_string(queues_.at(ordq).outstanding.size()) +
                      " never resolved",
                  now);
   }
@@ -313,8 +321,8 @@ void ConformanceHarness::attach(Platform& platform) {
     ++events_observed_;
     if (at < last_event_time_) {
       log_.report("clock.monotonic",
-                   "event at " + std::to_string(at) + "ns after clock hit " +
-                       std::to_string(last_event_time_) + "ns",
+                   "event at " + std::to_string(at.count()) + "ns after clock hit " +
+                       std::to_string(last_event_time_.count()) + "ns",
                    at);
     } else {
       last_event_time_ = at;

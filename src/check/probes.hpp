@@ -32,7 +32,7 @@ namespace albatross::check {
 struct InvariantViolation {
   std::string invariant;  ///< stable id, e.g. "reorder.latency"
   std::string detail;     ///< human-readable specifics
-  NanoTime at = 0;        ///< virtual time of detection
+  NanoTime at = NanoTime{0};        ///< virtual time of detection
 };
 
 /// Bounded violation sink: every report is counted, the first
@@ -100,7 +100,7 @@ class ReorderInvariantProbe final : public ReorderProbeHook {
 
  private:
   struct Outstanding {
-    NanoTime reserved_at = 0;
+    NanoTime reserved_at = NanoTime{0};
     bool wb_seen = false;
     bool wb_drop = false;
   };
@@ -229,7 +229,7 @@ class ConformanceHarness {
   std::vector<std::unique_ptr<ReorderInvariantProbe>> reorder_probes_;
   std::unique_ptr<MeterConformanceProbe> meter_probe_;
   PodLedgerProbe ledger_probe_{log_};
-  NanoTime last_event_time_ = 0;
+  NanoTime last_event_time_ = NanoTime{0};
   std::uint64_t events_observed_ = 0;
   bool ledger_skipped_ = false;
 };

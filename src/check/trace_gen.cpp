@@ -29,7 +29,7 @@ FuzzTrace generate_trace(std::uint64_t seed, std::uint64_t ticks,
   sc.flows = static_cast<std::uint32_t>(64 + rng.next_below(449));
   sc.packet_bytes = 128 + 64 * rng.next_below(8);
   sc.drop_flag = rng.next_bool(0.9);
-  sc.horizon = static_cast<NanoTime>(ticks) * kFuzzTick;
+  sc.horizon = static_cast<std::int64_t>(ticks) * kFuzzTick;
 
   // Offered rate 0.5-4 Mpps: enough to exercise the scaled-down meters
   // and fill reorder windows without making a 10k-tick run slow.
@@ -37,10 +37,9 @@ FuzzTrace generate_trace(std::uint64_t seed, std::uint64_t ticks,
   const double mean_gap_ns = 1e9 / rate_pps;
 
   ZipfSampler zipf(sc.flows, 0.9);
-  NanoTime t = 0;
+  NanoTime t = NanoTime{0};
   while (true) {
-    t += static_cast<NanoTime>(
-        std::max(1.0, rng.next_exponential(mean_gap_ns)));
+    t += nanos_from_double(std::max(1.0, rng.next_exponential(mean_gap_ns)));
     if (t >= sc.horizon) break;
     TraceOp op;
     op.kind = TraceOpKind::kPacket;
@@ -54,9 +53,9 @@ FuzzTrace generate_trace(std::uint64_t seed, std::uint64_t ticks,
     const std::uint64_t faults = 1 + rng.next_below(3);
     for (std::uint64_t i = 0; i < faults; ++i) {
       TraceOp op;
-      op.at = static_cast<NanoTime>(
+      op.at = Nanos{static_cast<std::int64_t>(
           rng.next_below(static_cast<std::uint64_t>(
-              std::max<NanoTime>(1, sc.horizon / 2))));
+              std::max<std::int64_t>(1, (sc.horizon / 2).count()))))};
       const bool stall_allowed = chaos == ChaosMode::kReorderStall;
       const std::uint64_t pick = rng.next_below(stall_allowed ? 3 : 2);
       switch (pick) {
@@ -168,7 +167,7 @@ std::string trace_to_json(const FuzzTrace& trace) {
   scenario["packet_bytes"] =
       JsonValue(static_cast<std::int64_t>(sc.packet_bytes));
   scenario["drop_flag"] = JsonValue(sc.drop_flag);
-  scenario["horizon_ns"] = JsonValue(static_cast<std::int64_t>(sc.horizon));
+  scenario["horizon_ns"] = JsonValue(sc.horizon.count());
   scenario["gop_stage1_pps"] = JsonValue(sc.gop_stage1_pps);
   scenario["gop_stage2_pps"] = JsonValue(sc.gop_stage2_pps);
   scenario["gop_burst_seconds"] = JsonValue(sc.gop_burst_seconds);
@@ -178,21 +177,21 @@ std::string trace_to_json(const FuzzTrace& trace) {
   for (const auto& op : trace.ops) {
     JsonObject o;
     o["kind"] = JsonValue(std::string(op_kind_name(op.kind)));
-    o["at"] = JsonValue(static_cast<std::int64_t>(op.at));
+    o["at"] = JsonValue(op.at.count());
     switch (op.kind) {
       case TraceOpKind::kPacket:
         o["flow"] = JsonValue(static_cast<std::int64_t>(op.flow));
         break;
       case TraceOpKind::kCoreStall:
         o["core"] = JsonValue(static_cast<std::int64_t>(op.core));
-        o["duration_ns"] = JsonValue(static_cast<std::int64_t>(op.duration));
+        o["duration_ns"] = JsonValue(op.duration.count());
         break;
       case TraceOpKind::kDmaFault:
-        o["duration_ns"] = JsonValue(static_cast<std::int64_t>(op.duration));
+        o["duration_ns"] = JsonValue(op.duration.count());
         o["magnitude"] = JsonValue(op.magnitude);
         break;
       case TraceOpKind::kReorderStall:
-        o["duration_ns"] = JsonValue(static_cast<std::int64_t>(op.duration));
+        o["duration_ns"] = JsonValue(op.duration.count());
         break;
     }
     ops.emplace_back(std::move(o));
@@ -225,7 +224,8 @@ std::optional<FuzzTrace> trace_from_json(const std::string& text) {
   sc.flows = static_cast<std::uint32_t>(s.get_int("flows", 128));
   sc.packet_bytes = static_cast<std::size_t>(s.get_int("packet_bytes", 256));
   sc.drop_flag = s.get_bool("drop_flag", true);
-  sc.horizon = s.get_int("horizon_ns", 10'000 * kFuzzTick);
+  const NanoTime default_horizon = 10'000 * kFuzzTick;  // ticks, not ns
+  sc.horizon = Nanos{s.get_int("horizon_ns", default_horizon.count())};
   sc.gop_stage1_pps = s.get_number("gop_stage1_pps", sc.gop_stage1_pps);
   sc.gop_stage2_pps = s.get_number("gop_stage2_pps", sc.gop_stage2_pps);
   sc.gop_burst_seconds =
@@ -242,10 +242,10 @@ std::optional<FuzzTrace> trace_from_json(const std::string& text) {
     if (!kind) return std::nullopt;
     TraceOp op;
     op.kind = *kind;
-    op.at = o.get_int("at", 0);
+    op.at = Nanos{o.get_int("at", 0)};
     op.flow = static_cast<std::uint32_t>(o.get_int("flow", 0));
     op.core = static_cast<std::uint16_t>(o.get_int("core", 0));
-    op.duration = o.get_int("duration_ns", 0);
+    op.duration = Nanos{o.get_int("duration_ns", 0)};
     op.magnitude = o.get_number("magnitude", 0.0);
     trace.ops.push_back(op);
   }

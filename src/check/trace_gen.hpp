@@ -41,9 +41,9 @@ enum class TraceOpKind : std::uint8_t {
 
 struct TraceOp {
   TraceOpKind kind = TraceOpKind::kPacket;
-  NanoTime at = 0;          ///< absolute virtual time
+  NanoTime at = NanoTime{0};          ///< absolute virtual time
   std::uint32_t flow = 0;   ///< kPacket: scenario flow index
-  NanoTime duration = 0;    ///< fault ops
+  NanoTime duration = NanoTime{0};    ///< fault ops
   std::uint16_t core = 0;   ///< kCoreStall target
   double magnitude = 0.0;   ///< kDmaFault slowdown factor
 };

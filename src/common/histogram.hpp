@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace albatross {
 
 /// Log-linear histogram for non-negative 64-bit values (typically
@@ -19,6 +21,11 @@ class LogHistogram {
 
   void record(std::uint64_t value);
   void record_n(std::uint64_t value, std::uint64_t count);
+
+  /// Latency convenience: negative durations clamp to bucket zero.
+  void record(Nanos ns) {
+    record(ns.count() < 0 ? 0 : static_cast<std::uint64_t>(ns.count()));
+  }
 
   /// Value at quantile q in [0,1]; returns an upper bucket bound.
   [[nodiscard]] std::uint64_t quantile(double q) const;

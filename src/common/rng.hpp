@@ -20,6 +20,13 @@ class Rng {
   /// Uniform in [0, bound) without modulo bias (Lemire's method).
   std::uint64_t next_below(std::uint64_t bound);
 
+  /// Uniform duration in [0, bound), for jitter math on the strong time
+  /// type without spelling the count() round-trip at every call site.
+  Nanos next_below(Nanos bound) {
+    return Nanos{static_cast<std::int64_t>(
+        next_below(static_cast<std::uint64_t>(bound.count())))};
+  }
+
   /// Uniform double in [0, 1).
   double next_double();
 

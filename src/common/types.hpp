@@ -8,16 +8,20 @@
 #include <cstring>
 #include <string>
 
+#include "common/units.hpp"
+
 namespace albatross {
 
 /// Virtual simulation time in nanoseconds. All latency constants in the
 /// paper (100us reorder timeout, 50us service ceiling, 20us average
-/// gateway latency) are expressed in this unit.
-using NanoTime = std::int64_t;
+/// gateway latency) are expressed in this unit. Historically an
+/// `int64_t` alias; now the strong `Nanos` type from common/units.hpp,
+/// so mixing time with cycles, PSNs or raw counters is a compile error.
+using NanoTime = Nanos;
 
-constexpr NanoTime kMicrosecond = 1'000;
-constexpr NanoTime kMillisecond = 1'000'000;
-constexpr NanoTime kSecond = 1'000'000'000;
+constexpr NanoTime kMicrosecond = Nanos{1'000};
+constexpr NanoTime kMillisecond = Nanos{1'000'000};
+constexpr NanoTime kSecond = Nanos{1'000'000'000};
 
 /// VXLAN Network Identifier. The paper uses the VNI as the tenant
 /// identifier for overload rate-limiting (color_table index = VNI % 4K).
@@ -96,15 +100,14 @@ struct FiveTuple {
 /// resources (queues, reorder queues, pkt_dir slices) via SR-IOV.
 using PodId = std::uint16_t;
 
-/// Index of a data core inside a pod.
-using CoreId = std::uint16_t;
+// CoreId / NumaNodeId are strong identifier types in common/units.hpp.
 
 /// Packet sequence number assigned by plb_dispatch. The hardware legal
 /// check uses only the low 12 bits (psn[11:0]) as the BUF/BITMAP index.
 using Psn = std::uint32_t;
 
-constexpr std::uint32_t kPsnIndexBits = 12;
-constexpr std::uint32_t kPsnIndexMask = (1u << kPsnIndexBits) - 1;
+constexpr std::uint32_t kPsnIndexBits = Psn12::kBits;
+constexpr std::uint32_t kPsnIndexMask = Psn12::kMask;
 
 /// Reorder queue capacity: 4K entries, sized to buffer 100us of traffic
 /// at 40 Mpps (4.1 "the queue length is set to 4K").

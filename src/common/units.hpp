@@ -1,0 +1,284 @@
+// Strong unit types for the Albatross cycle-aware model.
+//
+// The evaluation reproduces figures whose correctness hinges on unit
+// discipline: virtual nanoseconds (event loop, latency histograms), FPGA
+// clock cycles (NIC pipeline stages, Tab. 5 resource ledger), 12-bit
+// wrapping packet sequence numbers (reorder BUF/BITMAP indexing), and
+// core / NUMA-node identifiers. All of these used to be interchangeable
+// `int64_t`/`uint16_t` values, which is exactly the class of silent
+// unit-confusion bug that corrupts reproduced numbers without failing a
+// test. The types below make mixing them a compile error:
+//
+//   Nanos + FpgaCycles        -> does not compile
+//   Nanos{5} == 5             -> does not compile (explicit .count())
+//   CoreId used as NumaNodeId -> does not compile (explicit .value())
+//
+// Conversions are spelled out (`cycles_to_nanos`, `node_of_core`) so the
+// clock frequency / topology they depend on is visible at the call site.
+// This header and common/types.hpp are the only places allowed to spell
+// raw power-of-1000 time factors (enforced by tools/lint rule
+// `naked-time-literal`).
+#pragma once
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace albatross {
+
+/// One-dimensional quantity with an additive group structure: quantities
+/// of the same Tag add, subtract and compare; scaling by a dimensionless
+/// factor is allowed; the ratio of two quantities is dimensionless.
+/// Construction from a raw count is explicit.
+template <class Tag>
+class Quantity {
+ public:
+  using Rep = std::int64_t;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(Rep v) : v_(v) {}
+
+  [[nodiscard]] constexpr Rep count() const { return v_; }
+
+  static constexpr Quantity zero() { return Quantity{}; }
+  static constexpr Quantity max() {
+    return Quantity{std::numeric_limits<Rep>::max()};
+  }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.v_ + b.v_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.v_ - b.v_};
+  }
+  constexpr Quantity operator-() const { return Quantity{-v_}; }
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  /// Scaling by a dimensionless integer keeps the unit.
+  template <std::integral I>
+  friend constexpr Quantity operator*(Quantity a, I m) {
+    return Quantity{a.v_ * static_cast<Rep>(m)};
+  }
+  template <std::integral I>
+  friend constexpr Quantity operator*(I m, Quantity a) {
+    return a * m;
+  }
+  template <std::integral I>
+  friend constexpr Quantity operator/(Quantity a, I d) {
+    return Quantity{a.v_ / static_cast<Rep>(d)};
+  }
+  /// Scaling by a dimensionless real truncates toward zero, matching the
+  /// historical `static_cast<int64_t>(ns * factor)` sites it replaces.
+  template <std::floating_point F>
+  friend constexpr Quantity operator*(Quantity a, F m) {
+    return Quantity{static_cast<Rep>(static_cast<F>(a.v_) * m)};
+  }
+  template <std::floating_point F>
+  friend constexpr Quantity operator*(F m, Quantity a) {
+    return a * m;
+  }
+
+  /// The ratio of two like quantities is dimensionless.
+  friend constexpr Rep operator/(Quantity a, Quantity b) {
+    return a.v_ / b.v_;
+  }
+  friend constexpr Quantity operator%(Quantity a, Quantity b) {
+    return Quantity{a.v_ % b.v_};
+  }
+
+ private:
+  Rep v_ = 0;
+};
+
+template <class Tag>
+[[nodiscard]] constexpr Quantity<Tag> abs(Quantity<Tag> q) {
+  return q.count() < 0 ? -q : q;
+}
+
+/// Exact real-valued ratio of two like quantities (integer division in
+/// `operator/` truncates; rate math usually wants this instead).
+template <class Tag>
+[[nodiscard]] constexpr double ratio(Quantity<Tag> a, Quantity<Tag> b) {
+  return static_cast<double>(a.count()) / static_cast<double>(b.count());
+}
+
+/// Virtual simulation time in nanoseconds. The event loop, every timer
+/// and every latency constant in the paper (100us reorder timeout, 50us
+/// service ceiling) live in this unit.
+using Nanos = Quantity<struct NanosTag>;
+
+/// FPGA clock cycles. NIC pipeline stage costs and the reorder check are
+/// naturally specified in cycles of the 250 MHz fabric clock (Tab. 4/5);
+/// converting to Nanos requires naming the clock frequency.
+using FpgaCycles = Quantity<struct FpgaCyclesTag>;
+
+/// Default FPGA fabric clock of the Albatross NIC model.
+constexpr std::uint32_t kDefaultFpgaClockMhz = 250;
+
+/// cycles -> virtual nanoseconds at a given fabric clock (truncating;
+/// one 250 MHz cycle = 4 ns exactly).
+[[nodiscard]] constexpr Nanos cycles_to_nanos(
+    FpgaCycles c, std::uint32_t clock_mhz = kDefaultFpgaClockMhz) {
+  return Nanos{c.count() * 1'000 / clock_mhz};
+}
+
+/// nanoseconds -> cycles at a given fabric clock, rounding up (hardware
+/// cannot finish mid-cycle).
+[[nodiscard]] constexpr FpgaCycles nanos_to_cycles(
+    Nanos ns, std::uint32_t clock_mhz = kDefaultFpgaClockMhz) {
+  return FpgaCycles{(ns.count() * clock_mhz + 999) / 1'000};
+}
+
+/// Nanos -> fractional milliseconds, for JSON/report fields named *_ms.
+[[nodiscard]] constexpr double nanos_to_millis(Nanos ns) {
+  return static_cast<double>(ns.count()) / 1e6;
+}
+
+/// Fractional milliseconds -> Nanos (truncating), for *_ms JSON fields.
+[[nodiscard]] constexpr Nanos millis_to_nanos(double ms) {
+  return Nanos{static_cast<std::int64_t>(ms * 1e6)};
+}
+
+/// Nanos -> fractional seconds, for rate math (pkts/s, bits/s).
+[[nodiscard]] constexpr double nanos_to_seconds(Nanos ns) {
+  return static_cast<double>(ns.count()) / 1e9;
+}
+
+/// Fractional nanoseconds -> Nanos, truncating toward zero. The named
+/// conversion for rate / jitter math that computes gaps in floating
+/// point (1e9 / pps, exponential inter-arrivals).
+[[nodiscard]] constexpr Nanos nanos_from_double(double ns) {
+  return Nanos{static_cast<std::int64_t>(ns)};
+}
+
+inline namespace unit_literals {
+constexpr Nanos operator""_ns(unsigned long long v) {
+  return Nanos{static_cast<Nanos::Rep>(v)};
+}
+constexpr Nanos operator""_us(unsigned long long v) {
+  return Nanos{static_cast<Nanos::Rep>(v) * 1'000};
+}
+constexpr Nanos operator""_ms(unsigned long long v) {
+  return Nanos{static_cast<Nanos::Rep>(v) * 1'000'000};
+}
+constexpr FpgaCycles operator""_cycles(unsigned long long v) {
+  return FpgaCycles{static_cast<FpgaCycles::Rep>(v)};
+}
+}  // namespace unit_literals
+
+/// Wrapping 12-bit packet sequence number, the index space of the
+/// reorder BUF/BITMAP (psn[11:0] in Fig. 3). A wrapping space has no
+/// total order, so Psn12 deliberately offers only equality and
+/// `distance()`; ad-hoc `<` comparisons on masked PSNs are exactly the
+/// 4095 -> 0 boundary bug this type exists to prevent.
+class Psn12 {
+ public:
+  static constexpr std::uint32_t kBits = 12;
+  static constexpr std::uint32_t kMod = 1u << kBits;
+  static constexpr std::uint32_t kMask = kMod - 1;
+
+  constexpr Psn12() = default;
+  /// Truncates a full free-running PSN to its low 12 bits.
+  constexpr explicit Psn12(std::uint32_t raw) : v_(raw & kMask) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+
+  friend constexpr bool operator==(Psn12, Psn12) = default;
+
+  /// Forward wrapping distance from -> to, in [0, kMod). At the
+  /// boundary: distance(Psn12{4095}, Psn12{0}) == 1.
+  [[nodiscard]] static constexpr std::uint32_t distance(Psn12 from,
+                                                        Psn12 to) {
+    return (to.v_ - from.v_) & kMask;
+  }
+
+  /// Forward wrapping distance in an arbitrary power-of-two index space
+  /// (reorder queues configured smaller than 4K use fewer index bits,
+  /// mod = queue entries). `mod` must be a power of two.
+  [[nodiscard]] static constexpr std::uint32_t distance(std::uint32_t from,
+                                                        std::uint32_t to,
+                                                        std::uint32_t mod) {
+    return (to - from) & (mod - 1);
+  }
+
+  /// Slot of a full PSN in a power-of-two ring of `mod` entries.
+  [[nodiscard]] static constexpr std::uint32_t slot_of(std::uint32_t psn,
+                                                       std::uint32_t mod) {
+    return psn & (mod - 1);
+  }
+
+  constexpr Psn12 operator+(std::uint32_t n) const { return Psn12{v_ + n}; }
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// Strongly-typed small identifier. Distinct Tags never compare or
+/// convert into each other; `value()` is the only way out.
+template <class Tag, class Rep = std::uint16_t>
+class StrongId {
+ public:
+  using rep = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : v_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+  /// Zero-extended value for container indexing.
+  [[nodiscard]] constexpr std::size_t index() const { return v_; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  Rep v_ = 0;
+};
+
+/// Index of a data core inside a pod / across the server.
+using CoreId = StrongId<struct CoreIdTag>;
+
+/// NUMA node identifier (the Albatross server has two).
+using NumaNodeId = StrongId<struct NumaNodeIdTag>;
+
+}  // namespace albatross
+
+template <class Tag, class Rep>
+struct std::hash<albatross::StrongId<Tag, Rep>> {
+  std::size_t operator()(const albatross::StrongId<Tag, Rep>& id) const {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+template <class Tag>
+struct std::hash<albatross::Quantity<Tag>> {
+  std::size_t operator()(const albatross::Quantity<Tag>& q) const {
+    return std::hash<typename albatross::Quantity<Tag>::Rep>{}(q.count());
+  }
+};
+
+/// Without this, std::numeric_limits<Nanos>::max() silently hits the
+/// primary template and returns Nanos{} — zero, not the maximum. That
+/// exact bug bit the traffic mux during the strong-type migration, so
+/// the limits are specialized rather than left as a trap.
+template <class Tag>
+struct std::numeric_limits<albatross::Quantity<Tag>> {
+  using Rep = typename albatross::Quantity<Tag>::Rep;
+  static constexpr bool is_specialized = true;
+  static constexpr albatross::Quantity<Tag> min() noexcept {
+    return albatross::Quantity<Tag>{std::numeric_limits<Rep>::min()};
+  }
+  static constexpr albatross::Quantity<Tag> lowest() noexcept { return min(); }
+  static constexpr albatross::Quantity<Tag> max() noexcept {
+    return albatross::Quantity<Tag>{std::numeric_limits<Rep>::max()};
+  }
+};

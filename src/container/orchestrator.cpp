@@ -23,14 +23,15 @@ std::optional<Placement> Orchestrator::deploy(const PodSpec& spec,
           static_cast<std::uint16_t>(server.spec.numa.cores_per_node -
                                      server.cores_used[node]);
       if (free < spec.total_cores()) continue;
-      auto vfs = server.sriov.allocate(next_pod_id_, node, spec.data_cores);
+      auto vfs =
+          server.sriov.allocate(next_pod_id_, NumaNodeId{node}, spec.data_cores);
       if (!vfs) continue;
 
       Placement p;
       p.server = si;
       p.pod = next_pod_id_++;
-      p.numa_node = node;
-      p.first_core = server.cores_used[node];
+      p.numa_node = NumaNodeId{node};
+      p.first_core = CoreId{server.cores_used[node]};
       p.cores = spec.total_cores();
       p.ready_at = now + cfg_.pod_startup;
       p.vfs = *vfs;
@@ -53,8 +54,8 @@ bool Orchestrator::remove(PodId pod) {
   // replacement can land on the same server (fragmentation within a node
   // is still not modelled; production compacts by rescheduling).
   Server& server = servers_[it->server];
-  server.cores_used[it->numa_node] = static_cast<std::uint16_t>(
-      server.cores_used[it->numa_node] - it->cores);
+  server.cores_used[it->numa_node.index()] = static_cast<std::uint16_t>(
+      server.cores_used[it->numa_node.index()] - it->cores);
   server.sriov.release(pod);
   placements_.erase(it);
   return true;

@@ -25,10 +25,10 @@ struct ServerSpec {
 struct Placement {
   std::uint16_t server = 0;
   PodId pod = 0;
-  std::uint16_t numa_node = 0;
-  std::uint16_t first_core = 0;    ///< node-local core offset
+  NumaNodeId numa_node{};
+  CoreId first_core{};             ///< node-local core offset
   std::uint16_t cores = 0;         ///< cores charged to the node
-  NanoTime ready_at = 0;           ///< deploy time + pod startup
+  NanoTime ready_at = NanoTime{0};           ///< deploy time + pod startup
   PodVfSet vfs;
 };
 

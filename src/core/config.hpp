@@ -35,7 +35,7 @@ namespace albatross {
 
 struct ExperimentResult {
   std::vector<ThroughputReport> pods;
-  NanoTime duration = 0;
+  NanoTime duration = NanoTime{0};
 };
 
 /// Name -> enum helpers shared by every JSON loader (experiment and

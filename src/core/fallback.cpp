@@ -28,7 +28,7 @@ void FallbackWatchdog::check() {
   const auto timeouts =
       platform_.nic().engine(pod_).total_stats().timeout_releases;
   const double window_s =
-      static_cast<double>(now - last_check_) / 1e9;
+      nanos_to_seconds(now - last_check_);
   last_rate_ = window_s > 0.0
                    ? static_cast<double>(timeouts - last_timeouts_) / window_s
                    : 0.0;

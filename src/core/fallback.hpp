@@ -50,11 +50,11 @@ class FallbackWatchdog {
   PodId pod_;
   FallbackWatchdogConfig cfg_;
   std::uint64_t last_timeouts_ = 0;
-  NanoTime last_check_ = 0;
+  NanoTime last_check_ = NanoTime{0};
   int bad_windows_ = 0;
   bool triggered_ = false;
   bool armed_ = false;
-  NanoTime triggered_at_ = 0;
+  NanoTime triggered_at_ = NanoTime{0};
   std::uint64_t trips_ = 0;
   std::uint64_t checks_ = 0;
   double last_rate_ = 0.0;

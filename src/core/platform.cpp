@@ -39,7 +39,7 @@ PodId Platform::create_pod(const GwPodConfig& pod_cfg,
   });
   pods_.push_back(std::move(pod));
   telemetry_.emplace_back();
-  armed_deadline_.push_back(0);
+  armed_deadline_.push_back(NanoTime{});
   offline_.push_back(false);
   return id;
 }
@@ -92,8 +92,7 @@ void Platform::handle_ingress(PacketPtr pkt, PodId pod, NanoTime now) {
       // the wire time; count it like any other delivery.
       ++tel.delivered;
       ++tel.delivered_in_order;
-      tel.wire_latency.record(
-          static_cast<std::uint64_t>(r.deliver_time - r.pkt->rx_time));
+      tel.wire_latency.record(r.deliver_time - r.pkt->rx_time);
       ++tc.delivered;
       return;
     }
@@ -125,8 +124,7 @@ void Platform::handle_emissions(std::vector<EgressEmission> emissions,
     }
     ++tel.delivered;
     e.in_order ? ++tel.delivered_in_order : ++tel.delivered_disordered;
-    const auto latency =
-        static_cast<std::uint64_t>(e.wire_time - e.pkt->rx_time);
+    const NanoTime latency = e.wire_time - e.pkt->rx_time;
     tel.wire_latency.record(latency);
     ++tenants_[e.pkt->vni].delivered;
 
@@ -146,20 +144,20 @@ void Platform::handle_emissions(std::vector<EgressEmission> emissions,
 void Platform::arm_reorder_timer(PodId pod) {
   const auto deadline = nic_.next_reorder_deadline(pod);
   if (!deadline) {
-    armed_deadline_[pod] = 0;
+    armed_deadline_[pod] = NanoTime{};
     return;
   }
-  if (armed_deadline_[pod] != 0 && armed_deadline_[pod] <= *deadline) {
+  if (armed_deadline_[pod] != NanoTime{} && armed_deadline_[pod] <= *deadline) {
     return;  // an earlier (or equal) timer is already pending
   }
   armed_deadline_[pod] = *deadline;
-  const NanoTime at = *deadline + 1;  // strictly past the timeout
+  const NanoTime at = *deadline + Nanos{1};  // strictly past the timeout
   loop_.schedule_at(at, [this, pod, at] {
-    if (armed_deadline_[pod] == 0 || armed_deadline_[pod] + 1 != at) {
+    if (armed_deadline_[pod] == NanoTime{} || armed_deadline_[pod] + Nanos{1} != at) {
       // Superseded by an earlier timer; the structure re-arms below
       // regardless, so stale timers are cheap no-ops.
     }
-    armed_deadline_[pod] = 0;
+    armed_deadline_[pod] = NanoTime{};
     handle_emissions(nic_.drain_expired(pod, loop_.now()), pod);
     arm_reorder_timer(pod);
   });

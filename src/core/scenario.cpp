@@ -28,8 +28,7 @@ SinglePodScenario SinglePodScenario::make(ServiceKind service,
 
 ThroughputReport summarize(const PodTelemetry& t, NanoTime duration) {
   ThroughputReport r;
-  const double secs =
-      static_cast<double>(duration) / static_cast<double>(kSecond);
+  const double secs = nanos_to_seconds(duration);
   if (secs <= 0.0) return r;
   r.offered_mpps = static_cast<double>(t.offered) / secs / 1e6;
   r.delivered_mpps = static_cast<double>(t.delivered) / secs / 1e6;
@@ -47,9 +46,9 @@ double core_capacity_mpps(ServiceKind service, const CacheModel& cache,
                           bool flow_affine) {
   const ServiceProfile p = service_profile(service);
   const double per_pkt =
-      static_cast<double>(p.base_ns) +
+      static_cast<double>(p.base_ns.count()) +
       static_cast<double>(p.mem_accesses) *
-          cache.mean_access_latency(0, 0, flow_affine);
+          cache.mean_access_latency(NumaNodeId{0}, NumaNodeId{0}, flow_affine);
   return 1e3 / per_pkt;  // ns/pkt -> Mpps
 }
 

@@ -26,7 +26,8 @@ void GwPod::deliver(PacketPtr pkt, std::uint16_t rx_queue, NanoTime now) {
     return;
   }
   Core& core = *cores_[rx_queue % cores_.size()];
-  const auto core_id = static_cast<CoreId>(rx_queue % cores_.size());
+  const auto core_id =
+      CoreId{static_cast<std::uint16_t>(rx_queue % cores_.size())};
   if (probe_ != nullptr) probe_->on_data_rx(cfg_.id, core_id, now);
   if (!core.ring.push(std::move(pkt))) {
     // RX descriptor overflow: one of the CPU-side loss sources that
@@ -41,7 +42,7 @@ void GwPod::deliver(PacketPtr pkt, std::uint16_t rx_queue, NanoTime now) {
 }
 
 void GwPod::start_core(CoreId core_id, NanoTime now) {
-  Core& core = *cores_[core_id];
+  Core& core = *cores_[core_id.index()];
   PacketPtr pkt = core.ring.pop();
   if (pkt == nullptr) {
     core.busy = false;
@@ -67,7 +68,7 @@ void GwPod::start_core(CoreId core_id, NanoTime now) {
 
   const NanoTime done = now + outcome.cpu_ns;
   core.busy_ns += outcome.cpu_ns;
-  service_hist_.record(static_cast<std::uint64_t>(outcome.cpu_ns));
+  service_hist_.record(outcome.cpu_ns);
 
   // Move the packet into the event closure; completion emits and then
   // pulls the next packet from the ring.
@@ -79,7 +80,7 @@ void GwPod::start_core(CoreId core_id, NanoTime now) {
 
 void GwPod::finish_packet(CoreId core_id, PacketPtr pkt,
                           ServiceOutcome outcome, NanoTime done) {
-  Core& core = *cores_[core_id];
+  Core& core = *cores_[core_id.index()];
   ++core.processed;
   ++stats_.processed;
 
@@ -144,19 +145,19 @@ void GwPod::finish_packet(CoreId core_id, PacketPtr pkt,
 }
 
 NanoTime GwPod::core_busy_ns(CoreId core) const {
-  return cores_[core % cores_.size()]->busy_ns;
+  return cores_[core.index() % cores_.size()]->busy_ns;
 }
 
 std::uint64_t GwPod::core_processed(CoreId core) const {
-  return cores_[core % cores_.size()]->processed;
+  return cores_[core.index() % cores_.size()]->processed;
 }
 
 std::uint64_t GwPod::core_ring_drops(CoreId core) const {
-  return cores_[core % cores_.size()]->ring.stats().drops;
+  return cores_[core.index() % cores_.size()]->ring.stats().drops;
 }
 
 void GwPod::inject_core_stall(CoreId core, NanoTime duration, NanoTime now) {
-  Core& c = *cores_[core % cores_.size()];
+  Core& c = *cores_[core.index() % cores_.size()];
   const NanoTime until = now + duration;
   if (until > c.stall_until) c.stall_until = until;
   ++core_stalls_;

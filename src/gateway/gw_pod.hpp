@@ -24,7 +24,7 @@ struct GwPodConfig {
   ServiceKind service = ServiceKind::kVpcVpc;
   std::uint16_t data_cores = 8;
   std::uint16_t ctrl_cores = 2;
-  std::uint16_t numa_node = 0;
+  NumaNodeId numa_node{};
   std::size_t rx_ring_capacity = 1024;
   /// Send the active drop flag to the NIC on CPU-side drops (Fig. 12
   /// ablation: disabling it turns every drop into a 100us HOL stall).
@@ -94,8 +94,8 @@ class GwPod {
   struct Core {
     PacketRing ring;
     bool busy = false;
-    NanoTime busy_ns = 0;
-    NanoTime stall_until = 0;
+    NanoTime busy_ns = NanoTime{0};
+    NanoTime stall_until = NanoTime{0};
     std::uint64_t processed = 0;
     Core(std::size_t cap) : ring(cap) {}
   };

@@ -9,7 +9,7 @@ void ProbePayload::serialize(std::uint8_t* out) const {
   store_be32(out, kMagic);
   store_be32(out + 4, stream_id);
   store_be64(out + 8, sequence);
-  store_be64(out + 16, static_cast<std::uint64_t>(tx_time));
+  store_be64(out + 16, static_cast<std::uint64_t>(tx_time.count()));
 }
 
 std::optional<ProbePayload> ProbePayload::deserialize(const std::uint8_t* in,
@@ -52,7 +52,7 @@ bool ProbeCollector::observe(const ProbePayload& p, NanoTime rx_time) {
   Tracked& t = streams_[p.stream_id];
   ++t.stats.received;
   if (rx_time >= p.tx_time) {
-    t.stats.latency.record(static_cast<std::uint64_t>(rx_time - p.tx_time));
+    t.stats.latency.record(rx_time - p.tx_time);
   }
   if (p.sequence < t.next_expected) {
     ++t.stats.reordered;

@@ -31,7 +31,7 @@ struct ProbePayload {
 
   std::uint32_t stream_id = 0;
   std::uint64_t sequence = 0;
-  NanoTime tx_time = 0;
+  NanoTime tx_time = NanoTime{0};
 
   void serialize(std::uint8_t* out) const;
   static std::optional<ProbePayload> deserialize(const std::uint8_t* in,

@@ -26,15 +26,15 @@ ServiceProfile service_profile(ServiceKind k) {
   //   VPC-CloudService 126.3 Mpps -> ~697 ns/pkt
   switch (k) {
     case ServiceKind::kVpcVpc:
-      return ServiceProfile{290, 6};
+      return ServiceProfile{Nanos{290}, 6};
     case ServiceKind::kVpcInternet:
-      return ServiceProfile{420, 10};
+      return ServiceProfile{Nanos{420}, 10};
     case ServiceKind::kVpcIdc:
-      return ServiceProfile{340, 6};
+      return ServiceProfile{Nanos{340}, 6};
     case ServiceKind::kVpcCloudService:
-      return ServiceProfile{300, 6};
+      return ServiceProfile{Nanos{300}, 6};
   }
-  return ServiceProfile{500, 6};
+  return ServiceProfile{Nanos{500}, 6};
 }
 
 void ServiceTables::populate(std::uint32_t tenants, std::uint32_t routes,

@@ -53,7 +53,7 @@ enum class ServiceAction : std::uint8_t { kForward, kDrop };
 
 struct ServiceOutcome {
   ServiceAction action = ServiceAction::kForward;
-  NanoTime cpu_ns = 0;  ///< per-packet service time on the data core
+  NanoTime cpu_ns = NanoTime{0};  ///< per-packet service time on the data core
 };
 
 /// Latency-tail / fault knobs (§4.1's corner-case code branches; fixed in
@@ -94,7 +94,7 @@ struct ServiceProfile {
 /// tables + cache model.
 std::unique_ptr<Service> make_service(ServiceKind kind, ServiceTables& tables,
                                       CacheModel& cache,
-                                      std::uint16_t numa_node,
+                                      NumaNodeId numa_node,
                                       ServiceFaults faults = {});
 
 }  // namespace albatross

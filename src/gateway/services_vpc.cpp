@@ -10,7 +10,7 @@ namespace {
 class BaseVpcService : public Service {
  public:
   BaseVpcService(ServiceKind kind, ServiceTables& tables, CacheModel& cache,
-                 std::uint16_t numa_node, ServiceFaults faults)
+                 NumaNodeId numa_node, ServiceFaults faults)
       : kind_(kind),
         tables_(tables),
         cache_(cache),
@@ -30,9 +30,9 @@ class BaseVpcService : public Service {
     // Heavy-tail jitter: complex software stacks on general-purpose
     // CPUs occasionally stall (interrupts, TLB, allocator slow paths).
     if (rng.next_bool(faults_.jitter_probability)) {
-      out.cpu_ns += static_cast<NanoTime>(rng.next_pareto(
-          static_cast<double>(faults_.jitter_scale_ns),
-          faults_.jitter_pareto_alpha));
+      out.cpu_ns += Nanos{static_cast<std::int64_t>(rng.next_pareto(
+          static_cast<double>(faults_.jitter_scale_ns.count()),
+          faults_.jitter_pareto_alpha))};
     }
     if (faults_.slow_branch_probability > 0.0 &&
         rng.next_bool(faults_.slow_branch_probability)) {
@@ -55,7 +55,7 @@ class BaseVpcService : public Service {
   ServiceKind kind_;
   ServiceTables& tables_;
   CacheModel& cache_;
-  std::uint16_t numa_;
+  NumaNodeId numa_;
   ServiceFaults faults_;
   ServiceProfile profile_;
 };
@@ -88,14 +88,14 @@ class VpcInternetService final : public BaseVpcService {
     if (acl_gate(pkt) == ServiceAction::kDrop) return ServiceAction::kDrop;
     (void)tables_.vm_nc.lookup(pkt.vni, pkt.tuple.src_ip);
     // Per-core conntrack (§7: local state, no cross-core sharing).
-    if (core < tables_.per_core_conntrack.size()) {
+    if (core.index() < tables_.per_core_conntrack.size()) {
       FlowState* st =
-          tables_.per_core_conntrack[core]->lookup(pkt.tuple, now);
+          tables_.per_core_conntrack[core.index()]->lookup(pkt.tuple, now);
       if (st != nullptr && st->nat_ip == 0) {
         // First packet: allocate a SNAT translation.
         st->nat_ip = 0x0101'0101u + (pkt.vni & 0xff);
         st->nat_port =
-            static_cast<std::uint16_t>(1024 + (st->created & 0x7fff));
+            static_cast<std::uint16_t>(1024 + (st->created.count() & 0x7fff));
       }
       if (st != nullptr) {
         ++st->packets;
@@ -139,7 +139,7 @@ class VpcCloudService final : public BaseVpcService {
 
 std::unique_ptr<Service> make_service(ServiceKind kind, ServiceTables& tables,
                                       CacheModel& cache,
-                                      std::uint16_t numa_node,
+                                      NumaNodeId numa_node,
                                       ServiceFaults faults) {
   switch (kind) {
     case ServiceKind::kVpcVpc:

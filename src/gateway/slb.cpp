@@ -63,7 +63,7 @@ std::optional<std::uint16_t> SlbService::forward(const FiveTuple& client,
                                                  CoreId core, NanoTime now,
                                                  std::uint8_t tcp_flags) {
   ++stats_.packets;
-  FlowTable& sessions = *sessions_[core % sessions_.size()];
+  FlowTable& sessions = *sessions_[core.index() % sessions_.size()];
 
   constexpr std::uint8_t kFin = 0x01, kRst = 0x04, kSyn = 0x02;
   if (FlowState* s = sessions.lookup(client, now, /*create_on_miss=*/false)) {

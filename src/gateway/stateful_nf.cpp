@@ -22,13 +22,11 @@ NanoTime StatefulNf::write_cost() const {
   const double extra_cores = static_cast<double>(contending_cores() - 1);
   switch (cfg_.placement) {
     case StatePlacement::kSharedLocked:
-      return static_cast<NanoTime>(
-          static_cast<double>(cfg_.state_write_ns) *
-          (1.0 + cfg_.lock_contention_per_core * extra_cores));
+      return cfg_.state_write_ns *
+             (1.0 + cfg_.lock_contention_per_core * extra_cores);
     case StatePlacement::kSharedLockFree:
-      return static_cast<NanoTime>(
-          static_cast<double>(cfg_.state_write_ns) *
-          (1.0 + cfg_.coherence_per_core * extra_cores));
+      return cfg_.state_write_ns *
+             (1.0 + cfg_.coherence_per_core * extra_cores);
     case StatePlacement::kPerCore:
       return cfg_.state_write_ns;
   }
@@ -39,7 +37,7 @@ NanoTime StatefulNf::process(const FiveTuple& tuple, CoreId core,
                              NanoTime now) {
   FlowTable& table =
       cfg_.placement == StatePlacement::kPerCore
-          ? *tables_[core % tables_.size()]
+          ? *tables_[core.index() % tables_.size()]
           : *tables_[0];
   ++stats_.packets;
   NanoTime cost = cfg_.base_ns;
@@ -49,7 +47,7 @@ NanoTime StatefulNf::process(const FiveTuple& tuple, CoreId core,
     // Session establishment: always a state write (write-light case).
     ++stats_.sessions_created;
     ++stats_.state_writes;
-    st->backend = static_cast<std::uint16_t>(core);
+    st->backend = core.value();
     cost += write_cost();
   } else if (cfg_.write_heavy) {
     // Per-packet counters: a write on every packet.
@@ -66,9 +64,9 @@ NanoTime StatefulNf::process(const FiveTuple& tuple, CoreId core,
 
 double StatefulNf::model_throughput_mpps() const {
   const double per_pkt =
-      static_cast<double>(cfg_.base_ns) +
-      (cfg_.write_heavy ? static_cast<double>(write_cost())
-                        : static_cast<double>(cfg_.state_read_ns));
+      static_cast<double>(cfg_.base_ns.count()) +
+      static_cast<double>(
+          (cfg_.write_heavy ? write_cost() : cfg_.state_read_ns).count());
   const double per_core_mpps = 1e3 / per_pkt;  // ns -> Mpps
   return per_core_mpps * static_cast<double>(cfg_.cores);
 }

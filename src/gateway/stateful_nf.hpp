@@ -30,9 +30,9 @@ struct StatefulNfConfig {
   StatePlacement placement = StatePlacement::kPerCore;
   bool write_heavy = false;   ///< per-packet state write (counters)
   std::uint16_t cores = 8;
-  NanoTime base_ns = 420;     ///< stateless part of the NF
-  NanoTime state_write_ns = 45;
-  NanoTime state_read_ns = 25;
+  NanoTime base_ns = NanoTime{420};     ///< stateless part of the NF
+  NanoTime state_write_ns = NanoTime{45};
+  NanoTime state_read_ns = NanoTime{25};
   /// Extra cost per additional contending core for locked writes.
   double lock_contention_per_core = 0.45;
   /// Extra cost per additional core for lock-free coherence misses —

@@ -13,7 +13,7 @@
 namespace albatross {
 
 struct DmaConfig {
-  NanoTime base_latency = 3170;       ///< per-transfer setup+completion
+  NanoTime base_latency = NanoTime{3170};       ///< per-transfer setup+completion
   double bandwidth_gbps = 200.0;      ///< PCIe Gen4 x16 effective
   std::uint32_t descriptors = 1024;   ///< ring depth
 };
@@ -49,8 +49,8 @@ class DmaChannel {
 
  private:
   DmaConfig cfg_;
-  NanoTime channel_free_ = 0;
-  NanoTime fault_until_ = 0;
+  NanoTime channel_free_ = NanoTime{0};
+  NanoTime fault_until_ = NanoTime{0};
   double fault_slowdown_ = 1.0;
   DmaStats stats_;
 };

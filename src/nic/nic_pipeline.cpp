@@ -8,8 +8,8 @@ namespace albatross {
 
 NicPipeline::NicPipeline(NicPipelineConfig cfg)
     : cfg_(cfg), limiter_(cfg.gop), basic_(cfg.payload_slots) {
-  cfg_.dma_rx.base_latency = cfg_.timings.dma_rx_base;
-  cfg_.dma_tx.base_latency = cfg_.timings.dma_tx_base;
+  cfg_.dma_rx.base_latency = cfg_.timings.dma_rx_base_ns();
+  cfg_.dma_tx.base_latency = cfg_.timings.dma_tx_base_ns();
 }
 
 NicPipeline::PodSlice& NicPipeline::slice(PodId pod) {
@@ -50,9 +50,9 @@ SessionOffload& NicPipeline::session_offload(PodId pod) {
 }
 
 NanoTime NicPipeline::rx_pipeline_latency(bool plb) const {
-  NanoTime t = cfg_.timings.basic_rx;
-  if (cfg_.gop_enabled) t += cfg_.timings.overload_det_rx;
-  if (plb) t += cfg_.timings.plb_rx;
+  NanoTime t = cfg_.timings.basic_rx_ns();
+  if (cfg_.gop_enabled) t += cfg_.timings.overload_det_rx_ns();
+  if (plb) t += cfg_.timings.plb_rx_ns();
   return t;
 }
 
@@ -64,7 +64,7 @@ IngressResult NicPipeline::ingress(PacketPtr pkt, PodId pod, NanoTime now) {
   // Basic pipeline RX: VLAN decap + parse/annotate (+ split later).
   std::optional<std::uint16_t> vlan;
   basic_.rx_process(*pkt, vlan);
-  NanoTime t = now + cfg_.timings.basic_rx;
+  NanoTime t = now + cfg_.timings.basic_rx_ns();
 
   // Gateway overload protection: the rate limiter sees every data
   // packet before it can reach the CPU. Protocol packets bypass it.
@@ -73,7 +73,7 @@ IngressResult NicPipeline::ingress(PacketPtr pkt, PodId pod, NanoTime now) {
   r.cls = dir.cls;
 
   if (dir.cls != PktClass::kPriority && cfg_.gop_enabled) {
-    t += cfg_.timings.overload_det_rx;
+    t += cfg_.timings.overload_det_rx_ns();
     const RlVerdict v = limiter_.admit(pkt->vni, now);
     if (v == RlVerdict::kDropStage2 || v == RlVerdict::kDropPreMeter) {
       r.outcome = IngressOutcome::kDroppedRateLimit;
@@ -87,7 +87,7 @@ IngressResult NicPipeline::ingress(PacketPtr pkt, PodId pod, NanoTime now) {
   if (s.offload != nullptr && dir.cls != PktClass::kPriority) {
     if (const auto fpga_ns = s.offload->fast_path(pkt->tuple, pkt->size(), now)) {
       r.outcome = IngressOutcome::kOffloaded;
-      r.deliver_time = t + *fpga_ns + cfg_.timings.basic_tx;  // wire time
+      r.deliver_time = t + *fpga_ns + cfg_.timings.basic_tx_ns();  // wire time
       r.pkt = std::move(pkt);
       return r;
     }
@@ -97,7 +97,7 @@ IngressResult NicPipeline::ingress(PacketPtr pkt, PodId pod, NanoTime now) {
   if (dir.cls == PktClass::kPriority) {
     r.rx_queue = kPriorityQueue;
   } else if (dir.cls == PktClass::kPlb && s.mode == LbMode::kPlb) {
-    t += cfg_.timings.plb_rx;
+    t += cfg_.timings.plb_rx_ns();
     const auto d = s.plb->dispatch(*pkt, now);
     if (!d) {
       r.outcome = IngressOutcome::kDroppedReorderFull;
@@ -139,8 +139,8 @@ NanoTime NicPipeline::tx_submit(PodId pod, NanoTime now, std::size_t bytes) {
 EgressEmission NicPipeline::finish_tx(PacketPtr pkt, NanoTime now,
                                       bool in_order, bool was_plb) {
   EgressEmission e;
-  e.wire_time = now + cfg_.timings.basic_tx +
-                (was_plb ? cfg_.timings.plb_tx : 0);
+  e.wire_time = now + cfg_.timings.basic_tx_ns() +
+                (was_plb ? cfg_.timings.plb_tx_ns() : NanoTime{});
   e.in_order = in_order;
   e.pkt = std::move(pkt);
   return e;

@@ -23,15 +23,37 @@ namespace albatross {
 /// live fallback path (§4.1 remediation 5).
 enum class LbMode : std::uint8_t { kPlb, kRss };
 
-/// Tab. 4 module latencies (ns).
+/// Tab. 4 module latencies, specified in fabric clock cycles. The
+/// datapath modules run at twice the 250 MHz shell clock, so one cycle
+/// is 2 ns and the paper's nanosecond figures map exactly. Conversions
+/// go through cycles_to_nanos so the clock frequency is named here and
+/// nowhere else.
 struct NicTimings {
-  NanoTime basic_rx = 580;
-  NanoTime basic_tx = 840;
-  NanoTime overload_det_rx = 100;
-  NanoTime plb_rx = 50;
-  NanoTime plb_tx = 350;
-  NanoTime dma_rx_base = 3170;
-  NanoTime dma_tx_base = 2980;
+  std::uint32_t datapath_clock_mhz = 2 * kDefaultFpgaClockMhz;  // 500 MHz
+  FpgaCycles basic_rx = FpgaCycles{290};        // 580 ns
+  FpgaCycles basic_tx = FpgaCycles{420};        // 840 ns
+  FpgaCycles overload_det_rx = FpgaCycles{50};  // 100 ns
+  FpgaCycles plb_rx = FpgaCycles{25};           //  50 ns
+  FpgaCycles plb_tx = FpgaCycles{175};          // 350 ns
+  FpgaCycles dma_rx_base = FpgaCycles{1585};    // 3170 ns
+  FpgaCycles dma_tx_base = FpgaCycles{1490};    // 2980 ns
+
+  [[nodiscard]] constexpr Nanos ns(FpgaCycles c) const {
+    return cycles_to_nanos(c, datapath_clock_mhz);
+  }
+  [[nodiscard]] constexpr Nanos basic_rx_ns() const { return ns(basic_rx); }
+  [[nodiscard]] constexpr Nanos basic_tx_ns() const { return ns(basic_tx); }
+  [[nodiscard]] constexpr Nanos overload_det_rx_ns() const {
+    return ns(overload_det_rx);
+  }
+  [[nodiscard]] constexpr Nanos plb_rx_ns() const { return ns(plb_rx); }
+  [[nodiscard]] constexpr Nanos plb_tx_ns() const { return ns(plb_tx); }
+  [[nodiscard]] constexpr Nanos dma_rx_base_ns() const {
+    return ns(dma_rx_base);
+  }
+  [[nodiscard]] constexpr Nanos dma_tx_base_ns() const {
+    return ns(dma_tx_base);
+  }
 };
 
 struct NicPipelineConfig {
@@ -55,13 +77,13 @@ struct IngressResult {
   IngressOutcome outcome = IngressOutcome::kDelivered;
   PktClass cls = PktClass::kPlb;
   std::uint16_t rx_queue = 0;
-  NanoTime deliver_time = 0;
+  NanoTime deliver_time = NanoTime{0};
   PacketPtr pkt;  ///< always returned; caller owns it (and frees drops)
 };
 
 struct EgressEmission {
   PacketPtr pkt;
-  NanoTime wire_time = 0;
+  NanoTime wire_time = NanoTime{0};
   bool in_order = true;
 };
 

@@ -38,7 +38,7 @@ void ReorderQueue::writeback(PacketPtr pkt, const PlbMeta& meta, NanoTime now,
   // Hardware legal check: 12-bit offset of meta.psn from head_ptr must
   // fall inside the FIFO window. Identical to comparing only psn[11:0]
   // against the 12-bit head/tail pointers.
-  const std::uint32_t off = (meta.psn - head_) & (entries_ - 1);
+  const std::uint32_t off = Psn12::distance(head_, meta.psn, entries_);
   const bool legal = in_flight > 0 && (off < in_flight || in_flight == entries_);
   if (!legal) {
     // Essentially a timed-out packet: best-effort transmission without
@@ -140,7 +140,7 @@ void ReorderQueue::drain(NanoTime now, std::vector<ReorderEgress>& out) {
 
 std::optional<NanoTime> ReorderQueue::head_deadline() const {
   if (head_ == tail_) return std::nullopt;
-  const NanoTime deadline = fifo_ts_[head_ & (entries_ - 1)] + timeout_;
+  const NanoTime deadline = fifo_ts_[slot(head_)] + timeout_;
   // While stalled the check cannot run, so the effective deadline is the
   // stall end; returning the past deadline would re-arm a timer at the
   // current virtual time forever.

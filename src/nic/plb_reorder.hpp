@@ -110,7 +110,7 @@ class ReorderQueue {
   };
 
   [[nodiscard]] std::uint32_t slot(Psn psn) const {
-    return psn & (entries_ - 1);
+    return Psn12::slot_of(psn, entries_);
   }
 
   std::uint32_t entries_;
@@ -122,7 +122,7 @@ class ReorderQueue {
   std::vector<NanoTime> fifo_ts_;
   std::uint32_t head_ = 0;  // free-running
   std::uint32_t tail_ = 0;  // free-running; next PSN to assign
-  NanoTime stuck_until_ = 0;
+  NanoTime stuck_until_ = NanoTime{0};
   std::vector<PacketPtr> buf_;
   std::vector<PlbMeta> buf_meta_;
   std::vector<BitmapEntry> bitmap_;

@@ -122,7 +122,7 @@ class TenantRateLimiter {
   std::vector<TokenBucket> meter_table_;
   std::array<PreEntry, kPreEntries> pre_;
   std::array<Candidate, kPreEntries> candidates_;
-  NanoTime window_start_ = 0;
+  NanoTime window_start_ = NanoTime{0};
   std::uint64_t sample_seq_ = 0;
   RateLimiterStats stats_;
   RateLimiterProbeHook* probe_ = nullptr;

@@ -20,15 +20,15 @@ namespace albatross {
 
 struct SessionOffloadConfig {
   std::size_t capacity = 65'536;      ///< BRAM-bounded session slots
-  NanoTime fpga_process_ns = 400;     ///< fast-path per-packet latency
+  NanoTime fpga_process_ns = NanoTime{400};     ///< fast-path per-packet latency
   NanoTime idle_timeout = 30 * kSecond;
 };
 
 struct OffloadedSession {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
-  NanoTime installed = 0;
-  NanoTime last_seen = 0;
+  NanoTime installed = NanoTime{0};
+  NanoTime last_seen = NanoTime{0};
   std::uint32_t action = 0;  ///< opaque forward action (e.g. NAT index)
 };
 

@@ -9,11 +9,11 @@ SriovManager::SriovManager(SriovConfig cfg) : cfg_(cfg) {
 }
 
 std::optional<PodVfSet> SriovManager::allocate(PodId pod,
-                                               std::uint16_t numa_node,
+                                               NumaNodeId numa_node,
                                                std::uint16_t data_cores) {
   // NICs 0,1 sit on NUMA 0; NICs 2,3 on NUMA 1 (Fig. 2).
   const std::uint16_t nic_base =
-      static_cast<std::uint16_t>(numa_node * (cfg_.nics / 2));
+      static_cast<std::uint16_t>(numa_node.value() * (cfg_.nics / 2));
   PodVfSet set;
   set.pod = pod;
   set.numa_node = numa_node;

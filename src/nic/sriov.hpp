@@ -24,7 +24,7 @@ struct VfAssignment {
 
 struct PodVfSet {
   PodId pod = 0;
-  std::uint16_t numa_node = 0;
+  NumaNodeId numa_node{};
   std::vector<VfAssignment> vfs;  ///< 4 per pod (robustness design)
 };
 
@@ -46,7 +46,7 @@ class SriovManager {
   /// Allocates a VF set for `pod` on `numa_node` with `data_cores`
   /// queue pairs per VF; nullopt when port VF/queue budgets are
   /// exhausted.
-  std::optional<PodVfSet> allocate(PodId pod, std::uint16_t numa_node,
+  std::optional<PodVfSet> allocate(PodId pod, NumaNodeId numa_node,
                                    std::uint16_t data_cores);
 
   void release(PodId pod);

@@ -6,8 +6,8 @@ namespace {
 // Approximate costs, calibrated so the "too small mempool cache" anomaly
 // (§4.1(4)) is visible: a cached alloc is a few nanoseconds, a shared-ring
 // refill is an order of magnitude slower (cacheline bouncing + locking).
-constexpr NanoTime kCacheHitCost = 4;
-constexpr NanoTime kRingRefillCost = 90;
+constexpr NanoTime kCacheHitCost = NanoTime{4};
+constexpr NanoTime kRingRefillCost = NanoTime{90};
 
 }  // namespace
 
@@ -34,7 +34,7 @@ void MbufPool::refill_cache(std::size_t core) {
 }
 
 Packet* MbufPool::alloc(CoreId core) {
-  const std::size_t c = core % core_cache_.size();
+  const std::size_t c = core.index() % core_cache_.size();
   auto& cache = core_cache_[c];
   if (!cache.empty()) {
     Packet* p = cache.back();
@@ -59,7 +59,7 @@ Packet* MbufPool::alloc(CoreId core) {
 
 void MbufPool::free_(Packet* pkt, CoreId core) {
   if (pkt == nullptr) return;
-  const std::size_t c = core % core_cache_.size();
+  const std::size_t c = core.index() % core_cache_.size();
   auto& cache = core_cache_[c];
   ++stats_.frees;
   if (cache.size() < cfg_.per_core_cache) {

@@ -37,8 +37,8 @@ class MbufPool {
 
   /// Allocates a packet on behalf of `core`. Returns nullptr when the
   /// pool is exhausted (counted as alloc_failure, like rte_pktmbuf_alloc).
-  Packet* alloc(CoreId core = 0);
-  void free_(Packet* pkt, CoreId core = 0);
+  Packet* alloc(CoreId core = CoreId{});
+  void free_(Packet* pkt, CoreId core = CoreId{});
 
   [[nodiscard]] std::size_t capacity() const { return cfg_.capacity; }
   [[nodiscard]] std::size_t available() const;
@@ -56,13 +56,13 @@ class MbufPool {
   std::vector<Packet*> ring_;                      // shared free list
   std::vector<std::vector<Packet*>> core_cache_;   // per-core caches
   MbufPoolStats stats_;
-  NanoTime last_cost_ = 0;
+  NanoTime last_cost_ = NanoTime{0};
 };
 
 /// RAII wrapper returning the packet to its pool on destruction.
 class PoolGuard {
  public:
-  PoolGuard(MbufPool& pool, Packet* pkt, CoreId core = 0)
+  PoolGuard(MbufPool& pool, Packet* pkt, CoreId core = CoreId{})
       : pool_(&pool), pkt_(pkt), core_(core) {}
   ~PoolGuard() {
     if (pkt_ != nullptr) pool_->free_(pkt_, core_);

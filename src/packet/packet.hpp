@@ -109,8 +109,8 @@ class Packet {
   bool update_plb_meta(const PlbMeta& meta);
 
   // --- out-of-band metadata (rte_mbuf-style fields) ----------------------
-  NanoTime rx_time = 0;          ///< wire arrival timestamp
-  NanoTime nic_ingress_done = 0; ///< when the NIC handed it to the CPU
+  NanoTime rx_time = NanoTime{0};          ///< wire arrival timestamp
+  NanoTime nic_ingress_done = NanoTime{0}; ///< when the NIC handed it to the CPU
   FiveTuple tuple;               ///< filled by the parser
   Vni vni = 0;                   ///< tenant id from the VXLAN header
   PktClass pkt_class = PktClass::kUnclassified;

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/endian.hpp"
+#include "common/types.hpp"
 
 namespace albatross {
 namespace {
@@ -40,9 +41,11 @@ std::vector<std::uint8_t> PcapFile::serialize() const {
   put_u32le(out, 262144);
   put_u32le(out, kLinkTypeEthernet);
   for (const auto& r : records_) {
-    const auto usec = static_cast<std::uint64_t>(r.timestamp / 1000);
-    put_u32le(out, static_cast<std::uint32_t>(usec / 1'000'000));
-    put_u32le(out, static_cast<std::uint32_t>(usec % 1'000'000));
+    const auto usec = static_cast<std::uint64_t>(r.timestamp / kMicrosecond);
+    const auto usec_per_sec =
+        static_cast<std::uint64_t>(kSecond / kMicrosecond);
+    put_u32le(out, static_cast<std::uint32_t>(usec / usec_per_sec));
+    put_u32le(out, static_cast<std::uint32_t>(usec % usec_per_sec));
     put_u32le(out, static_cast<std::uint32_t>(r.data.size()));  // incl_len
     put_u32le(out, static_cast<std::uint32_t>(r.data.size()));  // orig_len
     out.insert(out.end(), r.data.begin(), r.data.end());
@@ -77,7 +80,8 @@ std::optional<PcapFile> PcapFile::deserialize(
     pos += 16;
     if (pos + incl > bytes.size()) return std::nullopt;  // truncated
     PcapRecord r;
-    r.timestamp = static_cast<NanoTime>((sec * 1'000'000 + usec) * 1000);
+    r.timestamp = static_cast<std::int64_t>(sec) * kSecond +
+                  static_cast<std::int64_t>(usec) * kMicrosecond;
     r.data.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
                   bytes.begin() + static_cast<std::ptrdiff_t>(pos + incl));
     file.records_.push_back(std::move(r));

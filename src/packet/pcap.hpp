@@ -16,7 +16,7 @@
 namespace albatross {
 
 struct PcapRecord {
-  NanoTime timestamp = 0;          ///< virtual capture time
+  NanoTime timestamp = NanoTime{0};          ///< virtual capture time
   std::vector<std::uint8_t> data;  ///< captured bytes (full frame here)
 };
 

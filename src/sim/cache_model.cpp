@@ -17,8 +17,8 @@ double CacheModel::l3_hit_rate() const {
   return std::pow(f, 1.0 - cfg_.reference_skew);
 }
 
-NanoTime CacheModel::access_latency(Rng& rng, std::uint16_t core_node,
-                                    std::uint16_t mem_node,
+NanoTime CacheModel::access_latency(Rng& rng, NumaNodeId core_node,
+                                    NumaNodeId mem_node,
                                     bool flow_affine) const {
   if (flow_affine && rng.next_bool(cfg_.flow_affine_l2_bonus)) {
     return cfg_.l2_hit_ns;
@@ -29,15 +29,15 @@ NanoTime CacheModel::access_latency(Rng& rng, std::uint16_t core_node,
   return numa_.dram_latency(core_node, mem_node);
 }
 
-double CacheModel::mean_access_latency(std::uint16_t core_node,
-                                       std::uint16_t mem_node,
+double CacheModel::mean_access_latency(NumaNodeId core_node,
+                                       NumaNodeId mem_node,
                                        bool flow_affine) const {
   const double l2 = flow_affine ? cfg_.flow_affine_l2_bonus : 0.0;
   const double hit = l3_hit_rate();
   const double dram =
-      static_cast<double>(numa_.dram_latency(core_node, mem_node));
-  return l2 * static_cast<double>(cfg_.l2_hit_ns) +
-         (1.0 - l2) * (hit * static_cast<double>(cfg_.l3_hit_ns) +
+      static_cast<double>(numa_.dram_latency(core_node, mem_node).count());
+  return l2 * static_cast<double>(cfg_.l2_hit_ns.count()) +
+         (1.0 - l2) * (hit * static_cast<double>(cfg_.l3_hit_ns.count()) +
                        (1.0 - hit) * dram);
 }
 

@@ -23,8 +23,8 @@ namespace albatross {
 
 struct CacheConfig {
   std::uint64_t l3_bytes = 200ull << 20;  ///< ~200 MB across the socket
-  NanoTime l3_hit_ns = 22;
-  NanoTime l2_hit_ns = 7;
+  NanoTime l3_hit_ns = NanoTime{22};
+  NanoTime l2_hit_ns = NanoTime{7};
   /// Zipf skew of table-entry popularity induced by flow popularity.
   double reference_skew = 0.65;
   /// Fraction of L2-resident reuse a flow-affine core enjoys on top of
@@ -49,12 +49,12 @@ class CacheModel {
   /// Samples the latency of one table access issued by a core on
   /// `core_node` against memory homed on `mem_node`.
   /// `flow_affine` = the core repeatedly sees the same flows (RSS mode).
-  NanoTime access_latency(Rng& rng, std::uint16_t core_node,
-                          std::uint16_t mem_node, bool flow_affine) const;
+  NanoTime access_latency(Rng& rng, NumaNodeId core_node,
+                          NumaNodeId mem_node, bool flow_affine) const;
 
   /// Expected (mean) access latency, for closed-form calibration.
-  [[nodiscard]] double mean_access_latency(std::uint16_t core_node,
-                                           std::uint16_t mem_node,
+  [[nodiscard]] double mean_access_latency(NumaNodeId core_node,
+                                           NumaNodeId mem_node,
                                            bool flow_affine) const;
 
   NumaTopology& numa() { return numa_; }

@@ -62,7 +62,7 @@ class EventLoop {
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::function<void(NanoTime)> observer_;  // nullable; see set_observer
-  NanoTime now_ = 0;
+  NanoTime now_ = NanoTime{0};
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
 };

@@ -4,13 +4,13 @@ namespace albatross {
 
 NumaTopology::NumaTopology(NumaConfig cfg) : cfg_(cfg) {}
 
-NanoTime NumaTopology::dram_latency(std::uint16_t core_node,
-                                    std::uint16_t mem_node) const {
+NanoTime NumaTopology::dram_latency(NumaNodeId core_node,
+                                    NumaNodeId mem_node) const {
   const NanoTime base =
       core_node == mem_node ? cfg_.local_dram_ns : cfg_.remote_dram_ns;
   // Higher transfer rate shortens the queuing+transfer component of a
   // loaded DRAM access roughly proportionally.
-  return base * 4800 / static_cast<NanoTime>(cfg_.memory_mts);
+  return base * 4800 / static_cast<std::int64_t>(cfg_.memory_mts);
 }
 
 NumaBalancer::NumaBalancer() : NumaBalancer(Config{}) {}
@@ -18,8 +18,8 @@ NumaBalancer::NumaBalancer() : NumaBalancer(Config{}) {}
 NumaBalancer::NumaBalancer(Config cfg) : cfg_(cfg) {}
 
 NanoTime NumaBalancer::maybe_stall(NanoTime now, double core_load) {
-  if (!cfg_.enabled) return 0;
-  if (now < next_scan_) return 0;
+  if (!cfg_.enabled) return NanoTime{};
+  if (now < next_scan_) return NanoTime{};
   next_scan_ = now + cfg_.scan_period;
   // The balancer's scanner only perturbs the pinned pod when memory
   // pressure / run-queue activity is high; scale the hit chance with
@@ -31,7 +31,7 @@ NanoTime NumaBalancer::maybe_stall(NanoTime now, double core_load) {
     ++stalls_;
     return cfg_.stall_ns;
   }
-  return 0;
+  return NanoTime{};
 }
 
 }  // namespace albatross

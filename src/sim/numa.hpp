@@ -17,8 +17,8 @@ struct NumaConfig {
   std::uint16_t nodes = 2;
   std::uint16_t cores_per_node = 48;
   std::uint64_t memory_per_node_gb = 512;
-  NanoTime local_dram_ns = 90;    ///< DDR5-4800 loaded latency class
-  NanoTime remote_dram_ns = 150;  ///< + UPI hop
+  NanoTime local_dram_ns = NanoTime{90};    ///< DDR5-4800 loaded latency class
+  NanoTime remote_dram_ns = NanoTime{150};  ///< + UPI hop
   /// DDR data rate (MT/s); latency scales with 4800/frequency, the §4.2
   /// observation that 4800->5600 brings ~8% gateway speedup.
   std::uint32_t memory_mts = 4800;
@@ -29,8 +29,9 @@ class NumaTopology {
   explicit NumaTopology(NumaConfig cfg = {});
 
   [[nodiscard]] const NumaConfig& config() const { return cfg_; }
-  [[nodiscard]] std::uint16_t node_of_core(std::uint16_t core) const {
-    return static_cast<std::uint16_t>(core / cfg_.cores_per_node);
+  [[nodiscard]] NumaNodeId node_of_core(CoreId core) const {
+    return NumaNodeId{
+        static_cast<std::uint16_t>(core.value() / cfg_.cores_per_node)};
   }
   [[nodiscard]] std::uint16_t total_cores() const {
     return static_cast<std::uint16_t>(cfg_.nodes * cfg_.cores_per_node);
@@ -38,8 +39,8 @@ class NumaTopology {
 
   /// DRAM access latency for a core touching memory homed on mem_node,
   /// scaled by the configured memory frequency.
-  [[nodiscard]] NanoTime dram_latency(std::uint16_t core_node,
-                                      std::uint16_t mem_node) const;
+  [[nodiscard]] NanoTime dram_latency(NumaNodeId core_node,
+                                      NumaNodeId mem_node) const;
 
   void set_memory_mts(std::uint32_t mts) { cfg_.memory_mts = mts; }
 
@@ -77,7 +78,7 @@ class NumaBalancer {
  private:
   Config cfg_;
   Rng rng_{0x5ca1ab1e};
-  NanoTime next_scan_ = 0;
+  NanoTime next_scan_ = NanoTime{0};
   std::uint64_t stalls_ = 0;
 };
 

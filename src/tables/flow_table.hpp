@@ -17,8 +17,8 @@ namespace albatross {
 struct FlowState {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
-  NanoTime created = 0;
-  NanoTime last_seen = 0;
+  NanoTime created = NanoTime{0};
+  NanoTime last_seen = NanoTime{0};
   std::uint32_t nat_ip = 0;       ///< SNAT translation, 0 = none
   std::uint16_t nat_port = 0;
   std::uint16_t backend = 0;      ///< L4 LB backend index

@@ -13,8 +13,7 @@ void TokenBucket::set_rate(double rate_pps, double burst_pkts) {
 
 void TokenBucket::refill(NanoTime now) {
   if (now <= last_) return;
-  const double elapsed_s =
-      static_cast<double>(now - last_) / static_cast<double>(kSecond);
+  const double elapsed_s = nanos_to_seconds(now - last_);
   tokens_ += rate_pps_ * elapsed_s;
   if (tokens_ > burst_) tokens_ = burst_;
   last_ = now;
@@ -34,8 +33,7 @@ double TokenBucket::tokens_at(NanoTime now) const {
   if (rate_pps_ <= 0.0) return burst_;
   double t = tokens_;
   if (now > last_) {
-    t += rate_pps_ * static_cast<double>(now - last_) /
-         static_cast<double>(kSecond);
+    t += rate_pps_ * nanos_to_seconds(now - last_);
     if (t > burst_) t = burst_;
   }
   return t;

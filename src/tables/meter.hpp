@@ -37,7 +37,7 @@ class TokenBucket {
   double rate_pps_ = 0.0;   // 0 = unlimited
   double burst_ = 0.0;
   double tokens_ = 0.0;
-  NanoTime last_ = 0;
+  NanoTime last_ = NanoTime{0};
 };
 
 /// Two-rate three-color marker (RFC 2698 semantics, pps-denominated):

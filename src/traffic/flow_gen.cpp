@@ -43,17 +43,17 @@ PoissonFlowSource::PoissonFlowSource(PoissonFlowConfig cfg)
 
 void PoissonFlowSource::advance() {
   if (cfg_.rate_pps <= 0.0) {
-    next_ = std::numeric_limits<NanoTime>::max();
+    next_ = NanoTime::max();
     return;
   }
   const double mean_ns = 1e9 / cfg_.rate_pps;
   const double gap =
       cfg_.poisson ? rng_.next_exponential(mean_ns) : mean_ns;
-  next_ += static_cast<NanoTime>(gap < 1.0 ? 1.0 : gap);
+  next_ += nanos_from_double(gap < 1.0 ? 1.0 : gap);
 }
 
 std::optional<NanoTime> PoissonFlowSource::next_time() const {
-  if (next_ == std::numeric_limits<NanoTime>::max()) return std::nullopt;
+  if (next_ == NanoTime::max()) return std::nullopt;
   return next_;
 }
 
@@ -68,12 +68,12 @@ PacketPtr PoissonFlowSource::emit() {
 }
 
 void PoissonFlowSource::set_rate(double pps) {
-  const NanoTime base = next_ == std::numeric_limits<NanoTime>::max()
+  const NanoTime base = next_ == NanoTime::max()
                             ? cfg_.start
                             : next_;
   cfg_.rate_pps = pps;
   next_ = base;
-  if (pps <= 0.0) next_ = std::numeric_limits<NanoTime>::max();
+  if (pps <= 0.0) next_ = NanoTime::max();
 }
 
 void TrafficMux::add(std::unique_ptr<TrafficSource> src) {
@@ -82,7 +82,7 @@ void TrafficMux::add(std::unique_ptr<TrafficSource> src) {
 
 std::size_t TrafficMux::earliest() const {
   std::size_t best = sources_.size();
-  NanoTime best_t = std::numeric_limits<NanoTime>::max();
+  NanoTime best_t = NanoTime::max();
   for (std::size_t i = 0; i < sources_.size(); ++i) {
     const auto t = sources_[i]->next_time();
     if (t && *t < best_t) {

@@ -47,7 +47,7 @@ struct PoissonFlowConfig {
   double zipf_alpha = 0.9;       ///< flow-popularity skew
   double rate_pps = 1e6;         ///< aggregate packets/sec
   std::size_t packet_bytes = 256;
-  NanoTime start = 0;
+  NanoTime start = NanoTime{0};
   std::uint64_t seed = 1;
   bool poisson = true;           ///< false = deterministic spacing
 };

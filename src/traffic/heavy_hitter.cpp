@@ -47,7 +47,7 @@ void HeavyHitterSource::advance_from(NanoTime t) {
       const double gap =
           cfg_.poisson ? rng_.next_exponential(mean_ns) : mean_ns;
       const NanoTime candidate =
-          cursor + static_cast<NanoTime>(gap < 1.0 ? 1.0 : gap);
+          cursor + nanos_from_double(gap < 1.0 ? 1.0 : gap);
       if (!change || candidate < *change) {
         next_ = candidate;
         return;

@@ -31,7 +31,7 @@ struct HeavyHitterConfig {
   FlowInfo flow;                   ///< the dominant flow's identity
   RateProfile profile;
   std::size_t packet_bytes = 256;
-  NanoTime start = 0;
+  NanoTime start = NanoTime{0};
   std::uint64_t seed = 7;
   bool poisson = false;            ///< hitters are typically line-rate CBR
 };

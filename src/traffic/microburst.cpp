@@ -16,8 +16,8 @@ MicroburstSource::MicroburstSource(MicroburstConfig cfg)
 }
 
 void MicroburstSource::schedule_next_burst(NanoTime after) {
-  next_ = after + static_cast<NanoTime>(rng_.next_exponential(
-                      static_cast<double>(cfg_.mean_burst_gap)));
+  next_ = after + Nanos{static_cast<std::int64_t>(rng_.next_exponential(
+                      static_cast<double>(cfg_.mean_burst_gap.count())))};
   // Geometric burst length with the configured mean (min 1).
   const double u = rng_.next_exponential(
       static_cast<double>(cfg_.mean_burst_packets));
@@ -38,7 +38,7 @@ PacketPtr MicroburstSource::emit() {
   pkt->seq_in_flow = f.packets_emitted++;
 
   if (--remaining_in_burst_ > 0) {
-    next_ += static_cast<NanoTime>(1e9 / cfg_.burst_rate_pps);
+    next_ += nanos_from_double(1e9 / cfg_.burst_rate_pps);
   } else {
     schedule_next_burst(next_);
   }

@@ -19,7 +19,7 @@ struct MicroburstConfig {
   /// Rate *inside* a burst — bursts arrive back-to-back at line rate.
   double burst_rate_pps = 10e6;
   std::size_t packet_bytes = 256;
-  NanoTime start = 0;
+  NanoTime start = NanoTime{0};
   std::uint64_t seed = 11;
   /// Each burst sticks to one flow (true, worst case for RSS) or sprays
   /// over flows (false).
@@ -41,7 +41,7 @@ class MicroburstSource final : public TrafficSource {
   MicroburstConfig cfg_;
   Rng rng_;
   std::vector<FlowInfo> flows_;
-  NanoTime next_ = 0;
+  NanoTime next_ = NanoTime{0};
   std::size_t remaining_in_burst_ = 0;
   std::size_t burst_flow_ = 0;
   std::uint64_t bursts_ = 0;

@@ -27,8 +27,8 @@ void TenantTrafficSource::advance(PerTenant& t, NanoTime from) {
     const double rate = t.spec.profile.rate_at(cursor);
     const auto change = t.spec.profile.next_change(cursor);
     if (rate > 0.0) {
-      const auto gap = static_cast<NanoTime>(1e9 / rate);
-      const NanoTime candidate = cursor + (gap < 1 ? 1 : gap);
+      const auto gap = Nanos{static_cast<std::int64_t>(1e9 / rate)};
+      const NanoTime candidate = cursor + (gap < Nanos{1} ? Nanos{1} : gap);
       if (!change || candidate < *change) {
         t.next = candidate;
         return;
@@ -47,7 +47,7 @@ void TenantTrafficSource::advance(PerTenant& t, NanoTime from) {
 
 std::size_t TenantTrafficSource::earliest() const {
   std::size_t best = tenants_.size();
-  NanoTime best_t = std::numeric_limits<NanoTime>::max();
+  NanoTime best_t = NanoTime::max();
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     if (tenants_[i].next && *tenants_[i].next < best_t) {
       best_t = *tenants_[i].next;

@@ -71,7 +71,7 @@ TEST(BgpSession, EstablishAndExchangeRoutes) {
   bool a_up = false;
   a.set_on_established([&](NanoTime) { a_up = true; });
 
-  bgp_connect(a, b, kMillisecond, nullptr, nullptr, 0);
+  bgp_connect(a, b, kMillisecond, nullptr, nullptr, Nanos{0});
   loop.run_until(30 * kSecond);
   EXPECT_EQ(a.state(), BgpState::kEstablished);
   EXPECT_EQ(b.state(), BgpState::kEstablished);
@@ -97,9 +97,9 @@ TEST(BgpSession, RoutesAnnouncedBeforeEstablishmentAreFlushed) {
   const RoutePrefix vip{Ipv4Address::from_octets(100, 64, 9, 0), 24};
   a.bind(&b, kMillisecond, nullptr);
   b.bind(&a, kMillisecond, nullptr);
-  a.announce(vip, 42, 0);  // before start
-  a.start(0);
-  b.start(0);
+  a.announce(vip, 42, Nanos{0});  // before start
+  a.start(Nanos{0});
+  b.start(Nanos{0});
   loop.run_until(30 * kSecond);
   EXPECT_EQ(b.rib_in().count(vip), 1u);
 }
@@ -111,7 +111,7 @@ TEST(BgpSession, LinkFailureTriggersReconnect) {
                                       .passive = true});
   int downs = 0;
   a.set_on_down([&](NanoTime) { ++downs; });
-  bgp_connect(a, b, kMillisecond, nullptr, nullptr, 0);
+  bgp_connect(a, b, kMillisecond, nullptr, nullptr, Nanos{0});
   loop.run_until(20 * kSecond);
   ASSERT_EQ(a.state(), BgpState::kEstablished);
 
@@ -133,10 +133,10 @@ TEST(SwitchModel, FewPeersConvergeFast) {
     gws.push_back(std::make_unique<BgpSession>(
         loop, BgpSessionConfig{.asn = 64512,
                                .router_id = 100u + static_cast<std::uint32_t>(i)}));
-    sw.add_peer(*gws.back(), 0);
+    sw.add_peer(*gws.back(), Nanos{0});
     gws.back()->announce(
         RoutePrefix{Ipv4Address{0x64400000u + (static_cast<std::uint32_t>(i) << 8)}, 24},
-        1, 0);
+        1, Nanos{0});
   }
   loop.run_until(60 * kSecond);
   EXPECT_EQ(sw.established_count(), 16u);
@@ -145,7 +145,7 @@ TEST(SwitchModel, FewPeersConvergeFast) {
   // Restart: 16 peers re-converge quickly (well under a minute).
   sw.restart(loop.now());
   const NanoTime t0 = loop.now();
-  NanoTime converged = -1;
+  NanoTime converged = NanoTime{-1};
   while (loop.now() < t0 + 30 * 60 * kSecond) {
     loop.run_until(loop.now() + kSecond);
     if (sw.established_count() == 16 && sw.routes_learned() == 16) {
@@ -153,14 +153,14 @@ TEST(SwitchModel, FewPeersConvergeFast) {
       break;
     }
   }
-  ASSERT_GT(converged, 0);
+  ASSERT_GT(converged, NanoTime{});
   EXPECT_LT(converged, 60 * kSecond);
 }
 
 TEST(BgpProxy, OneUplinkPeerManyPods) {
   EventLoop loop;
   UplinkSwitch sw(loop, SwitchConfig{});
-  BgpProxy proxy(loop, sw, BgpProxyConfig{}, 0);
+  BgpProxy proxy(loop, sw, BgpProxyConfig{}, NanoTime{});
   EXPECT_EQ(sw.peer_count(), 1u);  // only the proxy peers with the switch
 
   std::vector<std::unique_ptr<BgpSession>> pods;
@@ -168,7 +168,7 @@ TEST(BgpProxy, OneUplinkPeerManyPods) {
     pods.push_back(std::make_unique<BgpSession>(
         loop, BgpSessionConfig{.asn = 64600,
                                .router_id = 200u + static_cast<std::uint32_t>(i)}));
-    proxy.attach_pod(*pods.back(), 0);
+    proxy.attach_pod(*pods.back(), Nanos{0});
   }
   loop.run_until(30 * kSecond);
   EXPECT_EQ(proxy.pods_attached(), 4u);
@@ -201,8 +201,8 @@ TEST(Bfd, DetectsLossAfterThreeMissedProbes) {
   a.set_on_state([&](BfdState s, NanoTime) {
     if (s == BfdState::kDown) ++a_down_events;
   });
-  a.start(0);
-  b.start(0);
+  a.start(Nanos{0});
+  b.start(Nanos{0});
   loop.run_until(kSecond);
   EXPECT_EQ(a.state(), BfdState::kUp);
   EXPECT_EQ(b.state(), BfdState::kUp);

@@ -26,7 +26,7 @@ TEST(FaultPlan, JsonRoundTrip) {
   FaultPlan plan;
   plan.name = "rt";
   plan.seed = 42;
-  plan.events.push_back({2 * kSecond, FaultKind::kPodCrash, 0, 0, 0.0});
+  plan.events.push_back({2 * kSecond, FaultKind::kPodCrash, 0, NanoTime{0}, 0.0});
   plan.events.push_back(
       {5 * kSecond, FaultKind::kNicDmaError, 1, 20 * kMillisecond, 8.0});
   const std::string text = plan.to_json().dump();
@@ -109,7 +109,7 @@ TEST(FaultInjector, AppliesAtEventTimeAndClearsAfterDuration) {
   FaultInjector injector(loop, surface);
 
   FaultPlan plan;
-  plan.events.push_back({kSecond, FaultKind::kPodCrash, 0, 0, 0.0});
+  plan.events.push_back({kSecond, FaultKind::kPodCrash, 0, NanoTime{0}, 0.0});
   plan.events.push_back(
       {2 * kSecond, FaultKind::kLinkFlap, 1, 300 * kMillisecond, 0.0});
   injector.schedule(plan);
@@ -147,7 +147,7 @@ TEST(ChaosRecovery, PodCrashClosesTheLoopWithinBounds) {
   // Crash after initial BGP convergence so the withdraw exercises the
   // real route-removal path.
   FaultPlan plan;
-  plan.events.push_back({8 * kSecond, FaultKind::kPodCrash, 0, 0, 0.0});
+  plan.events.push_back({8 * kSecond, FaultKind::kPodCrash, 0, NanoTime{0}, 0.0});
   FaultInjector injector(harness.loop(), harness);
   injector.schedule(plan);
 

@@ -106,8 +106,8 @@ TEST(LpmOracle, LongestPrefixWinsAndReexposesOnDelete) {
 TEST(TokenBucketOracle, ClosedFormRefillAndBurstCap) {
   check::TokenBucketOracle oracle(1e6, 100.0);  // 1 Mpps, 100-pkt bucket
   // Starts full; draining 100 packets at t=0 empties it.
-  for (int i = 0; i < 100; ++i) EXPECT_TRUE(oracle.consume(0));
-  EXPECT_FALSE(oracle.consume(0));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(oracle.consume(Nanos{0}));
+  EXPECT_FALSE(oracle.consume(Nanos{0}));
   // 1 Mpps == 1 token/us: after 50us exactly ~50 tokens are back.
   EXPECT_NEAR(oracle.level_at(50 * kMicrosecond), 50.0, 1e-6);
   // The bucket never exceeds its depth no matter how long it idles.
@@ -119,15 +119,15 @@ TEST(TokenBucketOracle, ResyncAbsorbsBoundaryDisagreement) {
   // Observed implementation passed a packet the oracle would have
   // dropped: resync zeroes the allowance (the packet was spent).
   oracle.resync(true);
-  EXPECT_NEAR(oracle.level_at(0), 0.0, 1e-9);
+  EXPECT_NEAR(oracle.level_at(Nanos{0}), 0.0, 1e-9);
   // Observed drop refunds the charge, capped at the bucket depth.
   oracle.resync(false, 100.0);
-  EXPECT_NEAR(oracle.level_at(0), 10.0, 1e-9);
+  EXPECT_NEAR(oracle.level_at(Nanos{0}), 10.0, 1e-9);
 }
 
 TEST(TokenBucketOracle, ZeroRateMeansUnlimited) {
   check::TokenBucketOracle oracle(0.0, 0.0);
-  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(oracle.consume(0));
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(oracle.consume(Nanos{0}));
 }
 
 TEST(ReorderSortOracle, ExpectedSequenceIsSortedKeptPsns) {

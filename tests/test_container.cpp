@@ -31,14 +31,14 @@ TEST(Orchestrator, PlacesPodsWithinOneNumaNode) {
   PodSpec spec;
   spec.data_cores = 44;
   spec.ctrl_cores = 2;
-  const auto p1 = orch.deploy(spec, 0);
+  const auto p1 = orch.deploy(spec, Nanos{0});
   ASSERT_TRUE(p1.has_value());
-  const auto p2 = orch.deploy(spec, 0);
+  const auto p2 = orch.deploy(spec, Nanos{0});
   ASSERT_TRUE(p2.has_value());
   // 46+46 > 48: the second pod must land on the other NUMA node.
   EXPECT_NE(p1->numa_node, p2->numa_node);
   // A third 46-core pod cannot fit on this server.
-  EXPECT_FALSE(orch.deploy(spec, 0).has_value());
+  EXPECT_FALSE(orch.deploy(spec, Nanos{0}).has_value());
   EXPECT_NEAR(orch.core_utilization(), 92.0 / 96.0, 1e-9);
 }
 
@@ -61,7 +61,7 @@ TEST(Orchestrator, FourPodsPerServerFig15Density) {
   spec.ctrl_cores = 2;
   int placed = 0;
   for (int i = 0; i < 4; ++i) {
-    if (orch.deploy(spec, 0)) ++placed;
+    if (orch.deploy(spec, Nanos{0})) ++placed;
   }
   EXPECT_EQ(placed, 4);  // 2 pods per NUMA node x 2 nodes
   EXPECT_EQ(orch.placements().size(), 4u);
@@ -73,9 +73,9 @@ TEST(Orchestrator, NumaPreferenceHonored) {
   PodSpec spec;
   spec.data_cores = 8;
   spec.numa_preference = 1;
-  const auto p = orch.deploy(spec, 0);
+  const auto p = orch.deploy(spec, Nanos{0});
   ASSERT_TRUE(p.has_value());
-  EXPECT_EQ(p->numa_node, 1);
+  EXPECT_EQ(p->numa_node, NumaNodeId{1});
 }
 
 TEST(Orchestrator, ScaleUpMakeBeforeBreak) {
@@ -83,7 +83,7 @@ TEST(Orchestrator, ScaleUpMakeBeforeBreak) {
   orch.add_server(default_server());
   PodSpec small;
   small.data_cores = 8;
-  const auto p = orch.deploy(small, 0);
+  const auto p = orch.deploy(small, Nanos{0});
   ASSERT_TRUE(p.has_value());
 
   PodSpec big = small;
@@ -107,7 +107,7 @@ TEST(Orchestrator, SpillsToSecondServer) {
   spec.ctrl_cores = 2;
   std::set<std::uint16_t> servers;
   for (int i = 0; i < 4; ++i) {
-    const auto p = orch.deploy(spec, 0);
+    const auto p = orch.deploy(spec, Nanos{0});
     ASSERT_TRUE(p.has_value());
     servers.insert(p->server);
   }
@@ -123,12 +123,12 @@ TEST(Orchestrator, RemoveReturnsCoresAndVfs) {
   PodSpec spec;
   spec.data_cores = 44;
   spec.ctrl_cores = 2;
-  const auto p1 = orch.deploy(spec, 0);
-  const auto p2 = orch.deploy(spec, 0);
+  const auto p1 = orch.deploy(spec, Nanos{0});
+  const auto p2 = orch.deploy(spec, Nanos{0});
   ASSERT_TRUE(p1.has_value());
   ASSERT_TRUE(p2.has_value());
   EXPECT_EQ(p1->cores, 46);
-  ASSERT_FALSE(orch.deploy(spec, 0).has_value());  // server full
+  ASSERT_FALSE(orch.deploy(spec, Nanos{0}).has_value());  // server full
 
   ASSERT_TRUE(orch.remove(p1->pod));
   EXPECT_EQ(orch.placement(p1->pod), nullptr);
@@ -137,7 +137,7 @@ TEST(Orchestrator, RemoveReturnsCoresAndVfs) {
 
   // The freed node must accept a replacement — repeatedly.
   for (int cycle = 0; cycle < 8; ++cycle) {
-    const auto r = orch.deploy(spec, 0);
+    const auto r = orch.deploy(spec, Nanos{0});
     ASSERT_TRUE(r.has_value()) << "cycle " << cycle;
     EXPECT_EQ(r->vfs.vfs.size(), 4u);
     ASSERT_TRUE(orch.remove(r->pod));
@@ -155,7 +155,7 @@ TEST(Orchestrator, CrashRedeployViaScaleUpKeepsCapacityStable) {
   PodSpec spec;
   spec.data_cores = 20;
   spec.ctrl_cores = 2;
-  auto p = orch.deploy(spec, 0);
+  auto p = orch.deploy(spec, Nanos{0});
   ASSERT_TRUE(p.has_value());
   PodId pod = p->pod;
   const double base = orch.core_utilization();

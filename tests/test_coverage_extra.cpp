@@ -63,16 +63,16 @@ TEST(SwitchCpu, QueueingAndOverloadSlowdown) {
   cfg.overload_backlog_threshold = 5 * kSecond;
   SwitchCpu cpu(cfg);
   // Sequential work at the same arrival time serialises.
-  const auto t1 = cpu.enqueue(0, kSecond);
-  const auto t2 = cpu.enqueue(0, kSecond);
+  const auto t1 = cpu.enqueue(Nanos{0}, kSecond);
+  const auto t2 = cpu.enqueue(Nanos{0}, kSecond);
   EXPECT_EQ(t1, kSecond);
   EXPECT_EQ(t2, 2 * kSecond);
-  EXPECT_EQ(cpu.backlog(0), 2 * kSecond);
-  EXPECT_EQ(cpu.backlog(3 * kSecond), 0);
+  EXPECT_EQ(cpu.backlog(Nanos{0}), 2 * kSecond);
+  EXPECT_EQ(cpu.backlog(3 * kSecond), NanoTime{});
   // Beyond the backlog threshold the effective cost inflates 6x.
-  for (int i = 0; i < 4; ++i) cpu.enqueue(0, kSecond);  // backlog 6s
+  for (int i = 0; i < 4; ++i) cpu.enqueue(Nanos{0}, kSecond);  // backlog 6s
   const auto before = cpu.busy_ns();
-  cpu.enqueue(0, kSecond);
+  cpu.enqueue(Nanos{0}, kSecond);
   EXPECT_EQ(cpu.busy_ns() - before, 6 * kSecond);
   EXPECT_EQ(cpu.messages(), 7u);
 }
@@ -82,7 +82,7 @@ TEST(BgpSession, AdminStopDoesNotRetry) {
   BgpSession a(loop, BgpSessionConfig{.asn = 1, .router_id = 1});
   BgpSession b(loop,
                BgpSessionConfig{.asn = 2, .router_id = 2, .passive = true});
-  bgp_connect(a, b, kMillisecond, nullptr, nullptr, 0);
+  bgp_connect(a, b, kMillisecond, nullptr, nullptr, Nanos{0});
   loop.run_until(20 * kSecond);
   ASSERT_EQ(a.state(), BgpState::kEstablished);
 
@@ -99,13 +99,13 @@ TEST(NicPipeline, RxPipelineLatencyComposition) {
   NicPipeline nic;
   const auto& t = nic.config().timings;
   EXPECT_EQ(nic.rx_pipeline_latency(/*plb=*/true),
-            t.basic_rx + t.overload_det_rx + t.plb_rx);
+            t.basic_rx_ns() + t.overload_det_rx_ns() + t.plb_rx_ns());
   EXPECT_EQ(nic.rx_pipeline_latency(/*plb=*/false),
-            t.basic_rx + t.overload_det_rx);
+            t.basic_rx_ns() + t.overload_det_rx_ns());
   NicPipelineConfig no_gop;
   no_gop.gop_enabled = false;
   NicPipeline nic2(no_gop);
-  EXPECT_EQ(nic2.rx_pipeline_latency(false), t.basic_rx);
+  EXPECT_EQ(nic2.rx_pipeline_latency(false), t.basic_rx_ns());
 }
 
 TEST(NicPipeline, DrainExpiredReleasesStrandedEntries) {
@@ -118,7 +118,7 @@ TEST(NicPipeline, DrainExpiredReleasesStrandedEntries) {
                    PktDirConfig{}, LbMode::kPlb);
   auto pkt = Packet::make_synthetic(
       FiveTuple{Ipv4Address{1}, Ipv4Address{2}, 3, 4, IpProto::kUdp}, 1, 128);
-  auto r = nic.ingress(std::move(pkt), 0, 0);
+  auto r = nic.ingress(std::move(pkt), 0, Nanos{0});
   ASSERT_EQ(r.outcome, IngressOutcome::kDelivered);
   ASSERT_TRUE(nic.next_reorder_deadline(0).has_value());
   // The packet vanishes on the CPU (never written back). After the
@@ -134,13 +134,13 @@ TEST(Orchestrator, ReleaseFreesSriovButKeepsAccounting) {
   orch.add_server(ServerSpec{});
   PodSpec spec;
   spec.data_cores = 8;
-  const auto p = orch.deploy(spec, 0);
+  const auto p = orch.deploy(spec, Nanos{0});
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(orch.placements().size(), 1u);
   EXPECT_TRUE(orch.remove(p->pod));
   EXPECT_EQ(orch.placements().size(), 0u);
   // VFs were released: the same server accepts a fresh pod.
-  EXPECT_TRUE(orch.deploy(spec, 0).has_value());
+  EXPECT_TRUE(orch.deploy(spec, Nanos{0}).has_value());
 }
 
 TEST(Histogram, SummaryFormatting) {
@@ -165,7 +165,7 @@ TEST(Scenario, FormatAndCapacityHelpers) {
 TEST(HeavyHitter, PoissonModeApproximatesRate) {
   HeavyHitterConfig cfg;
   cfg.flow = make_flow(1, 1, 0);
-  cfg.profile = RateProfile{{0, 10'000.0}};
+  cfg.profile = RateProfile{{NanoTime{0}, 10'000.0}};
   cfg.poisson = true;
   HeavyHitterSource src(cfg);
   std::uint64_t n = 0;
@@ -207,7 +207,7 @@ TEST(TrafficMux, EmptyAndExhaustedSources) {
   // A source that runs dry leaves the mux empty again.
   HeavyHitterConfig cfg;
   cfg.flow = make_flow(1, 1, 0);
-  cfg.profile = RateProfile{{0, 1000.0}, {10 * kMillisecond, 0.0}};
+  cfg.profile = RateProfile{{NanoTime{0}, 1000.0}, {10 * kMillisecond, 0.0}};
   mux.add(std::make_unique<HeavyHitterSource>(cfg));
   std::uint64_t n = 0;
   while (mux.next_time().has_value()) {
@@ -223,8 +223,8 @@ TEST(MbufPool, CacheOverflowFlushesToRing) {
   // Drain 32 mbufs, then free them all back: the per-core cache (4)
   // must overflow and flush to the shared ring without losing any.
   std::vector<Packet*> taken;
-  for (int i = 0; i < 32; ++i) taken.push_back(pool.alloc(0));
-  for (auto* p : taken) pool.free_(p, 0);
+  for (int i = 0; i < 32; ++i) taken.push_back(pool.alloc(CoreId{0}));
+  for (auto* p : taken) pool.free_(p, CoreId{0});
   EXPECT_EQ(pool.available(), 64u);
   EXPECT_EQ(pool.stats().frees, 32u);
 }
@@ -240,7 +240,7 @@ TEST(PlbEngineExtra, DrainAllCoversEveryQueue) {
   for (std::uint16_t port = 0; port < 64 && queues_hit < 3; ++port) {
     FiveTuple t{Ipv4Address{1}, Ipv4Address{2}, port, 80, IpProto::kUdp};
     auto pkt = Packet::make_synthetic(t, 1, 64);
-    if (engine.dispatch(*pkt, 0)) ++queues_hit;
+    if (engine.dispatch(*pkt, Nanos{0})) ++queues_hit;
   }
   std::vector<ReorderEgress> out;
   engine.drain_all(1 * kMillisecond, out);  // way past every deadline

@@ -26,10 +26,10 @@ FiveTuple flow_tuple(std::uint16_t i) {
 
 TEST(SessionOffload, MissThenInstallThenHit) {
   SessionOffload off;
-  EXPECT_FALSE(off.fast_path(flow_tuple(1), 256, 0).has_value());
+  EXPECT_FALSE(off.fast_path(flow_tuple(1), 256, Nanos{0}).has_value());
   EXPECT_EQ(off.stats().misses, 1u);
-  EXPECT_TRUE(off.install(flow_tuple(1), 7, 100));
-  const auto lat = off.fast_path(flow_tuple(1), 256, 200);
+  EXPECT_TRUE(off.install(flow_tuple(1), 7, Nanos{100}));
+  const auto lat = off.fast_path(flow_tuple(1), 256, Nanos{200});
   ASSERT_TRUE(lat.has_value());
   EXPECT_EQ(*lat, off.config().fpga_process_ns);
   const auto s = off.peek(flow_tuple(1));
@@ -38,13 +38,13 @@ TEST(SessionOffload, MissThenInstallThenHit) {
   EXPECT_EQ(s->bytes, 256u);
   EXPECT_EQ(s->action, 7u);
   EXPECT_TRUE(off.remove(flow_tuple(1)));
-  EXPECT_FALSE(off.fast_path(flow_tuple(1), 256, 300).has_value());
+  EXPECT_FALSE(off.fast_path(flow_tuple(1), 256, Nanos{300}).has_value());
 }
 
 TEST(SessionOffload, InstallIsIdempotent) {
   SessionOffload off;
-  EXPECT_TRUE(off.install(flow_tuple(2), 1, 0));
-  EXPECT_TRUE(off.install(flow_tuple(2), 1, 10));
+  EXPECT_TRUE(off.install(flow_tuple(2), 1, Nanos{0}));
+  EXPECT_TRUE(off.install(flow_tuple(2), 1, Nanos{10}));
   EXPECT_EQ(off.stats().installs, 1u);
   EXPECT_EQ(off.size(), 1u);
 }
@@ -55,7 +55,7 @@ TEST(SessionOffload, CapacityBounded) {
   SessionOffload off(cfg);
   int installed = 0;
   for (std::uint16_t i = 0; i < 64; ++i) {
-    if (off.install(flow_tuple(i), 0, 0)) ++installed;
+    if (off.install(flow_tuple(i), 0, Nanos{0})) ++installed;
   }
   EXPECT_EQ(installed, 16);
   EXPECT_GT(off.stats().install_rejected_full, 0u);
@@ -66,8 +66,8 @@ TEST(SessionOffload, AgingReclaimsIdleSessions) {
   SessionOffloadConfig cfg;
   cfg.idle_timeout = kSecond;
   SessionOffload off(cfg);
-  off.install(flow_tuple(1), 0, 0);
-  off.install(flow_tuple(2), 0, 0);
+  off.install(flow_tuple(1), 0, Nanos{0});
+  off.install(flow_tuple(2), 0, Nanos{0});
   off.fast_path(flow_tuple(1), 64, 900 * kMillisecond);  // refresh #1
   EXPECT_EQ(off.age(1500 * kMillisecond), 1u);
   EXPECT_TRUE(off.peek(flow_tuple(1)).has_value());
@@ -82,7 +82,7 @@ TEST(SessionOffload, PlatformFastPathBypassesCpu) {
   // installs the session; the rest ride the FPGA.
   HeavyHitterConfig hh;
   hh.flow = make_flow(0xcafe, 5, 0);
-  hh.profile = RateProfile{{0, 200'000.0}};
+  hh.profile = RateProfile{{NanoTime{0}, 200'000.0}};
   s.platform->attach_source(std::make_unique<HeavyHitterSource>(hh), s.pod);
   s.platform->run_until(50 * kMillisecond);
 
@@ -111,7 +111,7 @@ TEST(FallbackWatchdog, TripsUnderSustainedHol) {
   HeavyHitterConfig bad;
   bad.flow = make_flow(0xdead, 3, 0);
   bad.flow.tuple.dst_ip = Ipv4Address::from_octets(9, 9, 9, 5);
-  bad.profile = RateProfile{{0, 500'000.0}};
+  bad.profile = RateProfile{{NanoTime{0}, 500'000.0}};
   s.platform->attach_source(std::make_unique<HeavyHitterSource>(bad), s.pod);
 
   FallbackWatchdog dog(*s.platform, s.pod,
@@ -134,7 +134,7 @@ TEST(FallbackWatchdog, KeepsMonitoringAfterTripAndRearms) {
   HeavyHitterConfig bad;
   bad.flow = make_flow(0xdead, 3, 0);
   bad.flow.tuple.dst_ip = Ipv4Address::from_octets(9, 9, 9, 5);
-  bad.profile = RateProfile{{0, 500'000.0}};  // pathological forever
+  bad.profile = RateProfile{{NanoTime{0}, 500'000.0}};  // pathological forever
   s.platform->attach_source(std::make_unique<HeavyHitterSource>(bad), s.pod);
 
   FallbackWatchdog dog(*s.platform, s.pod,
@@ -227,7 +227,7 @@ TEST(PriorityQueues, DataPathBfdReachesCtrlPlaneWhenUncongested) {
   HeavyHitterConfig bfd;
   bfd.flow = make_flow(0xbfd, 0, 0);
   bfd.flow.tuple.dst_port = kBfdPort;
-  bfd.profile = RateProfile{{0, 1000.0}};
+  bfd.profile = RateProfile{{NanoTime{0}, 1000.0}};
   platform.attach_source(std::make_unique<HeavyHitterSource>(bfd), pod);
   platform.run_until(100 * kMillisecond);
 
@@ -247,16 +247,16 @@ TEST(DualBgpProxy, SurvivesPrimaryProxyFailure) {
   cfg_a.router_id = 0x0a640001;
   BgpProxyConfig cfg_b;
   cfg_b.router_id = 0x0a640002;
-  BgpProxy primary(loop, uplink, cfg_a, 0);
-  BgpProxy standby(loop, uplink, cfg_b, 0);
+  BgpProxy primary(loop, uplink, cfg_a, NanoTime{});
+  BgpProxy standby(loop, uplink, cfg_b, NanoTime{});
   EXPECT_EQ(uplink.peer_count(), 2u);  // dual proxies = 2 peers (not m)
 
   // One pod peers with BOTH proxies (dual iBGP uplinks).
   BgpSession to_primary(loop, BgpSessionConfig{.asn = 64600, .router_id = 9});
   BgpSession to_standby(loop,
                         BgpSessionConfig{.asn = 64600, .router_id = 10});
-  primary.attach_pod(to_primary, 0);
-  standby.attach_pod(to_standby, 0);
+  primary.attach_pod(to_primary, Nanos{0});
+  standby.attach_pod(to_standby, Nanos{0});
   loop.run_until(30 * kSecond);
 
   const RoutePrefix vip{Ipv4Address::from_octets(100, 100, 0, 0), 24};

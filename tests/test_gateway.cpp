@@ -43,7 +43,7 @@ TEST_F(GatewayFixture, AllServicesForwardValidTraffic) {
   for (const auto kind :
        {ServiceKind::kVpcVpc, ServiceKind::kVpcInternet, ServiceKind::kVpcIdc,
         ServiceKind::kVpcCloudService}) {
-    auto svc = make_service(kind, tables, cache, 0);
+    auto svc = make_service(kind, tables, cache, NumaNodeId{0});
     ASSERT_NE(svc, nullptr);
     EXPECT_EQ(svc->kind(), kind);
     auto pkt = Packet::make_synthetic(
@@ -51,44 +51,44 @@ TEST_F(GatewayFixture, AllServicesForwardValidTraffic) {
                   Ipv4Address::from_octets(8, 0, 0, 1), 1000, 2000,
                   IpProto::kUdp},
         7, 256);
-    const auto out = svc->process(*pkt, 0, false, 0, rng);
+    const auto out = svc->process(*pkt, CoreId{0}, false, NanoTime{0}, rng);
     EXPECT_EQ(out.action, ServiceAction::kForward);
-    EXPECT_GT(out.cpu_ns, 0);
+    EXPECT_GT(out.cpu_ns, NanoTime{});
     EXPECT_LT(out.cpu_ns, 50 * kMicrosecond);  // §4.1 latency ceiling
   }
 }
 
 TEST_F(GatewayFixture, AclDenyDropsPacket) {
-  auto svc = make_service(ServiceKind::kVpcVpc, tables, cache, 0);
+  auto svc = make_service(ServiceKind::kVpcVpc, tables, cache, NumaNodeId{0});
   auto pkt = Packet::make_synthetic(
       FiveTuple{VmNcMap::synthetic_vm_ip(7, 0),
                 Ipv4Address::from_octets(9, 9, 9, 1), 1, 2, IpProto::kUdp},
       7, 256);
-  EXPECT_EQ(svc->process(*pkt, 0, false, 0, rng).action,
+  EXPECT_EQ(svc->process(*pkt, CoreId{0}, false, NanoTime{0}, rng).action,
             ServiceAction::kDrop);
 }
 
 TEST_F(GatewayFixture, VpcInternetCreatesSnatSessions) {
-  auto svc = make_service(ServiceKind::kVpcInternet, tables, cache, 0);
+  auto svc = make_service(ServiceKind::kVpcInternet, tables, cache, NumaNodeId{0});
   const FiveTuple flow{VmNcMap::synthetic_vm_ip(3, 1),
                        Ipv4Address::from_octets(8, 8, 8, 8), 1234, 80,
                        IpProto::kUdp};
   auto pkt = Packet::make_synthetic(flow, 3, 256);
-  svc->process(*pkt, /*core=*/2, false, 1000, rng);
+  svc->process(*pkt, /*core=*/CoreId{2}, false, NanoTime{1000}, rng);
   const auto st = tables.per_core_conntrack[2]->peek(flow);
   ASSERT_TRUE(st.has_value());
   EXPECT_NE(st->nat_ip, 0u);
   EXPECT_EQ(st->packets, 1u);
   // Second packet on the same core reuses the session.
   auto pkt2 = Packet::make_synthetic(flow, 3, 256);
-  svc->process(*pkt2, 2, false, 2000, rng);
+  svc->process(*pkt2, CoreId{2}, false, NanoTime{2000}, rng);
   EXPECT_EQ(tables.per_core_conntrack[2]->peek(flow)->packets, 2u);
 }
 
 TEST_F(GatewayFixture, ServiceCostRanking) {
   // Tab. 3 ordering: Internet is the most expensive; VPC-VPC cheapest.
   auto mean_cost = [&](ServiceKind kind) {
-    auto svc = make_service(kind, tables, cache, 0);
+    auto svc = make_service(kind, tables, cache, NumaNodeId{0});
     double sum = 0;
     for (int i = 0; i < 5000; ++i) {
       auto pkt = Packet::make_synthetic(
@@ -96,7 +96,8 @@ TEST_F(GatewayFixture, ServiceCostRanking) {
                     Ipv4Address::from_octets(8, 0, 0, 1),
                     static_cast<std::uint16_t>(i), 2000, IpProto::kUdp},
           1, 256);
-      sum += static_cast<double>(svc->process(*pkt, 0, false, i, rng).cpu_ns);
+      sum += static_cast<double>(
+          svc->process(*pkt, CoreId{0}, false, NanoTime{i}, rng).cpu_ns.count());
     }
     return sum / 5000;
   };
@@ -154,15 +155,15 @@ TEST_F(PodFixture, ProcessesAndEmits) {
                               Ipv4Address::from_octets(8, 0, 0, 1),
                               static_cast<std::uint16_t>(i), 2, IpProto::kUdp},
                     1, 256),
-                static_cast<std::uint16_t>(i % 2), i * 1000);
+                static_cast<std::uint16_t>(i % 2), i * NanoTime{1000});
   }
   loop.run();
   EXPECT_EQ(emissions.size(), 10u);
   EXPECT_EQ(pod.stats().processed, 10u);
   EXPECT_EQ(pod.stats().forwarded, 10u);
-  EXPECT_GT(pod.core_busy_ns(0), 0);
-  EXPECT_GT(pod.core_busy_ns(1), 0);
-  EXPECT_EQ(pod.core_processed(0) + pod.core_processed(1), 10u);
+  EXPECT_GT(pod.core_busy_ns(CoreId{0}), NanoTime{});
+  EXPECT_GT(pod.core_busy_ns(CoreId{1}), NanoTime{});
+  EXPECT_EQ(pod.core_processed(CoreId{0}) + pod.core_processed(CoreId{1}), 10u);
   EXPECT_GT(pod.service_histogram().count(), 0u);
 }
 
@@ -184,7 +185,7 @@ TEST_F(PodFixture, DropFlagSentForAclDrops) {
   PlbMeta m;
   m.psn = 0;
   pkt->attach_plb_meta(m);
-  pod.deliver(std::move(pkt), 0, 0);
+  pod.deliver(std::move(pkt), 0, Nanos{0});
   loop.run();
   EXPECT_EQ(pod.stats().dropped_service, 1u);
   EXPECT_EQ(pod.stats().drop_flags_sent, 1u);
@@ -204,7 +205,7 @@ TEST_F(PodFixture, SilentDropWhenFlagDisabled) {
       1, 256);
   PlbMeta m;
   pkt->attach_plb_meta(m);
-  pod.deliver(std::move(pkt), 0, 0);
+  pod.deliver(std::move(pkt), 0, Nanos{0});
   loop.run();
   EXPECT_EQ(pod.stats().dropped_service, 1u);
   EXPECT_EQ(pod.stats().drop_flags_sent, 0u);
@@ -224,7 +225,7 @@ TEST_F(PodFixture, RingOverflowCountsDrops) {
                               Ipv4Address::from_octets(8, 0, 0, 1), 1, 2,
                               IpProto::kUdp},
                     1, 256),
-                0, 0);
+                0, Nanos{0});
   }
   loop.run();
   EXPECT_GT(pod.stats().dropped_ring, 0u);
@@ -236,7 +237,7 @@ TEST_F(PodFixture, PriorityPacketsGoToProtocolHandler) {
   GwPod pod(cfg, loop, tables, cache);
   std::uint64_t protocol_rx = 0;
   pod.set_protocol_handler([&](PacketPtr, NanoTime) { ++protocol_rx; });
-  pod.deliver(Packet::make_synthetic(FiveTuple{}, 0, 80), kPriorityQueue, 0);
+  pod.deliver(Packet::make_synthetic(FiveTuple{}, 0, 80), kPriorityQueue, Nanos{0});
   loop.run();
   EXPECT_EQ(protocol_rx, 1u);
   EXPECT_EQ(pod.stats().protocol_packets, 1u);

@@ -1,0 +1,188 @@
+// Tests for albatross-lint (tools/lint): each domain rule must fire on
+// a known-bad snippet, stay silent on clean code and on prose
+// (comments/strings), honour inline and file allowlists, and respect
+// its path scoping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace albatross::lint {
+namespace {
+
+std::vector<std::string> rules_fired(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool fired(const std::vector<Finding>& findings, const std::string& rule) {
+  const auto rules = rules_fired(findings);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+TEST(Lint, WallClockCallFires) {
+  const auto f = lint_source("src/sim/event_loop.cpp",
+                             "#include <chrono>\n"
+                             "auto t = std::chrono::system_clock::now();\n"
+                             "long e = time(nullptr);\n"
+                             "timeval tv; gettimeofday(&tv, nullptr);\n");
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_TRUE(fired(f, "wall-clock"));
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(Lint, WallClockIgnoresSuffixedIdentifiers) {
+  // run_time(...) / head_deadline(...) are not wall-clock reads.
+  const auto f = lint_source("src/sim/event_loop.cpp",
+                             "auto a = run_time(x);\n"
+                             "auto b = q.head_deadline();\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Lint, NondeterministicRngFires) {
+  const auto f = lint_source("src/traffic/flow_gen.cpp",
+                             "#include <random>\n"
+                             "std::random_device rd;\n"
+                             "std::mt19937 gen(rd());\n"
+                             "int r = rand() % 7;\n");
+  EXPECT_TRUE(fired(f, "nondeterministic-rng"));
+  EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(Lint, RngAllowedInCommonRng) {
+  // The seeded PRNG implementation itself is the one legal home.
+  const auto f = lint_source("src/common/rng.hpp",
+                             "#pragma once\n"
+                             "std::mt19937_64 engine_;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Lint, UnorderedIterationInDispatchLoopFires) {
+  const std::string bad =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> flows_;\n"
+      "void flush() {\n"
+      "  for (const auto& [k, v] : flows_) { emit(v); }\n"
+      "}\n";
+  const auto f = lint_source("src/nic/plb_dispatch.cpp", bad);
+  ASSERT_TRUE(fired(f, "unordered-iteration"));
+  EXPECT_EQ(f[0].line, 4);
+  // Same code outside the determinism scope is not in jurisdiction.
+  EXPECT_TRUE(lint_source("src/traffic/flow_gen.cpp", bad).empty());
+}
+
+TEST(Lint, UnorderedIteratorLoopFires) {
+  const auto f = lint_source(
+      "src/check/oracle.hpp",
+      "#pragma once\n"
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, long> seen_;\n"
+      "void age() {\n"
+      "  for (auto it = seen_.begin(); it != seen_.end(); ++it) {}\n"
+      "}\n");
+  EXPECT_TRUE(fired(f, "unordered-iteration"));
+}
+
+TEST(Lint, OrderedIterationIsClean) {
+  const auto f = lint_source("src/nic/plb_dispatch.cpp",
+                             "#include <map>\n"
+                             "std::map<int, int> flows_;\n"
+                             "void flush() {\n"
+                             "  for (const auto& [k, v] : flows_) {}\n"
+                             "}\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Lint, NakedTimeLiteralFires) {
+  const auto f = lint_source(
+      "src/sim/event_loop.cpp",
+      "NanoTime deadline = now + budget_ms * 1'000'000;\n"
+      "const auto slack = NanoTime{5'000'000};\n");
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_TRUE(fired(f, "naked-time-literal"));
+}
+
+TEST(Lint, NamedUnitConstantsAreClean) {
+  const auto f = lint_source(
+      "src/sim/event_loop.cpp",
+      "NanoTime deadline = now + 100 * kMicrosecond;\n"
+      "const auto gap = nanos_from_double(1e9 / pps);\n"
+      "const auto t = 5_us + 2_ms;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Lint, TimeLiteralAllowedInUnitsHeader) {
+  const auto f = lint_source("src/common/units.hpp",
+                             "#pragma once\n"
+                             "constexpr Nanos kSecond{1'000'000'000};\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Lint, HeaderHygieneFires) {
+  const auto f = lint_source("src/nic/bad.hpp",
+                             "#include <string>\n"
+                             "using namespace std;\n");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_TRUE(fired(f, "header-hygiene"));
+  // .cpp files are free to `using namespace` locally.
+  EXPECT_TRUE(
+      lint_source("src/nic/ok.cpp", "using namespace std::chrono_literals;\n")
+          .empty());
+}
+
+TEST(Lint, ProseDoesNotFire) {
+  // Comments and string literals are stripped before the rules run.
+  const auto f = lint_source(
+      "src/sim/event_loop.cpp",
+      "// system_clock and rand() are banned here\n"
+      "/* std::random_device too */\n"
+      "const char* msg = \"never call gettimeofday(now)\";\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Lint, InlineAllowSuppresses) {
+  const auto f = lint_source(
+      "src/check/probe.cpp",
+      "std::unordered_map<int, int> q_;\n"
+      "void collect() {\n"
+      "  for (const auto& [k, v] : q_) {  // lint:allow(unordered-iteration)\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Lint, AllowlistFileSuppressesByPath) {
+  Config config;
+  config.allow = parse_allowlist(
+      "# comment lines are skipped\n"
+      "wall-clock sim/legacy_\n"
+      "* vendored/\n");
+  ASSERT_EQ(config.allow.size(), 2u);
+  const std::string bad = "auto t = std::chrono::system_clock::now();\n";
+  EXPECT_TRUE(lint_source("src/sim/legacy_timer.cpp", bad, config).empty());
+  EXPECT_TRUE(lint_source("third_party/vendored/x.cpp", bad, config).empty());
+  EXPECT_FALSE(lint_source("src/sim/event_loop.cpp", bad, config).empty());
+}
+
+TEST(Lint, CleanFixtureIsClean) {
+  const auto f = lint_source("src/gateway/gw_pod.cpp",
+                             "#include \"gateway/gw_pod.hpp\"\n"
+                             "void GwPod::tick(NanoTime now) {\n"
+                             "  deadline_ = now + 50 * kMicrosecond;\n"
+                             "}\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Lint, RuleNamesStable) {
+  const auto& names = rule_names();
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "wall-clock") !=
+              names.end());
+}
+
+}  // namespace
+}  // namespace albatross::lint

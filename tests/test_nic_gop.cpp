@@ -12,10 +12,10 @@ namespace {
 /// Offers `pps` for `seconds` sim-seconds of tenant `vni`; returns pass
 /// fraction.
 double offer(TenantRateLimiter& rl, Vni vni, double pps, double seconds,
-             NanoTime start = 0) {
+             NanoTime start = NanoTime{}) {
   std::uint64_t passed = 0, total = 0;
-  const auto gap = static_cast<NanoTime>(1e9 / pps);
-  const auto end = start + static_cast<NanoTime>(seconds * 1e9);
+  const auto gap = nanos_from_double(1e9 / pps);
+  const auto end = start + nanos_from_double(seconds * 1e9);
   for (NanoTime t = start; t < end; t += gap) {
     const auto v = rl.admit(vni, t);
     if (v == RlVerdict::kPass || v == RlVerdict::kPassMarked) ++passed;
@@ -57,7 +57,7 @@ TEST(RateLimiter, BypassTenantsNeverLimited) {
 
 TEST(RateLimiter, InstalledHeavyHitterLimitedAtPreMeter) {
   TenantRateLimiter rl(small_cfg());
-  ASSERT_TRUE(rl.install_heavy_hitter(7, 0));
+  ASSERT_TRUE(rl.install_heavy_hitter(7, Nanos{0}));
   EXPECT_TRUE(rl.is_installed(7));
   const double frac = offer(rl, 7, 40000, 2.0);
   EXPECT_NEAR(frac, 0.25, 0.02);  // 10k of 40k
@@ -92,9 +92,9 @@ TEST(RateLimiter, InnocentSmallTenantUnaffectedByDominantNonColliding) {
   }
   // Interleave: dominant at 40k, innocent at 1k.
   std::uint64_t small_pass = 0, small_total = 0;
-  for (NanoTime t = 0; t < 1 * kSecond; t += 25'000) {
+  for (NanoTime t = NanoTime{0}; t < 1 * kSecond; t += NanoTime{25'000}) {
     rl.admit(big, t);  // 40k pps
-    if (t % kMillisecond < 25'000) {  // ~1k pps
+    if (t % kMillisecond < NanoTime{25'000}) {  // ~1k pps
       const auto v = rl.admit(small, t);
       if (v != RlVerdict::kDropStage2 && v != RlVerdict::kDropPreMeter) {
         ++small_pass;
@@ -119,9 +119,9 @@ TEST(RateLimiter, CollidingInnocentIsRescuedByInstallingDominant) {
   // Dominant tenant at 40k pps overflows into the shared stage-2 slot
   // and starves it; innocent tenant offers 10k (needs 2k of stage 2).
   std::uint64_t small_pass = 0, small_total = 0;
-  const NanoTime big_gap = 25'000, small_gap = 100'000;
-  NanoTime next_small = 0;
-  for (NanoTime t = 0; t < kSecond; t += big_gap) {
+  const NanoTime big_gap = NanoTime{25'000}, small_gap = NanoTime{100'000};
+  NanoTime next_small = NanoTime{0};
+  for (NanoTime t = NanoTime{0}; t < kSecond; t += big_gap) {
     rl.admit(big, t);
     if (t >= next_small) {
       const auto v = rl.admit(small, t);
@@ -137,10 +137,10 @@ TEST(RateLimiter, CollidingInnocentIsRescuedByInstallingDominant) {
 
   // Remediation (§4.3): install the dominant tenant into pre_meter.
   TenantRateLimiter rl2(cfg);
-  rl2.install_heavy_hitter(big, 0);
+  rl2.install_heavy_hitter(big, Nanos{0});
   small_pass = small_total = 0;
-  next_small = 0;
-  for (NanoTime t = 0; t < kSecond; t += big_gap) {
+  next_small = NanoTime{0};
+  for (NanoTime t = NanoTime{0}; t < kSecond; t += big_gap) {
     rl2.admit(big, t);
     if (t >= next_small) {
       const auto v = rl2.admit(small, t);
@@ -171,7 +171,7 @@ TEST(RateLimiter, PreTableCapacityIs128) {
   TenantRateLimiter rl(small_cfg());
   int installed = 0;
   for (Vni v = 1; v <= 200; ++v) {
-    if (rl.install_heavy_hitter(v, 0)) ++installed;
+    if (rl.install_heavy_hitter(v, Nanos{0})) ++installed;
   }
   EXPECT_EQ(installed, 128);
 }

@@ -63,22 +63,22 @@ TEST(PktDir, HeaderOnlyAboveThreshold) {
 }
 
 TEST(Dma, BaseLatencyAndSerialization) {
-  DmaChannel ch(DmaConfig{.base_latency = 3000, .bandwidth_gbps = 100.0,
+  DmaChannel ch(DmaConfig{.base_latency = Nanos{3000}, .bandwidth_gbps = 100.0,
                           .descriptors = 4});
   // 1250 bytes at 100 Gbps = 100ns of wire time.
-  const auto t1 = ch.transfer(0, 1250);
-  EXPECT_EQ(t1, 100 + 3000);
+  const auto t1 = ch.transfer(Nanos{0}, 1250);
+  EXPECT_EQ(t1, NanoTime{100 + 3000});
   // A back-to-back transfer queues behind the first.
-  const auto t2 = ch.transfer(0, 1250);
-  EXPECT_EQ(t2, 200 + 3000);
+  const auto t2 = ch.transfer(Nanos{0}, 1250);
+  EXPECT_EQ(t2, NanoTime{200 + 3000});
   EXPECT_EQ(ch.stats().transfers, 2u);
   EXPECT_EQ(ch.stats().bytes, 2500u);
 }
 
 TEST(Dma, DescriptorPressureCounted) {
-  DmaChannel ch(DmaConfig{.base_latency = 0, .bandwidth_gbps = 1.0,
+  DmaChannel ch(DmaConfig{.base_latency = Nanos{0}, .bandwidth_gbps = 1.0,
                           .descriptors = 2});
-  for (int i = 0; i < 16; ++i) ch.transfer(0, 10000);
+  for (int i = 0; i < 16; ++i) ch.transfer(Nanos{0}, 10000);
   EXPECT_GT(ch.stats().descriptor_stalls, 0u);
 }
 
@@ -175,7 +175,7 @@ TEST(BasicPipeline, HeaderDroppedWhenPayloadEvicted) {
 
 TEST(Sriov, FourVfsAcrossIndependentPorts) {
   SriovManager mgr;
-  const auto set = mgr.allocate(0, 0, 16);
+  const auto set = mgr.allocate(0, NumaNodeId{0}, 16);
   ASSERT_TRUE(set.has_value());
   EXPECT_EQ(set->vfs.size(), 4u);
   // The robustness wiring (Fig. B.2): 4 distinct (nic, port) paths.
@@ -188,7 +188,7 @@ TEST(Sriov, FourVfsAcrossIndependentPorts) {
   EXPECT_EQ(paths.size(), 4u);
 
   // NUMA 1 pods land on NICs 2,3.
-  const auto set2 = mgr.allocate(1, 1, 8);
+  const auto set2 = mgr.allocate(1, NumaNodeId{1}, 8);
   ASSERT_TRUE(set2.has_value());
   for (const auto& vf : set2->vfs) EXPECT_GE(vf.nic, 2);
 
@@ -205,9 +205,9 @@ TEST(Sriov, QueueBudgetEnforced) {
   SriovConfig cfg;
   cfg.max_queue_pairs_per_port = 64;
   SriovManager mgr(cfg);
-  EXPECT_TRUE(mgr.allocate(0, 0, 40).has_value());
-  EXPECT_TRUE(mgr.allocate(1, 0, 20).has_value());
-  EXPECT_FALSE(mgr.allocate(2, 0, 20).has_value());  // 40+20+20 > 64
+  EXPECT_TRUE(mgr.allocate(0, NumaNodeId{0}, 40).has_value());
+  EXPECT_TRUE(mgr.allocate(1, NumaNodeId{0}, 20).has_value());
+  EXPECT_FALSE(mgr.allocate(2, NumaNodeId{0}, 20).has_value());  // 40+20+20 > 64
 }
 
 TEST(Resources, LedgerMatchesTab5Shape) {
@@ -243,13 +243,13 @@ TEST(NicPipeline, IngressDeliversPlbWithMeta) {
                                       .reorder_timeout = kReorderTimeout},
                    PktDirConfig{}, LbMode::kPlb);
   auto pkt = Packet::make_synthetic(udp_tuple(5000), 3, 256);
-  pkt->rx_time = 0;
-  auto r = nic.ingress(std::move(pkt), 0, 0);
+  pkt->rx_time = NanoTime{0};
+  auto r = nic.ingress(std::move(pkt), 0, Nanos{0});
   EXPECT_EQ(r.outcome, IngressOutcome::kDelivered);
   EXPECT_EQ(r.cls, PktClass::kPlb);
   EXPECT_LT(r.rx_queue, 4);
   // Tab. 4: RX pipeline + DMA ~= 3.9us.
-  EXPECT_NEAR(static_cast<double>(r.deliver_time), 3900.0, 300.0);
+  EXPECT_NEAR(static_cast<double>(r.deliver_time.count()), 3900.0, 300.0);
   PlbMeta m;
   EXPECT_TRUE(r.pkt->peek_plb_meta(m));
 }
@@ -265,7 +265,7 @@ TEST(NicPipeline, RssModeUsesToeplitzQueue) {
   std::uint16_t queue = 0xffff;
   for (int i = 0; i < 20; ++i) {
     auto pkt = Packet::make_synthetic(udp_tuple(5000), 3, 256);
-    auto r = nic.ingress(std::move(pkt), 0, i * 1000);
+    auto r = nic.ingress(std::move(pkt), 0, i * NanoTime{1000});
     ASSERT_EQ(r.outcome, IngressOutcome::kDelivered);
     if (queue == 0xffff) queue = r.rx_queue;
     EXPECT_EQ(r.rx_queue, queue);
@@ -282,7 +282,7 @@ TEST(NicPipeline, PriorityPacketsBypassGopAndPlb) {
   NicPipeline nic(cfg);
   nic.register_pod(0, PlbEngineConfig{}, PktDirConfig{}, LbMode::kPlb);
   auto bfd = Packet::make_synthetic(udp_tuple(kBfdPort), 1, 80);
-  auto r = nic.ingress(std::move(bfd), 0, 0);
+  auto r = nic.ingress(std::move(bfd), 0, Nanos{0});
   EXPECT_EQ(r.outcome, IngressOutcome::kDelivered);
   EXPECT_EQ(r.rx_queue, kPriorityQueue);
 }
@@ -295,9 +295,9 @@ TEST(NicPipeline, EgressRoundTripInOrder) {
                                       .reorder_timeout = kReorderTimeout},
                    PktDirConfig{}, LbMode::kPlb);
   auto pkt = Packet::make_synthetic(udp_tuple(5000), 3, 256);
-  auto r = nic.ingress(std::move(pkt), 0, 0);
+  auto r = nic.ingress(std::move(pkt), 0, Nanos{0});
   ASSERT_EQ(r.outcome, IngressOutcome::kDelivered);
-  const NanoTime at_fpga = nic.tx_submit(0, r.deliver_time + 700,
+  const NanoTime at_fpga = nic.tx_submit(0, r.deliver_time + NanoTime{700},
                                          r.pkt->size());
   auto emissions = nic.egress(std::move(r.pkt), 0, at_fpga);
   ASSERT_EQ(emissions.size(), 1u);
@@ -312,7 +312,7 @@ TEST(NicPipeline, UnregisteredPodThrows) {
   NicPipeline nic;
   auto pkt = Packet::make_synthetic(udp_tuple(1), 1, 64);
   EXPECT_THROW(
-      { auto r = nic.ingress(std::move(pkt), 3, 0); (void)r; },
+      { auto r = nic.ingress(std::move(pkt), 3, Nanos{0}); (void)r; },
       std::out_of_range);
 }
 

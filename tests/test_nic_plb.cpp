@@ -11,16 +11,6 @@
 namespace albatross {
 namespace {
 
-PacketPtr pkt_with_meta(Psn psn, std::uint8_t ordq = 0, bool drop = false) {
-  auto p = Packet::make_synthetic(FiveTuple{}, 1, 128);
-  PlbMeta m;
-  m.psn = psn;
-  m.ordq_idx = ordq;
-  m.drop = drop;
-  p->attach_plb_meta(m);
-  return p;
-}
-
 PlbMeta meta_of(Psn psn, bool drop = false) {
   PlbMeta m;
   m.psn = psn;
@@ -32,13 +22,13 @@ TEST(ReorderQueue, InOrderPassThrough) {
   ReorderQueue q(16, kReorderTimeout);
   std::vector<ReorderEgress> out;
   for (Psn i = 0; i < 8; ++i) {
-    EXPECT_EQ(q.reserve(i * 10), i);
+    EXPECT_EQ(q.reserve(i * NanoTime{10}), i);
   }
   EXPECT_EQ(q.in_flight(), 8u);
   for (Psn i = 0; i < 8; ++i) {
-    q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(i), 100,
+    q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(i), Nanos{100},
                 out);
-    q.drain(100, out);
+    q.drain(Nanos{100}, out);
   }
   EXPECT_EQ(out.size(), 8u);
   for (const auto& e : out) EXPECT_TRUE(e.in_order);
@@ -50,21 +40,21 @@ TEST(ReorderQueue, InOrderPassThrough) {
 TEST(ReorderQueue, OutOfOrderWritebacksAreReordered) {
   ReorderQueue q(16, kReorderTimeout);
   std::vector<ReorderEgress> out;
-  for (Psn i = 0; i < 4; ++i) q.reserve(0);
+  for (Psn i = 0; i < 4; ++i) q.reserve(Nanos{0});
   // Return 2,3 first: nothing may leave (Case 2 at head).
-  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(2), 10, out);
-  q.drain(10, out);
-  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(3), 11, out);
-  q.drain(11, out);
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(2), Nanos{10}, out);
+  q.drain(Nanos{10}, out);
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(3), Nanos{11}, out);
+  q.drain(Nanos{11}, out);
   EXPECT_TRUE(out.empty());
   // Return 0: 0 leaves; 1 still blocks 2,3.
-  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(0), 12, out);
-  q.drain(12, out);
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(0), Nanos{12}, out);
+  q.drain(Nanos{12}, out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].meta.psn, 0u);
   // Return 1: 1,2,3 all leave in order.
-  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(1), 13, out);
-  q.drain(13, out);
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(1), Nanos{13}, out);
+  q.drain(Nanos{13}, out);
   ASSERT_EQ(out.size(), 4u);
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_TRUE(out[i].in_order);
@@ -75,10 +65,10 @@ TEST(ReorderQueue, OutOfOrderWritebacksAreReordered) {
 TEST(ReorderQueue, Case1TimeoutReleasesHead) {
   ReorderQueue q(16, 100 * kMicrosecond);
   std::vector<ReorderEgress> out;
-  q.reserve(0);          // psn 0, never returned
-  q.reserve(0);          // psn 1
-  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(1), 10, out);
-  q.drain(10, out);
+  q.reserve(Nanos{0});          // psn 0, never returned
+  q.reserve(Nanos{0});          // psn 1
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(1), Nanos{10}, out);
+  q.drain(Nanos{10}, out);
   EXPECT_TRUE(out.empty());  // HOL: psn 0 blocks
   // Before the deadline nothing moves.
   q.drain(99 * kMicrosecond, out);
@@ -95,7 +85,7 @@ TEST(ReorderQueue, Case1TimeoutReleasesHead) {
 TEST(ReorderQueue, LateArrivalFailsLegalCheckAndGoesBestEffort) {
   ReorderQueue q(16, 100 * kMicrosecond);
   std::vector<ReorderEgress> out;
-  q.reserve(0);  // psn 0
+  q.reserve(Nanos{0});  // psn 0
   q.drain(200 * kMicrosecond, out);  // timeout releases it
   EXPECT_EQ(q.stats().timeout_releases, 1u);
   out.clear();
@@ -115,8 +105,8 @@ TEST(ReorderQueue, Case3AliasedStalePacket) {
   ReorderQueue q(8, kReorderTimeout);
   std::vector<ReorderEgress> out;
   // Fill and time out the first 8 packets (never returned).
-  for (int i = 0; i < 8; ++i) q.reserve(0);
-  q.drain(kReorderTimeout + 1, out);
+  for (int i = 0; i < 8; ++i) q.reserve(Nanos{0});
+  q.drain(kReorderTimeout + NanoTime{1}, out);
   EXPECT_EQ(q.stats().timeout_releases, 8u);
   EXPECT_TRUE(out.empty());
   // Reserve the next window: psn 8..15 at t=200us.
@@ -146,16 +136,16 @@ TEST(ReorderQueue, Case3AliasedStalePacket) {
 TEST(ReorderQueue, DropFlagReleasesWithoutTransmitting) {
   ReorderQueue q(16, kReorderTimeout);
   std::vector<ReorderEgress> out;
-  q.reserve(0);  // psn 0 -> will be dropped by the GW pod
-  q.reserve(0);  // psn 1
-  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(1), 5, out);
-  q.drain(5, out);
+  q.reserve(Nanos{0});  // psn 0 -> will be dropped by the GW pod
+  q.reserve(Nanos{0});  // psn 1
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(1), Nanos{5}, out);
+  q.drain(Nanos{5}, out);
   EXPECT_TRUE(out.empty());
   // Drop notification for psn 0: releases FIFO/BUF/BITMAP instantly; no
   // 100us HOL stall, and psn 1 unblocks.
   q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64),
-              meta_of(0, /*drop=*/true), 6, out);
-  q.drain(6, out);
+              meta_of(0, /*drop=*/true), Nanos{6}, out);
+  q.drain(Nanos{6}, out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].meta.psn, 1u);
   EXPECT_EQ(q.stats().drop_releases, 1u);
@@ -164,8 +154,8 @@ TEST(ReorderQueue, DropFlagReleasesWithoutTransmitting) {
 
 TEST(ReorderQueue, FifoFullDropsAtIngress) {
   ReorderQueue q(4, kReorderTimeout);
-  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.reserve(0).has_value());
-  EXPECT_FALSE(q.reserve(0).has_value());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.reserve(Nanos{0}).has_value());
+  EXPECT_FALSE(q.reserve(Nanos{0}).has_value());
   EXPECT_EQ(q.stats().fifo_full_drops, 1u);
   EXPECT_EQ(q.in_flight(), 4u);
 }
@@ -175,12 +165,12 @@ TEST(ReorderQueue, PsnWrapsAcrossWindowBoundary) {
   std::vector<ReorderEgress> out;
   // Cycle the queue many times past the 2-bit index space.
   for (Psn round = 0; round < 100; ++round) {
-    const auto psn = q.reserve(round * 10);
+    const auto psn = q.reserve(NanoTime{round * 10});
     ASSERT_TRUE(psn.has_value());
     EXPECT_EQ(*psn, round);
     q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(*psn),
-                round * 10 + 1, out);
-    q.drain(round * 10 + 1, out);
+                NanoTime{round * 10 + 1}, out);
+    q.drain(NanoTime{round * 10 + 1}, out);
   }
   EXPECT_EQ(out.size(), 100u);
   EXPECT_EQ(q.stats().in_order_tx, 100u);
@@ -192,8 +182,8 @@ TEST(ReorderQueue, StaleDropNotificationNeverReachesTheWire) {
   // reorder check — emitting it would put a bogus frame on the wire.
   ReorderQueue q(8, kReorderTimeout);
   std::vector<ReorderEgress> out;
-  for (int i = 0; i < 8; ++i) q.reserve(0);
-  q.drain(kReorderTimeout + 1, out);  // psn 0..7 timed out
+  for (int i = 0; i < 8; ++i) q.reserve(Nanos{0});
+  q.drain(kReorderTimeout + NanoTime{1}, out);  // psn 0..7 timed out
   ASSERT_TRUE(out.empty());
   for (int i = 0; i < 8; ++i) q.reserve(200 * kMicrosecond);  // psn 8..15
   // Stale DROP notification for psn 0 aliases onto psn 8's slot.
@@ -219,7 +209,7 @@ TEST(PlbEngine, RoundRobinSpray) {
   std::vector<int> queue_counts(4, 0);
   for (int i = 0; i < 100; ++i) {
     auto p = Packet::make_synthetic(FiveTuple{}, 1, 64);
-    const auto d = engine.dispatch(*p, 0);
+    const auto d = engine.dispatch(*p, Nanos{0});
     ASSERT_TRUE(d.has_value());
     ++queue_counts[d->rx_queue];
   }
@@ -252,7 +242,7 @@ TEST(PlbEngine, MetaAttachedAndWritebackRoundTrip) {
                                    .reorder_timeout = kReorderTimeout});
   auto p = Packet::make_synthetic(
       FiveTuple{Ipv4Address{1}, Ipv4Address{2}, 3, 4, IpProto::kUdp}, 9, 200);
-  const auto d = engine.dispatch(*p, 0);
+  const auto d = engine.dispatch(*p, Nanos{0});
   ASSERT_TRUE(d.has_value());
   PlbMeta m;
   ASSERT_TRUE(p->peek_plb_meta(m));
@@ -260,7 +250,7 @@ TEST(PlbEngine, MetaAttachedAndWritebackRoundTrip) {
   EXPECT_EQ(m.ordq_idx, d->ordq);
 
   std::vector<ReorderEgress> out;
-  engine.writeback(std::move(p), 10, out);
+  engine.writeback(std::move(p), Nanos{10}, out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_TRUE(out[0].in_order);
   // Meta trailer must be stripped before the wire.
@@ -272,7 +262,7 @@ TEST(PlbEngine, MetaAttachedAndWritebackRoundTrip) {
 TEST(PlbEngine, MissingMetaGoesBestEffort) {
   PlbEngine engine(PlbEngineConfig{});
   std::vector<ReorderEgress> out;
-  engine.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), 0, out);
+  engine.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), Nanos{0}, out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_FALSE(out[0].in_order);
 }
@@ -291,10 +281,10 @@ TEST(PlbEngine, NextDeadlineTracksOldestHead) {
     t2.src_port = p;
   }
   auto p1 = Packet::make_synthetic(t1, 1, 64);
-  engine.dispatch(*p1, 1000);
+  engine.dispatch(*p1, Nanos{1000});
   auto p2 = Packet::make_synthetic(t2, 1, 64);
-  engine.dispatch(*p2, 2000);
-  EXPECT_EQ(engine.next_deadline(), 1000 + 100 * kMicrosecond);
+  engine.dispatch(*p2, Nanos{2000});
+  EXPECT_EQ(engine.next_deadline(), NanoTime{1000} + 100 * kMicrosecond);
 }
 
 TEST(PlbDispatchResultCounts, IngressDropsCounted) {
@@ -306,9 +296,9 @@ TEST(PlbDispatchResultCounts, IngressDropsCounted) {
   auto a = mk();
   auto b = mk();
   auto c = mk();
-  EXPECT_TRUE(engine.dispatch(*a, 0).has_value());
-  EXPECT_TRUE(engine.dispatch(*b, 0).has_value());
-  EXPECT_FALSE(engine.dispatch(*c, 0).has_value());
+  EXPECT_TRUE(engine.dispatch(*a, Nanos{0}).has_value());
+  EXPECT_TRUE(engine.dispatch(*b, Nanos{0}).has_value());
+  EXPECT_FALSE(engine.dispatch(*c, Nanos{0}).has_value());
   EXPECT_EQ(engine.ingress_drops(), 1u);
   EXPECT_EQ(engine.total_stats().fifo_full_drops, 1u);
 }

@@ -44,7 +44,7 @@ TEST_P(ReorderProperty, ExactlyOnceInOrderDelivery) {
 
   const int kPackets = 20000;
   Psn next_expected_reserve = 0;
-  NanoTime now = 0;
+  NanoTime now = NanoTime{0};
   int injected = 0;
   while (injected < kPackets || !in_cpu.empty()) {
     // Inject at most one packet per step, keeping in-flight below the
@@ -61,7 +61,7 @@ TEST_P(ReorderProperty, ExactlyOnceInOrderDelivery) {
                   dropped});
       ++injected;
     }
-    now += 100;
+    now += NanoTime{100};
 
     // Complete CPU work whose time has come (any order).
     for (std::size_t i = 0; i < in_cpu.size();) {
@@ -83,7 +83,7 @@ TEST_P(ReorderProperty, ExactlyOnceInOrderDelivery) {
     }
     out.clear();
   }
-  q.drain(now + kReorderTimeout + 1, out);
+  q.drain(now + kReorderTimeout + NanoTime{1}, out);
   for (auto& e : out) delivered.push_back(e.meta.psn);
 
   // Exactly-once: every non-dropped PSN delivered once, in order.
@@ -118,7 +118,7 @@ TEST(ReorderPropertyNoFlag, SilentDropsCauseTimeoutsButNoWedge) {
   std::uint64_t silent_drops = 0;
   std::vector<Psn> delivered;
 
-  NanoTime now = 0;
+  NanoTime now = NanoTime{0};
   for (int i = 0; i < 5000; ++i) {
     while (q.in_flight() >= 255) {
       now += kMicrosecond;
@@ -134,12 +134,12 @@ TEST(ReorderPropertyNoFlag, SilentDropsCauseTimeoutsButNoWedge) {
       q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), m,
                   now + kMicrosecond, out);
     }
-    now += 500;
+    now += NanoTime{500};
     q.drain(now, out);
     for (auto& e : out) delivered.push_back(e.meta.psn);
     out.clear();
   }
-  q.drain(now + kReorderTimeout + 1, out);
+  q.drain(now + kReorderTimeout + NanoTime{1}, out);
   for (auto& e : out) delivered.push_back(e.meta.psn);
 
   EXPECT_TRUE(std::is_sorted(delivered.begin(), delivered.end()));

@@ -77,12 +77,12 @@ TEST(Packet, CloneCopiesBytesAndMetadata) {
   auto p = Packet::make_synthetic(tuple(42, 43), 9, 128);
   p->flow_id = 1234;
   p->seq_in_flow = 56;
-  p->rx_time = 999;
+  p->rx_time = NanoTime{999};
   auto c = p->clone();
   EXPECT_EQ(c->size(), 128u);
   EXPECT_EQ(c->flow_id, 1234u);
   EXPECT_EQ(c->seq_in_flow, 56u);
-  EXPECT_EQ(c->rx_time, 999);
+  EXPECT_EQ(c->rx_time, NanoTime{999});
   EXPECT_EQ(c->tuple, p->tuple);
 }
 
@@ -250,25 +250,25 @@ TEST(MbufPool, AllocFreeCycle) {
   MbufPool pool({.capacity = 64, .per_core_cache = 8, .num_cores = 2});
   std::vector<Packet*> taken;
   for (int i = 0; i < 64; ++i) {
-    Packet* p = pool.alloc(0);
+    Packet* p = pool.alloc(CoreId{0});
     ASSERT_NE(p, nullptr);
     taken.push_back(p);
   }
-  EXPECT_EQ(pool.alloc(0), nullptr);  // exhausted
+  EXPECT_EQ(pool.alloc(CoreId{0}), nullptr);  // exhausted
   EXPECT_EQ(pool.stats().alloc_failures, 1u);
-  for (auto* p : taken) pool.free_(p, 0);
+  for (auto* p : taken) pool.free_(p, CoreId{0});
   EXPECT_EQ(pool.available(), 64u);
-  EXPECT_NE(pool.alloc(1), nullptr);
+  EXPECT_NE(pool.alloc(CoreId{1}), nullptr);
 }
 
 TEST(MbufPool, CacheHitsAreCheaper) {
   MbufPool pool({.capacity = 256, .per_core_cache = 32, .num_cores = 1});
-  Packet* p = pool.alloc(0);  // first alloc: ring refill
+  Packet* p = pool.alloc(CoreId{0});  // first alloc: ring refill
   const NanoTime refill_cost = pool.last_alloc_cost();
-  pool.free_(p, 0);
-  p = pool.alloc(0);  // now cached
+  pool.free_(p, CoreId{0});
+  p = pool.alloc(CoreId{0});  // now cached
   const NanoTime hit_cost = pool.last_alloc_cost();
-  pool.free_(p, 0);
+  pool.free_(p, CoreId{0});
   EXPECT_LT(hit_cost, refill_cost);
   EXPECT_GE(pool.stats().cache_hits, 1u);
 }
@@ -276,7 +276,7 @@ TEST(MbufPool, CacheHitsAreCheaper) {
 TEST(MbufPool, PoolGuardReturnsOnScopeExit) {
   MbufPool pool({.capacity = 4, .per_core_cache = 2, .num_cores = 1});
   {
-    PoolGuard g(pool, pool.alloc(0), 0);
+    PoolGuard g(pool, pool.alloc(CoreId{0}), CoreId{0});
     EXPECT_NE(g.get(), nullptr);
     EXPECT_EQ(pool.available(), 3u);
   }

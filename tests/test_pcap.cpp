@@ -20,7 +20,7 @@ PacketPtr sample_packet(std::uint16_t sport) {
 TEST(Pcap, SerializeDeserializeRoundTrip) {
   PcapFile file;
   file.add(*sample_packet(1000), 1 * kMicrosecond);
-  file.add(*sample_packet(1001), 2500);  // sub-microsecond truncates
+  file.add(*sample_packet(1001), Nanos{2500});  // sub-microsecond truncates
   const auto bytes = file.serialize();
   // Global header: magic + version 2.4 + ethernet linktype.
   EXPECT_EQ(bytes[0], 0xd4);  // little-endian magic on disk
@@ -41,7 +41,7 @@ TEST(Pcap, SerializeDeserializeRoundTrip) {
 TEST(Pcap, RejectsCorruptImages) {
   EXPECT_FALSE(PcapFile::deserialize({1, 2, 3}).has_value());
   PcapFile file;
-  file.add(*sample_packet(1), 0);
+  file.add(*sample_packet(1), NanoTime{});
   auto bytes = file.serialize();
   bytes[0] = 0x00;  // bad magic
   EXPECT_FALSE(PcapFile::deserialize(bytes).has_value());
@@ -70,17 +70,17 @@ TEST(PcapTap, FilterAndBudget) {
   const auto target = sample_packet(7777);
   tap.set_filter(target->tuple);
   // Non-matching packets are ignored.
-  EXPECT_FALSE(tap.observe(*sample_packet(1), 0));
+  EXPECT_FALSE(tap.observe(*sample_packet(1), Nanos{0}));
   EXPECT_EQ(tap.captured(), 0u);
   // Matching packets captured up to the budget.
   for (int i = 0; i < 5; ++i) {
-    tap.observe(*sample_packet(7777), i * 1000);
+    tap.observe(*sample_packet(7777), i * NanoTime{1000});
   }
   EXPECT_EQ(tap.captured(), 3u);
   EXPECT_EQ(tap.dropped_over_budget(), 2u);
   // Clearing the filter captures everything (budget already spent).
   tap.clear_filter();
-  EXPECT_FALSE(tap.observe(*sample_packet(42), 0));
+  EXPECT_FALSE(tap.observe(*sample_packet(42), Nanos{0}));
 }
 
 }  // namespace

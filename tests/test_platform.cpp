@@ -71,7 +71,7 @@ TEST(Platform, HeavyHitterKillsRssButNotPlb) {
     auto s = SinglePodScenario::make(ServiceKind::kVpcVpc, 4, mode);
     HeavyHitterConfig hh;
     hh.flow = make_flow(424242, 7, 0);
-    hh.profile = RateProfile{{0, hitter_pps}};
+    hh.profile = RateProfile{{NanoTime{0}, hitter_pps}};
     s.platform->attach_source(std::make_unique<HeavyHitterSource>(hh), s.pod);
     s.platform->run_until(100 * kMillisecond);
     s.platform->run_until(110 * kMillisecond);
@@ -105,12 +105,12 @@ TEST(Platform, TenantRateLimiterProtectsOthers) {
     TenantSpec spec;
     spec.vni = v;
     const double base = static_cast<double>(5 - v) * 0.1e6;  // .4/.3/.2/.1
-    spec.profile = RateProfile{{0, base}};
+    spec.profile = RateProfile{{NanoTime{0}, base}};
     if (v == 1) spec.profile.add_step(20 * kMillisecond, 3.4e6);
     tenants.push_back(spec);
   }
   platform.attach_source(
-      std::make_unique<TenantTrafficSource>(std::move(tenants), 0), pod);
+      std::make_unique<TenantTrafficSource>(std::move(tenants), NanoTime{}), pod);
   platform.run_until(120 * kMillisecond);
 
   // Tenant 1 must be squeezed to ~stage1+stage2 = 1 Mpps equivalent.
@@ -150,7 +150,7 @@ TEST(Platform, DropFlagPreventsHolTimeouts) {
     HeavyHitterConfig hh;
     hh.flow = make_flow(777, 3, 0);
     hh.flow.tuple.dst_ip = Ipv4Address::from_octets(9, 9, 9, 7);
-    hh.profile = RateProfile{{0, 50'000.0}};
+    hh.profile = RateProfile{{NanoTime{0}, 50'000.0}};
     s.platform->attach_source(std::make_unique<HeavyHitterSource>(hh), s.pod);
 
     s.platform->run_until(100 * kMillisecond);

@@ -31,7 +31,7 @@ TEST(Probe, PayloadRoundTrip) {
 }
 
 TEST(Probe, BuildAndExtract) {
-  auto pkt = build_probe_packet(3, 99, 1000, probe_path());
+  auto pkt = build_probe_packet(3, 99, Nanos{1000}, probe_path());
   const auto p = extract_probe(*pkt);
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(p->stream_id, 3u);
@@ -45,10 +45,10 @@ TEST(Probe, BuildAndExtract) {
 
 TEST(Probe, CollectorCountsLossAndReordering) {
   ProbeCollector collector;
-  EXPECT_TRUE(collector.observe(ProbePayload{1, 0, 0}, 10'000));
-  EXPECT_TRUE(collector.observe(ProbePayload{1, 1, 100}, 11'000));
-  EXPECT_TRUE(collector.observe(ProbePayload{1, 4, 200}, 12'000));  // 2,3 lost
-  EXPECT_FALSE(collector.observe(ProbePayload{1, 2, 300}, 13'000)); // late
+  EXPECT_TRUE(collector.observe(ProbePayload{1, 0, Nanos{0}}, Nanos{10'000}));
+  EXPECT_TRUE(collector.observe(ProbePayload{1, 1, Nanos{100}}, Nanos{11'000}));
+  EXPECT_TRUE(collector.observe(ProbePayload{1, 4, Nanos{200}}, Nanos{12'000}));  // 2,3 lost
+  EXPECT_FALSE(collector.observe(ProbePayload{1, 2, Nanos{300}}, Nanos{13'000})); // late
   const auto* s = collector.stream(1);
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->received, 4u);
@@ -107,8 +107,8 @@ TEST(Probe, RssPinnedProbesStayOrderedOnPlbPod) {
   EXPECT_EQ(t.delivered_disordered, 0u);
   // Pinned probes all used the same RSS queue -> one core processed all.
   std::uint64_t cores_used = 0;
-  for (CoreId c = 0; c < 4; ++c) {
-    if (platform.pod(pod).core_processed(c) > 0) ++cores_used;
+  for (std::uint16_t c = 0; c < 4; ++c) {
+    if (platform.pod(pod).core_processed(CoreId{c}) > 0) ++cores_used;
   }
   EXPECT_EQ(cores_used, 1u);
 }
@@ -117,7 +117,7 @@ TEST(Probe, HousekeepingAgesConntrackAndOffload) {
   auto s = SinglePodScenario::make(ServiceKind::kVpcInternet, 2, LbMode::kPlb);
   s.platform->nic().enable_session_offload(
       s.pod, SessionOffloadConfig{.capacity = 1024,
-                                  .fpga_process_ns = 400,
+                                  .fpga_process_ns = Nanos{400},
                                   .idle_timeout = 50 * kMillisecond});
   s.platform->enable_housekeeping(20 * kMillisecond);
 

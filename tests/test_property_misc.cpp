@@ -46,7 +46,9 @@ TEST_P(SeededProperty, CuckooMatchesUnorderedMap) {
         const auto got = cuckoo.find(key);
         const auto it = ref.find(key);
         ASSERT_EQ(got.has_value(), it != ref.end());
-        if (got) ASSERT_EQ(*got, it->second);
+        if (got) {
+          ASSERT_EQ(*got, it->second);
+        }
         break;
       }
     }
@@ -63,7 +65,7 @@ TEST_P(SeededProperty, TokenBucketNeverExceedsRatePlusBurst) {
   const double burst = 500.0;
   TokenBucket tb(rate, burst);
   std::uint64_t passed = 0;
-  NanoTime now = 0;
+  NanoTime now = NanoTime{0};
   const NanoTime horizon = 2 * kSecond;
   while (now < horizon) {
     // Adversarial arrivals: bursts and gaps of random sizes.
@@ -76,7 +78,7 @@ TEST_P(SeededProperty, TokenBucketNeverExceedsRatePlusBurst) {
   // `now` may overshoot the horizon by one random gap; bound against
   // the actual last arrival time.
   const double max_allowed =
-      rate * (static_cast<double>(now) / 1e9) + burst;
+      rate * (static_cast<double>(now.count()) / 1e9) + burst;
   EXPECT_LE(static_cast<double>(passed), max_allowed + 1);
 }
 
@@ -95,7 +97,8 @@ TEST_P(SeededProperty, HistogramQuantilesTrackExact) {
   for (const double q : {0.5, 0.9, 0.99}) {
     const auto approx = static_cast<double>(h.quantile(q));
     const auto truth = static_cast<double>(
-        exact[static_cast<std::size_t>(q * (exact.size() - 1))]);
+        exact[static_cast<std::size_t>(
+            q * static_cast<double>(exact.size() - 1))]);
     // Log-linear layout with 32 sub-buckets: <= ~4% relative error.
     EXPECT_NEAR(approx, truth, truth * 0.05 + 2.0) << "q=" << q;
   }
@@ -146,7 +149,7 @@ TEST_P(SeededProperty, ReorderMatchesIdealOracle) {
 
   constexpr int kBatches = 100;
   constexpr int kBatchSize = 64;
-  NanoTime now = 0;
+  NanoTime now = NanoTime{0};
   for (int b = 0; b < kBatches; ++b) {
     // Reserve a batch, complete it in a random permutation.
     std::vector<Psn> batch;
@@ -154,7 +157,7 @@ TEST_P(SeededProperty, ReorderMatchesIdealOracle) {
       const auto psn = q.reserve(now);
       ASSERT_TRUE(psn.has_value());
       batch.push_back(*psn);
-      now += 100;
+      now += NanoTime{100};
     }
     for (std::size_t i = batch.size(); i > 1; --i) {
       std::swap(batch[i - 1], batch[rng.next_below(i)]);

@@ -33,12 +33,12 @@ TEST_P(TokenBucketDifferential, TracksAnalyticOracleWithinOneToken) {
 
   // Mean inter-arrival swings between half and double the drain rate so
   // both the conforming and the exhausted regimes get exercised.
-  NanoTime now = 0;
+  NanoTime now = NanoTime{0};
   std::uint64_t divergences = 0;
   for (int step = 0; step < 200000; ++step) {
     const double load = 0.5 + 1.5 * rng.next_double();
-    now += static_cast<NanoTime>(
-        rng.next_exponential(1e9 / (rate_pps * load))) + 1;
+    now += nanos_from_double(
+        rng.next_exponential(1e9 / (rate_pps * load))) + NanoTime{1};
     const double level_before = oracle.level_at(now);
     const bool impl = bucket.consume(now);
     const bool ref = oracle.consume(now);
@@ -85,13 +85,13 @@ TEST_P(RateLimiterConformance, ZeroConformanceViolationsUnderProbe) {
   // tenants puts ~5 Mpps on rank 0 against a 2 Mpps stage-1 slot.
   ASSERT_TRUE(limiter.add_bypass(5));
   ASSERT_TRUE(limiter.add_bypass(6));
-  ASSERT_TRUE(limiter.install_heavy_hitter(2, 0));
+  ASSERT_TRUE(limiter.install_heavy_hitter(2, Nanos{0}));
 
   const std::uint64_t tenants = 64;
   ZipfSampler popularity(tenants, 1.1);
-  NanoTime now = 0;
+  NanoTime now = NanoTime{0};
   for (int step = 0; step < 300000; ++step) {
-    now += static_cast<NanoTime>(rng.next_exponential(50.0)) + 1;
+    now += nanos_from_double(rng.next_exponential(50.0)) + NanoTime{1};
     const Vni vni = static_cast<Vni>(1 + popularity.sample(rng));
     (void)limiter.admit(vni, now);
   }

@@ -12,12 +12,12 @@ namespace {
 TEST(EventLoop, ExecutesInTimeOrder) {
   EventLoop loop;
   std::vector<int> order;
-  loop.schedule_at(300, [&] { order.push_back(3); });
-  loop.schedule_at(100, [&] { order.push_back(1); });
-  loop.schedule_at(200, [&] { order.push_back(2); });
+  loop.schedule_at(Nanos{300}, [&] { order.push_back(3); });
+  loop.schedule_at(Nanos{100}, [&] { order.push_back(1); });
+  loop.schedule_at(Nanos{200}, [&] { order.push_back(2); });
   loop.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(loop.now(), 300);
+  EXPECT_EQ(loop.now(), NanoTime{300});
   EXPECT_EQ(loop.events_processed(), 3u);
 }
 
@@ -25,7 +25,7 @@ TEST(EventLoop, FifoAmongSameTimestamp) {
   EventLoop loop;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    loop.schedule_at(50, [&order, i] { order.push_back(i); });
+    loop.schedule_at(Nanos{50}, [&order, i] { order.push_back(i); });
   }
   loop.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
@@ -34,14 +34,14 @@ TEST(EventLoop, FifoAmongSameTimestamp) {
 TEST(EventLoop, NestedSchedulingAndRunUntil) {
   EventLoop loop;
   int fired = 0;
-  loop.schedule_at(10, [&] {
+  loop.schedule_at(Nanos{10}, [&] {
     ++fired;
-    loop.schedule_in(10, [&] { ++fired; });
-    loop.schedule_in(1000, [&] { ++fired; });
+    loop.schedule_in(Nanos{10}, [&] { ++fired; });
+    loop.schedule_in(Nanos{1000}, [&] { ++fired; });
   });
-  loop.run_until(500);
+  loop.run_until(Nanos{500});
   EXPECT_EQ(fired, 2);
-  EXPECT_EQ(loop.now(), 500);
+  EXPECT_EQ(loop.now(), NanoTime{500});
   EXPECT_EQ(loop.pending(), 1u);
   loop.run();
   EXPECT_EQ(fired, 3);
@@ -49,21 +49,21 @@ TEST(EventLoop, NestedSchedulingAndRunUntil) {
 
 TEST(EventLoop, PastEventsClampToNow) {
   EventLoop loop;
-  loop.schedule_at(100, [] {});
+  loop.schedule_at(Nanos{100}, [] {});
   loop.run();
-  NanoTime seen = -1;
-  loop.schedule_at(5, [&] { seen = loop.now(); });  // in the past
+  NanoTime seen = NanoTime{-1};
+  loop.schedule_at(Nanos{5}, [&] { seen = loop.now(); });  // in the past
   loop.run();
-  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(seen, NanoTime{100});
 }
 
 TEST(EventLoop, PeriodicStopsWhenFalse) {
   EventLoop loop;
   int ticks = 0;
-  schedule_periodic(loop, 10, [&] { return ++ticks < 5; });
+  schedule_periodic(loop, Nanos{10}, [&] { return ++ticks < 5; });
   loop.run();
   EXPECT_EQ(ticks, 5);
-  EXPECT_EQ(loop.now(), 50);
+  EXPECT_EQ(loop.now(), NanoTime{50});
 }
 
 TEST(PacketRing, DropsWhenFullAndCountsWatermark) {
@@ -83,22 +83,22 @@ TEST(PacketRing, DropsWhenFullAndCountsWatermark) {
 
 TEST(Numa, LocalVsRemoteLatency) {
   NumaTopology numa;
-  EXPECT_LT(numa.dram_latency(0, 0), numa.dram_latency(0, 1));
-  EXPECT_EQ(numa.node_of_core(0), 0);
-  EXPECT_EQ(numa.node_of_core(47), 0);
-  EXPECT_EQ(numa.node_of_core(48), 1);
+  EXPECT_LT(numa.dram_latency(NumaNodeId{0}, NumaNodeId{0}), numa.dram_latency(NumaNodeId{0}, NumaNodeId{1}));
+  EXPECT_EQ(numa.node_of_core(CoreId{0}), NumaNodeId{0});
+  EXPECT_EQ(numa.node_of_core(CoreId{47}), NumaNodeId{0});
+  EXPECT_EQ(numa.node_of_core(CoreId{48}), NumaNodeId{1});
   EXPECT_EQ(numa.total_cores(), 96);
 }
 
 TEST(Numa, MemoryFrequencyScalesLatency) {
   NumaTopology numa;
-  const auto at4800 = numa.dram_latency(0, 0);
+  const auto at4800 = numa.dram_latency(NumaNodeId{0}, NumaNodeId{0});
   numa.set_memory_mts(5600);
-  const auto at5600 = numa.dram_latency(0, 0);
+  const auto at5600 = numa.dram_latency(NumaNodeId{0}, NumaNodeId{0});
   EXPECT_LT(at5600, at4800);
   // ~= 4800/5600 scaling.
-  EXPECT_NEAR(static_cast<double>(at5600),
-              static_cast<double>(at4800) * 4800.0 / 5600.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(at5600.count()),
+              static_cast<double>(at4800.count()) * 4800.0 / 5600.0, 2.0);
 }
 
 TEST(NumaBalancer, DisabledNeverStalls) {
@@ -106,7 +106,7 @@ TEST(NumaBalancer, DisabledNeverStalls) {
   cfg.enabled = false;
   NumaBalancer bal(cfg);
   for (int i = 0; i < 1000; ++i) {
-    EXPECT_EQ(bal.maybe_stall(i * kMillisecond, 1.0), 0);
+    EXPECT_EQ(bal.maybe_stall(i * kMillisecond, 1.0), NanoTime{});
   }
 }
 
@@ -114,7 +114,7 @@ TEST(NumaBalancer, StallsAppearUnderHighLoadOnly) {
   NumaBalancer::Config cfg;
   cfg.scan_period = kMillisecond;
   NumaBalancer low(cfg), high(cfg);
-  NanoTime low_stall = 0, high_stall = 0;
+  NanoTime low_stall = Nanos{0}, high_stall = Nanos{0};
   for (int i = 0; i < 5000; ++i) {
     low_stall += low.maybe_stall(i * kMillisecond, 0.1);
     high_stall += high.maybe_stall(i * kMillisecond, 0.95);
@@ -141,9 +141,9 @@ TEST(CacheModel, SampledLatencyMatchesMean) {
   double sum = 0;
   const int n = 200000;
   for (int i = 0; i < n; ++i) {
-    sum += static_cast<double>(cache.access_latency(rng, 0, 0, false));
+    sum += static_cast<double>((cache.access_latency(rng, NumaNodeId{0}, NumaNodeId{0}, false)).count());
   }
-  EXPECT_NEAR(sum / n, cache.mean_access_latency(0, 0, false), 1.5);
+  EXPECT_NEAR(sum / n, cache.mean_access_latency(NumaNodeId{0}, NumaNodeId{0}, false), 1.5);
 }
 
 TEST(CacheModel, FlowAffinityIsMarginal) {
@@ -151,8 +151,8 @@ TEST(CacheModel, FlowAffinityIsMarginal) {
   // access cost — the §4.2 result.
   CacheModel cache;
   cache.set_working_set_bytes(4ull << 30);
-  const double plb = cache.mean_access_latency(0, 0, false);
-  const double rss = cache.mean_access_latency(0, 0, true);
+  const double plb = cache.mean_access_latency(NumaNodeId{0}, NumaNodeId{0}, false);
+  const double rss = cache.mean_access_latency(NumaNodeId{0}, NumaNodeId{0}, true);
   EXPECT_LT(rss, plb);
   EXPECT_LT((plb - rss) / plb, 0.01);
 }
@@ -160,8 +160,8 @@ TEST(CacheModel, FlowAffinityIsMarginal) {
 TEST(CacheModel, CrossNumaCostsMore) {
   CacheModel cache;
   cache.set_working_set_bytes(4ull << 30);
-  EXPECT_GT(cache.mean_access_latency(0, 1, false),
-            cache.mean_access_latency(0, 0, false));
+  EXPECT_GT(cache.mean_access_latency(NumaNodeId{0}, NumaNodeId{1}, false),
+            cache.mean_access_latency(NumaNodeId{0}, NumaNodeId{0}, false));
 }
 
 }  // namespace

@@ -86,7 +86,7 @@ TEST(SlbService, NewConnectionsSpreadAcrossBackends) {
   }
   std::map<std::uint16_t, int> counts;
   for (std::uint32_t c = 0; c < 4000; ++c) {
-    const auto b = slb.forward(client(0x0b000000u + c, 30000), 0, 0, 0x02);
+    const auto b = slb.forward(client(0x0b000000u + c, 30000), CoreId{0}, Nanos{0}, 0x02);
     ASSERT_TRUE(b.has_value());
     ++counts[*b];
   }
@@ -100,19 +100,19 @@ TEST(SlbService, SessionsStickEvenWhenBackendTurnsUnhealthy) {
   slb.add_backend(Backend{Ipv4Address{0x0a010002}, 80, 1, true});
 
   const FiveTuple c1 = client(0x0b000001, 1234);
-  const auto first = slb.forward(c1, 0, 0, 0x02 /*SYN*/);
+  const auto first = slb.forward(c1, CoreId{0}, Nanos{0}, 0x02 /*SYN*/);
   ASSERT_TRUE(first.has_value());
   // Backend goes unhealthy: existing session drains to the same place.
   slb.set_healthy(*first, false);
-  const auto sticky = slb.forward(c1, 0, 1000, 0x10 /*ACK*/);
+  const auto sticky = slb.forward(c1, CoreId{0}, Nanos{1000}, 0x10 /*ACK*/);
   ASSERT_TRUE(sticky.has_value());
   EXPECT_EQ(*sticky, *first);
   EXPECT_GE(slb.stats().stuck_to_session, 1u);
 
   // NEW connections avoid it.
   for (std::uint32_t c = 0; c < 200; ++c) {
-    const auto b = slb.forward(client(0x0c000000u + c, 999), 0,
-                               2000 + c, 0x02);
+    const auto b = slb.forward(client(0x0c000000u + c, 999), CoreId{0},
+                               NanoTime{2000 + c}, 0x02);
     ASSERT_TRUE(b.has_value());
     EXPECT_NE(*b, *first);
   }
@@ -122,11 +122,11 @@ TEST(SlbService, FinTearsDownSession) {
   SlbService slb(Ipv4Address{1}, 443, 1);
   slb.add_backend(Backend{Ipv4Address{0x0a010001}, 80, 1, true});
   const FiveTuple c1 = client(7, 7);
-  slb.forward(c1, 0, 0, 0x02);
+  slb.forward(c1, CoreId{0}, Nanos{0}, 0x02);
   EXPECT_EQ(slb.stats().connections, 1u);
-  slb.forward(c1, 0, 100, 0x01 /*FIN*/);  // sticky, then torn down
+  slb.forward(c1, CoreId{0}, Nanos{100}, 0x01 /*FIN*/);  // sticky, then torn down
   // The next SYN counts as a fresh connection.
-  slb.forward(c1, 0, 200, 0x02);
+  slb.forward(c1, CoreId{0}, Nanos{200}, 0x02);
   EXPECT_EQ(slb.stats().connections, 2u);
 }
 
@@ -135,7 +135,7 @@ TEST(SlbService, NoHealthyBackendDrops) {
   const auto b0 =
       slb.add_backend(Backend{Ipv4Address{0x0a010001}, 80, 1, true});
   slb.set_healthy(b0, false);
-  EXPECT_FALSE(slb.forward(client(1, 1), 0, 0, 0x02).has_value());
+  EXPECT_FALSE(slb.forward(client(1, 1), CoreId{0}, Nanos{0}, 0x02).has_value());
   EXPECT_EQ(slb.stats().no_backend_drops, 1u);
 }
 
@@ -143,7 +143,7 @@ TEST(SlbService, SessionAging) {
   SlbService slb(Ipv4Address{1}, 443, 2, /*sessions_per_core=*/256);
   slb.add_backend(Backend{Ipv4Address{0x0a010001}, 80, 1, true});
   for (std::uint32_t c = 0; c < 10; ++c) {
-    slb.forward(client(c, 1), static_cast<CoreId>(c % 2), 0, 0x02);
+    slb.forward(client(c, 1), static_cast<CoreId>(c % 2), Nanos{0}, 0x02);
   }
   EXPECT_EQ(slb.age_sessions(120 * kSecond), 10u);  // 60s idle timeout
 }

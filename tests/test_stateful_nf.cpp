@@ -20,7 +20,7 @@ TEST(StatefulNf, SessionsCreatedOncePerFlow) {
   StatefulNf nf(cfg);
   for (int round = 0; round < 3; ++round) {
     for (std::uint16_t f = 0; f < 10; ++f) {
-      nf.process(flow(f), static_cast<CoreId>(f % 4), round * 1000);
+      nf.process(flow(f), static_cast<CoreId>(f % 4), round * NanoTime{1000});
     }
   }
   EXPECT_EQ(nf.stats().sessions_created, 10u);
@@ -31,7 +31,7 @@ TEST(StatefulNf, WriteHeavyWritesEveryPacket) {
   StatefulNfConfig cfg;
   cfg.write_heavy = true;
   StatefulNf nf(cfg);
-  for (int i = 0; i < 20; ++i) nf.process(flow(1), 0, i);
+  for (int i = 0; i < 20; ++i) nf.process(flow(1), CoreId{0}, NanoTime{i});
   EXPECT_EQ(nf.stats().state_writes, 20u);
 }
 
@@ -42,8 +42,8 @@ TEST(StatefulNf, WriteLightCostIndependentOfCores) {
     cfg.write_heavy = false;
     cfg.cores = cores;
     StatefulNf nf(cfg);
-    nf.process(flow(1), 0, 0);           // establishment
-    return nf.process(flow(1), 0, 1);    // steady state read
+    nf.process(flow(1), CoreId{0}, Nanos{0});           // establishment
+    return nf.process(flow(1), CoreId{0}, Nanos{1});    // steady state read
   };
   EXPECT_EQ(cost_at(1), cost_at(44));
 }
@@ -55,8 +55,8 @@ TEST(StatefulNf, WriteHeavySharedDegradesWithCores) {
     cfg.write_heavy = true;
     cfg.cores = cores;
     StatefulNf nf(cfg);
-    nf.process(flow(1), 0, 0);
-    return nf.process(flow(1), 0, 1);
+    nf.process(flow(1), CoreId{0}, Nanos{0});
+    return nf.process(flow(1), CoreId{0}, Nanos{1});
   };
   // Locked shared state: the write component grows ~15x at 32 cores
   // (1 + 0.45 * 31), more than doubling the per-packet cost.

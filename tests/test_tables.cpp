@@ -150,22 +150,22 @@ TEST(CuckooTable, ForEachEraseIf) {
 TEST(FlowTable, CreateOnMissAndHit) {
   FlowTable ft(1024, 10 * kSecond);
   FiveTuple t{Ipv4Address{1}, Ipv4Address{2}, 3, 4, IpProto::kTcp};
-  FlowState* s = ft.lookup(t, 100);
+  FlowState* s = ft.lookup(t, Nanos{100});
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(ft.stats().misses, 1u);
   s->packets = 5;
-  FlowState* again = ft.lookup(t, 200);
+  FlowState* again = ft.lookup(t, Nanos{200});
   ASSERT_EQ(again->packets, 5u);
   EXPECT_EQ(ft.stats().hits, 1u);
-  EXPECT_EQ(again->last_seen, 200);
-  EXPECT_EQ(ft.lookup(FiveTuple{}, 0, /*create_on_miss=*/false), nullptr);
+  EXPECT_EQ(again->last_seen, NanoTime{200});
+  EXPECT_EQ(ft.lookup(FiveTuple{}, Nanos{0}, /*create_on_miss=*/false), nullptr);
 }
 
 TEST(FlowTable, AgingReclaimsIdleFlows) {
   FlowTable ft(1024, 1 * kSecond);
   for (std::uint16_t i = 0; i < 10; ++i) {
     ft.lookup(FiveTuple{Ipv4Address{i}, Ipv4Address{1}, i, 1, IpProto::kUdp},
-              0);
+              Nanos{0});
   }
   // Refresh half at t=0.9s.
   for (std::uint16_t i = 0; i < 5; ++i) {
@@ -238,7 +238,7 @@ TEST(TokenBucket, RateEnforcement) {
   TokenBucket tb(1000.0, 10.0);
   int passed = 0;
   for (int i = 0; i < 20; ++i) {
-    if (tb.consume(0)) ++passed;
+    if (tb.consume(Nanos{0})) ++passed;
   }
   EXPECT_EQ(passed, 10);  // burst exhausted
   EXPECT_TRUE(tb.consume(5 * kMillisecond));  // 5 tokens refilled
@@ -253,7 +253,7 @@ TEST(TokenBucket, SteadyStateRate) {
   TokenBucket tb(1e6, 100.0);  // 1 Mpps
   std::uint64_t passed = 0;
   // Offer 2 Mpps for one simulated second.
-  for (NanoTime t = 0; t < kSecond; t += 500) {
+  for (NanoTime t = NanoTime{0}; t < kSecond; t += NanoTime{500}) {
     if (tb.consume(t)) ++passed;
   }
   EXPECT_NEAR(static_cast<double>(passed), 1e6, 1e4);
@@ -261,7 +261,7 @@ TEST(TokenBucket, SteadyStateRate) {
 
 TEST(TokenBucket, UnlimitedWhenRateZero) {
   TokenBucket tb;
-  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(tb.consume(0));
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(tb.consume(Nanos{0}));
 }
 
 TEST(TrTcm, ColorsByRate) {
@@ -269,7 +269,7 @@ TEST(TrTcm, ColorsByRate) {
   TrTcmMeter m(1000, 10, 2000, 20);
   int green = 0, yellow = 0, red = 0;
   // Offer 4000 pps for 1 s.
-  for (NanoTime t = 0; t < kSecond; t += 250 * 1000) {
+  for (NanoTime t = NanoTime{0}; t < kSecond; t += NanoTime{250} * 1000) {
     switch (m.color(t)) {
       case MeterColor::kGreen: ++green; break;
       case MeterColor::kYellow: ++yellow; break;

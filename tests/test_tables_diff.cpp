@@ -85,7 +85,7 @@ TEST_P(FlowTableDifferential, LifecycleAgreesWithOracle) {
   check::FlowLifecycleOracle oracle(kIdle);
 
   constexpr std::uint64_t kFlows = 1200;
-  NanoTime now = 0;
+  NanoTime now = NanoTime{0};
   for (int step = 0; step < 15000; ++step) {
     now += rng.next_below(20 * kMicrosecond);
     const FiveTuple key = tuple_for(rng.next_below(kFlows));
@@ -108,7 +108,7 @@ TEST_P(FlowTableDifferential, LifecycleAgreesWithOracle) {
   }
 
   // Jump past the idle timeout: one aging pass must empty both.
-  now += kIdle + 1;
+  now += kIdle + NanoTime{1};
   EXPECT_EQ(table.age(now), oracle.age(now));
   EXPECT_EQ(table.size(), oracle.size());
   EXPECT_EQ(table.size(), 0u);

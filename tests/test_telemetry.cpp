@@ -83,7 +83,7 @@ TEST(Metrics, ChaosRegistrationExportsIncidentCountersAndHistograms) {
   RecoveryController controller(harness);
   controller.arm();
   FaultPlan plan;
-  plan.events.push_back({8 * kSecond, FaultKind::kPodCrash, 0, 0, 0.0});
+  plan.events.push_back({8 * kSecond, FaultKind::kPodCrash, 0, NanoTime{0}, 0.0});
   FaultInjector injector(harness.loop(), harness);
   injector.schedule(plan);
 

@@ -84,22 +84,22 @@ TEST(PoissonFlowSource, SetRateZeroExhausts) {
 }
 
 TEST(RateProfile, PiecewiseLookups) {
-  RateProfile p{{0, 100.0}, {10 * kSecond, 0.0}, {20 * kSecond, 50.0}};
-  EXPECT_DOUBLE_EQ(p.rate_at(0), 100.0);
+  RateProfile p{{NanoTime{0}, 100.0}, {10 * kSecond, 0.0}, {20 * kSecond, 50.0}};
+  EXPECT_DOUBLE_EQ(p.rate_at(Nanos{0}), 100.0);
   EXPECT_DOUBLE_EQ(p.rate_at(5 * kSecond), 100.0);
   EXPECT_DOUBLE_EQ(p.rate_at(15 * kSecond), 0.0);
   EXPECT_DOUBLE_EQ(p.rate_at(25 * kSecond), 50.0);
-  EXPECT_EQ(p.next_change(0), 10 * kSecond);
+  EXPECT_EQ(p.next_change(Nanos{0}), 10 * kSecond);
   EXPECT_EQ(p.next_change(12 * kSecond), 20 * kSecond);
   EXPECT_FALSE(p.next_change(30 * kSecond).has_value());
   RateProfile empty;
-  EXPECT_DOUBLE_EQ(empty.rate_at(1), 0.0);
+  EXPECT_DOUBLE_EQ(empty.rate_at(Nanos{1}), 0.0);
 }
 
 TEST(HeavyHitterSource, FollowsProfile) {
   HeavyHitterConfig cfg;
   cfg.flow = make_flow(99, 7, 0);
-  cfg.profile = RateProfile{{0, 1000.0}, {kSecond, 10000.0}};
+  cfg.profile = RateProfile{{NanoTime{0}, 1000.0}, {kSecond, 10000.0}};
   HeavyHitterSource src(cfg);
   // First second: ~1000 packets; second second: ~10000.
   std::uint64_t first = 0, second = 0;
@@ -117,7 +117,7 @@ TEST(HeavyHitterSource, ZeroRateSegmentsSkipped) {
   HeavyHitterConfig cfg;
   cfg.flow = make_flow(1, 1, 0);
   cfg.profile =
-      RateProfile{{0, 0.0}, {kSecond, 100.0}, {2 * kSecond, 0.0}};
+      RateProfile{{NanoTime{0}, 0.0}, {kSecond, 100.0}, {2 * kSecond, 0.0}};
   HeavyHitterSource src(cfg);
   const auto first = src.next_time();
   ASSERT_TRUE(first.has_value());
@@ -170,10 +170,10 @@ TEST(TenantTrafficSource, RatesPerTenant) {
     TenantSpec t;
     t.vni = v;
     // Fig. 13 setup (scaled 1/1000): 4/3/2/1 Kpps.
-    t.profile = RateProfile{{0, static_cast<double>(5 - v) * 1000.0}};
+    t.profile = RateProfile{{NanoTime{0}, static_cast<double>(5 - v) * 1000.0}};
     tenants.push_back(t);
   }
-  TenantTrafficSource src(std::move(tenants), 0);
+  TenantTrafficSource src(std::move(tenants), NanoTime{});
   drain_until(src, kSecond);
   EXPECT_NEAR(static_cast<double>(src.emitted(1)), 4000, 10);
   EXPECT_NEAR(static_cast<double>(src.emitted(2)), 3000, 10);
@@ -193,7 +193,7 @@ TEST(TrafficMux, MergesInTimeOrder) {
   TrafficMux mux;
   mux.add(mk(1000, 1));
   mux.add(mk(2000, 2));
-  NanoTime prev = 0;
+  NanoTime prev = NanoTime{0};
   std::uint64_t n = 0;
   while (true) {
     const auto t = mux.next_time();

@@ -1,0 +1,169 @@
+// Unit tests for the strong unit types in common/units.hpp: Nanos /
+// FpgaCycles arithmetic and conversions, the wrapping Psn12 index space
+// (including the 4095 -> 0 boundary the reorder engine depends on), and
+// the CoreId / NumaNodeId identifier types.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "nic/nic_pipeline.hpp"
+
+namespace albatross {
+namespace {
+
+TEST(Quantity, AdditiveGroupAndComparisons) {
+  const Nanos a{100};
+  const Nanos b{250};
+  EXPECT_EQ(a + b, Nanos{350});
+  EXPECT_EQ(b - a, Nanos{150});
+  EXPECT_EQ(-a, Nanos{-100});
+  EXPECT_LT(a, b);
+  EXPECT_EQ(abs(Nanos{-7}), Nanos{7});
+
+  Nanos acc{};
+  acc += a;
+  acc -= Nanos{40};
+  EXPECT_EQ(acc, Nanos{60});
+}
+
+TEST(Quantity, DimensionlessScaling) {
+  EXPECT_EQ(Nanos{100} * 3, Nanos{300});
+  EXPECT_EQ(4 * Nanos{25}, Nanos{100});
+  EXPECT_EQ(Nanos{100} / 4, Nanos{25});
+  // Floating scaling truncates toward zero like the casts it replaced.
+  EXPECT_EQ(Nanos{100} * 1.5, Nanos{150});
+  EXPECT_EQ(Nanos{101} * 0.5, Nanos{50});
+  // Ratio of like quantities is dimensionless.
+  EXPECT_EQ(Nanos{300} / Nanos{100}, 3);
+  EXPECT_DOUBLE_EQ(ratio(Nanos{1}, Nanos{2}), 0.5);
+  EXPECT_EQ(Nanos{350} % Nanos{100}, Nanos{50});
+}
+
+TEST(Quantity, UnitLiteralsAndHelpers) {
+  EXPECT_EQ(5_us, Nanos{5'000});
+  EXPECT_EQ(2_ms, Nanos{2'000'000});
+  EXPECT_EQ(7_ns, Nanos{7});
+  EXPECT_EQ(kMicrosecond, 1_us);
+  EXPECT_EQ(kSecond, 1'000'000'000_ns);
+  EXPECT_DOUBLE_EQ(nanos_to_millis(Nanos{1'500'000}), 1.5);
+  EXPECT_EQ(millis_to_nanos(1.5), Nanos{1'500'000});
+  EXPECT_DOUBLE_EQ(nanos_to_seconds(kSecond), 1.0);
+}
+
+TEST(Quantity, NumericLimitsSpecialized) {
+  // Regression: the unspecialized primary template silently returns
+  // Quantity{} (zero) from max(), which broke every "min over next
+  // arrival times" scan in the traffic generators.
+  EXPECT_EQ(std::numeric_limits<NanoTime>::max(), NanoTime::max());
+  EXPECT_GT(std::numeric_limits<NanoTime>::max(), Nanos{1});
+  EXPECT_LT(std::numeric_limits<NanoTime>::min(), Nanos{0});
+  static_assert(std::numeric_limits<NanoTime>::is_specialized);
+}
+
+TEST(FpgaCycles, ClockConversions) {
+  // One 250 MHz cycle is exactly 4 ns.
+  EXPECT_EQ(cycles_to_nanos(FpgaCycles{1}), Nanos{4});
+  EXPECT_EQ(cycles_to_nanos(FpgaCycles{25}), Nanos{100});
+  // At the 500 MHz datapath clock, 2 ns.
+  EXPECT_EQ(cycles_to_nanos(FpgaCycles{290}, 500), Nanos{580});
+  // nanos -> cycles rounds up: hardware cannot finish mid-cycle.
+  EXPECT_EQ(nanos_to_cycles(Nanos{4}), FpgaCycles{1});
+  EXPECT_EQ(nanos_to_cycles(Nanos{5}), FpgaCycles{2});
+  EXPECT_EQ(nanos_to_cycles(Nanos{100}, 500), FpgaCycles{50});
+  EXPECT_EQ(7_cycles, FpgaCycles{7});
+}
+
+TEST(FpgaCycles, NicTimingsMatchPaperNanoseconds) {
+  // The Tab. 4 figures are specified in datapath cycles; converting at
+  // the stated clock must reproduce the paper's nanosecond values.
+  const NicTimings t;
+  EXPECT_EQ(t.basic_rx_ns(), Nanos{580});
+  EXPECT_EQ(t.basic_tx_ns(), Nanos{840});
+  EXPECT_EQ(t.overload_det_rx_ns(), Nanos{100});
+  EXPECT_EQ(t.plb_rx_ns(), Nanos{50});
+  EXPECT_EQ(t.plb_tx_ns(), Nanos{350});
+  EXPECT_EQ(t.dma_rx_base_ns(), Nanos{3170});
+  EXPECT_EQ(t.dma_tx_base_ns(), Nanos{2980});
+}
+
+TEST(Psn12, TruncatesToTwelveBits) {
+  EXPECT_EQ(Psn12{0x1fff}.value(), 0xfffu);
+  EXPECT_EQ(Psn12{4096}.value(), 0u);
+  EXPECT_EQ(Psn12{4095}, Psn12{8191});
+}
+
+TEST(Psn12, WrapDistanceAtBoundary) {
+  // The 4095 -> 0 boundary: a naive `to - from` comparison underflows,
+  // a naive `<` says 0 comes before 4095. distance() must see one step.
+  EXPECT_EQ(Psn12::distance(Psn12{4095}, Psn12{0}), 1u);
+  EXPECT_EQ(Psn12::distance(Psn12{4095}, Psn12{4094}), 4095u);
+  EXPECT_EQ(Psn12::distance(Psn12{0}, Psn12{4095}), 4095u);
+  EXPECT_EQ(Psn12::distance(Psn12{7}, Psn12{7}), 0u);
+  // Generalized power-of-two rings (queues configured below 4K).
+  EXPECT_EQ(Psn12::distance(15u, 0u, 16u), 1u);
+  EXPECT_EQ(Psn12::distance(0u, 15u, 16u), 15u);
+  EXPECT_EQ(Psn12::slot_of(4097u, Psn12::kMod), 1u);
+  EXPECT_EQ(Psn12::slot_of(17u, 16u), 1u);
+  EXPECT_EQ(Psn12{4095} + 1, Psn12{0});
+}
+
+TEST(Psn12, ReorderQueueLegalCheckAcrossWrap) {
+  // Drive a full-size (4K) reorder queue across the 4095 -> 0 PSN
+  // boundary: every reserve/writeback/drain cycle must stay in-order
+  // through the wrap, which only works if the legal check computes the
+  // wrapping distance rather than comparing raw masked PSNs.
+  ReorderQueue q(kReorderQueueEntries, kReorderTimeout);
+  std::vector<ReorderEgress> out;
+  const std::uint32_t kCycles = Psn12::kMod + 64;  // cross the boundary
+  for (std::uint32_t i = 0; i < kCycles; ++i) {
+    const NanoTime now = Nanos{static_cast<std::int64_t>(i) * 10};
+    const auto psn = q.reserve(now);
+    ASSERT_TRUE(psn.has_value());
+    ASSERT_EQ(*psn, i);  // free-running, not truncated
+    PlbMeta meta;
+    meta.psn = *psn;
+    q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta,
+                now + Nanos{1}, out);
+    q.drain(now + Nanos{2}, out);
+  }
+  EXPECT_EQ(out.size(), kCycles);
+  EXPECT_EQ(q.stats().in_order_tx, kCycles);
+  EXPECT_EQ(q.stats().legal_check_fail, 0u);
+  EXPECT_EQ(q.stats().best_effort_tx, 0u);
+  for (std::uint32_t i = 0; i < kCycles; ++i) {
+    EXPECT_TRUE(out[i].in_order);
+    EXPECT_EQ(out[i].meta.psn, i);
+  }
+}
+
+TEST(StrongIds, DistinctTagsDistinctTypes) {
+  const CoreId c{3};
+  const NumaNodeId n{1};
+  EXPECT_EQ(c.value(), 3u);
+  EXPECT_EQ(c.index(), 3u);
+  EXPECT_EQ(n.value(), 1u);
+  EXPECT_LT(CoreId{2}, CoreId{5});
+  static_assert(!std::is_same_v<CoreId, NumaNodeId>);
+  static_assert(!std::is_convertible_v<CoreId, NumaNodeId>);
+  static_assert(!std::is_convertible_v<std::uint16_t, CoreId>);
+
+  std::unordered_set<CoreId> set;
+  set.insert(CoreId{1});
+  set.insert(CoreId{1});
+  set.insert(CoreId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongTypes, MixingUnitsDoesNotCompile) {
+  // Compile-time contract of the whole header: cross-unit arithmetic
+  // and implicit raw-count construction are errors.
+  static_assert(!std::is_invocable_v<std::plus<>, Nanos, FpgaCycles>);
+  static_assert(!std::is_invocable_v<std::equal_to<>, Nanos, std::int64_t>);
+  static_assert(!std::is_convertible_v<std::int64_t, Nanos>);
+  static_assert(!std::is_invocable_v<std::less<>, Psn12, Psn12>);
+}
+
+}  // namespace
+}  // namespace albatross

@@ -170,7 +170,7 @@ void print_fuzz_report(const check::FuzzReport& r) {
               static_cast<unsigned long long>(r.violations));
   for (const auto& v : r.details) {
     std::printf("  VIOLATION %s at %lldns: %s\n", v.invariant.c_str(),
-                static_cast<long long>(v.at), v.detail.c_str());
+                static_cast<long long>(v.at.count()), v.detail.c_str());
   }
 }
 
@@ -327,7 +327,7 @@ int main(int argc, char** argv) {
   if (opt.hitter_mpps > 0.0) {
     HeavyHitterConfig hh;
     hh.flow = make_flow(0x777777, 7, 0);
-    hh.profile = RateProfile{{0, opt.hitter_mpps * 1e6}};
+    hh.profile = RateProfile{{NanoTime{0}, opt.hitter_mpps * 1e6}};
     platform.attach_source(std::make_unique<HeavyHitterSource>(hh),
                            scenario.pod);
   }

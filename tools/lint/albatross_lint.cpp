@@ -1,0 +1,98 @@
+// albatross-lint driver: walks the given files/directories, applies the
+// domain rules in lint_core, prints gcc-style `file:line: [rule] msg`
+// diagnostics, and exits non-zero when anything fires. Run as the
+// `lint_src` ctest and the `lint` CI job (docs/STATIC_ANALYSIS.md).
+//
+//   albatross_lint [--allowlist FILE] [--list-rules] PATH...
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace fs = std::filesystem;
+using albatross::lint::Config;
+using albatross::lint::Finding;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h" ||
+         ext == ".hh";
+}
+
+void collect(const fs::path& root, std::vector<std::string>& files) {
+  if (fs::is_directory(root)) {
+    for (const auto& e : fs::recursive_directory_iterator(root)) {
+      if (e.is_regular_file() && lintable(e.path())) {
+        files.push_back(e.path().generic_string());
+      }
+    }
+  } else {
+    files.push_back(root.generic_string());
+  }
+}
+
+int usage() {
+  std::cerr << "usage: albatross_lint [--allowlist FILE] [--list-rules] "
+               "PATH...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : albatross::lint::rule_names()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--allowlist") {
+      if (++i >= argc) return usage();
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::cerr << "albatross_lint: cannot read allowlist " << argv[i]
+                  << "\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      const auto entries = albatross::lint::parse_allowlist(ss.str());
+      config.allow.insert(config.allow.end(), entries.begin(), entries.end());
+      continue;
+    }
+    if (arg.starts_with("--")) return usage();
+    roots.push_back(arg);
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<std::string> files;
+  for (const auto& r : roots) {
+    if (!fs::exists(r)) {
+      std::cerr << "albatross_lint: no such path: " << r << "\n";
+      return 2;
+    }
+    collect(r, files);
+  }
+
+  std::size_t total = 0;
+  for (const auto& f : files) {
+    for (const Finding& finding : albatross::lint::lint_file(f, config)) {
+      std::cout << finding.file << ":" << finding.line << ": ["
+                << finding.rule << "] " << finding.message << "\n";
+      ++total;
+    }
+  }
+  std::cout << "albatross_lint: " << files.size() << " files, " << total
+            << " finding(s)\n";
+  return total == 0 ? 0 : 1;
+}

@@ -1,0 +1,7 @@
+// Fixture: header without #pragma once and with a file-scope
+// `using namespace`. Must trip `header-hygiene` twice. Never compiled.
+#include <string>
+
+using namespace std;
+
+inline string greet() { return "hello"; }

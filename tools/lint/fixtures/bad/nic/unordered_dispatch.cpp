@@ -1,0 +1,24 @@
+// Fixture: a dispatch loop iterating an unordered_map, under a path
+// containing `nic/` so the determinism scope applies. Must trip
+// `unordered-iteration`. Never compiled.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Flow {
+  std::uint32_t psn;
+};
+
+class Dispatcher {
+ public:
+  std::vector<std::uint32_t> flush() {
+    std::vector<std::uint32_t> order;
+    for (const auto& [key, flow] : flows_) {
+      order.push_back(flow.psn);  // hash order reaches the wire
+    }
+    return order;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, Flow> flows_;
+};

@@ -1,0 +1,10 @@
+// Fixture: unseeded / ambient randomness. Must trip
+// `nondeterministic-rng` (three sites). Never compiled.
+#include <cstdlib>
+#include <random>
+
+int pick_backend(int n) {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen() % static_cast<unsigned>(n)) + rand() % 2;
+}

@@ -1,0 +1,11 @@
+// Fixture: raw power-of-1000 factors in time math instead of the
+// named units from common/units.hpp. Must trip `naked-time-literal`.
+// Never compiled.
+#include <cstdint>
+
+using NanoTime = std::int64_t;  // the pre-migration shape of the bug
+
+NanoTime deadline_for(NanoTime now_ns, std::int64_t budget_ms) {
+  const NanoTime slack = NanoTime{5'000'000};
+  return now_ns + budget_ms * 1'000'000 + slack;
+}

@@ -1,0 +1,11 @@
+// Fixture: reads the real-time clock. Must trip `wall-clock`.
+// Never compiled — lint fodder for lint_fixtures_bad / test_lint.
+#include <chrono>
+#include <ctime>
+
+long stamp_events() {
+  const auto wall = std::chrono::system_clock::now();
+  const auto epoch = time(nullptr);
+  (void)wall;
+  return static_cast<long>(epoch);
+}

@@ -1,0 +1,18 @@
+// Fixture: clean translation unit (negative control). The string and
+// comment below mention system_clock and rand() on purpose: the linter
+// must not fire inside prose. Never compiled.
+#include "module.hpp"
+
+namespace fixture {
+
+// Docs may discuss system_clock or rand() freely — comments are prose.
+std::uint32_t checksum(const FlowTable& flows) {
+  const char* const note = "no system_clock here, no rand() either";
+  std::uint32_t acc = static_cast<std::uint32_t>(note[0]);
+  for (const auto& [key, value] : flows) {
+    acc = acc * 31u + static_cast<std::uint32_t>(key) + value;
+  }
+  return acc;
+}
+
+}  // namespace fixture

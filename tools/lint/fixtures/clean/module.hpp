@@ -1,0 +1,15 @@
+// Fixture: a header that satisfies every lint rule — the negative
+// control for lint_fixtures_clean / test_lint. Never compiled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace fixture {
+
+/// Ordered map: iteration order is the key order, safe to emit.
+using FlowTable = std::map<std::uint64_t, std::uint32_t>;
+
+std::uint32_t checksum(const FlowTable& flows);
+
+}  // namespace fixture

@@ -1,0 +1,389 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace albatross::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+
+/// Blanks out comments and string/character literals while preserving
+/// line structure, so rule regexes never fire inside prose or data.
+/// Handles //, /* */, "..." with escapes, '...' and basic raw strings.
+std::string strip_comments_and_strings(std::string_view src) {
+  std::string out(src);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State st = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          // R"delim( — capture the delimiter up to '('.
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
+          st = State::kRaw;
+        } else if (c == '"') {
+          st = State::kString;
+        } else if (c == '\'' && i > 0 &&
+                   !std::isdigit(static_cast<unsigned char>(src[i - 1]))) {
+          // A ' after a digit is a C++14 digit separator, not a char
+          // literal — leave numeric literals intact for the rules.
+          st = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n')
+          st = State::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < src.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < src.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (c == ')' && src.substr(i, closer.size()) == closer) {
+          for (std::size_t k = 0; k < closer.size(); ++k) out[i + k] = ' ';
+          i += closer.size() - 1;
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+bool contains(std::string_view hay, std::string_view needle) {
+  return hay.find(needle) != std::string_view::npos;
+}
+
+bool is_header(std::string_view path) {
+  return path.ends_with(".hpp") || path.ends_with(".h") ||
+         path.ends_with(".hh");
+}
+
+// ---------------------------------------------------------------------------
+// Rule machinery
+
+struct RuleContext {
+  std::string_view path;
+  const std::vector<std::string>& code;      // stripped lines, 0-based
+  const std::vector<std::string>& raw;       // original lines, 0-based
+  const std::string& stripped;               // whole stripped text
+};
+
+class Sink {
+ public:
+  Sink(std::string_view path, const std::vector<std::string>& raw_lines,
+       const Config& config, std::vector<Finding>& out)
+      : path_(path), raw_(raw_lines), config_(config), out_(out) {}
+
+  void report(int line_no, std::string rule, std::string message) {
+    // Inline suppression: lint:allow(rule) anywhere on the raw line.
+    if (line_no >= 1 && line_no <= static_cast<int>(raw_.size())) {
+      const auto& raw_line = raw_[static_cast<std::size_t>(line_no - 1)];
+      if (contains(raw_line, "lint:allow(" + rule + ")")) return;
+    }
+    for (const auto& a : config_.allow) {
+      if ((a.rule == "*" || a.rule == rule) &&
+          contains(path_, a.path_substring)) {
+        return;
+      }
+    }
+    out_.push_back(Finding{std::string(path_), line_no, std::move(rule),
+                           std::move(message)});
+  }
+
+ private:
+  std::string_view path_;
+  const std::vector<std::string>& raw_;
+  const Config& config_;
+  std::vector<Finding>& out_;
+};
+
+// --- wall-clock ------------------------------------------------------------
+
+void rule_wall_clock(const RuleContext& ctx, Sink& sink) {
+  static const std::regex re(
+      R"(system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime|\btime\s*\(|\blocaltime\b|\bgmtime\b)");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (std::regex_search(ctx.code[i], re)) {
+      sink.report(static_cast<int>(i + 1), "wall-clock",
+                  "real-time clock read; the simulation runs on virtual "
+                  "NanoTime only");
+    }
+  }
+}
+
+// --- nondeterministic-rng --------------------------------------------------
+
+void rule_rng(const RuleContext& ctx, Sink& sink) {
+  // The one seeded PRNG lives in src/common/rng; everything else must
+  // draw from it so ALBATROSS_TEST_SEED replays byte-identically.
+  if (contains(ctx.path, "common/rng")) return;
+  static const std::regex re(
+      R"(std::random_device|\bmt19937(_64)?\b|\brand\s*\(|\bsrand\s*\(|\brandom_shuffle\b)");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (std::regex_search(ctx.code[i], re)) {
+      sink.report(static_cast<int>(i + 1), "nondeterministic-rng",
+                  "nondeterministic randomness; use the seeded "
+                  "albatross::Rng (src/common/rng)");
+    }
+  }
+}
+
+// --- unordered-iteration ---------------------------------------------------
+
+bool in_determinism_scope(std::string_view path) {
+  return contains(path, "nic/") || contains(path, "gateway/") ||
+         contains(path, "sim/") || contains(path, "check/");
+}
+
+/// Collects identifiers declared with an unordered_{map,set} type in
+/// this translation unit (declaration may span lines).
+std::set<std::string> unordered_decl_names(const std::string& stripped) {
+  std::set<std::string> names;
+  // Whitespace-normalized copy so multi-line declarations match.
+  std::string flat;
+  flat.reserve(stripped.size());
+  bool in_ws = false;
+  for (const char c : stripped) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_ws) flat += ' ';
+      in_ws = true;
+    } else {
+      flat += c;
+      in_ws = false;
+    }
+  }
+  static const std::regex decl_re(
+      R"(unordered_(?:map|set)\s*<[^;{}()]{0,400}?>\s+([A-Za-z_]\w*)\s*[;{=])");
+  for (auto it = std::sregex_iterator(flat.begin(), flat.end(), decl_re);
+       it != std::sregex_iterator(); ++it) {
+    names.insert((*it)[1].str());
+  }
+  return names;
+}
+
+std::string trailing_identifier(std::string_view expr) {
+  std::size_t end = expr.size();
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(expr[end - 1]))) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && (std::isalnum(static_cast<unsigned char>(
+                           expr[begin - 1])) ||
+                       expr[begin - 1] == '_')) {
+    --begin;
+  }
+  return std::string(expr.substr(begin, end - begin));
+}
+
+void rule_unordered_iteration(const RuleContext& ctx, Sink& sink) {
+  if (!in_determinism_scope(ctx.path)) return;
+  const auto decls = unordered_decl_names(ctx.stripped);
+  static const std::regex range_for_re(R"(for\s*\(([^;)]*):([^)]*)\))");
+  static const std::regex begin_re(R"(([A-Za-z_]\w*)\.begin\s*\(\s*\))");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const auto& line = ctx.code[i];
+    std::smatch m;
+    if (std::regex_search(line, m, range_for_re)) {
+      const std::string range_expr = m[2].str();
+      const std::string id = trailing_identifier(range_expr);
+      if (contains(range_expr, "unordered_") ||
+          (!id.empty() && decls.count(id) != 0)) {
+        sink.report(static_cast<int>(i + 1), "unordered-iteration",
+                    "iterating an unordered container here can leak "
+                    "hash-map order into packet ordering or output; "
+                    "sort keys first or use an ordered container");
+        continue;
+      }
+    }
+    if (contains(line, "for") &&
+        std::regex_search(line, m, begin_re) && decls.count(m[1].str()) != 0) {
+      sink.report(static_cast<int>(i + 1), "unordered-iteration",
+                  "iterator loop over unordered container; hash-map "
+                  "order must not reach packet ordering or output");
+    }
+  }
+}
+
+// --- naked-time-literal ----------------------------------------------------
+
+void rule_naked_time_literal(const RuleContext& ctx, Sink& sink) {
+  // common/types.hpp and common/units.hpp define the named constants and
+  // converters and are the only files allowed to spell the factors.
+  if (contains(ctx.path, "common/types.hpp") ||
+      contains(ctx.path, "common/units.hpp")) {
+    return;
+  }
+  // A raw power-of-1000 literal in a time construction/arithmetic
+  // context. Two shapes: a kilo+ literal inside a Nanos/NanoTime
+  // constructor, or */+- with a power-of-1000 on a line that touches a
+  // time-typed expression.
+  static const std::regex ctor_re(
+      R"((NanoTime|Nanos)\s*\{[^}]*\d['0-9]*'000\b)");
+  static const std::regex arith_re(
+      R"([*/+\-]\s*1'000(?:'000)*\b|\b1'000(?:'000)*\s*[*/+\-]|[*+\-]\s*1e[369]\b)");
+  static const std::regex time_ctx_re(
+      R"(\b(NanoTime|Nanos)\b|_ns\b|\btimeout\w*\b|\bdeadline\w*\b)");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const auto& line = ctx.code[i];
+    if (std::regex_search(line, ctor_re) ||
+        (std::regex_search(line, arith_re) &&
+         std::regex_search(line, time_ctx_re))) {
+      sink.report(static_cast<int>(i + 1), "naked-time-literal",
+                  "raw power-of-1000 factor in a time expression; use "
+                  "_us/_ms literals, kMicrosecond/kSecond, or a named "
+                  "converter from common/units.hpp");
+    }
+  }
+}
+
+// --- header-hygiene --------------------------------------------------------
+
+void rule_header_hygiene(const RuleContext& ctx, Sink& sink) {
+  if (!is_header(ctx.path)) return;
+  bool has_pragma = false;
+  for (const auto& line : ctx.code) {
+    if (contains(line, "#pragma once")) {
+      has_pragma = true;
+      break;
+    }
+  }
+  if (!has_pragma) {
+    sink.report(1, "header-hygiene", "header is missing #pragma once");
+  }
+  static const std::regex using_ns_re(R"(^\s*using\s+namespace\b)");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (std::regex_search(ctx.code[i], using_ns_re)) {
+      sink.report(static_cast<int>(i + 1), "header-hygiene",
+                  "`using namespace` in a header leaks into every "
+                  "includer; qualify names instead");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "wall-clock",         "nondeterministic-rng", "unordered-iteration",
+      "naked-time-literal", "header-hygiene",
+  };
+  return kNames;
+}
+
+std::vector<AllowEntry> parse_allowlist(std::string_view text) {
+  std::vector<AllowEntry> entries;
+  for (const auto& line : split_lines(text)) {
+    const auto hash = line.find('#');
+    std::string body = line.substr(0, hash);
+    std::istringstream is(body);
+    AllowEntry e;
+    if (is >> e.rule >> e.path_substring) entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view text,
+                                 const Config& config) {
+  const std::string stripped = strip_comments_and_strings(text);
+  const auto code = split_lines(stripped);
+  const auto raw = split_lines(text);
+  std::vector<Finding> findings;
+  Sink sink(path, raw, config, findings);
+  const RuleContext ctx{path, code, raw, stripped};
+  rule_wall_clock(ctx, sink);
+  rule_rng(ctx, sink);
+  rule_unordered_iteration(ctx, sink);
+  rule_naked_time_literal(ctx, sink);
+  rule_header_hygiene(ctx, sink);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path, const Config& config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {Finding{path, 0, "io-error", "cannot open file"}};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_source(path, ss.str(), config);
+}
+
+}  // namespace albatross::lint

@@ -1,0 +1,71 @@
+// albatross-lint: domain-aware static analysis for the Albatross tree.
+//
+// A deliberately small token/regex linter (no libclang dependency) that
+// enforces the determinism and unit-discipline rules the simulation and
+// the conformance harness depend on (docs/STATIC_ANALYSIS.md):
+//
+//   wall-clock            no real-time reads anywhere (system_clock,
+//                         time(), gettimeofday, ...): virtual time only.
+//   nondeterministic-rng  no rand()/std::random_device/mt19937 outside
+//                         src/common/rng — fuzz replay needs one seeded
+//                         PRNG.
+//   unordered-iteration   no iteration over unordered_{map,set} in
+//                         src/nic, src/gateway, src/sim, src/check,
+//                         where hash-map order would leak into packet
+//                         ordering or JSON/report output.
+//   naked-time-literal    no raw power-of-1000 literals multiplied into
+//                         time expressions outside common/types.hpp and
+//                         common/units.hpp — use _us/_ms literals,
+//                         kMicrosecond/kSecond, or the named converters.
+//   header-hygiene        headers carry #pragma once and never
+//                         `using namespace` at file scope.
+//
+// Suppression: append `lint:allow(<rule>)` in a comment on the flagged
+// line (self-documenting, reviewed in place), or add `<rule> <path
+// substring>` to an allowlist file (tools/lint/allowlist.txt).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace albatross::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// One `rule path-substring` allowlist entry; `rule` may be `*`.
+struct AllowEntry {
+  std::string rule;
+  std::string path_substring;
+};
+
+struct Config {
+  std::vector<AllowEntry> allow;
+};
+
+/// Parses an allowlist file: one `<rule> <path-substring>` pair per
+/// line; `#` starts a comment; blank lines ignored.
+[[nodiscard]] std::vector<AllowEntry> parse_allowlist(std::string_view text);
+
+/// Lints one translation unit given its (repo-relative or absolute)
+/// path and full source text. The path decides which path-scoped rules
+/// apply; the text is scanned after comment/string stripping, except
+/// that `lint:allow(...)` markers are honoured from the raw comments.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
+                                               std::string_view text,
+                                               const Config& config = {});
+
+/// Reads and lints a file on disk. Unreadable files produce a single
+/// `io-error` finding rather than a crash.
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& path,
+                                             const Config& config = {});
+
+/// Names of all implemented rules, for `--list-rules` and the tests.
+[[nodiscard]] const std::vector<std::string>& rule_names();
+
+}  // namespace albatross::lint
