@@ -19,12 +19,16 @@ FuzzReport run_trace(const FuzzTrace& trace) {
   pc.nic.gop.stage1_rate_pps = sc.gop_stage1_pps;
   pc.nic.gop.stage2_rate_pps = sc.gop_stage2_pps;
   pc.nic.gop.burst_seconds = sc.gop_burst_seconds;
+  // The pump batch follows the pod burst so a burst differential run
+  // exercises both batching mechanisms at once.
+  pc.ingress_batch = sc.rx_burst;
   Platform platform(pc);
 
   GwPodConfig gp;
   gp.service = sc.service;
   gp.data_cores = sc.data_cores;
   gp.drop_flag_enabled = sc.drop_flag;
+  gp.rx_burst = sc.rx_burst;
   gp.seed = sc.seed | 1;
   const PodId pod = platform.create_pod(gp, 0, PktDirConfig{}, sc.mode);
 
@@ -75,6 +79,23 @@ FuzzReport run_trace(const FuzzTrace& trace) {
   report.delivered = platform.telemetry(pod).delivered;
   report.events = platform.loop().events_processed();
   report.ledger_checked = !harness.ledger_skipped();
+
+  const PodTelemetry& tel = platform.telemetry(pod);
+  const GwPodStats& ps = platform.pod(pod).stats();
+  report.ledger.offered = tel.offered;
+  report.ledger.delivered = tel.delivered;
+  report.ledger.delivered_in_order = tel.delivered_in_order;
+  report.ledger.delivered_disordered = tel.delivered_disordered;
+  report.ledger.dropped_rate_limit = tel.dropped_rate_limit;
+  report.ledger.dropped_reorder_full = tel.dropped_reorder_full;
+  report.ledger.blackholed = tel.blackholed;
+  report.ledger.flow_order_violations = tel.flow_order_violations;
+  report.ledger.pod_processed = ps.processed;
+  report.ledger.pod_forwarded = ps.forwarded;
+  report.ledger.pod_dropped_service = ps.dropped_service;
+  report.ledger.pod_dropped_ring = ps.dropped_ring;
+  report.ledger.pod_protocol_packets = ps.protocol_packets;
+  report.ledger.pod_drop_flags_sent = ps.drop_flags_sent;
   harness.detach();
   return report;
 }
@@ -108,9 +129,10 @@ FuzzTrace shrink_trace(const FuzzTrace& failing, std::size_t max_runs) {
 }
 
 FuzzOutcome fuzz_one(std::uint64_t seed, std::uint64_t ticks,
-                     ChaosMode chaos) {
+                     ChaosMode chaos, std::size_t rx_burst) {
   FuzzOutcome out;
   out.trace = generate_trace(seed, ticks, chaos);
+  out.trace.scenario.rx_burst = rx_burst == 0 ? 1 : rx_burst;
   out.report = run_trace(out.trace);
   if (out.report.violated()) {
     out.trace = shrink_trace(out.trace);

@@ -12,6 +12,30 @@
 
 namespace albatross::check {
 
+/// Packet-conservation ledger of one trace execution: every offered
+/// packet must be accounted for in exactly one bucket. The burst
+/// differential harness compares these field-for-field between
+/// rx_burst=1 and rx_burst=32 runs of the same trace — burst size must
+/// never change any of them (docs/BURST_API.md).
+struct PodLedger {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_in_order = 0;
+  std::uint64_t delivered_disordered = 0;
+  std::uint64_t dropped_rate_limit = 0;
+  std::uint64_t dropped_reorder_full = 0;
+  std::uint64_t blackholed = 0;
+  std::uint64_t flow_order_violations = 0;
+  std::uint64_t pod_processed = 0;
+  std::uint64_t pod_forwarded = 0;
+  std::uint64_t pod_dropped_service = 0;
+  std::uint64_t pod_dropped_ring = 0;
+  std::uint64_t pod_protocol_packets = 0;
+  std::uint64_t pod_drop_flags_sent = 0;
+
+  bool operator==(const PodLedger&) const = default;
+};
+
 /// Outcome of one trace execution.
 struct FuzzReport {
   std::uint64_t violations = 0;
@@ -21,6 +45,7 @@ struct FuzzReport {
   std::uint64_t delivered = 0;
   std::uint64_t events = 0;         ///< loop events processed
   bool ledger_checked = false;      ///< false = loop never quiesced
+  PodLedger ledger;                 ///< full conservation accounting
 
   [[nodiscard]] bool violated() const { return violations != 0; }
 };
@@ -40,7 +65,10 @@ struct FuzzOutcome {
   FuzzReport report;    ///< report for `trace` as returned
 };
 
+/// `rx_burst` overrides the generated scenario's pod/pump burst size
+/// (1 = legacy per-packet activation; the burst differential runs the
+/// same seed at 1 and 32 and diffs the reports).
 FuzzOutcome fuzz_one(std::uint64_t seed, std::uint64_t ticks,
-                     ChaosMode chaos);
+                     ChaosMode chaos, std::size_t rx_burst = 1);
 
 }  // namespace albatross::check

@@ -167,6 +167,7 @@ std::string trace_to_json(const FuzzTrace& trace) {
   scenario["packet_bytes"] =
       JsonValue(static_cast<std::int64_t>(sc.packet_bytes));
   scenario["drop_flag"] = JsonValue(sc.drop_flag);
+  scenario["rx_burst"] = JsonValue(static_cast<std::int64_t>(sc.rx_burst));
   scenario["horizon_ns"] = JsonValue(sc.horizon.count());
   scenario["gop_stage1_pps"] = JsonValue(sc.gop_stage1_pps);
   scenario["gop_stage2_pps"] = JsonValue(sc.gop_stage2_pps);
@@ -224,6 +225,8 @@ std::optional<FuzzTrace> trace_from_json(const std::string& text) {
   sc.flows = static_cast<std::uint32_t>(s.get_int("flows", 128));
   sc.packet_bytes = static_cast<std::size_t>(s.get_int("packet_bytes", 256));
   sc.drop_flag = s.get_bool("drop_flag", true);
+  sc.rx_burst = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, s.get_int("rx_burst", 1)));
   const NanoTime default_horizon = 10'000 * kFuzzTick;  // ticks, not ns
   sc.horizon = Nanos{s.get_int("horizon_ns", default_horizon.count())};
   sc.gop_stage1_pps = s.get_number("gop_stage1_pps", sc.gop_stage1_pps);

@@ -58,6 +58,11 @@ struct TraceScenario {
   std::uint32_t flows = 128;
   std::size_t packet_bytes = 256;
   bool drop_flag = true;
+  /// RX burst for the pod run loop AND the source pump batch. Burst size
+  /// must never change behaviour (docs/BURST_API.md); the burst
+  /// differential harness runs the same trace at 1 and 32 and requires
+  /// identical ledgers/verdicts.
+  std::size_t rx_burst = 1;
   NanoTime horizon = 10'000 * kFuzzTick;
   /// Scaled-down GOP rates so the two-stage limiter actually meters at
   /// fuzz traffic volumes (the production 8 Mpps default never drops at

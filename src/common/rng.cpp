@@ -89,33 +89,47 @@ double Rng::next_pareto(double xm, double alpha) {
 }
 
 ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
-  cdf_.resize(n);
+  pmf_.resize(n);
   double acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    acc += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
-    cdf_[i] = acc;
+    pmf_[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    acc += pmf_[i];
   }
-  for (auto& v : cdf_) v /= acc;
-}
+  for (auto& v : pmf_) v /= acc;
 
-std::size_t ZipfSampler::sample(Rng& rng) const {
-  const double u = rng.next_double();
-  // Binary search for the first CDF entry >= u.
-  std::size_t lo = 0, hi = cdf_.size();
-  while (lo < hi) {
-    const std::size_t mid = lo + (hi - lo) / 2;
-    if (cdf_[mid] < u) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
+  // Vose's stable construction of the alias table.
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = pmf_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
   }
-  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly-1 columns up to rounding.
+  for (const std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
 }
 
 double ZipfSampler::pmf(std::size_t rank) const {
-  if (rank >= cdf_.size()) return 0.0;
-  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  return rank < pmf_.size() ? pmf_[rank] : 0.0;
 }
 
 }  // namespace albatross

@@ -54,20 +54,34 @@ class Rng {
 /// Precomputed Zipf(alpha) sampler over ranks [0, n). Cloud gateway flow
 /// popularity is heavily skewed: a few dominant flows carry most packets
 /// (the RSS overload motivation in §1), which Zipf captures.
+///
+/// Sampling uses Walker's alias method: O(1) per draw (two array reads)
+/// instead of an O(log n) binary search over the CDF — this is on the
+/// per-packet hot path of every traffic generator. Exactly one uniform
+/// draw is consumed per sample, same as the CDF search it replaced, so
+/// the generator's downstream random stream is unaffected.
 class ZipfSampler {
  public:
   ZipfSampler(std::size_t n, double alpha);
 
   /// Draws a rank in [0, n); rank 0 is the most popular.
-  std::size_t sample(Rng& rng) const;
+  std::size_t sample(Rng& rng) const {
+    const double x = rng.next_double() * static_cast<double>(prob_.size());
+    auto slot = static_cast<std::size_t>(x);
+    if (slot >= prob_.size()) slot = prob_.size() - 1;  // x == n edge
+    const double frac = x - static_cast<double>(slot);
+    return frac < prob_[slot] ? slot : alias_[slot];
+  }
 
-  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
 
   /// Probability mass of a given rank.
   [[nodiscard]] double pmf(std::size_t rank) const;
 
  private:
-  std::vector<double> cdf_;
+  std::vector<double> pmf_;            ///< normalised rank masses
+  std::vector<double> prob_;           ///< alias acceptance thresholds
+  std::vector<std::uint32_t> alias_;   ///< alias targets
 };
 
 }  // namespace albatross

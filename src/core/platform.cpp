@@ -1,5 +1,9 @@
 #include "core/platform.hpp"
 
+#include <algorithm>
+#include <array>
+#include <span>
+
 #include "container/pod_spec.hpp"
 
 namespace albatross {
@@ -33,7 +37,9 @@ PodId Platform::create_pod(const GwPodConfig& pod_cfg,
     const NanoTime at_fpga = nic_.tx_submit(id, submit, pkt->size());
     Packet* p = pkt.release();
     loop_.schedule_at(at_fpga, [this, id, p, at_fpga] {
-      handle_emissions(nic_.egress(PacketPtr(p), id, at_fpga), id);
+      egress_scratch_.clear();
+      nic_.egress_into(PacketPtr(p), id, at_fpga, egress_scratch_);
+      handle_emissions(egress_scratch_, id);
       arm_reorder_timer(id);
     });
   });
@@ -55,10 +61,48 @@ void Platform::attach_source(std::unique_ptr<TrafficSource> src, PodId pod) {
 
 void Platform::pump(std::size_t source_idx) {
   SourceBinding& b = sources_[source_idx];
-  PacketPtr pkt = b.src->emit();
-  if (pkt != nullptr) {
-    handle_ingress(std::move(pkt), b.pod, loop_.now());
+  const std::size_t max_batch =
+      std::min(std::max<std::size_t>(cfg_.ingress_batch, 1),
+               NicPipeline::kMaxIngressBurst);
+  const NanoTime window_end = loop_.now() + cfg_.ingress_batch_window;
+
+  // Draw up to a batch of arrivals from this source; each keeps its
+  // exact arrival timestamp. Arrivals past the window stay queued for
+  // the next activation so the batch never reaches far ahead of the
+  // clock.
+  std::array<PacketPtr, NicPipeline::kMaxIngressBurst> pkts;
+  std::array<NanoTime, NicPipeline::kMaxIngressBurst> at;
+  std::size_t n = 0;
+  while (n < max_batch) {
+    const auto t = b.src->next_time();
+    if (!t || (n > 0 && *t > window_end)) break;
+    const NanoTime arrival = *t;
+    PacketPtr pkt = b.src->emit();
+    if (pkt != nullptr) {
+      pkts[n] = std::move(pkt);
+      at[n] = arrival;
+      ++n;
+    }
   }
+
+  if (n == 1 || offline_[b.pod]) {
+    // Scalar path (also the blackhole path, where per-packet counting
+    // is all that happens anyway).
+    for (std::size_t i = 0; i < n; ++i) {
+      handle_ingress(std::move(pkts[i]), b.pod, at[i]);
+    }
+  } else if (n > 1) {
+    PodTelemetry& tel = telemetry_[b.pod];
+    tel.offered += n;
+    for (std::size_t i = 0; i < n; ++i) ++tenants_[pkts[i]->vni].offered;
+    std::array<IngressResult, NicPipeline::kMaxIngressBurst> results;
+    nic_.ingress_burst(std::span(pkts.data(), n), std::span(at.data(), n),
+                       b.pod, std::span(results.data(), n));
+    for (std::size_t i = 0; i < n; ++i) {
+      finish_ingress(std::move(results[i]), b.pod);
+    }
+  }
+
   const auto t = b.src->next_time();
   if (t) {
     loop_.schedule_at(*t, [this, source_idx] { pump(source_idx); });
@@ -77,7 +121,12 @@ void Platform::handle_ingress(PacketPtr pkt, PodId pod, NanoTime now) {
     return;
   }
 
-  IngressResult r = nic_.ingress(std::move(pkt), pod, now);
+  finish_ingress(nic_.ingress(std::move(pkt), pod, now), pod);
+}
+
+void Platform::finish_ingress(IngressResult r, PodId pod) {
+  PodTelemetry& tel = telemetry_[pod];
+  TenantCounters& tc = tenants_[r.pkt->vni];
   switch (r.outcome) {
     case IngressOutcome::kDroppedRateLimit:
       ++tel.dropped_rate_limit;
@@ -109,7 +158,7 @@ void Platform::handle_ingress(PacketPtr pkt, PodId pod, NanoTime now) {
   });
 }
 
-void Platform::handle_emissions(std::vector<EgressEmission> emissions,
+void Platform::handle_emissions(std::vector<EgressEmission>& emissions,
                                 PodId pod) {
   PodTelemetry& tel = telemetry_[pod];
   const bool offload = nic_.session_offload_enabled(pod);
@@ -158,7 +207,9 @@ void Platform::arm_reorder_timer(PodId pod) {
       // regardless, so stale timers are cheap no-ops.
     }
     armed_deadline_[pod] = NanoTime{};
-    handle_emissions(nic_.drain_expired(pod, loop_.now()), pod);
+    egress_scratch_.clear();
+    nic_.drain_expired_into(pod, loop_.now(), egress_scratch_);
+    handle_emissions(egress_scratch_, pod);
     arm_reorder_timer(pod);
   });
 }

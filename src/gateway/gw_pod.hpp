@@ -26,6 +26,12 @@ struct GwPodConfig {
   std::uint16_t ctrl_cores = 2;
   NumaNodeId numa_node{};
   std::size_t rx_ring_capacity = 1024;
+  /// RX drain burst size (clamped to PacketBurst::kMaxBurst; 0 -> 1).
+  /// Burst size never changes the packet ledger — completions are
+  /// chained per packet so ring occupancy, drop points and egress order
+  /// are identical for any value (docs/BURST_API.md) — it only changes
+  /// how much work each event-loop activation amortizes.
+  std::size_t rx_burst = 32;
   /// Send the active drop flag to the NIC on CPU-side drops (Fig. 12
   /// ablation: disabling it turns every drop into a 100us HOL stall).
   bool drop_flag_enabled = true;
@@ -97,12 +103,29 @@ class GwPod {
     NanoTime busy_ns = NanoTime{0};
     NanoTime stall_until = NanoTime{0};
     std::uint64_t processed = 0;
+    /// In-flight burst: packets popped from the ring whose outcomes are
+    /// precomputed; emitted one per completion event.
+    PacketBurst burst;
+    std::size_t burst_next = 0;      ///< next packet index to emit
+    NanoTime next_done = NanoTime{0};///< completion time of burst_next
     Core(std::size_t cap) : ring(cap) {}
   };
 
+  /// Pops up to rx_burst packets, runs the service over the whole burst
+  /// and dispatches the first completion. Idle-transitions when empty.
   void start_core(CoreId core, NanoTime now);
-  void finish_packet(CoreId core, PacketPtr pkt, ServiceOutcome outcome,
-                     NanoTime done);
+  /// Charges packet `burst_next` (balancer stall + injected-stall
+  /// carryover) and schedules its emit event.
+  void dispatch_next(CoreId core, NanoTime now);
+  /// Emit event body: emits packet `burst_next`, then dispatches the
+  /// burst's next packet (releasing its ring credit) or refills.
+  void emit_next(CoreId core);
+  void emit_packet(CoreId core, PacketPtr pkt, ServiceOutcome outcome,
+                   NanoTime done);
+  /// Derived per-packet service-rng seed: makes service randomness a
+  /// pure function of (pod seed, packet identity) so outcomes do not
+  /// depend on burst size. Never returns 0.
+  [[nodiscard]] std::uint64_t packet_rng_seed(const Packet& pkt) const;
 
   GwPodConfig cfg_;
   EventLoop& loop_;

@@ -2,6 +2,19 @@
 
 namespace albatross {
 
+void Service::process_burst(PacketBurst& burst, CoreId core, bool flow_affine,
+                            NanoTime now, Rng& rng) {
+  for (std::size_t i = 0; i < burst.count; ++i) {
+    const bool affine = burst.flow_affine[i] || flow_affine;
+    if (burst.rng_seed[i] != 0) {
+      Rng pkt_rng(burst.rng_seed[i]);
+      burst.outcomes[i] = process(*burst.pkts[i], core, affine, now, pkt_rng);
+    } else {
+      burst.outcomes[i] = process(*burst.pkts[i], core, affine, now, rng);
+    }
+  }
+}
+
 std::string_view service_name(ServiceKind k) {
   switch (k) {
     case ServiceKind::kVpcVpc:

@@ -7,6 +7,7 @@
 // emerges rather than being hard-coded.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -61,11 +62,37 @@ struct ServiceOutcome {
 struct ServiceFaults {
   double slow_branch_probability = 0.0;  ///< e.g. 1e-4
   NanoTime slow_branch_ns = 2 * kMillisecond;
-  /// Heavy-tail jitter of normal processing (Pareto tail, keeps most
-  /// packets under the 50us ceiling, §4.1-3).
+  /// Heavy-tail jitter of normal processing (truncated Pareto). §4.1-3:
+  /// normal packets stay under the 50us processing ceiling — stalls long
+  /// enough to trip the reorder HOL timeout are modelled exclusively by
+  /// the slow-branch fault above, so the truncation cap keeps the two
+  /// fault populations disjoint. 0 disables the cap.
   double jitter_probability = 2e-3;
   NanoTime jitter_scale_ns = 8 * kMicrosecond;
   double jitter_pareto_alpha = 2.2;
+  NanoTime jitter_cap_ns = 50 * kMicrosecond;
+};
+
+/// A burst of packets drained from one RX ring, laid out
+/// struct-of-arrays: the owning pointers sit in one lane and the
+/// per-packet metadata the service loop actually touches (affinity,
+/// service-rng stream, outcome) in separate contiguous lanes, so a
+/// stage-split service walks dense arrays instead of chasing Packet
+/// objects (docs/BURST_API.md).
+struct PacketBurst {
+  static constexpr std::size_t kMaxBurst = 32;
+
+  std::size_t count = 0;
+  std::array<PacketPtr, kMaxBurst> pkts;
+  /// Whether this core sees the packet's flow repeatedly (RSS / pinned
+  /// class) — the cache model's private-cache bonus signal.
+  std::array<bool, kMaxBurst> flow_affine{};
+  /// Per-packet service-rng stream seed. Non-zero seeds make service
+  /// randomness a pure function of the packet (burst-size invariant,
+  /// which the burst-vs-scalar differential oracle requires); zero
+  /// falls back to the caller's shared Rng.
+  std::array<std::uint64_t, kMaxBurst> rng_seed{};
+  std::array<ServiceOutcome, kMaxBurst> outcomes{};
 };
 
 class Service {
@@ -79,6 +106,14 @@ class Service {
   /// repeatedly (RSS) or not (PLB).
   virtual ServiceOutcome process(Packet& pkt, CoreId core, bool flow_affine,
                                  NanoTime now, Rng& rng) = 0;
+
+  /// Processes `burst.count` packets, writing one outcome per lane
+  /// entry. `flow_affine` is the burst-wide hint; the per-packet lane
+  /// wins. The default implementation loops the scalar process() (with
+  /// a per-packet Rng when the seed lane is set), so services migrate
+  /// to batched implementations incrementally.
+  virtual void process_burst(PacketBurst& burst, CoreId core,
+                             bool flow_affine, NanoTime now, Rng& rng);
 };
 
 struct ServiceProfile {

@@ -23,28 +23,63 @@ class BaseVpcService : public Service {
   ServiceOutcome process(Packet& pkt, CoreId core, bool flow_affine,
                          NanoTime now, Rng& rng) override {
     ServiceOutcome out;
-    out.cpu_ns = profile_.base_ns;
-    for (std::uint16_t i = 0; i < profile_.mem_accesses; ++i) {
-      out.cpu_ns += cache_.access_latency(rng, numa_, numa_, flow_affine);
-    }
-    // Heavy-tail jitter: complex software stacks on general-purpose
-    // CPUs occasionally stall (interrupts, TLB, allocator slow paths).
-    if (rng.next_bool(faults_.jitter_probability)) {
-      out.cpu_ns += Nanos{static_cast<std::int64_t>(rng.next_pareto(
-          static_cast<double>(faults_.jitter_scale_ns.count()),
-          faults_.jitter_pareto_alpha))};
-    }
-    if (faults_.slow_branch_probability > 0.0 &&
-        rng.next_bool(faults_.slow_branch_probability)) {
-      out.cpu_ns += faults_.slow_branch_ns;  // the §4.1 corner-case bug
-    }
+    out.cpu_ns = cost_model(flow_affine, rng);
     out.action = forward(pkt, core, now);
     return out;
+  }
+
+  /// Batched override: stage-split over the SoA lanes — the cost model
+  /// walks the dense metadata lanes for the whole burst first, then the
+  /// functional forward chain runs per packet. Outcome-identical to the
+  /// scalar loop because the cost stage draws only from the per-packet
+  /// rng stream and the forward stage draws nothing.
+  void process_burst(PacketBurst& burst, CoreId core, bool flow_affine,
+                     NanoTime now, Rng& rng) override {
+    for (std::size_t i = 0; i < burst.count; ++i) {
+      if (burst.rng_seed[i] == 0) {
+        // Unseeded lanes share one rng: stage-splitting would reorder
+        // its draws, so fall back to the sequential default.
+        Service::process_burst(burst, core, flow_affine, now, rng);
+        return;
+      }
+    }
+    for (std::size_t i = 0; i < burst.count; ++i) {
+      Rng pkt_rng(burst.rng_seed[i]);
+      burst.outcomes[i].cpu_ns =
+          cost_model(burst.flow_affine[i] || flow_affine, pkt_rng);
+    }
+    for (std::size_t i = 0; i < burst.count; ++i) {
+      burst.outcomes[i].action = forward(*burst.pkts[i], core, now);
+    }
   }
 
  protected:
   /// Service-specific functional chain; returns drop/forward.
   virtual ServiceAction forward(Packet& pkt, CoreId core, NanoTime now) = 0;
+
+  /// Per-packet CPU-time model: calibrated base cost + sampled memory
+  /// accesses + heavy-tail jitter (interrupts, TLB, allocator slow
+  /// paths) + the §4.1 corner-case slow branch.
+  NanoTime cost_model(bool flow_affine, Rng& rng) {
+    NanoTime cpu = profile_.base_ns;
+    for (std::uint16_t i = 0; i < profile_.mem_accesses; ++i) {
+      cpu += cache_.access_latency(rng, numa_, numa_, flow_affine);
+    }
+    if (rng.next_bool(faults_.jitter_probability)) {
+      auto jitter = Nanos{static_cast<std::int64_t>(rng.next_pareto(
+          static_cast<double>(faults_.jitter_scale_ns.count()),
+          faults_.jitter_pareto_alpha))};
+      if (faults_.jitter_cap_ns.count() > 0 && jitter > faults_.jitter_cap_ns) {
+        jitter = faults_.jitter_cap_ns;
+      }
+      cpu += jitter;
+    }
+    if (faults_.slow_branch_probability > 0.0 &&
+        rng.next_bool(faults_.slow_branch_probability)) {
+      cpu += faults_.slow_branch_ns;
+    }
+    return cpu;
+  }
 
   [[nodiscard]] ServiceAction acl_gate(const Packet& pkt) const {
     return tables_.acl.evaluate(pkt.tuple) == AclAction::kDeny

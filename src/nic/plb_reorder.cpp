@@ -53,10 +53,36 @@ void ReorderQueue::writeback(PacketPtr pkt, const PlbMeta& meta, NanoTime now,
   }
   const std::uint32_t s = slot(meta.psn);
   const Psn expected = head_ + off;  // unique in-window PSN for this slot
-  if (meta.psn != expected) {
+  const bool stale = meta.psn != expected;
+  if (stale) {
     // Stale packet whose low 12 bits alias into the window; it will be
     // caught by the reorder check's full-PSN comparison (Case 3).
     ++stats_.legal_check_alias;
+  }
+  if (bitmap_[s].valid) {
+    // Slot collision: two full PSNs sharing the same 12-bit slot have
+    // both written back before the reorder check visited it. Only the
+    // in-window PSN may hold the slot — the stale party leaves
+    // best-effort right here (drop notifications release silently).
+    // Overwriting instead destroys a packet with no emission and no
+    // counter, which the wire-conservation ledger flags as loss.
+    if (stale) {
+      if (!meta.drop && pkt != nullptr) {
+        ++stats_.best_effort_tx;
+        if (probe_ != nullptr) probe_->on_best_effort(ordq_id_, meta.psn, now);
+        out.push_back(ReorderEgress{std::move(pkt), false, meta});
+      }
+      return;
+    }
+    if (!bitmap_[s].drop && buf_[s] != nullptr) {
+      ++stats_.best_effort_tx;
+      if (probe_ != nullptr) {
+        probe_->on_best_effort(ordq_id_, bitmap_[s].psn, now);
+      }
+      out.push_back(ReorderEgress{std::move(buf_[s]), false, buf_meta_[s]});
+    } else {
+      buf_[s].reset();
+    }
   }
   buf_[s] = std::move(pkt);
   buf_meta_[s] = meta;

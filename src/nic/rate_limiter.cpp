@@ -15,6 +15,7 @@ TenantRateLimiter::TenantRateLimiter(RateLimiterConfig cfg) : cfg_(cfg) {
 }
 
 TenantRateLimiter::PreEntry* TenantRateLimiter::find_pre(Vni vni) {
+  if (pre_in_use_ == 0) return nullptr;
   for (auto& e : pre_) {
     if (e.in_use && e.vni == vni) return &e;
   }
@@ -23,6 +24,7 @@ TenantRateLimiter::PreEntry* TenantRateLimiter::find_pre(Vni vni) {
 
 const TenantRateLimiter::PreEntry* TenantRateLimiter::find_pre(
     Vni vni) const {
+  if (pre_in_use_ == 0) return nullptr;
   for (const auto& e : pre_) {
     if (e.in_use && e.vni == vni) return &e;
   }
@@ -37,6 +39,7 @@ bool TenantRateLimiter::add_bypass(Vni vni) {
   for (auto& e : pre_) {
     if (!e.in_use) {
       e = PreEntry{vni, true, true, TokenBucket{}};
+      ++pre_in_use_;
       return true;
     }
   }
@@ -54,6 +57,7 @@ bool TenantRateLimiter::install_heavy_hitter(Vni vni, NanoTime now) {
       e = PreEntry{vni, true, false,
                    TokenBucket(cfg_.pre_meter_rate_pps,
                                cfg_.pre_meter_rate_pps * cfg_.burst_seconds)};
+      ++pre_in_use_;
       ++stats_.heavy_hitters_installed;
       return true;
     }
@@ -64,6 +68,7 @@ bool TenantRateLimiter::install_heavy_hitter(Vni vni, NanoTime now) {
 bool TenantRateLimiter::uninstall(Vni vni) {
   if (PreEntry* e = find_pre(vni)) {
     e->in_use = false;
+    --pre_in_use_;
     return true;
   }
   return false;
@@ -120,7 +125,7 @@ RlVerdict TenantRateLimiter::admit(Vni vni, NanoTime now) {
   }
 
   // Stage 1: coarse color table, direct-indexed by VNI % 4K.
-  if (color_table_[vni % color_table_.size()].consume(now)) {
+  if (color_table_[table_index(vni, color_table_.size())].consume(now)) {
     ++stats_.passed;
     if (probe_ != nullptr) probe_->on_admit(vni, RlStage::kStage1, true, now);
     return RlVerdict::kPass;
@@ -129,7 +134,8 @@ RlVerdict TenantRateLimiter::admit(Vni vni, NanoTime now) {
 
   // Stage 2: fine meter table, hash-indexed. Collisions here are the
   // false-positive source the pre_check stage exists to mitigate.
-  const bool ok2 = meter_table_[mix64(vni) % meter_table_.size()].consume(now);
+  const bool ok2 =
+      meter_table_[table_index(mix64(vni), meter_table_.size())].consume(now);
   if (probe_ != nullptr) probe_->on_admit(vni, RlStage::kStage2, ok2, now);
   if (ok2) {
     ++stats_.passed_marked;
@@ -138,6 +144,14 @@ RlVerdict TenantRateLimiter::admit(Vni vni, NanoTime now) {
   ++stats_.dropped_stage2;
   sample_red(vni, now);
   return RlVerdict::kDropStage2;
+}
+
+void TenantRateLimiter::admit_burst(std::span<const Vni> vnis,
+                                    std::span<const NanoTime> times,
+                                    std::span<RlVerdict> out) {
+  for (std::size_t i = 0; i < vnis.size(); ++i) {
+    out[i] = admit(vnis[i], times[i]);
+  }
 }
 
 std::size_t TenantRateLimiter::sram_bytes() const {

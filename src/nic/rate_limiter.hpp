@@ -26,6 +26,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "check/hooks.hpp"
@@ -73,6 +74,13 @@ class TenantRateLimiter {
   /// Applies the limiter to one packet of tenant `vni` at time `now`.
   RlVerdict admit(Vni vni, NanoTime now);
 
+  /// Burst admit: one verdict per (vni, time) pair, written positionally
+  /// into `out`. Equivalent to calling admit() in index order — bucket
+  /// state advances packet by packet — but lets the ingress pipeline
+  /// keep the meter tables hot across a whole RX batch.
+  void admit_burst(std::span<const Vni> vnis, std::span<const NanoTime> times,
+                   std::span<RlVerdict> out);
+
   /// Configures a top-tier tenant to bypass all rate limiting.
   bool add_bypass(Vni vni);
   /// Manually installs a tenant into pre_check/pre_meter (the planned
@@ -117,9 +125,21 @@ class TenantRateLimiter {
   [[nodiscard]] const PreEntry* find_pre(Vni vni) const;
   void sample_red(Vni vni, NanoTime now);
 
+  /// Table index for a direct/hash-mapped stage: bitmask when the table
+  /// size is a power of two (the shipped configuration — hardware tables
+  /// are), modulo otherwise.
+  [[nodiscard]] static std::size_t table_index(std::uint64_t v,
+                                               std::size_t size) {
+    return (size & (size - 1)) == 0 ? (v & (size - 1)) : (v % size);
+  }
+
   RateLimiterConfig cfg_;
   std::vector<TokenBucket> color_table_;
   std::vector<TokenBucket> meter_table_;
+  /// In-use entries in pre_: lets the per-packet pre_check probe skip
+  /// the 128-entry scan entirely while no heavy hitter is installed
+  /// (the overwhelmingly common state).
+  std::size_t pre_in_use_ = 0;
   std::array<PreEntry, kPreEntries> pre_;
   std::array<Candidate, kPreEntries> candidates_;
   NanoTime window_start_ = NanoTime{0};

@@ -1,10 +1,96 @@
 #include "packet/packet.hpp"
 
 #include <cassert>
+#include <vector>
 
 #include "common/endian.hpp"
 
 namespace albatross {
+
+namespace {
+
+// Size-classed freelists for PacketBuf. Classes are powers of two from
+// 256 B up to 16 KiB (>= kHeadroom + kMaxFrame + tailroom); anything
+// larger falls back to plain new[]/delete[]. thread_local keeps the pool
+// lock-free; the simulator itself is single-threaded.
+constexpr std::size_t kMinClassShift = 8;   // 256 B
+constexpr std::size_t kMaxClassShift = 14;  // 16 KiB
+constexpr std::size_t kNumClasses = kMaxClassShift - kMinClassShift + 1;
+constexpr std::size_t kMaxPooledPerClass = 16384;
+
+struct BufPool {
+  std::vector<std::uint8_t*> free_lists[kNumClasses];
+  ~BufPool() {
+    for (auto& fl : free_lists) {
+      for (std::uint8_t* p : fl) delete[] p;
+    }
+  }
+};
+
+BufPool& buf_pool() {
+  static thread_local BufPool pool;
+  return pool;
+}
+
+/// Class index for a pooled capacity, or kNumClasses if unpooled.
+std::size_t class_of(std::size_t cap) {
+  std::size_t sz = std::size_t{1} << kMinClassShift;
+  for (std::size_t cls = 0; cls < kNumClasses; ++cls, sz <<= 1) {
+    if (cap == sz) return cls;
+  }
+  return kNumClasses;
+}
+
+}  // namespace
+
+PacketBuf::PacketBuf(std::size_t min_bytes) {
+  std::size_t sz = std::size_t{1} << kMinClassShift;
+  std::size_t cls = 0;
+  while (sz < min_bytes && cls + 1 < kNumClasses) {
+    sz <<= 1;
+    ++cls;
+  }
+  if (sz < min_bytes) {
+    // Oversize (cannot happen for frames <= kMaxFrame): unpooled.
+    data_ = new std::uint8_t[min_bytes];
+    cap_ = min_bytes;
+    return;
+  }
+  auto& fl = buf_pool().free_lists[cls];
+  if (!fl.empty()) {
+    data_ = fl.back();
+    fl.pop_back();
+  } else {
+    data_ = new std::uint8_t[sz];
+  }
+  cap_ = sz;
+}
+
+PacketBuf::~PacketBuf() {
+  if (data_ == nullptr) return;
+  const std::size_t cls = class_of(cap_);
+  if (cls < kNumClasses) {
+    auto& fl = buf_pool().free_lists[cls];
+    if (fl.size() < kMaxPooledPerClass) {
+      fl.push_back(data_);
+      return;
+    }
+  }
+  delete[] data_;
+}
+
+PacketBuf& PacketBuf::operator=(PacketBuf&& o) noexcept {
+  if (this != &o) {
+    std::uint8_t* p = o.data_;
+    const std::size_t c = o.cap_;
+    o.data_ = nullptr;
+    o.cap_ = 0;
+    this->~PacketBuf();
+    data_ = p;
+    cap_ = c;
+  }
+  return *this;
+}
 
 void PlbMeta::serialize(std::uint8_t* out) const {
   store_be16(out, kMagic);
@@ -42,6 +128,8 @@ Packet::Packet(std::size_t capacity_bytes)
 std::unique_ptr<Packet> Packet::make_synthetic(const FiveTuple& tuple, Vni vni,
                                  std::size_t wire_len) {
   auto pkt = std::make_unique<Packet>(wire_len + kTailroomSlack);
+  // The pooled arena is uninitialized; the zero-payload contract of
+  // synthetic frames needs exactly this memset (and nothing wider).
   std::memset(pkt->append(wire_len), 0, wire_len);
   pkt->tuple = tuple;
   pkt->vni = vni;
@@ -50,16 +138,21 @@ std::unique_ptr<Packet> Packet::make_synthetic(const FiveTuple& tuple, Vni vni,
 
 void Packet::assign(std::span<const std::uint8_t> frame) {
   assert(frame.size() <= kMaxFrame);
+  assert(kHeadroom + frame.size() <= store_.size());
   offset_ = kHeadroom;
   len_ = frame.size();
   std::memcpy(store_.data() + offset_, frame.data(), frame.size());
+  PlbMeta probe;
+  has_plb_meta_ = peek_plb_meta(probe);
 }
 
 std::unique_ptr<Packet> Packet::clone() const {
-  auto p = std::make_unique<Packet>();
-  p->store_ = store_;
+  auto p = std::make_unique<Packet>(std::size_t{0});
+  p->store_ = PacketBuf(store_.size());
+  std::memcpy(p->store_.data(), store_.data(), offset_ + len_);
   p->offset_ = offset_;
   p->len_ = len_;
+  p->has_plb_meta_ = has_plb_meta_;
   p->rx_time = rx_time;
   p->nic_ingress_done = nic_ingress_done;
   p->tuple = tuple;
@@ -99,6 +192,7 @@ void Packet::trim(std::size_t n) {
 
 void Packet::attach_plb_meta(const PlbMeta& meta) {
   meta.serialize(append(PlbMeta::kWireSize));
+  has_plb_meta_ = true;
 }
 
 bool Packet::peek_plb_meta(PlbMeta& out) const {
@@ -109,6 +203,7 @@ bool Packet::peek_plb_meta(PlbMeta& out) const {
 bool Packet::strip_plb_meta(PlbMeta& out) {
   if (!peek_plb_meta(out)) return false;
   trim(PlbMeta::kWireSize);
+  has_plb_meta_ = false;
   return true;
 }
 

@@ -7,11 +7,39 @@
 #include <cstring>
 #include <memory>
 #include <span>
-#include <vector>
 
 #include "common/types.hpp"
 
 namespace albatross {
+
+/// Byte arena backing one Packet, recycled through a size-classed pool
+/// (mempool-style, like DPDK's rte_mempool): the simulator churns one
+/// buffer per modelled packet, and pooling removes the allocator and the
+/// page-zeroing from that path. Buffers come back UNINITIALIZED — every
+/// producer writes the region it later reads (assign/append callers
+/// serialise into the space they claim; Packet::make_synthetic zeroes
+/// its payload explicitly).
+class PacketBuf {
+ public:
+  PacketBuf() = default;
+  explicit PacketBuf(std::size_t min_bytes);
+  ~PacketBuf();
+  PacketBuf(const PacketBuf&) = delete;
+  PacketBuf& operator=(const PacketBuf&) = delete;
+  PacketBuf(PacketBuf&& o) noexcept : data_(o.data_), cap_(o.cap_) {
+    o.data_ = nullptr;
+    o.cap_ = 0;
+  }
+  PacketBuf& operator=(PacketBuf&& o) noexcept;
+
+  [[nodiscard]] std::uint8_t* data() { return data_; }
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return cap_; }
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t cap_ = 0;
+};
 
 /// PLB meta header carried with every PLB-mode packet from the NIC to the
 /// CPU and back (§4.1). Production attaches it at the packet *tail*
@@ -107,6 +135,10 @@ class Packet {
   bool strip_plb_meta(PlbMeta& out);
   /// Rewrites an attached trailer in place (e.g. GW pod sets drop flag).
   bool update_plb_meta(const PlbMeta& meta);
+  /// O(1) "is a trailer attached" check for hot paths, maintained by
+  /// attach/strip (and re-probed on assign). peek_plb_meta remains the
+  /// byte-validating probe for frames of unknown provenance.
+  [[nodiscard]] bool has_plb_meta() const { return has_plb_meta_; }
 
   // --- out-of-band metadata (rte_mbuf-style fields) ----------------------
   NanoTime rx_time = NanoTime{0};          ///< wire arrival timestamp
@@ -120,9 +152,10 @@ class Packet {
   std::uint64_t seq_in_flow = 0; ///< generator-assigned per-flow sequence
 
  private:
-  std::vector<std::uint8_t> store_;
+  PacketBuf store_;
   std::size_t offset_ = kHeadroom;
   std::size_t len_ = 0;
+  bool has_plb_meta_ = false;
 };
 
 using PacketPtr = std::unique_ptr<Packet>;

@@ -5,16 +5,24 @@
 namespace albatross {
 
 CacheModel::CacheModel(CacheConfig cfg, NumaConfig numa)
-    : cfg_(cfg), numa_(numa) {}
+    : cfg_(cfg), numa_(numa) {
+  recompute_hit_rate();
+}
 
-double CacheModel::l3_hit_rate() const {
-  if (working_set_ == 0) return 1.0;
+void CacheModel::recompute_hit_rate() {
+  if (working_set_ == 0) {
+    l3_hit_rate_ = 1.0;
+    return;
+  }
   const double f = static_cast<double>(cfg_.l3_bytes) /
                    static_cast<double>(working_set_);
-  if (f >= 1.0) return 1.0;
+  if (f >= 1.0) {
+    l3_hit_rate_ = 1.0;
+    return;
+  }
   // Zipf mass of the hottest f fraction of ranks:
   //   sum_{i<=fN} i^-a / sum_{i<=N} i^-a  ~=  f^(1-a)   (a < 1)
-  return std::pow(f, 1.0 - cfg_.reference_skew);
+  l3_hit_rate_ = std::pow(f, 1.0 - cfg_.reference_skew);
 }
 
 NanoTime CacheModel::access_latency(Rng& rng, NumaNodeId core_node,

@@ -38,13 +38,18 @@ class CacheModel {
 
   /// Declares the resident bytes of all forwarding tables (several GB
   /// for a loaded gateway).
-  void set_working_set_bytes(std::uint64_t bytes) { working_set_ = bytes; }
+  void set_working_set_bytes(std::uint64_t bytes) {
+    working_set_ = bytes;
+    recompute_hit_rate();
+  }
   [[nodiscard]] std::uint64_t working_set_bytes() const {
     return working_set_;
   }
 
   /// Steady-state L3 hit probability under the configured skew.
-  [[nodiscard]] double l3_hit_rate() const;
+  /// Cached: it only changes with the config or working set, but it is
+  /// consulted on every table access (several per packet).
+  [[nodiscard]] double l3_hit_rate() const { return l3_hit_rate_; }
 
   /// Samples the latency of one table access issued by a core on
   /// `core_node` against memory homed on `mem_node`.
@@ -60,12 +65,18 @@ class CacheModel {
   NumaTopology& numa() { return numa_; }
   [[nodiscard]] const NumaTopology& numa() const { return numa_; }
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
-  void set_config(const CacheConfig& cfg) { cfg_ = cfg; }
+  void set_config(const CacheConfig& cfg) {
+    cfg_ = cfg;
+    recompute_hit_rate();
+  }
 
  private:
+  void recompute_hit_rate();
+
   CacheConfig cfg_;
   NumaTopology numa_;
   std::uint64_t working_set_ = 4ull << 30;  // 4 GB default
+  double l3_hit_rate_ = 1.0;
 };
 
 }  // namespace albatross

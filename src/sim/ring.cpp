@@ -2,23 +2,56 @@
 
 namespace albatross {
 
-bool PacketRing::push(PacketPtr pkt) {
-  if (q_.size() >= capacity_) {
+PushResult PacketRing::push(PacketPtr pkt) {
+  if (size_ + held_ >= capacity_) {
     ++stats_.drops;
-    return false;
+    return PushResult::kFull;
   }
-  q_.push_back(std::move(pkt));
+  slots_[wrap(head_ + size_)] = std::move(pkt);
+  ++size_;
   ++stats_.enqueued;
-  if (q_.size() > stats_.high_watermark) stats_.high_watermark = q_.size();
-  return true;
+  if (size_ + held_ > stats_.high_watermark) {
+    stats_.high_watermark = size_ + held_;
+  }
+  return PushResult::kOk;
 }
 
 PacketPtr PacketRing::pop() {
-  if (q_.empty()) return nullptr;
-  PacketPtr p = std::move(q_.front());
-  q_.pop_front();
+  if (size_ == 0) return nullptr;
+  PacketPtr p = std::move(slots_[head_]);
+  head_ = wrap(head_ + 1);
+  --size_;
   ++stats_.dequeued;
   return p;
+}
+
+std::size_t PacketRing::push_burst(std::span<PacketPtr> pkts) {
+  const std::size_t used = size_ + held_;
+  const std::size_t room = used < capacity_ ? capacity_ - used : 0;
+  const std::size_t n = pkts.size() < room ? pkts.size() : room;
+  std::size_t tail = wrap(head_ + size_);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[tail] = std::move(pkts[i]);
+    tail = wrap(tail + 1);
+  }
+  size_ += n;
+  stats_.enqueued += n;
+  stats_.drops += pkts.size() - n;
+  if (size_ + held_ > stats_.high_watermark) {
+    stats_.high_watermark = size_ + held_;
+  }
+  return n;
+}
+
+std::size_t PacketRing::pop_burst(std::span<PacketPtr> out) {
+  const std::size_t n = out.size() < size_ ? out.size() : size_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::move(slots_[head_]);
+    head_ = wrap(head_ + 1);
+  }
+  size_ -= n;
+  stats_.dequeued += n;
+  return n;
 }
 
 }  // namespace albatross

@@ -46,6 +46,15 @@ Ipv4Address VmNcMap::synthetic_nc_ip(Vni vni, std::uint32_t vm_index) {
 
 std::size_t VmNcMap::populate_synthetic(std::uint32_t tenants,
                                         std::uint32_t vms_per_tenant) {
+  // Right-size the arena to the synthetic population (2x headroom for
+  // later migrations/inserts, floor of 1024): scaled-down experiments
+  // would otherwise scatter a few hundred entries across the default
+  // multi-megabyte table and turn every lookup into cold-DRAM probes
+  // that the cache model already charges for explicitly.
+  const std::size_t expected =
+      std::size_t{tenants} * std::size_t{vms_per_tenant};
+  table_ = CuckooTable<std::uint64_t, VmLocation>(
+      std::max<std::size_t>(expected * 2, 1024));
   std::size_t inserted = 0;
   for (Vni vni = 1; vni <= tenants; ++vni) {
     for (std::uint32_t vm = 0; vm < vms_per_tenant; ++vm) {

@@ -133,6 +133,80 @@ TEST(ReorderQueue, Case3AliasedStalePacket) {
   EXPECT_EQ(out[1].meta.psn, 8u);
 }
 
+TEST(ReorderQueue, SlotCollisionEvictsStaleOccupantBestEffort) {
+  // Same aliasing setup as Case 3, but the slot's true owner returns
+  // while the stale packet still occupies it. The stale occupant must
+  // leave best-effort at writeback time; overwriting it instead would
+  // destroy a packet with no emission and no counter (caught in the
+  // field by the ledger.wire conservation probe as delivered < forwards).
+  ReorderQueue q(8, kReorderTimeout);
+  std::vector<ReorderEgress> out;
+  for (int i = 0; i < 8; ++i) q.reserve(Nanos{0});
+  q.drain(kReorderTimeout + NanoTime{1}, out);
+  for (int i = 0; i < 8; ++i) q.reserve(200 * kMicrosecond);
+  // Stale psn 0 aliases onto psn 8's slot and sits there...
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(0),
+              201 * kMicrosecond, out);
+  EXPECT_TRUE(out.empty());
+  // ...until the true psn 8 writes back before any reorder-check pass.
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(8),
+              202 * kMicrosecond, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].in_order);
+  EXPECT_EQ(out[0].meta.psn, 0u);
+  // The owner then drains in order: both packets reached the wire.
+  q.drain(202 * kMicrosecond, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[1].in_order);
+  EXPECT_EQ(out[1].meta.psn, 8u);
+  EXPECT_EQ(q.stats().best_effort_tx, 1u);
+  EXPECT_EQ(q.stats().in_order_tx, 1u);
+}
+
+TEST(ReorderQueue, SlotCollisionStaleArrivalLeavesImmediately) {
+  // Reverse arrival order: the owner holds the slot and the stale alias
+  // arrives second. The alias goes straight out best-effort; the owner
+  // keeps its slot and still transmits in order.
+  ReorderQueue q(8, kReorderTimeout);
+  std::vector<ReorderEgress> out;
+  for (int i = 0; i < 8; ++i) q.reserve(Nanos{0});
+  q.drain(kReorderTimeout + NanoTime{1}, out);
+  for (int i = 0; i < 8; ++i) q.reserve(200 * kMicrosecond);
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(8),
+              201 * kMicrosecond, out);
+  EXPECT_TRUE(out.empty());
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(0),
+              202 * kMicrosecond, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].in_order);
+  EXPECT_EQ(out[0].meta.psn, 0u);
+  q.drain(202 * kMicrosecond, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[1].in_order);
+  EXPECT_EQ(out[1].meta.psn, 8u);
+}
+
+TEST(ReorderQueue, SlotCollisionStaleDropNotificationReleasesSilently) {
+  // A stale drop notification colliding with an occupied slot must
+  // never reach the wire: it releases silently and the owner drains
+  // in order.
+  ReorderQueue q(8, kReorderTimeout);
+  std::vector<ReorderEgress> out;
+  for (int i = 0; i < 8; ++i) q.reserve(Nanos{0});
+  q.drain(kReorderTimeout + NanoTime{1}, out);
+  for (int i = 0; i < 8; ++i) q.reserve(200 * kMicrosecond);
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64), meta_of(8),
+              201 * kMicrosecond, out);
+  q.writeback(Packet::make_synthetic(FiveTuple{}, 1, 64),
+              meta_of(0, /*drop=*/true), 202 * kMicrosecond, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(q.stats().best_effort_tx, 0u);
+  q.drain(202 * kMicrosecond, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].in_order);
+  EXPECT_EQ(out[0].meta.psn, 8u);
+}
+
 TEST(ReorderQueue, DropFlagReleasesWithoutTransmitting) {
   ReorderQueue q(16, kReorderTimeout);
   std::vector<ReorderEgress> out;

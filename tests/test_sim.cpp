@@ -68,10 +68,13 @@ TEST(EventLoop, PeriodicStopsWhenFalse) {
 
 TEST(PacketRing, DropsWhenFullAndCountsWatermark) {
   PacketRing ring(2);
-  EXPECT_TRUE(ring.push(Packet::make_synthetic(FiveTuple{}, 0, 64)));
-  EXPECT_TRUE(ring.push(Packet::make_synthetic(FiveTuple{}, 0, 64)));
+  EXPECT_EQ(ring.push(Packet::make_synthetic(FiveTuple{}, 0, 64)),
+            PushResult::kOk);
+  EXPECT_EQ(ring.push(Packet::make_synthetic(FiveTuple{}, 0, 64)),
+            PushResult::kOk);
   EXPECT_TRUE(ring.full());
-  EXPECT_FALSE(ring.push(Packet::make_synthetic(FiveTuple{}, 0, 64)));
+  EXPECT_EQ(ring.push(Packet::make_synthetic(FiveTuple{}, 0, 64)),
+            PushResult::kFull);
   EXPECT_EQ(ring.stats().drops, 1u);
   EXPECT_EQ(ring.stats().high_watermark, 2u);
   EXPECT_DOUBLE_EQ(ring.occupancy(), 1.0);

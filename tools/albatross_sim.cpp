@@ -178,6 +178,7 @@ int run_fuzz(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::uint64_t seeds = 1;
   std::uint64_t ticks = 10'000;
+  std::size_t rx_burst = 1;
   check::ChaosMode chaos = check::ChaosMode::kBenign;
   std::string dump_path;
   std::string replay_path;
@@ -196,6 +197,9 @@ int run_fuzz(int argc, char** argv) {
       seeds = std::strtoull(next(), nullptr, 10);
     } else if (a == "--ticks") {
       ticks = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--burst") {
+      rx_burst = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::strtoull(next(), nullptr, 10)));
     } else if (a == "--chaos") {
       const std::string v = next();
       if (v == "none") chaos = check::ChaosMode::kNone;
@@ -213,7 +217,7 @@ int run_fuzz(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: albatross_sim fuzz [--seed N] [--seeds K] [--ticks T]\n"
-          "                          [--chaos none|benign|stall]\n"
+          "                          [--burst B] [--chaos none|benign|stall]\n"
           "                          [--dump file.json] [--replay file.json]\n");
       return 2;
     }
@@ -227,12 +231,13 @@ int run_fuzz(int argc, char** argv) {
     }
     std::ostringstream text;
     text << in.rdbuf();
-    const auto trace = check::trace_from_json(text.str());
+    auto trace = check::trace_from_json(text.str());
     if (!trace) {
       std::fprintf(stderr, "fuzz: %s is not a valid trace\n",
                    replay_path.c_str());
       return 1;
     }
+    if (rx_burst != 1) trace->scenario.rx_burst = rx_burst;
     const auto report = check::run_trace(*trace);
     std::printf("fuzz replay %s: seed=%llu ops=%zu %s\n",
                 replay_path.c_str(),
@@ -244,7 +249,7 @@ int run_fuzz(int argc, char** argv) {
   }
 
   for (std::uint64_t s = seed; s < seed + seeds; ++s) {
-    const auto outcome = check::fuzz_one(s, ticks, chaos);
+    const auto outcome = check::fuzz_one(s, ticks, chaos, rx_burst);
     if (!outcome.report.violated()) {
       std::printf("fuzz seed=%llu ticks=%llu: clean (%llu packets, %llu "
                   "events)\n",

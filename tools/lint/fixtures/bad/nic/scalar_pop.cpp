@@ -1,0 +1,27 @@
+// Fixture: one-at-a-time ring drain in the NIC hot path, under a path
+// containing `nic/` so the burst-discipline scope applies. Must trip
+// `scalar-hot-path` twice: once for the condition-pop shape, once for
+// the body-pop shape. Never compiled.
+#include <memory>
+
+struct Pkt {};
+using PktPtr = std::unique_ptr<Pkt>;
+
+struct Ring {
+  PktPtr pop();
+  bool empty() const;
+};
+
+void drain_condition_style(Ring& ring) {
+  PktPtr pkt;
+  while ((pkt = ring.pop()) != nullptr) {
+    pkt.reset();
+  }
+}
+
+void drain_body_style(Ring& ring) {
+  while (!ring.empty()) {
+    auto pkt = ring.pop();
+    pkt.reset();
+  }
+}
