@@ -31,6 +31,32 @@ int main() {
             100.0 * (1.0 - alba.total_cost / legacy.total_cost),
             100.0 * (1.0 - alba.total_power_w / legacy.total_power_w));
 
+  // Fleet scaling: the same accounting path the fleet SLO report uses,
+  // swept over pod-set count (each set = one full role sheet). Cost and
+  // power advantages are scale-invariant — the ratios must match the
+  // single-set Fig. 15 numbers at every size.
+  print_row("\n%-10s %16s %16s %14s %14s", "pod sets", "legacy cost/W",
+            "albatross cost/W", "cost delta", "power delta");
+  bool scale_ok = true;
+  constexpr std::uint32_t kPodSets[] = {1, 2, 4, 8};
+  for (const std::uint32_t sets : kPodSets) {
+    AzRequirements req;
+    req.pod_sets = sets;
+    const auto l = model.legacy_az(req);
+    const auto a = model.albatross_az(req);
+    const double cost_delta = 1.0 - a.total_cost / l.total_cost;
+    const double power_delta = 1.0 - a.total_power_w / l.total_power_w;
+    print_row("%-10u %8.0f/%-8.0f %8.0f/%-8.0f %13.0f%% %13.0f%%", sets,
+              l.total_cost, l.total_power_w, a.total_cost, a.total_power_w,
+              cost_delta * 100.0, power_delta * 100.0);
+    scale_ok &= l.total_cost == legacy.total_cost * sets;
+    scale_ok &= a.total_power_w == alba.total_power_w * sets;
+  }
+  if (!scale_ok) {
+    print_row("SCALING VIOLATION: pod-set sweep is not linear in sets");
+    return 1;
+  }
+
   // Live packing check: 32 pods (22 cores each) across 8 servers.
   Orchestrator orch;
   for (int sv = 0; sv < 8; ++sv) orch.add_server(ServerSpec{});

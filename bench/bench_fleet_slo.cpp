@@ -1,0 +1,100 @@
+// Extension: fleet-scale availability SLO. Runs the smoke fleet
+// scenario (2 AZs, million-scale tenant math folded to a short horizon)
+// through the FleetEngine — diurnal load, a rolling upgrade wave and a
+// pod crash — and asserts the fleet-level counterparts of the failover
+// bench's bounds: the crash incident recovers inside the envelope, the
+// upgrade wave blackholes nothing, packet conservation holds in every
+// AZ, and the cost roll-up matches the Fig. 15 model at the scenario's
+// pod-set counts.
+#include "bench_util.hpp"
+#include "container/cost_model.hpp"
+#include "fleet/fleet.hpp"
+
+using namespace albatross;
+using namespace albatross::bench;
+
+int main() {
+  print_header("Extension: fleet availability SLO (multi-AZ engine)",
+               "fleet/fleet.hpp on top of §4.3 + Fig. 7 + §7 recovery");
+
+  fleet::FleetSpec spec = fleet::FleetSpec::smoke();
+  // Bench-sized variant of the smoke spec: production orchestrator
+  // timings (10 s start + 5 s validation) and a horizon long enough for
+  // the crash to fully recover, as in bench_ext_failover_recovery.
+  spec.name = "bench-fleet";
+  spec.horizon = 30 * kSecond;
+  spec.pod_startup = 10 * kSecond;
+  spec.validation = 5 * kSecond;
+  spec.upgrade.start = 3 * kSecond;
+  spec.upgrade.stagger = 2 * kSecond;
+  spec.faults[0].event.at = 8 * kSecond;
+  spec.total_rate_pps = 100'000.0;
+
+  const fleet::FleetResult result = fleet::run_fleet(spec);
+  const fleet::SloReport& slo = result.slo;
+
+  print_row("%-8s %10s %10s %12s %14s %12s", "az", "incidents", "recovered",
+            "blackhole ms", "worst gw ms", "ledger");
+  bool ok = true;
+  for (std::size_t i = 0; i < result.azs.size(); ++i) {
+    const auto& az = result.azs[i];
+    const auto& azslo = slo.azs[i];
+    print_row("%-8s %10zu %10llu %12.1f %14.1f %12s", az.name.c_str(),
+              az.incidents.size(),
+              static_cast<unsigned long long>(azslo.recovered),
+              azslo.blackhole_p99_ms, azslo.worst_gateway_downtime_ms,
+              az.ledger_violations == 0 ? "balanced" : "VIOLATED");
+    ok &= az.ledger_violations == 0;
+  }
+
+  print_row("\nfleet availability %.6f (target %.4f), %llu upgrades "
+            "started, %llu packets lost",
+            slo.availability, slo.slo_target,
+            static_cast<unsigned long long>(slo.upgrades),
+            static_cast<unsigned long long>(slo.packets_lost));
+
+  // Failover envelope (bench_ext_failover_recovery bounds, fleet-wide):
+  // the scripted crash must be detected, withdrawn within the BFD
+  // envelope plus proxy propagation, and fully recovered inside 40 s.
+  std::uint64_t crash_incidents = 0;
+  for (const auto& az : result.azs) {
+    for (const auto& inc : az.incidents) {
+      if (inc.kind != FaultKind::kPodCrash) continue;
+      ++crash_incidents;
+      ok &= inc.recovered && inc.redeployed;
+      ok &= inc.blackhole_ns() < kSecond;
+      ok &= inc.recovery_ns() < 40 * kSecond;
+    }
+  }
+  ok &= crash_incidents >= 1;
+
+  // A healthy rolling upgrade is make-before-break: it must never open
+  // an incident, so every incident maps back to a scripted fault.
+  std::size_t scripted = 0;
+  for (const auto& az : result.azs) scripted += az.injected.applied;
+  std::size_t incidents_total = 0;
+  for (const auto& az : result.azs) incidents_total += az.incidents.size();
+  ok &= incidents_total <= scripted;
+  std::size_t upgrades_started = 0;
+  for (const auto& u : result.upgrades) upgrades_started += u.started ? 1 : 0;
+  ok &= upgrades_started >= 1;
+
+  // Cost roll-up must equal the Fig. 15 model applied per AZ.
+  AzCostModel model;
+  double expect_cost = 0.0;
+  for (const auto& az : spec.azs) {
+    AzRequirements req;
+    req.pod_sets = az.pod_sets;
+    expect_cost += model.albatross_az(req).total_cost;
+  }
+  ok &= slo.cost_total == expect_cost;
+
+  print_row("envelope: crash recovered in-bounds, upgrades blackhole-free, "
+            "ledgers balanced, cost matches Fig. 15 model: %s",
+            ok ? "yes" : "NO");
+  if (!ok) {
+    print_row("BOUND VIOLATION: see rows above");
+    return 1;
+  }
+  return 0;
+}

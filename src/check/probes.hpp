@@ -209,6 +209,15 @@ class ConformanceHarness {
   /// are still pending. Returns the total violation count.
   std::uint64_t finish();
 
+  /// Runs the packet-conservation ledger immediately, regardless of
+  /// pending loop events. For harnesses whose control plane keeps
+  /// perpetual timers alive (BFD probes never let pending() hit zero):
+  /// the caller guarantees the *data plane* is drained — e.g. by
+  /// quiescing every source and running a drain window — and the ledger
+  /// equations then balance even though the loop never does. Returns
+  /// the total violation count.
+  std::uint64_t check_ledger_now();
+
   [[nodiscard]] const ViolationLog& log() const { return log_; }
   [[nodiscard]] bool ledger_skipped() const { return ledger_skipped_; }
   [[nodiscard]] std::uint64_t events_observed() const {

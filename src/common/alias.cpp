@@ -1,0 +1,48 @@
+#include "common/alias.hpp"
+
+namespace albatross {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  double acc = 0.0;
+  for (const double w : weights) acc += w > 0.0 ? w : 0.0;
+  if (n == 0 || acc <= 0.0) return;
+
+  pmf_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf_[i] = weights[i] > 0.0 ? weights[i] : 0.0;
+  }
+  for (auto& v : pmf_) v /= acc;
+
+  // Vose's stable construction of the alias table.
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = pmf_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly-1 columns up to rounding.
+  for (const std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+}  // namespace albatross

@@ -1,0 +1,52 @@
+// Walker/Vose alias-method sampler over an arbitrary discrete weight
+// vector: O(n) construction, O(1) per draw (two array reads), exactly
+// one uniform variate consumed per sample. This is the shared engine
+// behind every skewed population draw in the tree — Zipf flow
+// popularity on the traffic hot path (common/rng.hpp ZipfSampler) and
+// the fleet layer's million-tenant population generator — so the two
+// never drift apart numerically.
+//
+// The class is deliberately RNG-agnostic: pick() takes a uniform in
+// [0, 1) so the header depends on nothing and callers keep their own
+// seeded Rng streams (a determinism requirement, see
+// docs/STATIC_ANALYSIS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace albatross {
+
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Builds the table from non-negative weights (need not be
+  /// normalised; an all-zero or empty vector yields an empty sampler).
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws a rank in [0, size()) from one uniform variate u in [0, 1).
+  /// Hot path: two array reads, no branches beyond the alias test.
+  [[nodiscard]] std::size_t pick(double u) const {
+    const double x = u * static_cast<double>(prob_.size());
+    auto slot = static_cast<std::size_t>(x);
+    if (slot >= prob_.size()) slot = prob_.size() - 1;  // u == 1 edge
+    const double frac = x - static_cast<double>(slot);
+    return frac < prob_[slot] ? slot : alias_[slot];
+  }
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+  [[nodiscard]] bool empty() const { return prob_.empty(); }
+
+  /// Normalised probability mass of a rank (0 outside the table).
+  [[nodiscard]] double pmf(std::size_t rank) const {
+    return rank < pmf_.size() ? pmf_[rank] : 0.0;
+  }
+
+ private:
+  std::vector<double> pmf_;           ///< normalised weights
+  std::vector<double> prob_;          ///< alias acceptance thresholds
+  std::vector<std::uint32_t> alias_;  ///< alias targets
+};
+
+}  // namespace albatross

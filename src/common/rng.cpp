@@ -88,48 +88,15 @@ double Rng::next_pareto(double xm, double alpha) {
   return xm / std::pow(u, 1.0 / alpha);
 }
 
-ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
-  pmf_.resize(n);
-  double acc = 0.0;
+std::vector<double> ZipfSampler::rank_weights(std::size_t n, double alpha) {
+  std::vector<double> w(n);
   for (std::size_t i = 0; i < n; ++i) {
-    pmf_[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
-    acc += pmf_[i];
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
   }
-  for (auto& v : pmf_) v /= acc;
-
-  // Vose's stable construction of the alias table.
-  prob_.resize(n);
-  alias_.resize(n);
-  std::vector<std::uint32_t> small;
-  std::vector<std::uint32_t> large;
-  std::vector<double> scaled(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    scaled[i] = pmf_[i] * static_cast<double>(n);
-    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
-  }
-  while (!small.empty() && !large.empty()) {
-    const std::uint32_t s = small.back();
-    small.pop_back();
-    const std::uint32_t l = large.back();
-    large.pop_back();
-    prob_[s] = scaled[s];
-    alias_[s] = l;
-    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-    (scaled[l] < 1.0 ? small : large).push_back(l);
-  }
-  // Leftovers are exactly-1 columns up to rounding.
-  for (const std::uint32_t i : large) {
-    prob_[i] = 1.0;
-    alias_[i] = i;
-  }
-  for (const std::uint32_t i : small) {
-    prob_[i] = 1.0;
-    alias_[i] = i;
-  }
+  return w;
 }
 
-double ZipfSampler::pmf(std::size_t rank) const {
-  return rank < pmf_.size() ? pmf_[rank] : 0.0;
-}
+ZipfSampler::ZipfSampler(std::size_t n, double alpha)
+    : alias_(rank_weights(n, alpha)) {}
 
 }  // namespace albatross

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/alias.hpp"
 #include "common/types.hpp"
 
 namespace albatross {
@@ -55,33 +56,33 @@ class Rng {
 /// popularity is heavily skewed: a few dominant flows carry most packets
 /// (the RSS overload motivation in §1), which Zipf captures.
 ///
-/// Sampling uses Walker's alias method: O(1) per draw (two array reads)
-/// instead of an O(log n) binary search over the CDF — this is on the
-/// per-packet hot path of every traffic generator. Exactly one uniform
-/// draw is consumed per sample, same as the CDF search it replaced, so
-/// the generator's downstream random stream is unaffected.
+/// Sampling delegates to the shared common/alias.hpp AliasSampler:
+/// O(1) per draw (two array reads) instead of an O(log n) binary search
+/// over the CDF — this is on the per-packet hot path of every traffic
+/// generator. Exactly one uniform draw is consumed per sample, same as
+/// the CDF search it replaced, so the generator's downstream random
+/// stream is unaffected. The fleet layer's tenant-population generator
+/// shares the same alias construction (fleet/tenant_population.hpp), so
+/// flow-level and tenant-level skew never diverge numerically.
 class ZipfSampler {
  public:
   ZipfSampler(std::size_t n, double alpha);
 
   /// Draws a rank in [0, n); rank 0 is the most popular.
-  std::size_t sample(Rng& rng) const {
-    const double x = rng.next_double() * static_cast<double>(prob_.size());
-    auto slot = static_cast<std::size_t>(x);
-    if (slot >= prob_.size()) slot = prob_.size() - 1;  // x == n edge
-    const double frac = x - static_cast<double>(slot);
-    return frac < prob_[slot] ? slot : alias_[slot];
-  }
+  std::size_t sample(Rng& rng) const { return alias_.pick(rng.next_double()); }
 
-  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+  [[nodiscard]] std::size_t size() const { return alias_.size(); }
 
   /// Probability mass of a given rank.
-  [[nodiscard]] double pmf(std::size_t rank) const;
+  [[nodiscard]] double pmf(std::size_t rank) const { return alias_.pmf(rank); }
+
+  /// Un-normalised Zipf rank weights 1/(rank+1)^alpha — the one shared
+  /// definition of "Zipf skew" for flows and fleet tenant populations.
+  [[nodiscard]] static std::vector<double> rank_weights(std::size_t n,
+                                                        double alpha);
 
  private:
-  std::vector<double> pmf_;            ///< normalised rank masses
-  std::vector<double> prob_;           ///< alias acceptance thresholds
-  std::vector<std::uint32_t> alias_;   ///< alias targets
+  AliasSampler alias_;
 };
 
 }  // namespace albatross

@@ -7,10 +7,11 @@ AzCostModel::AzCostModel() = default;
 AzCostReport AzCostModel::legacy_az(const AzRequirements& req) const {
   AzCostReport r;
   r.deployment = "legacy (physical, gen1+gen2)";
+  const std::uint32_t sets = req.pod_sets == 0 ? 1 : req.pod_sets;
   const std::uint32_t gen1_devices =
-      req.gen1_roles * req.gateways_per_cluster;
+      req.gen1_roles * req.gateways_per_cluster * sets;
   const std::uint32_t gen2_devices =
-      req.gen2_roles * req.gateways_per_cluster;
+      req.gen2_roles * req.gateways_per_cluster * sets;
   r.devices = gen1_devices + gen2_devices;
   r.total_cost = gen1_devices * gen1_.unit_cost +
                  gen2_devices * gen2_.unit_cost;
@@ -23,8 +24,9 @@ AzCostReport AzCostModel::albatross_az(const AzRequirements& req,
                                        std::uint32_t pods_per_server) const {
   AzCostReport r;
   r.deployment = "albatross (containerized)";
+  const std::uint32_t sets = req.pod_sets == 0 ? 1 : req.pod_sets;
   const std::uint32_t gateways =
-      req.cluster_roles * req.gateways_per_cluster;
+      req.cluster_roles * req.gateways_per_cluster * sets;
   r.devices = (gateways + pods_per_server - 1) / pods_per_server;
   r.total_cost = r.devices * gen3_.unit_cost;
   r.total_power_w = r.devices * gen3_.unit_power_w;

@@ -24,6 +24,11 @@ struct AzRequirements {
   /// Tofino (the paper's power arithmetic).
   std::uint32_t gen1_roles = 3;
   std::uint32_t gen2_roles = 5;
+  /// Pod-set multiplier: how many copies of the full role sheet the AZ
+  /// (or fleet slice) deploys. The paper's Fig. 15 is a single pod set;
+  /// the fleet bench and the SLO report sweep this so both go through
+  /// one cost/power accounting path.
+  std::uint32_t pod_sets = 1;
 };
 
 struct AzCostReport {

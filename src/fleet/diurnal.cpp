@@ -1,0 +1,63 @@
+#include "fleet/diurnal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace albatross::fleet {
+
+DiurnalCurve::DiurnalCurve(DiurnalConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.period <= NanoTime{0}) cfg_.period = NanoTime{1};
+  std::sort(cfg_.points.begin(), cfg_.points.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+double DiurnalCurve::multiplier(NanoTime t) const {
+  const std::int64_t period = cfg_.period.count();
+  std::int64_t off = (t + cfg_.phase).count() % period;
+  if (off < 0) off += period;
+  if (cfg_.points.empty()) {
+    const double frac = static_cast<double>(off) / static_cast<double>(period);
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    // Raised cosine: trough at frac = 0, peak at frac = 0.5.
+    return cfg_.trough +
+           (cfg_.peak - cfg_.trough) * 0.5 * (1.0 - std::cos(kTwoPi * frac));
+  }
+  if (cfg_.points.size() == 1) return cfg_.points.front().second;
+  // Find the keypoint segment containing `off`, wrapping across the
+  // period boundary from the last point back to the first.
+  const auto& pts = cfg_.points;
+  auto it = std::upper_bound(
+      pts.begin(), pts.end(), off,
+      [](std::int64_t v, const auto& p) { return v < p.first.count(); });
+  const auto& hi = it == pts.end() ? pts.front() : *it;
+  const auto& lo = it == pts.begin() ? pts.back() : *(it - 1);
+  std::int64_t span = hi.first.count() - lo.first.count();
+  std::int64_t pos = off - lo.first.count();
+  if (span <= 0) span += period;      // wrapped segment
+  if (pos < 0) pos += period;         // `off` before first point
+  if (span == 0) return lo.second;
+  const double f = static_cast<double>(pos) / static_cast<double>(span);
+  return lo.second + (hi.second - lo.second) * f;
+}
+
+double DiurnalCurve::mean_multiplier() const {
+  if (cfg_.points.empty()) {
+    // Integral of the raised cosine over a full period is the midpoint.
+    return 0.5 * (cfg_.trough + cfg_.peak);
+  }
+  if (cfg_.points.size() == 1) return cfg_.points.front().second;
+  // Trapezoid over the sorted keypoints plus the wrapping segment.
+  const auto& pts = cfg_.points;
+  const double period = static_cast<double>(cfg_.period.count());
+  double area = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto& lo = pts[i];
+    const auto& hi = pts[(i + 1) % pts.size()];
+    std::int64_t span = hi.first.count() - lo.first.count();
+    if (span <= 0) span += cfg_.period.count();
+    area += 0.5 * (lo.second + hi.second) * static_cast<double>(span);
+  }
+  return area / period;
+}
+
+}  // namespace albatross::fleet

@@ -1,0 +1,56 @@
+// Diurnal load curve: a deterministic rate multiplier over virtual
+// time. Production gateway fleets see a pronounced day/night swing (the
+// hyperscale regime Gryphon targets); the fleet engine compresses one
+// "day" into a configurable virtual period and modulates every pod's
+// offered rate by this curve, per AZ phase-shifted so the fleet's AZs
+// peak at different times the way geographically spread AZs do.
+//
+// Two shapes are supported:
+//  - raised cosine between `trough` and `peak` (default): load bottoms
+//    at t = 0 (plus phase) and peaks half a period later;
+//  - piecewise-linear keypoints [(offset-in-period, multiplier), ...]
+//    for asymmetric curves (sharp morning ramp, long evening tail).
+// Both wrap modulo `period`, are pure functions of virtual time, and
+// never touch a wall clock — two runs with the same spec see the same
+// multipliers (a determinism requirement, docs/STATIC_ANALYSIS.md).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace albatross::fleet {
+
+struct DiurnalConfig {
+  NanoTime period = 20 * kSecond;  ///< one compressed "day"
+  double trough = 0.4;             ///< multiplier at the quietest point
+  double peak = 1.0;               ///< multiplier at the busiest point
+  NanoTime phase = NanoTime{0};    ///< shifts the curve (per-AZ offset)
+  /// Optional piecewise-linear keypoints (offset within period,
+  /// multiplier). Empty = raised cosine. Points need not be sorted;
+  /// the curve interpolates linearly and wraps from the last point back
+  /// to the first across the period boundary.
+  std::vector<std::pair<NanoTime, double>> points;
+};
+
+class DiurnalCurve {
+ public:
+  DiurnalCurve() : DiurnalCurve(DiurnalConfig{}) {}
+  explicit DiurnalCurve(DiurnalConfig cfg);
+
+  /// Rate multiplier at virtual time `t` (>= 0, wraps every period).
+  [[nodiscard]] double multiplier(NanoTime t) const;
+
+  [[nodiscard]] const DiurnalConfig& config() const { return cfg_; }
+
+  /// Mean multiplier over one full period (closed form for the cosine
+  /// shape, trapezoid integration for keypoints) — used to size total
+  /// packet budgets for a scenario.
+  [[nodiscard]] double mean_multiplier() const;
+
+ private:
+  DiurnalConfig cfg_;
+};
+
+}  // namespace albatross::fleet

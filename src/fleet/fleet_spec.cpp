@@ -1,0 +1,274 @@
+#include "fleet/fleet_spec.hpp"
+
+#include <stdexcept>
+
+#include "core/config.hpp"
+
+namespace albatross::fleet {
+
+namespace {
+
+FaultEvent fault_event_from_json(const JsonValue& ev) {
+  FaultEvent e;
+  e.at = millis_to_nanos(ev.get_number("at_ms", 0.0));
+  e.kind = fault_kind_from_name(ev.get_string("kind", "pod_crash"));
+  e.gateway = static_cast<std::uint16_t>(ev.get_int("gateway", 0));
+  e.duration = millis_to_nanos(ev.get_number("duration_ms", 0.0));
+  e.magnitude = ev.get_number("magnitude", 0.0);
+  return e;
+}
+
+JsonValue fault_event_to_json(const FaultEvent& e) {
+  JsonObject o;
+  o["at_ms"] = JsonValue(nanos_to_millis(e.at));
+  o["kind"] = JsonValue(std::string(fault_kind_name(e.kind)));
+  o["gateway"] = JsonValue(static_cast<std::int64_t>(e.gateway));
+  o["duration_ms"] = JsonValue(nanos_to_millis(e.duration));
+  o["magnitude"] = JsonValue(e.magnitude);
+  return JsonValue(std::move(o));
+}
+
+// service_name() renders the display form ("VPC-VPC"); the JSON schema
+// uses the same lowercase tokens service_from_name() parses, so a spec
+// round-trips through to_json()/from_json() unchanged.
+std::string service_token(ServiceKind k) {
+  switch (k) {
+    case ServiceKind::kVpcVpc: return "vpc";
+    case ServiceKind::kVpcInternet: return "internet";
+    case ServiceKind::kVpcIdc: return "idc";
+    case ServiceKind::kVpcCloudService: return "cloud";
+  }
+  return "vpc";
+}
+
+}  // namespace
+
+std::uint32_t FleetSpec::total_gateways() const {
+  std::uint32_t n = 0;
+  for (const auto& az : azs) n += az.gateways();
+  return n;
+}
+
+std::uint32_t FleetSpec::az_gateway_base(std::size_t az) const {
+  std::uint32_t base = 0;
+  for (std::size_t i = 0; i < az && i < azs.size(); ++i) {
+    base += azs[i].gateways();
+  }
+  return base;
+}
+
+FleetSpec FleetSpec::from_json(const JsonValue& v) {
+  const JsonValue& cfg = v["fleet"].is_object() ? v["fleet"] : v;
+  FleetSpec s;
+  s.name = cfg.get_string("name", s.name);
+  s.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  s.horizon = millis_to_nanos(cfg.get_number("horizon_ms", 30'000.0));
+  s.tick = millis_to_nanos(cfg.get_number("tick_ms", 250.0));
+  s.drain = millis_to_nanos(cfg.get_number("drain_ms", 400.0));
+  if (s.tick <= NanoTime{0}) {
+    throw std::runtime_error("fleet spec: tick_ms must be > 0");
+  }
+
+  s.tenants = static_cast<std::uint64_t>(cfg.get_int("tenants", 1'000'000));
+  s.tenant_zipf_alpha = cfg.get_number("tenant_zipf_alpha", 1.05);
+  s.local_vnis = static_cast<std::uint32_t>(cfg.get_int("local_vnis", 64));
+  s.hot_tenants_per_gateway = static_cast<std::uint32_t>(
+      cfg.get_int("hot_tenants_per_gateway", 2048));
+
+  s.flows_per_gateway =
+      static_cast<std::uint32_t>(cfg.get_int("flows_per_gateway", 512));
+  s.flow_zipf_alpha = cfg.get_number("flow_zipf_alpha", 0.9);
+  s.packet_bytes = static_cast<std::size_t>(cfg.get_int("packet_bytes", 256));
+  s.total_rate_pps = cfg.get_number("total_rate_pps", 400'000.0);
+
+  s.slo_target = cfg.get_number("slo_target", 0.999);
+  s.service = service_from_name(cfg.get_string("service", "vpc"));
+  s.pod_startup = millis_to_nanos(cfg.get_number("pod_startup_ms", 10'000.0));
+  s.validation = millis_to_nanos(cfg.get_number("validation_ms", 5'000.0));
+
+  if (cfg["diurnal"].is_object()) {
+    const JsonValue& d = cfg["diurnal"];
+    s.diurnal.period = millis_to_nanos(d.get_number("period_ms", 20'000.0));
+    s.diurnal.trough = d.get_number("trough", 0.4);
+    s.diurnal.peak = d.get_number("peak", 1.0);
+    s.diurnal.phase = millis_to_nanos(d.get_number("phase_ms", 0.0));
+    for (const auto& p : d["points"].as_array()) {
+      s.diurnal.points.emplace_back(
+          millis_to_nanos(p.get_number("at_ms", 0.0)),
+          p.get_number("mult", 1.0));
+    }
+  }
+
+  if (cfg["upgrade"].is_object()) {
+    const JsonValue& u = cfg["upgrade"];
+    s.upgrade.enabled = u.get_bool("enabled", true);
+    s.upgrade.start = millis_to_nanos(u.get_number("start_ms", 4'000.0));
+    s.upgrade.stagger = millis_to_nanos(u.get_number("stagger_ms", 1'500.0));
+    s.upgrade.parallel_per_az =
+        static_cast<std::uint16_t>(u.get_int("gateways_per_az", 1));
+  }
+
+  for (const auto& az_json : cfg["azs"].as_array()) {
+    FleetAzSpec az;
+    az.name = az_json.get_string(
+        "name", "az-" + std::to_string(s.azs.size()));
+    az.pod_sets = static_cast<std::uint16_t>(az_json.get_int("pod_sets", 1));
+    az.gateways_per_set =
+        static_cast<std::uint16_t>(az_json.get_int("gateways_per_set", 4));
+    az.servers = static_cast<std::uint16_t>(az_json.get_int("servers", 2));
+    az.data_cores =
+        static_cast<std::uint16_t>(az_json.get_int("data_cores", 4));
+    az.dual_proxy = az_json.get_bool("dual_proxy", true);
+    az.diurnal_phase =
+        millis_to_nanos(az_json.get_number("diurnal_phase_ms", 0.0));
+    if (az.pod_sets == 0 || az.gateways_per_set == 0) {
+      throw std::runtime_error("fleet spec: AZ '" + az.name +
+                               "' has zero gateways");
+    }
+    s.azs.push_back(az);
+  }
+  if (s.azs.empty()) {
+    throw std::runtime_error("fleet spec: at least one AZ required");
+  }
+
+  for (const auto& f_json : cfg["faults"].as_array()) {
+    FleetFaultSpec f;
+    f.az = static_cast<std::int32_t>(f_json.get_int("az", -1));
+    if (f.az >= static_cast<std::int32_t>(s.azs.size())) {
+      throw std::runtime_error("fleet spec: fault targets AZ " +
+                               std::to_string(f.az) + " but only " +
+                               std::to_string(s.azs.size()) + " defined");
+    }
+    f.event = fault_event_from_json(f_json);
+    s.faults.push_back(f);
+  }
+  return s;
+}
+
+FleetSpec FleetSpec::from_json_text(std::string_view text) {
+  JsonParseError err;
+  const auto parsed = json_parse(text, &err);
+  if (!parsed) {
+    throw std::runtime_error("fleet scenario parse error at offset " +
+                             std::to_string(err.offset) + ": " + err.message);
+  }
+  return from_json(*parsed);
+}
+
+JsonValue FleetSpec::to_json() const {
+  JsonObject cfg;
+  cfg["name"] = JsonValue(name);
+  cfg["seed"] = JsonValue(static_cast<std::int64_t>(seed));
+  cfg["horizon_ms"] = JsonValue(nanos_to_millis(horizon));
+  cfg["tick_ms"] = JsonValue(nanos_to_millis(tick));
+  cfg["drain_ms"] = JsonValue(nanos_to_millis(drain));
+  cfg["tenants"] = JsonValue(static_cast<std::int64_t>(tenants));
+  cfg["tenant_zipf_alpha"] = JsonValue(tenant_zipf_alpha);
+  cfg["local_vnis"] = JsonValue(static_cast<std::int64_t>(local_vnis));
+  cfg["hot_tenants_per_gateway"] =
+      JsonValue(static_cast<std::int64_t>(hot_tenants_per_gateway));
+  cfg["flows_per_gateway"] =
+      JsonValue(static_cast<std::int64_t>(flows_per_gateway));
+  cfg["flow_zipf_alpha"] = JsonValue(flow_zipf_alpha);
+  cfg["packet_bytes"] = JsonValue(static_cast<std::int64_t>(packet_bytes));
+  cfg["total_rate_pps"] = JsonValue(total_rate_pps);
+  cfg["slo_target"] = JsonValue(slo_target);
+  cfg["service"] = JsonValue(service_token(service));
+  cfg["pod_startup_ms"] = JsonValue(nanos_to_millis(pod_startup));
+  cfg["validation_ms"] = JsonValue(nanos_to_millis(validation));
+
+  JsonObject d;
+  d["period_ms"] = JsonValue(nanos_to_millis(diurnal.period));
+  d["trough"] = JsonValue(diurnal.trough);
+  d["peak"] = JsonValue(diurnal.peak);
+  d["phase_ms"] = JsonValue(nanos_to_millis(diurnal.phase));
+  if (!diurnal.points.empty()) {
+    JsonArray pts;
+    for (const auto& [at, mult] : diurnal.points) {
+      JsonObject p;
+      p["at_ms"] = JsonValue(nanos_to_millis(at));
+      p["mult"] = JsonValue(mult);
+      pts.emplace_back(std::move(p));
+    }
+    d["points"] = JsonValue(std::move(pts));
+  }
+  cfg["diurnal"] = JsonValue(std::move(d));
+
+  JsonObject u;
+  u["enabled"] = JsonValue(upgrade.enabled);
+  u["start_ms"] = JsonValue(nanos_to_millis(upgrade.start));
+  u["stagger_ms"] = JsonValue(nanos_to_millis(upgrade.stagger));
+  u["gateways_per_az"] =
+      JsonValue(static_cast<std::int64_t>(upgrade.parallel_per_az));
+  cfg["upgrade"] = JsonValue(std::move(u));
+
+  JsonArray az_arr;
+  for (const auto& az : azs) {
+    JsonObject a;
+    a["name"] = JsonValue(az.name);
+    a["pod_sets"] = JsonValue(static_cast<std::int64_t>(az.pod_sets));
+    a["gateways_per_set"] =
+        JsonValue(static_cast<std::int64_t>(az.gateways_per_set));
+    a["servers"] = JsonValue(static_cast<std::int64_t>(az.servers));
+    a["data_cores"] = JsonValue(static_cast<std::int64_t>(az.data_cores));
+    a["dual_proxy"] = JsonValue(az.dual_proxy);
+    a["diurnal_phase_ms"] = JsonValue(nanos_to_millis(az.diurnal_phase));
+    az_arr.emplace_back(std::move(a));
+  }
+  cfg["azs"] = JsonValue(std::move(az_arr));
+
+  JsonArray f_arr;
+  for (const auto& f : faults) {
+    JsonValue ev = fault_event_to_json(f.event);
+    JsonObject o = ev.as_object();
+    o["az"] = JsonValue(static_cast<std::int64_t>(f.az));
+    f_arr.emplace_back(std::move(o));
+  }
+  cfg["faults"] = JsonValue(std::move(f_arr));
+
+  JsonObject root;
+  root["fleet"] = JsonValue(std::move(cfg));
+  return JsonValue(std::move(root));
+}
+
+FleetSpec FleetSpec::smoke() {
+  FleetSpec s;
+  s.name = "smoke";
+  s.horizon = 6 * kSecond;
+  s.tick = 250 * kMillisecond;
+  s.drain = 400 * kMillisecond;
+  s.tenants = 100'000;
+  s.local_vnis = 32;
+  s.hot_tenants_per_gateway = 256;
+  s.flows_per_gateway = 128;
+  s.total_rate_pps = 40'000.0;
+  // Shortened orchestrator timings so a crash recovers inside the
+  // 6 s horizon (BFD detection alone is ~150 ms).
+  s.pod_startup = kSecond;
+  s.validation = 500 * kMillisecond;
+  s.diurnal.period = 4 * kSecond;
+
+  FleetAzSpec az_a;
+  az_a.name = "az-a";
+  az_a.pod_sets = 1;
+  az_a.gateways_per_set = 2;
+  az_a.servers = 2;
+  FleetAzSpec az_b = az_a;
+  az_b.name = "az-b";
+  az_b.diurnal_phase = 2 * kSecond;
+  s.azs = {az_a, az_b};
+
+  s.upgrade.enabled = true;
+  s.upgrade.start = 1500 * kMillisecond;
+  s.upgrade.stagger = 800 * kMillisecond;
+
+  FleetFaultSpec crash;
+  crash.az = 0;
+  crash.event.at = 2 * kSecond;
+  crash.event.kind = FaultKind::kPodCrash;
+  crash.event.gateway = 1;
+  s.faults.push_back(crash);
+  return s;
+}
+
+}  // namespace albatross::fleet

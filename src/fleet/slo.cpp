@@ -1,0 +1,170 @@
+#include "fleet/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace albatross::fleet {
+
+double weighted_quantile(std::vector<WeightedSample> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end(),
+            [](const WeightedSample& a, const WeightedSample& b) {
+              return a.value < b.value;
+            });
+  double total = 0.0;
+  for (const auto& s : samples) total += s.weight;
+  if (total <= 0.0) return samples.front().value;
+  if (q <= 0.0) return samples.front().value;
+  if (q >= 1.0) return samples.back().value;
+  const double target = q * total;
+  double acc = 0.0;
+  for (const auto& s : samples) {
+    acc += s.weight;
+    if (acc >= target) return s.value;
+  }
+  return samples.back().value;  // FP slack on the final accumulation
+}
+
+namespace {
+
+[[nodiscard]] std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+JsonValue gateway_to_json(const GatewaySlo& g) {
+  JsonObject o;
+  o["az"] = JsonValue(g.az);
+  o["blackholed"] = JsonValue(static_cast<std::int64_t>(g.blackholed));
+  o["delivered"] = JsonValue(static_cast<std::int64_t>(g.delivered));
+  o["downtime_ms"] = JsonValue(g.downtime_ms);
+  o["gateway"] = JsonValue(static_cast<std::int64_t>(g.global_index));
+  o["offered"] = JsonValue(static_cast<std::int64_t>(g.offered));
+  o["share"] = JsonValue(g.share);
+  o["tenants"] = JsonValue(static_cast<std::int64_t>(g.tenant_count));
+  return JsonValue(std::move(o));
+}
+
+JsonValue az_to_json(const AzSlo& az) {
+  JsonObject o;
+  o["availability"] = JsonValue(az.availability);
+  o["blackhole_p999_ms"] = JsonValue(az.blackhole_p999_ms);
+  o["blackhole_p99_ms"] = JsonValue(az.blackhole_p99_ms);
+  o["blackholed"] = JsonValue(static_cast<std::int64_t>(az.blackholed));
+  o["cost"] = JsonValue(az.cost);
+  o["cost_legacy"] = JsonValue(az.cost_legacy);
+  o["delivered"] = JsonValue(static_cast<std::int64_t>(az.delivered));
+  o["detect_p99_ms"] = JsonValue(az.detect_p99_ms);
+  o["downtime_ms_total"] = JsonValue(az.downtime_ms_total);
+  o["gateways"] = JsonValue(static_cast<std::int64_t>(az.gateways));
+  o["incidents"] = JsonValue(static_cast<std::int64_t>(az.incidents));
+  o["name"] = JsonValue(az.name);
+  o["offered"] = JsonValue(static_cast<std::int64_t>(az.offered));
+  o["packets_lost"] = JsonValue(static_cast<std::int64_t>(az.packets_lost));
+  o["pod_sets"] = JsonValue(static_cast<std::int64_t>(az.pod_sets));
+  o["power_legacy_w"] = JsonValue(az.power_legacy_w);
+  o["power_w"] = JsonValue(az.power_w);
+  o["recovered"] = JsonValue(static_cast<std::int64_t>(az.recovered));
+  o["recovery_p99_ms"] = JsonValue(az.recovery_p99_ms);
+  o["redeploys"] = JsonValue(static_cast<std::int64_t>(az.redeploys));
+  o["upgrades"] = JsonValue(static_cast<std::int64_t>(az.upgrades));
+  o["worst_gateway_downtime_ms"] = JsonValue(az.worst_gateway_downtime_ms);
+  return JsonValue(std::move(o));
+}
+
+}  // namespace
+
+JsonValue SloReport::to_json() const {
+  JsonObject t;
+  t["count_p50_ms"] = JsonValue(tenant.count_p50_ms);
+  t["count_p999_ms"] = JsonValue(tenant.count_p999_ms);
+  t["count_p99_ms"] = JsonValue(tenant.count_p99_ms);
+  t["downtime_p50_ms"] = JsonValue(tenant.downtime_p50_ms);
+  t["downtime_p999_ms"] = JsonValue(tenant.downtime_p999_ms);
+  t["downtime_p99_ms"] = JsonValue(tenant.downtime_p99_ms);
+  t["fraction_meeting_slo"] = JsonValue(tenant.fraction_meeting_slo);
+  t["worst_ms"] = JsonValue(tenant.worst_ms);
+
+  JsonArray az_arr;
+  for (const auto& az : azs) az_arr.push_back(az_to_json(az));
+  JsonArray gw_arr;
+  for (const auto& g : per_gateway) gw_arr.push_back(gateway_to_json(g));
+
+  JsonObject o;
+  o["availability"] = JsonValue(availability);
+  o["azs"] = JsonValue(std::move(az_arr));
+  o["blackholed"] = JsonValue(static_cast<std::int64_t>(blackholed));
+  o["cost_legacy_total"] = JsonValue(cost_legacy_total);
+  o["cost_total"] = JsonValue(cost_total);
+  o["delivered"] = JsonValue(static_cast<std::int64_t>(delivered));
+  o["delivery_ratio"] = JsonValue(delivery_ratio);
+  o["error_budget_burn"] = JsonValue(error_budget_burn);
+  o["fleet"] = JsonValue(fleet);
+  o["gateways"] = JsonValue(static_cast<std::int64_t>(gateways));
+  o["horizon_ms"] = JsonValue(horizon_ms);
+  o["incidents"] = JsonValue(static_cast<std::int64_t>(incidents));
+  o["offered"] = JsonValue(static_cast<std::int64_t>(offered));
+  o["packets_lost"] = JsonValue(static_cast<std::int64_t>(packets_lost));
+  o["per_gateway"] = JsonValue(std::move(gw_arr));
+  o["power_legacy_total_w"] = JsonValue(power_legacy_total_w);
+  o["power_total_w"] = JsonValue(power_total_w);
+  o["recovered"] = JsonValue(static_cast<std::int64_t>(recovered));
+  o["redeploys"] = JsonValue(static_cast<std::int64_t>(redeploys));
+  o["seed"] = JsonValue(static_cast<std::int64_t>(seed));
+  o["slo_met"] = JsonValue(slo_met);
+  o["slo_target"] = JsonValue(slo_target);
+  o["tenant"] = JsonValue(std::move(t));
+  o["tenants"] = JsonValue(static_cast<std::int64_t>(tenants));
+  o["upgrades"] = JsonValue(static_cast<std::int64_t>(upgrades));
+  return JsonValue(std::move(o));
+}
+
+std::string SloReport::text() const {
+  std::string out;
+  out += "=== fleet SLO report: " + fleet + " ===\n";
+  out += "horizon " + fmt("%.0f", horizon_ms) + " ms, " +
+         std::to_string(tenants) + " tenants over " +
+         std::to_string(gateways) + " gateways in " +
+         std::to_string(azs.size()) + " AZs\n";
+  out += "availability " + fmt("%.6f", availability) + " (target " +
+         fmt("%.4f", slo_target) + ", " + (slo_met ? "MET" : "MISSED") +
+         "), error budget burned " + fmt("%.2f", error_budget_burn * 100.0) +
+         "%\n";
+  out += "incidents " + std::to_string(incidents) + " (" +
+         std::to_string(recovered) + " recovered), redeploys " +
+         std::to_string(redeploys) + ", planned upgrades " +
+         std::to_string(upgrades) + "\n";
+  out += "packets: offered " + std::to_string(offered) + ", delivered " +
+         std::to_string(delivered) + " (" +
+         fmt("%.4f", delivery_ratio * 100.0) + "%), blackholed " +
+         std::to_string(blackholed) + ", lost-to-incidents " +
+         std::to_string(packets_lost) + "\n";
+  out += "tenant downtime (load-weighted) p50/p99/p999 " +
+         fmt("%.1f", tenant.downtime_p50_ms) + "/" +
+         fmt("%.1f", tenant.downtime_p99_ms) + "/" +
+         fmt("%.1f", tenant.downtime_p999_ms) + " ms, worst " +
+         fmt("%.1f", tenant.worst_ms) + " ms\n";
+  out += "tenant downtime (headcount)     p50/p99/p999 " +
+         fmt("%.1f", tenant.count_p50_ms) + "/" +
+         fmt("%.1f", tenant.count_p99_ms) + "/" +
+         fmt("%.1f", tenant.count_p999_ms) + " ms, " +
+         fmt("%.4f", tenant.fraction_meeting_slo * 100.0) +
+         "% of tenants met the SLO\n";
+  out += "cost: albatross " + fmt("%.1f", cost_total) + " (" +
+         fmt("%.0f", power_total_w) + " W) vs legacy " +
+         fmt("%.1f", cost_legacy_total) + " (" +
+         fmt("%.0f", power_legacy_total_w) + " W)\n";
+  for (const auto& az : azs) {
+    out += "  [" + az.name + "] gw " + std::to_string(az.gateways) +
+           ", incidents " + std::to_string(az.incidents) + "/" +
+           std::to_string(az.recovered) + " recovered, availability " +
+           fmt("%.6f", az.availability) + ", blackhole p99 " +
+           fmt("%.1f", az.blackhole_p99_ms) + " ms p999 " +
+           fmt("%.1f", az.blackhole_p999_ms) + " ms, worst gw downtime " +
+           fmt("%.1f", az.worst_gateway_downtime_ms) + " ms\n";
+  }
+  return out;
+}
+
+}  // namespace albatross::fleet

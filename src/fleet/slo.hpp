@@ -1,0 +1,123 @@
+// Fleet availability SLO report. The paper argues Albatross by cost
+// and Mpps; a production gateway fleet is ultimately judged on an
+// availability objective ("three nines per tenant"). This module turns
+// the fleet run's incident records into that report:
+//
+//  - per-tenant downtime: a tenant is down exactly while its gateway's
+//    VIP is blackholed (fault -> withdraw) — so tenant downtime takes
+//    at most `gateways` distinct values and exact *weighted* percentiles
+//    are computable from per-gateway (downtime, weight) pairs, no
+//    million-entry arrays needed;
+//  - per-AZ rollups: incidents, packet conservation counters, p99/p999
+//    blackhole duration, Fig. 15 cost/power priced at the AZ's actual
+//    pod_sets through the shared AzCostModel path;
+//  - fleet availability = 1 - sum_g share_g * downtime_g / horizon
+//    (load-weighted), and error budget burn against `slo_target`.
+//
+// JSON output uses JsonObject (std::map) so key order — and therefore
+// the whole report — is deterministic for same-seed byte-compare tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace albatross::fleet {
+
+struct WeightedSample {
+  double value = 0.0;
+  double weight = 0.0;
+};
+
+/// Exact weighted percentile: sorts by value and returns the smallest
+/// value whose cumulative weight reaches q * total. Empty input -> 0;
+/// one sample -> its value (any q); q <= 0 -> min, q >= 1 -> max.
+[[nodiscard]] double weighted_quantile(std::vector<WeightedSample> samples,
+                                       double q);
+
+struct GatewaySlo {
+  std::uint32_t global_index = 0;  ///< fleet-global gateway number
+  std::string az;
+  double downtime_ms = 0.0;   ///< summed blackhole windows
+  double share = 0.0;         ///< fraction of fleet load (tenant weight)
+  std::uint64_t tenant_count = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t blackholed = 0;
+};
+
+struct AzSlo {
+  std::string name;
+  std::uint32_t gateways = 0;
+  std::uint32_t pod_sets = 0;
+  std::uint64_t incidents = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t redeploys = 0;
+  std::uint64_t upgrades = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t blackholed = 0;
+  std::uint64_t packets_lost = 0;
+  double downtime_ms_total = 0.0;
+  double worst_gateway_downtime_ms = 0.0;
+  double availability = 1.0;        ///< load-weighted, within this AZ
+  double blackhole_p99_ms = 0.0;    ///< per-incident duration quantiles
+  double blackhole_p999_ms = 0.0;
+  double detect_p99_ms = 0.0;
+  double recovery_p99_ms = 0.0;
+  double cost = 0.0;                ///< albatross deployment, pod_sets-scaled
+  double power_w = 0.0;
+  double cost_legacy = 0.0;         ///< same role sheet, gen1/gen2 boxes
+  double power_legacy_w = 0.0;
+};
+
+struct TenantSlo {
+  /// Load-weighted downtime percentiles (what the traffic experienced).
+  double downtime_p50_ms = 0.0;
+  double downtime_p99_ms = 0.0;
+  double downtime_p999_ms = 0.0;
+  /// Headcount-weighted (what fraction of tenants experienced it).
+  double count_p50_ms = 0.0;
+  double count_p99_ms = 0.0;
+  double count_p999_ms = 0.0;
+  double worst_ms = 0.0;
+  /// Fraction of tenants (by headcount) whose availability met target.
+  double fraction_meeting_slo = 1.0;
+};
+
+struct SloReport {
+  std::string fleet;
+  std::uint64_t seed = 0;
+  double horizon_ms = 0.0;
+  double slo_target = 0.999;
+  std::uint64_t tenants = 0;
+  std::uint32_t gateways = 0;
+  double availability = 1.0;        ///< fleet-wide, load-weighted
+  double error_budget_burn = 0.0;   ///< (1-availability)/(1-target)
+  bool slo_met = true;
+  std::uint64_t incidents = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t redeploys = 0;
+  std::uint64_t upgrades = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t blackholed = 0;
+  std::uint64_t packets_lost = 0;
+  double delivery_ratio = 1.0;
+  TenantSlo tenant;
+  std::vector<AzSlo> azs;
+  std::vector<GatewaySlo> per_gateway;
+  double cost_total = 0.0;
+  double power_total_w = 0.0;
+  double cost_legacy_total = 0.0;
+  double power_legacy_total_w = 0.0;
+
+  /// Deterministic JSON (sorted keys; numbers via JsonValue::dump).
+  [[nodiscard]] JsonValue to_json() const;
+  /// Human-oriented multi-line rendering for the CLI.
+  [[nodiscard]] std::string text() const;
+};
+
+}  // namespace albatross::fleet

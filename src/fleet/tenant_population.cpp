@@ -1,0 +1,46 @@
+#include "fleet/tenant_population.hpp"
+
+#include <cmath>
+
+#include "common/hash.hpp"
+
+namespace albatross::fleet {
+
+TenantPopulation::TenantPopulation(std::uint64_t tenants, double alpha,
+                                   std::uint64_t seed,
+                                   std::uint32_t total_gateways,
+                                   std::uint32_t max_tenants_per_gateway)
+    : tenants_(tenants == 0 ? 1 : tenants),
+      alpha_(alpha),
+      seed_(seed),
+      share_(total_gateways == 0 ? 1 : total_gateways, 0.0),
+      tenant_count_(share_.size(), 0),
+      hot_(share_.size()) {
+  if (max_tenants_per_gateway == 0) max_tenants_per_gateway = 1;
+  // Single pass: accumulate the harmonic normaliser and per-gateway
+  // unnormalised weight in the same sweep (~1e6 pow() calls, run once
+  // per scenario, not per packet).
+  double h = 0.0;
+  for (std::uint64_t t = 0; t < tenants_; ++t) {
+    const double w = std::pow(static_cast<double>(t + 1), -alpha_);
+    h += w;
+    const std::uint32_t g = gateway(t);
+    share_[g] += w;
+    ++tenant_count_[g];
+    if (hot_[g].size() < max_tenants_per_gateway) hot_[g].push_back(t);
+  }
+  harmonic_ = h;
+  for (auto& s : share_) s /= harmonic_;
+}
+
+double TenantPopulation::weight(std::uint64_t t) const {
+  if (t >= tenants_) return 0.0;
+  return std::pow(static_cast<double>(t + 1), -alpha_) / harmonic_;
+}
+
+std::uint32_t TenantPopulation::gateway(std::uint64_t t) const {
+  return static_cast<std::uint32_t>(
+      mix64(t ^ (seed_ * 0x9e3779b97f4a7c15ull)) % share_.size());
+}
+
+}  // namespace albatross::fleet

@@ -1,0 +1,66 @@
+// Million-tenant population math. The fleet's tenants are Zipf-skewed
+// over *tenants* (the paper's hyperscale premise: a few VNIs dominate
+// offered load) and hash-sharded across every gateway in the fleet the
+// way anycast + ECMP spreads prefixes. Holding a million FlowInfo
+// tables per pod would dwarf the simulation itself, so the population
+// is summarised in one O(N) pass:
+//
+//  - per-gateway *weight share* (what fraction of fleet load lands on
+//    each gateway) -> per-pod offered rate;
+//  - per-gateway *tenant count* -> SLO tenant-weighted downtime;
+//  - a capped per-gateway hot-tenant sample (tenant ids are assigned in
+//    weight order, so the first ids seen per gateway are its heaviest)
+//    -> the concrete flow populations fed to PoissonFlowSource.
+//
+// Everything is a pure function of (tenants, alpha, seed, gateways):
+// two runs with the same spec shard identically, a determinism
+// requirement for byte-identical fleet reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace albatross::fleet {
+
+class TenantPopulation {
+ public:
+  TenantPopulation(std::uint64_t tenants, double alpha, std::uint64_t seed,
+                   std::uint32_t total_gateways,
+                   std::uint32_t max_tenants_per_gateway);
+
+  [[nodiscard]] std::uint64_t tenants() const { return tenants_; }
+  [[nodiscard]] std::uint32_t gateway_count() const {
+    return static_cast<std::uint32_t>(share_.size());
+  }
+
+  /// Normalised Zipf weight of tenant `t` (rank = t, heaviest first).
+  [[nodiscard]] double weight(std::uint64_t t) const;
+
+  /// Which fleet-global gateway tenant `t` hash-shards to.
+  [[nodiscard]] std::uint32_t gateway(std::uint64_t t) const;
+
+  /// Fraction of total fleet load carried by gateway `g` (sums to 1).
+  [[nodiscard]] double gateway_share(std::uint32_t g) const {
+    return share_[g];
+  }
+  [[nodiscard]] std::uint64_t gateway_tenant_count(std::uint32_t g) const {
+    return tenant_count_[g];
+  }
+  /// Hot-tenant sample for gateway `g`: global tenant ids, heaviest
+  /// first, at most `max_tenants_per_gateway` of them.
+  [[nodiscard]] const std::vector<std::uint64_t>& tenants_for_gateway(
+      std::uint32_t g) const {
+    return hot_[g];
+  }
+
+ private:
+  std::uint64_t tenants_;
+  double alpha_;
+  std::uint64_t seed_;
+  double harmonic_ = 1.0;  ///< generalised harmonic number H(N, alpha)
+  std::vector<double> share_;
+  std::vector<std::uint64_t> tenant_count_;
+  std::vector<std::vector<std::uint64_t>> hot_;
+};
+
+}  // namespace albatross::fleet

@@ -27,17 +27,32 @@ FlowInfo make_flow(std::uint64_t flow_id, Vni vni, std::uint32_t flow_in_vni) {
   return f;
 }
 
+namespace {
+
+std::vector<FlowInfo> canonical_flows(const PoissonFlowConfig& cfg) {
+  std::vector<FlowInfo> flows;
+  flows.reserve(cfg.num_flows);
+  const std::uint32_t tenants = cfg.tenants == 0 ? 1 : cfg.tenants;
+  for (std::uint64_t i = 0; i < cfg.num_flows; ++i) {
+    const Vni vni = 1 + static_cast<Vni>(i % tenants);
+    flows.push_back(make_flow(i, vni, static_cast<std::uint32_t>(i / tenants)));
+  }
+  return flows;
+}
+
+}  // namespace
+
 PoissonFlowSource::PoissonFlowSource(PoissonFlowConfig cfg)
+    : PoissonFlowSource(cfg, canonical_flows(cfg)) {}
+
+PoissonFlowSource::PoissonFlowSource(PoissonFlowConfig cfg,
+                                     std::vector<FlowInfo> flows)
     : cfg_(cfg),
       rng_(cfg.seed),
-      zipf_(cfg.num_flows, cfg.zipf_alpha),
+      zipf_(flows.size(), cfg.zipf_alpha),
+      flows_(std::move(flows)),
       next_(cfg.start) {
-  flows_.reserve(cfg_.num_flows);
-  const std::uint32_t tenants = cfg_.tenants == 0 ? 1 : cfg_.tenants;
-  for (std::uint64_t i = 0; i < cfg_.num_flows; ++i) {
-    const Vni vni = 1 + static_cast<Vni>(i % tenants);
-    flows_.push_back(make_flow(i, vni, static_cast<std::uint32_t>(i / tenants)));
-  }
+  cfg_.num_flows = flows_.size();
   advance();
 }
 

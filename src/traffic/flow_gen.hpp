@@ -58,6 +58,12 @@ class PoissonFlowSource final : public TrafficSource {
  public:
   explicit PoissonFlowSource(PoissonFlowConfig cfg);
 
+  /// Same arrival process over an explicit flow population. The fleet
+  /// layer uses this to feed flows whose VNI mix was drawn Zipf-over-
+  /// *tenants* (fleet/tenant_population.hpp) instead of the canonical
+  /// round-robin tenant layout; cfg.num_flows is ignored.
+  PoissonFlowSource(PoissonFlowConfig cfg, std::vector<FlowInfo> flows);
+
   [[nodiscard]] std::optional<NanoTime> next_time() const override;
   PacketPtr emit() override;
 

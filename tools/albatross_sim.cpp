@@ -19,6 +19,14 @@
 //                  a violating trace is shrunk and dumped, exit 1)
 //   albatross_sim fuzz --replay file.json
 //                 (re-runs a dumped trace deterministically)
+//   albatross_sim fleet --scenario fleet.json [--out report.json]
+//                 [--metrics]
+//                 (see fleet/fleet_spec.hpp schema; runs a multi-AZ
+//                  fleet scenario — diurnal load, rolling upgrades,
+//                  faults — and prints the availability SLO report.
+//                  A fuzz-trace JSON, detected by its "ops" array,
+//                  replays through the conformance driver instead, so
+//                  shrunk reproducers run via --scenario directly.)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -28,7 +36,9 @@
 
 #include "chaos/experiment.hpp"
 #include "check/fuzz.hpp"
+#include "check/testseed.hpp"
 #include "core/config.hpp"
+#include "fleet/fleet.hpp"
 #include "core/platform.hpp"
 #include "core/scenario.hpp"
 #include "telemetry/metrics.hpp"
@@ -61,7 +71,9 @@ struct Options {
       "       albatross_sim chaos --plan chaos.json\n"
       "       albatross_sim fuzz [--seed N] [--seeds K] [--ticks T]\n"
       "                     [--chaos none|benign|stall] [--dump f.json]\n"
-      "                     [--replay f.json]\n");
+      "                     [--replay f.json]\n"
+      "       albatross_sim fleet --scenario fleet.json [--out report.json]\n"
+      "                     [--metrics]\n");
   std::exit(2);
 }
 
@@ -277,12 +289,103 @@ int run_fuzz(int argc, char** argv) {
   return 0;
 }
 
+int run_fleet_cmd(int argc, char** argv) {
+  const char* scenario_path = nullptr;
+  std::string out_path;
+  bool metrics = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--scenario" && i + 1 < argc) {
+      scenario_path = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--metrics") {
+      metrics = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: albatross_sim fleet --scenario fleet.json "
+                   "[--out report.json] [--metrics]\n");
+      return 2;
+    }
+  }
+  if (scenario_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: albatross_sim fleet --scenario fleet.json "
+                 "[--out report.json] [--metrics]\n");
+    return 2;
+  }
+  std::ifstream in(scenario_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", scenario_path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  // A shrunk fuzz reproducer (trace JSON has an "ops" array) replays
+  // through the conformance driver: one flag, either artifact.
+  {
+    const auto parsed = json_parse(text.str());
+    if (parsed && (*parsed)["ops"].is_array()) {
+      auto trace = check::trace_from_json(text.str());
+      if (!trace) {
+        std::fprintf(stderr, "fleet: %s has an \"ops\" array but is not a "
+                             "valid fuzz trace\n",
+                     scenario_path);
+        return 1;
+      }
+      const auto report = fleet::run_fleet_trace(*trace);
+      std::printf("fleet trace replay %s: seed=%llu ops=%zu %s\n",
+                  scenario_path,
+                  static_cast<unsigned long long>(trace->scenario.seed),
+                  trace->ops.size(),
+                  report.violated() ? "VIOLATED" : "clean");
+      print_fuzz_report(report);
+      return report.violated() ? 1 : 0;
+    }
+  }
+
+  try {
+    fleet::FleetSpec spec = fleet::FleetSpec::from_json_text(text.str());
+    spec.seed = check::test_seed(spec.seed);
+    fleet::FleetEngine engine(spec);
+    engine.run();
+    const auto result = engine.collect();
+    std::printf("%s", result.report_text().c_str());
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      out << result.slo.to_json().dump() << "\n";
+      // stderr: stdout stays byte-identical across same-seed runs even
+      // when the two runs write to different --out paths.
+      std::fprintf(stderr, "SLO report written to %s\n", out_path.c_str());
+    }
+    if (metrics) {
+      MetricsRegistry registry;
+      register_fleet_metrics(registry, engine);
+      std::printf("\n%s", registry.expose().c_str());
+    }
+    return result.conformance_violations == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Chaos mode: replay a fault plan against a gateway fleet.
   if (argc >= 2 && std::string(argv[1]) == "chaos") {
     return run_chaos(argc, argv);
+  }
+
+  // Fleet mode: multi-AZ cluster scenario with SLO report.
+  if (argc >= 2 && std::string(argv[1]) == "fleet") {
+    return run_fleet_cmd(argc, argv);
   }
 
   // Fuzz mode: randomized conformance runs with invariant probes armed.
