@@ -12,6 +12,7 @@ namespace {
 constexpr std::string_view kKindNames[kFaultKindCount] = {
     "pod_crash",    "core_stall", "nic_reorder_stuck", "nic_dma_error",
     "link_flap",    "bgp_reset",  "bfd_timeout",       "hitter_storm",
+    "dpu_core_stall", "tier_table_flush",
 };
 
 }  // namespace
@@ -109,6 +110,13 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t count,
       case FaultKind::kHitterStorm:
         e.duration = rng.next_range(10, 100) * kMillisecond;
         e.magnitude = 1e6 * static_cast<double>(rng.next_range(1, 4));
+        break;
+      case FaultKind::kDpuCoreStall:
+        e.duration = rng.next_range(1, 10) * kMillisecond;
+        e.magnitude = static_cast<double>(rng.next_below(8));  // core index
+        break;
+      case FaultKind::kTierTableFlush:
+        e.duration = NanoTime{};  // instantaneous wipe
         break;
     }
     plan.events.push_back(e);

@@ -29,9 +29,11 @@ enum class FaultKind : std::uint8_t {
   kBgpReset,        ///< pod iBGP sessions reset; control-plane only
   kBfdTimeout,      ///< BFD probes suppressed (false positive detection)
   kHitterStorm,     ///< heavy hitter at `magnitude` pps for `duration`
+  kDpuCoreStall,    ///< DPU datapath core `magnitude` wedged for `duration`
+  kTierTableFlush,  ///< DPU tier session table wiped (datapath restart)
 };
 
-inline constexpr std::size_t kFaultKindCount = 8;
+inline constexpr std::size_t kFaultKindCount = 10;
 
 [[nodiscard]] std::string_view fault_kind_name(FaultKind k);
 /// Throws std::runtime_error on an unknown name.

@@ -234,6 +234,14 @@ void GatewayChaosHarness::apply(const FaultEvent& e, NanoTime now) {
                                gw.pod);
       break;
     }
+    case FaultKind::kDpuCoreStall:
+      // Graceful no-op when the pod has no DPU tier (the injector checks).
+      platform_->nic().inject_dpu_core_stall(
+          gw.pod, static_cast<std::uint16_t>(e.magnitude), now + e.duration);
+      break;
+    case FaultKind::kTierTableFlush:
+      platform_->nic().inject_tier_table_flush(gw.pod, now);
+      break;
   }
 }
 

@@ -23,6 +23,10 @@ FuzzReport run_trace(const FuzzTrace& trace) {
   // exercises both batching mechanisms at once.
   pc.ingress_batch = sc.rx_burst;
   Platform platform(pc);
+  // Per-flow wire-order oracle armed for every fuzz run; with the DPU
+  // tier this is what catches a fast-path serve overtaking a slow-path
+  // predecessor (the tier handover-gate invariant).
+  platform.enable_order_oracle(true);
 
   GwPodConfig gp;
   gp.service = sc.service;
@@ -31,6 +35,12 @@ FuzzReport run_trace(const FuzzTrace& trace) {
   gp.rx_burst = sc.rx_burst;
   gp.seed = sc.seed | 1;
   const PodId pod = platform.create_pod(gp, 0, PktDirConfig{}, sc.mode);
+
+  if (sc.dpu_tier) {
+    DpuTierConfig tc;
+    tc.fpga.capacity = sc.fpga_capacity;
+    platform.nic().enable_dpu_tier(pod, tc);
+  }
 
   ConformanceHarness harness;
   harness.attach(platform);
@@ -60,6 +70,25 @@ FuzzReport run_trace(const FuzzTrace& trace) {
                                               platform.loop().now());
         });
         break;
+      case TraceOpKind::kTierPromote:
+      case TraceOpKind::kTierDemote: {
+        if (!sc.dpu_tier) break;  // tier ops in a tierless trace: no-op
+        // Same canonical flow layout TraceSource replays packets with.
+        const std::uint32_t tenants = sc.tenants == 0 ? 1 : sc.tenants;
+        const std::uint32_t fi = sc.flows == 0 ? 0 : op.flow % sc.flows;
+        const FiveTuple tuple =
+            make_flow(fi, 1 + static_cast<Vni>(fi % tenants), fi / tenants)
+                .tuple;
+        const bool promote = op.kind == TraceOpKind::kTierPromote;
+        platform.loop().schedule_at(op.at, [&platform, pod, tuple, promote] {
+          DpuTier& tier = platform.nic().dpu_tier(pod);
+          // Forced moves run through the controller's own safety gates;
+          // an unsafe op is a deterministic no-op, never a fault.
+          promote ? tier.force_promote(tuple, platform.loop().now())
+                  : tier.force_demote(tuple, platform.loop().now());
+        });
+        break;
+      }
     }
   }
 
@@ -96,6 +125,17 @@ FuzzReport run_trace(const FuzzTrace& trace) {
   report.ledger.pod_dropped_ring = ps.dropped_ring;
   report.ledger.pod_protocol_packets = ps.protocol_packets;
   report.ledger.pod_drop_flags_sent = ps.drop_flags_sent;
+  if (platform.nic().dpu_tier_enabled(pod)) {
+    DpuTier& tier = platform.nic().dpu_tier(pod);
+    report.tier_fpga_hits = tier.stats().fpga_hits;
+    report.tier_dpu_hits = tier.stats().dpu_hits;
+    report.tier_misses = tier.stats().misses;
+    const TierControllerStats& cs = tier.controller().stats();
+    report.tier_migrations = cs.admissions + cs.promotions + cs.demotions +
+                             cs.evictions_cold + cs.removals;
+    report.tier_forced_ops =
+        tier.stats().forced_promotes + tier.stats().forced_demotes;
+  }
   harness.detach();
   return report;
 }
@@ -129,9 +169,9 @@ FuzzTrace shrink_trace(const FuzzTrace& failing, std::size_t max_runs) {
 }
 
 FuzzOutcome fuzz_one(std::uint64_t seed, std::uint64_t ticks,
-                     ChaosMode chaos, std::size_t rx_burst) {
+                     ChaosMode chaos, std::size_t rx_burst, bool with_tier) {
   FuzzOutcome out;
-  out.trace = generate_trace(seed, ticks, chaos);
+  out.trace = generate_trace(seed, ticks, chaos, with_tier);
   out.trace.scenario.rx_burst = rx_burst == 0 ? 1 : rx_burst;
   out.report = run_trace(out.trace);
   if (out.report.violated()) {

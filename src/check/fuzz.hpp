@@ -46,6 +46,14 @@ struct FuzzReport {
   std::uint64_t events = 0;         ///< loop events processed
   bool ledger_checked = false;      ///< false = loop never quiesced
   PodLedger ledger;                 ///< full conservation accounting
+  // DPU tier accounting, all zero when the trace ran without the tier.
+  // Deliberately OUTSIDE PodLedger: the tier differential folds tier
+  // hits back into the CPU buckets, it never diffs these directly.
+  std::uint64_t tier_fpga_hits = 0;
+  std::uint64_t tier_dpu_hits = 0;
+  std::uint64_t tier_misses = 0;
+  std::uint64_t tier_migrations = 0;  ///< admissions+promotions+demotions
+  std::uint64_t tier_forced_ops = 0;  ///< forced moves that took effect
 
   [[nodiscard]] bool violated() const { return violations != 0; }
 };
@@ -67,8 +75,11 @@ struct FuzzOutcome {
 
 /// `rx_burst` overrides the generated scenario's pod/pump burst size
 /// (1 = legacy per-packet activation; the burst differential runs the
-/// same seed at 1 and 32 and diffs the reports).
+/// same seed at 1 and 32 and diffs the reports). `with_tier` generates
+/// the trace with the DPU co-offload tier enabled plus forced
+/// tier-migration ops (`albatross_sim fuzz --tier`).
 FuzzOutcome fuzz_one(std::uint64_t seed, std::uint64_t ticks,
-                     ChaosMode chaos, std::size_t rx_burst = 1);
+                     ChaosMode chaos, std::size_t rx_burst = 1,
+                     bool with_tier = false);
 
 }  // namespace albatross::check

@@ -369,10 +369,18 @@ std::uint64_t ConformanceHarness::check_ledger_now() {
     const PodTelemetry& tel = platform_->telemetry(pod);
     const GwPodStats& ps = platform_->pod(pod).stats();
     const PodLedgerCounters& lc = ledger_probe_.pod_counters(pod);
-    const std::uint64_t offload_hits =
-        platform_->nic().session_offload_enabled(pod)
-            ? platform_->nic().session_offload(pod).stats().fast_path_hits
+    // With the DPU tier, FPGA hits still count through the pod's
+    // SessionOffload stats (DpuTier borrows the same table); DPU-served
+    // packets are a second NIC-resident bucket alongside them.
+    const std::uint64_t dpu_hits =
+        platform_->nic().dpu_tier_enabled(pod)
+            ? platform_->nic().dpu_tier(pod).stats().dpu_hits
             : 0;
+    const std::uint64_t offload_hits =
+        (platform_->nic().session_offload_enabled(pod)
+             ? platform_->nic().session_offload(pod).stats().fast_path_hits
+             : 0) +
+        dpu_hits;
     // Priority-queue deliveries skip on_data_rx; protocol_packets counts
     // both those and data-path packets the ctrl plane consumed.
     const std::uint64_t priority_rx = ps.protocol_packets - lc.protocol_local;

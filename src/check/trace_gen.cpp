@@ -17,7 +17,7 @@ std::size_t FuzzTrace::packet_count() const {
 }
 
 FuzzTrace generate_trace(std::uint64_t seed, std::uint64_t ticks,
-                         ChaosMode chaos) {
+                         ChaosMode chaos, bool with_tier) {
   Rng rng(seed ^ 0xa1ba7055f022ull);
   FuzzTrace trace;
   TraceScenario& sc = trace.scenario;
@@ -87,6 +87,30 @@ FuzzTrace generate_trace(std::uint64_t seed, std::uint64_t ticks,
                        return a.at < b.at;
                      });
   }
+
+  if (with_tier) {
+    // Separate Rng: enabling the tier must not perturb the packet/fault
+    // stream the seed generated above (legacy seeds stay reproducible).
+    Rng trng(seed ^ 0xd971e2ull);
+    sc.dpu_tier = true;
+    constexpr std::size_t kCaps[] = {512, 4'096, 65'536};
+    sc.fpga_capacity = kCaps[trng.next_below(3)];
+    const std::uint64_t tier_ops = 2 + trng.next_below(5);
+    for (std::uint64_t i = 0; i < tier_ops; ++i) {
+      TraceOp op;
+      op.kind = trng.next_bool(0.5) ? TraceOpKind::kTierPromote
+                                    : TraceOpKind::kTierDemote;
+      op.at = Nanos{static_cast<std::int64_t>(trng.next_below(
+          static_cast<std::uint64_t>(std::max<std::int64_t>(
+              1, sc.horizon.count()))))};
+      op.flow = static_cast<std::uint32_t>(trng.next_below(sc.flows));
+      trace.ops.push_back(op);
+    }
+    std::stable_sort(trace.ops.begin(), trace.ops.end(),
+                     [](const TraceOp& a, const TraceOp& b) {
+                       return a.at < b.at;
+                     });
+  }
   return trace;
 }
 
@@ -139,6 +163,8 @@ const char* op_kind_name(TraceOpKind k) {
     case TraceOpKind::kReorderStall: return "reorder_stall";
     case TraceOpKind::kDmaFault: return "dma_fault";
     case TraceOpKind::kCoreStall: return "core_stall";
+    case TraceOpKind::kTierPromote: return "tier_promote";
+    case TraceOpKind::kTierDemote: return "tier_demote";
   }
   return "packet";
 }
@@ -148,6 +174,8 @@ std::optional<TraceOpKind> op_kind_from(const std::string& name) {
   if (name == "reorder_stall") return TraceOpKind::kReorderStall;
   if (name == "dma_fault") return TraceOpKind::kDmaFault;
   if (name == "core_stall") return TraceOpKind::kCoreStall;
+  if (name == "tier_promote") return TraceOpKind::kTierPromote;
+  if (name == "tier_demote") return TraceOpKind::kTierDemote;
   return std::nullopt;
 }
 
@@ -172,6 +200,9 @@ std::string trace_to_json(const FuzzTrace& trace) {
   scenario["gop_stage1_pps"] = JsonValue(sc.gop_stage1_pps);
   scenario["gop_stage2_pps"] = JsonValue(sc.gop_stage2_pps);
   scenario["gop_burst_seconds"] = JsonValue(sc.gop_burst_seconds);
+  scenario["dpu_tier"] = JsonValue(sc.dpu_tier);
+  scenario["fpga_capacity"] =
+      JsonValue(static_cast<std::int64_t>(sc.fpga_capacity));
 
   JsonArray ops;
   ops.reserve(trace.ops.size());
@@ -181,6 +212,8 @@ std::string trace_to_json(const FuzzTrace& trace) {
     o["at"] = JsonValue(op.at.count());
     switch (op.kind) {
       case TraceOpKind::kPacket:
+      case TraceOpKind::kTierPromote:
+      case TraceOpKind::kTierDemote:
         o["flow"] = JsonValue(static_cast<std::int64_t>(op.flow));
         break;
       case TraceOpKind::kCoreStall:
@@ -233,6 +266,11 @@ std::optional<FuzzTrace> trace_from_json(const std::string& text) {
   sc.gop_stage2_pps = s.get_number("gop_stage2_pps", sc.gop_stage2_pps);
   sc.gop_burst_seconds =
       s.get_number("gop_burst_seconds", sc.gop_burst_seconds);
+  // Pre-tier traces carry neither key; the defaults keep them parseable.
+  sc.dpu_tier = s.get_bool("dpu_tier", false);
+  sc.fpga_capacity = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, s.get_int("fpga_capacity",
+                   static_cast<std::int64_t>(sc.fpga_capacity))));
   if (sc.data_cores == 0 || sc.flows == 0 || sc.tenants == 0) {
     return std::nullopt;
   }

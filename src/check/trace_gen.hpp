@@ -37,6 +37,8 @@ enum class TraceOpKind : std::uint8_t {
   kReorderStall,  ///< wedge the pod's reorder check for `duration`
   kDmaFault,      ///< degrade the pod's DMA channels (x `magnitude`)
   kCoreStall,     ///< freeze data core `core` for `duration`
+  kTierPromote,   ///< force flow `flow` one tier up (DPU tier traces)
+  kTierDemote,    ///< force flow `flow` one tier down
 };
 
 struct TraceOp {
@@ -70,6 +72,11 @@ struct TraceScenario {
   double gop_stage1_pps = 2e6;
   double gop_stage2_pps = 5e5;
   double gop_burst_seconds = 5e-4;
+  /// DPU co-offload tier (docs/DPU_TIER.md). Off by default so legacy
+  /// traces and seed streams replay unchanged; fpga_capacity shrinks the
+  /// FPGA tier to exercise overflow eviction under fuzz.
+  bool dpu_tier = false;
+  std::size_t fpga_capacity = 65'536;
 };
 
 /// A fully materialised fuzz input: scenario + time-sorted op list.
@@ -81,8 +88,11 @@ struct FuzzTrace {
 };
 
 /// Derives scenario geometry and a randomized op list from `seed`.
+/// `with_tier` enables the DPU co-offload tier and sprinkles forced
+/// tier-migration ops into the trace; it draws from a separate Rng so
+/// the packet/fault stream of a seed is identical either way.
 FuzzTrace generate_trace(std::uint64_t seed, std::uint64_t ticks,
-                         ChaosMode chaos);
+                         ChaosMode chaos, bool with_tier = false);
 
 /// Replays a trace's packet ops as a TrafficSource: flow tuples use the
 /// same canonical make_flow() layout the platform tables are populated

@@ -33,6 +33,15 @@ PodId Platform::create_pod(const GwPodConfig& pod_cfg,
   nic_.register_pod(id, plb, dir, mode);
 
   auto pod = std::make_unique<GwPod>(cfg, loop_, tables_, cache_);
+  // Host drops release the DPU tier's in-flight handover credits (a
+  // dropped packet can never be overtaken at the wire). Wired for every
+  // pod because the tier can be enabled after creation.
+  pod->set_drop_hook(
+      [this, id](const FiveTuple& tuple, PktClass cls, NanoTime now) {
+        if (nic_.dpu_tier_enabled(id) && cls != PktClass::kPriority) {
+          nic_.dpu_tier(id).observe_host_drop(tuple, now);
+        }
+      });
   pod->set_egress([this, id](PacketPtr pkt, NanoTime submit) {
     const NanoTime at_fpga = nic_.tx_submit(id, submit, pkt->size());
     Packet* p = pkt.release();
@@ -137,12 +146,27 @@ void Platform::finish_ingress(IngressResult r, PodId pod) {
       ++tc.dropped_other;
       return;
     case IngressOutcome::kOffloaded: {
-      // Handled entirely on the FPGA (session offload): deliver_time is
-      // the wire time; count it like any other delivery.
+      // Handled entirely on the NIC (FPGA session offload or DPU tier):
+      // deliver_time is the wire time; count it like any other delivery.
       ++tel.delivered;
       ++tel.delivered_in_order;
       tel.wire_latency.record(r.deliver_time - r.pkt->rx_time);
       ++tc.delivered;
+      if (order_oracle_) {
+        // Record at the *wire* time, not here: ingress batching can
+        // process this arrival before a CPU forward of the same flow
+        // that egresses earlier in real time, and recording now would
+        // count that as an inversion the wire never saw.
+        const std::uint64_t fid = r.pkt->flow_id;
+        const std::uint64_t seq = r.pkt->seq_in_flow;
+        if (r.deliver_time <= loop_.now()) {
+          oracle_record(fid, seq, pod);
+        } else {
+          loop_.schedule_at(r.deliver_time, [this, fid, seq, pod] {
+            oracle_record(fid, seq, pod);
+          });
+        }
+      }
       return;
     }
     case IngressOutcome::kDelivered:
@@ -161,10 +185,30 @@ void Platform::finish_ingress(IngressResult r, PodId pod) {
 void Platform::handle_emissions(std::vector<EgressEmission>& emissions,
                                 PodId pod) {
   PodTelemetry& tel = telemetry_[pod];
+  const bool tiered = nic_.dpu_tier_enabled(pod);
   const bool offload = nic_.session_offload_enabled(pod);
   for (auto& e : emissions) {
     if (e.pkt == nullptr) continue;
-    if (offload && e.pkt->pkt_class != PktClass::kPriority) {
+    if (tiered && e.pkt->pkt_class != PktClass::kPriority) {
+      // Hierarchical tier: CPU forwards feed the controller's mice
+      // filter and in-flight handover gate instead of installing the
+      // session directly. The credit lands at the packet's *wire* time,
+      // not the emission-processing time: an admission opened by this
+      // forward must not take effect while the packet still sits in the
+      // deparser/TX residue, or a DPU-served successor arriving inside
+      // that window would overtake it on the wire.
+      const FiveTuple tuple = e.pkt->tuple;
+      const NanoTime wire = e.wire_time;
+      if (wire <= loop_.now()) {
+        nic_.dpu_tier(pod).observe_forward(tuple, wire);
+      } else {
+        loop_.schedule_at(wire, [this, pod, tuple, wire] {
+          if (nic_.dpu_tier_enabled(pod)) {
+            nic_.dpu_tier(pod).observe_forward(tuple, wire);
+          }
+        });
+      }
+    } else if (offload && e.pkt->pkt_class != PktClass::kPriority) {
       // Self-learning session offload: the first CPU-forwarded packet of
       // a flow installs its session on the FPGA; later packets take the
       // NIC-only fast path.
@@ -177,16 +221,24 @@ void Platform::handle_emissions(std::vector<EgressEmission>& emissions,
     tel.wire_latency.record(latency);
     ++tenants_[e.pkt->vni].delivered;
 
-    if (order_oracle_) {
-      // Oracle: per-flow sequence must be non-decreasing at the wire.
-      auto [it, fresh] = last_seq_.try_emplace(e.pkt->flow_id, 0);
-      if (!fresh && e.pkt->seq_in_flow < it->second) {
-        ++tel.flow_order_violations;
-      }
-      if (fresh || e.pkt->seq_in_flow > it->second) {
-        it->second = e.pkt->seq_in_flow;
-      }
-    }
+    if (order_oracle_) oracle_record(e.pkt->flow_id, e.pkt->seq_in_flow, pod);
+  }
+}
+
+void Platform::oracle_record(std::uint64_t flow_id, std::uint64_t seq_in_flow,
+                             PodId pod) {
+  // Oracle: per-flow sequence must be non-decreasing at the wire.
+  // Recording order stands in for wire order: offloaded packets are
+  // recorded at their exact wire time, and every CPU-path packet's
+  // remaining latency-to-wire exceeds the deparser residue of the
+  // previously recorded packet, so an inversion in recording order is a
+  // real one.
+  auto [it, fresh] = last_seq_.try_emplace(flow_id, 0);
+  if (!fresh && seq_in_flow < it->second) {
+    ++telemetry_[pod].flow_order_violations;
+  }
+  if (fresh || seq_in_flow > it->second) {
+    it->second = seq_in_flow;
   }
 }
 
@@ -234,6 +286,9 @@ void Platform::enable_housekeeping(NanoTime period) {
     for (PodId pod = 0; pod < pods_.size(); ++pod) {
       if (nic_.session_offload_enabled(pod)) {
         housekeeping_reclaimed_ += nic_.session_offload(pod).age(now);
+      }
+      if (nic_.dpu_tier_enabled(pod)) {
+        housekeeping_reclaimed_ += nic_.dpu_tier(pod).age(now);
       }
     }
     return true;  // run for the platform's lifetime

@@ -139,6 +139,12 @@ class Platform {
   /// Common tail of scalar and burst ingress: counts the outcome and
   /// schedules the pod delivery event.
   void finish_ingress(IngressResult r, PodId pod);
+  /// Order-oracle bookkeeping for one wire delivery (CPU egress AND
+  /// NIC-resident tier/offload serves — recording both is what lets the
+  /// oracle catch a fast-path packet overtaking its flow's slow-path
+  /// predecessor).
+  void oracle_record(std::uint64_t flow_id, std::uint64_t seq_in_flow,
+                     PodId pod);
   /// Consumes the emissions in place (packets are counted and freed);
   /// callers pass the reused egress_scratch_ buffer.
   void handle_emissions(std::vector<EgressEmission>& emissions, PodId pod);

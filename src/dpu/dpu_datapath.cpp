@@ -1,0 +1,99 @@
+#include "dpu/dpu_datapath.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace albatross {
+
+DpuDatapath::DpuDatapath(DpuDatapathConfig cfg)
+    : cfg_(cfg),
+      table_(cfg.capacity),
+      busy_until_(std::max<std::uint16_t>(1, cfg.cores), NanoTime{0}) {}
+
+std::uint16_t DpuDatapath::core_for(const FiveTuple& tuple) const {
+  return static_cast<std::uint16_t>(crc32c(tuple) % busy_until_.size());
+}
+
+bool DpuDatapath::core_idle_at(const FiveTuple& tuple, NanoTime at) const {
+  return busy_until_[core_for(tuple)] <= at;
+}
+
+std::optional<NanoTime> DpuDatapath::serve(const FiveTuple& tuple,
+                                           std::size_t bytes, NanoTime ready) {
+  DpuSession* s = table_.find_mut(tuple);
+  if (s == nullptr) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++s->packets;
+  s->bytes += bytes;
+  s->last_seen = ready;
+  ++stats_.hits;
+
+  // Flow-affine FIFO: the packet starts when both it and its core are
+  // ready; the core is then busy for the software lookup cost. Same
+  // busy-until discipline DmaChannel uses, so per-flow order holds by
+  // construction (same core, non-decreasing ready times).
+  const std::uint16_t core = core_for(tuple);
+  const NanoTime start = std::max(ready, busy_until_[core]);
+  const NanoTime done = start + packet_cost();
+  busy_until_[core] = done;
+  return done - ready;
+}
+
+bool DpuDatapath::install(const FiveTuple& tuple, NanoTime now) {
+  if (table_.size() >= cfg_.capacity) {
+    ++stats_.install_rejected_full;
+    return false;
+  }
+  DpuSession s;
+  s.installed = now;
+  s.last_seen = now;
+  if (!table_.insert(tuple, s)) {
+    ++stats_.install_rejected_full;
+    return false;
+  }
+  ++stats_.installs;
+  return true;
+}
+
+bool DpuDatapath::remove(const FiveTuple& tuple) {
+  if (!table_.erase(tuple)) return false;
+  ++stats_.removes;
+  return true;
+}
+
+bool DpuDatapath::resident(const FiveTuple& tuple) const {
+  return table_.find(tuple).has_value();
+}
+
+std::size_t DpuDatapath::age(NanoTime now) {
+  std::size_t reclaimed = 0;
+  table_.for_each_erase_if([&](const FiveTuple&, const DpuSession& s) {
+    if (now - s.last_seen <= cfg_.idle_timeout) return true;
+    ++reclaimed;
+    return false;
+  });
+  stats_.aged_out += reclaimed;
+  return reclaimed;
+}
+
+void DpuDatapath::stall_core(std::uint16_t core, NanoTime until) {
+  const std::size_t c = core % busy_until_.size();
+  busy_until_[c] = std::max(busy_until_[c], until);
+  ++stats_.core_stalls;
+}
+
+std::size_t DpuDatapath::flush(NanoTime now) {
+  (void)now;
+  std::size_t victims = 0;
+  table_.for_each_erase_if([&](const FiveTuple&, const DpuSession&) {
+    ++victims;
+    return false;
+  });
+  stats_.flushed += victims;
+  return victims;
+}
+
+}  // namespace albatross

@@ -1,0 +1,114 @@
+// DPU datapath model — the middle tier of the Gryphon-style hierarchical
+// co-offload (PAPERS.md §2.2): warm flows that overflow the FPGA's 64K
+// BRAM session table are served on DPU cores instead of falling all the
+// way back to the host CPU. The per-packet cost is a *software* LPM walk
+// plus an exact-match cuckoo lookup — the penalty quantified by
+// bench_micro_datastructures (LpmTrie vs LpmDir24), scaled for the
+// wimpier DPU cores — so the model's arithmetic is anchored to measured
+// numbers rather than invented ones.
+//
+// The datapath is deliberately lossless: a DPU-resident session is
+// always served (per-core FIFO queueing delays it, never drops it), so
+// tier *placement* only ever changes latency, never packet outcomes.
+// tests/test_dpu_diff.cpp leans on exactly this property.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "tables/cuckoo_table.hpp"
+
+namespace albatross {
+
+struct DpuDatapathConfig {
+  /// DRAM-backed session slots — bounded by DPU memory, not BRAM, so
+  /// the default is 4x the FPGA table. The tier sweeps in
+  /// tests/test_dpu_diff.cpp assume this is never the binding limit.
+  std::size_t capacity = 262'144;
+  /// Embedded ARM datapath cores. Flow-affine dispatch (crc32c of the
+  /// 5-tuple) keeps per-flow packet order trivially.
+  std::uint16_t cores = 8;
+  /// Per-packet software LPM walk. bench_micro_datastructures measures
+  /// the trie at ~7-8x the DIR-24-8 cost on a host core; scaled ~3x for
+  /// the DPU's lower clock/IPC this lands at ~1.8us.
+  NanoTime lpm_lookup = nanos_from_double(1'800.0);
+  /// Exact-match session lookup + counter update (cuckoo find path from
+  /// the same bench, DPU-scaled).
+  NanoTime session_update = nanos_from_double(450.0);
+  /// Fixed per-packet overhead (descriptor handling, doorbells).
+  NanoTime fixed_overhead = nanos_from_double(250.0);
+  /// Idle eviction horizon for DPU-resident sessions (DRAM is cheap, so
+  /// this is looser than the FPGA's aging but still bounded).
+  NanoTime idle_timeout = 5 * kSecond;
+};
+
+struct DpuSession {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  NanoTime installed = NanoTime{0};
+  NanoTime last_seen = NanoTime{0};
+};
+
+struct DpuDatapathStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t install_rejected_full = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t aged_out = 0;
+  std::uint64_t flushed = 0;       ///< chaos: tier-table flush victims
+  std::uint64_t core_stalls = 0;   ///< chaos: injected core stalls
+};
+
+class DpuDatapath {
+ public:
+  explicit DpuDatapath(DpuDatapathConfig cfg = {});
+
+  /// Per-packet serve attempt. On hit the session counters update and
+  /// the packet is queued on its flow-affine core: the returned latency
+  /// (measured from `ready`, the time the packet leaves the NIC parse +
+  /// GOP stages) covers any FIFO wait plus the software lookup cost.
+  /// nullopt = session not resident (slow path to CPU or FPGA).
+  std::optional<NanoTime> serve(const FiveTuple& tuple, std::size_t bytes,
+                                NanoTime ready);
+
+  /// Installs a session (tier controller decision). False when the DRAM
+  /// table rejects the insert (kick chain + stash exhausted).
+  bool install(const FiveTuple& tuple, NanoTime now);
+  bool remove(const FiveTuple& tuple);
+  [[nodiscard]] bool resident(const FiveTuple& tuple) const;
+
+  /// Ages idle sessions; returns the number reclaimed.
+  std::size_t age(NanoTime now);
+
+  /// Chaos hook: wedges one datapath core until `until` — queued packets
+  /// wait (latency-only fault; nothing is dropped).
+  void stall_core(std::uint16_t core, NanoTime until);
+  /// Chaos hook: drops every DPU-resident session (e.g. a datapath
+  /// restart); flows fall back to the CPU until re-admitted.
+  std::size_t flush(NanoTime now);
+
+  /// True when `core_for(tuple)`'s FIFO is drained at `at` — the
+  /// promotion-safety predicate: moving a flow to the faster FPGA tier
+  /// is order-safe only once its DPU queue is empty.
+  [[nodiscard]] bool core_idle_at(const FiveTuple& tuple, NanoTime at) const;
+
+  [[nodiscard]] std::uint16_t core_for(const FiveTuple& tuple) const;
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] const DpuDatapathStats& stats() const { return stats_; }
+  [[nodiscard]] const DpuDatapathConfig& config() const { return cfg_; }
+  /// Total per-packet software cost (LPM + session + overhead).
+  [[nodiscard]] NanoTime packet_cost() const {
+    return cfg_.lpm_lookup + cfg_.session_update + cfg_.fixed_overhead;
+  }
+
+ private:
+  DpuDatapathConfig cfg_;
+  CuckooTable<FiveTuple, DpuSession> table_;
+  std::vector<NanoTime> busy_until_;  ///< per-core FIFO serialization
+  DpuDatapathStats stats_;
+};
+
+}  // namespace albatross

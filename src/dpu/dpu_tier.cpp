@@ -1,0 +1,199 @@
+#include "dpu/dpu_tier.hpp"
+
+namespace albatross {
+
+DpuTier::DpuTier(DpuTierConfig cfg, SessionOffload& fpga)
+    : cfg_(cfg), fpga_(&fpga), datapath_(cfg.datapath),
+      controller_(cfg.controller) {}
+
+bool DpuTier::promote_to_fpga(const FiveTuple& tuple, TierFlowState& st,
+                              NanoTime now) {
+  if (!fpga_->install(tuple, 0, now)) {
+    // BRAM full: evict the coldest pinned flow down to the DPU so the
+    // hotter one can take its slot (one extra migration token).
+    const auto victim = controller_.coldest_fpga();
+    if (!victim.has_value() || !controller_.take_migration_budget(now)) {
+      return false;
+    }
+    fpga_->remove(*victim);
+    TierFlowState* vst = controller_.find(*victim);
+    if (vst != nullptr) {
+      controller_.moved(*vst,
+                        datapath_.install(*victim, now) ? TierLevel::kDpu
+                                                        : TierLevel::kCpu,
+                        now);
+    }
+    controller_.count_cold_eviction();
+    if (!fpga_->install(tuple, 0, now)) return false;
+  }
+  datapath_.remove(tuple);
+  controller_.moved(st, TierLevel::kFpga, now);
+  return true;
+}
+
+std::optional<TierServe> DpuTier::serve(const FiveTuple& tuple,
+                                        std::size_t bytes, NanoTime now,
+                                        NanoTime ready) {
+  TierFlowState* st = controller_.observe_arrival(tuple, now);
+
+  // FPGA first: the elephants' tier, and the cheapest lookup.
+  if (const auto fpga_ns = fpga_->fast_path(tuple, bytes, now)) {
+    ++stats_.fpga_hits;
+    if (st != nullptr) {
+      if (st->tier != TierLevel::kFpga) {
+        // Resident but not tracked as such (legacy install / rebuilt
+        // controller state): adopt the placement.
+        st->tier = TierLevel::kFpga;
+        st->tier_since = now;
+      } else if (st->ewma_pps < controller_.config().demote_pps) {
+        // Demotion to the slower tier is always order-safe (later
+        // packets only get later wire times).
+        if (now - st->tier_since < controller_.config().dwell_min) {
+          controller_.count_dwell_suppressed();
+        } else if (controller_.take_migration_budget(now)) {
+          fpga_->remove(tuple);
+          controller_.moved(*st,
+                            datapath_.install(tuple, now) ? TierLevel::kDpu
+                                                          : TierLevel::kCpu,
+                            now);
+        }
+      }
+    }
+    return TierServe{*fpga_ns, TierLevel::kFpga};
+  }
+
+  if (st != nullptr && st->tier == TierLevel::kFpga) {
+    // FPGA aged the session out behind our back; fall to the CPU tier
+    // and let the flow re-earn DPU admission.
+    controller_.moved(*st, TierLevel::kCpu, now);
+  }
+
+  // DPU second. Promotion to the *faster* FPGA tier happens before the
+  // serve and only with the flow's DPU queue drained: every prior
+  // DPU-served packet is then already at (or past) the deparser, so the
+  // FPGA-served packet cannot overtake it on the wire.
+  if (st != nullptr && datapath_.resident(tuple)) {
+    if (controller_.promote_ready(*st, now) &&
+        datapath_.core_idle_at(tuple, ready) &&
+        controller_.take_migration_budget(now) &&
+        promote_to_fpga(tuple, *st, now)) {
+      const auto fpga_ns = fpga_->fast_path(tuple, bytes, now);
+      ++stats_.fpga_hits;
+      return TierServe{fpga_ns.value_or(fpga_->config().fpga_process_ns),
+                       TierLevel::kFpga};
+    }
+    if (st->ewma_pps >= controller_.config().promote_pps &&
+        now - st->tier_since < controller_.config().dwell_min) {
+      controller_.count_dwell_suppressed();
+    }
+  }
+  if (const auto dpu_ns = datapath_.serve(tuple, bytes, ready)) {
+    ++stats_.dpu_hits;
+    if (st != nullptr && st->tier != TierLevel::kDpu) {
+      st->tier = TierLevel::kDpu;
+      st->tier_since = now;
+    }
+    return TierServe{*dpu_ns, TierLevel::kDpu};
+  }
+
+  // Miss. CPU admission (the handover): only a flow past the mice
+  // filter with zero CPU packets in flight may enter the DPU tier —
+  // and it does so serving *this* packet, so admission is exercised
+  // mid-stream, not just between bursts.
+  if (st != nullptr) {
+    if (st->tier == TierLevel::kDpu) {
+      // DPU table lost the session (aging/flush); re-earn admission.
+      controller_.moved(*st, TierLevel::kCpu, now);
+    }
+    if (controller_.admit_ready(*st) && controller_.take_admit_budget(now) &&
+        datapath_.install(tuple, now)) {
+      controller_.moved(*st, TierLevel::kDpu, now);
+      const auto dpu_ns = datapath_.serve(tuple, bytes, ready);
+      if (dpu_ns.has_value()) {
+        ++stats_.dpu_hits;
+        return TierServe{*dpu_ns, TierLevel::kDpu};
+      }
+    }
+    controller_.on_cpu_miss(*st, now);
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void DpuTier::observe_forward(const FiveTuple& tuple, NanoTime now) {
+  controller_.on_forward(tuple, now);
+  // Egress-time admission: if this forward cleared the flow's last
+  // in-flight CPU packet and the mice filter is satisfied, install now
+  // so the *next* arrival already hits the DPU. Waiting for the next
+  // miss instead (the serve() fallback) costs one extra CPU round-trip
+  // per flow — at scale, that halves the tier's ramp rate.
+  TierFlowState* st = controller_.find(tuple);
+  if (st == nullptr) return;
+  if (controller_.admit_ready(*st) && controller_.take_admit_budget(now) &&
+      datapath_.install(tuple, now)) {
+    controller_.moved(*st, TierLevel::kDpu, now);
+  }
+}
+
+void DpuTier::observe_host_drop(const FiveTuple& tuple, NanoTime now) {
+  controller_.on_host_drop(tuple, now);
+}
+
+std::size_t DpuTier::age(NanoTime now) {
+  std::size_t reclaimed = datapath_.age(now);
+  reclaimed += controller_.age(now, datapath_.config().idle_timeout);
+  return reclaimed;
+}
+
+bool DpuTier::force_promote(const FiveTuple& tuple, NanoTime now) {
+  TierFlowState* st = controller_.find(tuple);
+  if (st == nullptr) return false;
+  bool ok = false;
+  if (st->tier == TierLevel::kCpu) {
+    // Forced admission still honours the in-flight handover gate —
+    // violating it would let the op change packet outcomes.
+    ok = st->cpu_inflight == 0 && datapath_.install(tuple, now);
+    if (ok) controller_.moved(*st, TierLevel::kDpu, now);
+  } else if (st->tier == TierLevel::kDpu) {
+    ok = datapath_.core_idle_at(tuple, now) && promote_to_fpga(tuple, *st, now);
+  }
+  if (ok) ++stats_.forced_promotes;
+  return ok;
+}
+
+bool DpuTier::force_demote(const FiveTuple& tuple, NanoTime now) {
+  TierFlowState* st = controller_.find(tuple);
+  if (st == nullptr) return false;
+  bool ok = false;
+  if (st->tier == TierLevel::kFpga) {
+    fpga_->remove(tuple);
+    controller_.moved(*st,
+                      datapath_.install(tuple, now) ? TierLevel::kDpu
+                                                    : TierLevel::kCpu,
+                      now);
+    ok = true;
+  } else if (st->tier == TierLevel::kDpu) {
+    // Back to the CPU only once the flow's DPU queue drained: CPU-path
+    // latency floors above the deparser residue, so order holds.
+    if (datapath_.core_idle_at(tuple, now)) {
+      datapath_.remove(tuple);
+      controller_.moved(*st, TierLevel::kCpu, now);
+      ok = true;
+    }
+  }
+  if (ok) ++stats_.forced_demotes;
+  return ok;
+}
+
+void DpuTier::stall_core(std::uint16_t core, NanoTime until) {
+  datapath_.stall_core(core, until);
+}
+
+std::size_t DpuTier::flush_tier_table(NanoTime now) {
+  const std::size_t victims = datapath_.flush(now);
+  controller_.retier_all(TierLevel::kDpu, now);
+  ++stats_.table_flushes;
+  return victims;
+}
+
+}  // namespace albatross

@@ -1,0 +1,109 @@
+// DpuTier: the hierarchical co-offload façade the NIC ingress consults —
+// FPGA session table first (elephants), DPU datapath second (warm
+// flows), CPU pods as the miss path (mice). Owns the TierController
+// that moves flows between the three and the DpuDatapath that serves
+// the middle tier; the FPGA tier is the pod's existing SessionOffload,
+// borrowed by reference so installs/aging stay visible to everything
+// that already knows about it (housekeeping, ledger checks, benches).
+//
+// Every serve() outcome is one of {FPGA-served, DPU-served, miss}; the
+// first two early-return at NIC ingress stage 3 exactly like today's
+// session offload, so tier placement can only change *latency*, never
+// drops or ordering — the invariant tests/test_dpu_diff.cpp enforces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dpu/dpu_datapath.hpp"
+#include "dpu/tier_controller.hpp"
+#include "nic/session_offload.hpp"
+
+namespace albatross {
+
+struct DpuTierConfig {
+  TierControllerConfig controller;
+  DpuDatapathConfig datapath;
+  /// FPGA tier geometry, used only when the pod has no session offload
+  /// enabled yet (enable_dpu_tier then enables it with this config).
+  SessionOffloadConfig fpga;
+};
+
+/// One tier-served packet: which tier handled it and the processing
+/// latency measured from the packet's post-parse/GOP ready time.
+struct TierServe {
+  NanoTime latency = NanoTime{0};
+  TierLevel tier = TierLevel::kFpga;
+};
+
+struct DpuTierStats {
+  std::uint64_t fpga_hits = 0;
+  std::uint64_t dpu_hits = 0;
+  std::uint64_t misses = 0;           ///< fell through to the CPU path
+  std::uint64_t forced_promotes = 0;  ///< fuzz/chaos ops that took effect
+  std::uint64_t forced_demotes = 0;
+  std::uint64_t table_flushes = 0;    ///< chaos: DPU table wipes
+};
+
+class DpuTier {
+ public:
+  DpuTier(DpuTierConfig cfg, SessionOffload& fpga);
+
+  /// Ingress stage-3 fast path. `now` is the packet's arrival (rate
+  /// bookkeeping), `ready` the time it clears parse + GOP (latency
+  /// base). nullopt = no tier holds the flow; continue to PLB/RSS
+  /// dispatch and the CPU pod.
+  std::optional<TierServe> serve(const FiveTuple& tuple, std::size_t bytes,
+                                 NanoTime now, NanoTime ready);
+
+  /// Egress observation: a CPU forward of `tuple` left the host. Feeds
+  /// the controller's handover gate and mice filter, and — when this
+  /// forward clears the flow's last in-flight CPU packet — admits the
+  /// flow to the DPU tier on the spot (the same point the legacy
+  /// offload installs at, so admission latency matches it). Order-safe:
+  /// the forwarded packet is already at the wire, and any later arrival
+  /// pays at least the DPU path latency on top.
+  void observe_forward(const FiveTuple& tuple, NanoTime now);
+  /// Host-drop observation (ring overflow / service drop): releases the
+  /// flow's in-flight handover slot — a dropped packet can never be
+  /// overtaken at the wire, and without the credit one drop would wedge
+  /// the flow on the CPU path forever.
+  void observe_host_drop(const FiveTuple& tuple, NanoTime now);
+
+  /// Housekeeping: ages DPU sessions and idle controller state. (The
+  /// FPGA table keeps its own aging via Platform::enable_housekeeping.)
+  std::size_t age(NanoTime now);
+
+  /// Fuzz/chaos ops: move a flow one tier up/down through the same
+  /// safety gates the controller uses (in-flight handover, idle DPU
+  /// core, FPGA capacity). Deterministic no-op (false) when unsafe.
+  bool force_promote(const FiveTuple& tuple, NanoTime now);
+  bool force_demote(const FiveTuple& tuple, NanoTime now);
+
+  /// Chaos hooks: wedge one DPU core (latency-only) / wipe the DPU
+  /// session table (flows fall back to the CPU until re-admitted).
+  void stall_core(std::uint16_t core, NanoTime until);
+  std::size_t flush_tier_table(NanoTime now);
+
+  [[nodiscard]] const DpuTierStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t tier_hits() const {
+    return stats_.fpga_hits + stats_.dpu_hits;
+  }
+  TierController& controller() { return controller_; }
+  DpuDatapath& datapath() { return datapath_; }
+  SessionOffload& fpga() { return *fpga_; }
+  [[nodiscard]] const DpuTierConfig& config() const { return cfg_; }
+
+ private:
+  /// DPU -> FPGA move, evicting the coldest pinned flow on overflow.
+  bool promote_to_fpga(const FiveTuple& tuple, TierFlowState& st,
+                       NanoTime now);
+
+  DpuTierConfig cfg_;
+  SessionOffload* fpga_;
+  DpuDatapath datapath_;
+  TierController controller_;
+  DpuTierStats stats_;
+};
+
+}  // namespace albatross

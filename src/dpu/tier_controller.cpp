@@ -1,0 +1,177 @@
+#include "dpu/tier_controller.hpp"
+
+namespace albatross {
+
+TierController::TierController(TierControllerConfig cfg)
+    : cfg_(cfg),
+      flows_(cfg.max_tracked_flows),
+      admit_left_(cfg.admit_budget),
+      migration_left_(cfg.migration_budget) {}
+
+TierFlowState* TierController::observe_arrival(const FiveTuple& tuple,
+                                               NanoTime now) {
+  TierFlowState* st = flows_.find_mut(tuple);
+  if (st == nullptr) {
+    if (flows_.size() >= cfg_.max_tracked_flows) return nullptr;
+    TierFlowState fresh;
+    fresh.last_seen = now;
+    fresh.tier_since = now;
+    if (!flows_.insert(tuple, fresh)) return nullptr;
+    return flows_.find_mut(tuple);
+  }
+  // Placement-independent rate estimate: only arrival gaps feed the
+  // EWMA, so an FPGA-capacity sweep sees identical estimates for every
+  // flow regardless of which tier happened to serve it.
+  if (now > st->last_seen) {
+    const double gap_s = nanos_to_seconds(now - st->last_seen);
+    const double inst_pps = 1.0 / gap_s;
+    st->ewma_pps =
+        cfg_.ewma_alpha * inst_pps + (1.0 - cfg_.ewma_alpha) * st->ewma_pps;
+  }
+  st->last_seen = now;
+  return st;
+}
+
+void TierController::on_cpu_miss(TierFlowState& st, NanoTime now) {
+  if (st.cpu_inflight > 0 && now - st.last_miss > cfg_.inflight_reset) {
+    // The outstanding packets were dropped downstream (ring/service/
+    // reorder) so their forwards never land; without this reset the
+    // handover gate would wedge the flow on the CPU forever.
+    st.cpu_inflight = 0;
+    ++stats_.inflight_resets;
+  }
+  ++st.cpu_inflight;
+  st.last_miss = now;
+}
+
+void TierController::on_forward(const FiveTuple& tuple, NanoTime now) {
+  TierFlowState* st = flows_.find_mut(tuple);
+  if (st == nullptr) return;
+  if (st->cpu_inflight > 0) --st->cpu_inflight;
+  ++st->forwards;
+  (void)now;
+}
+
+void TierController::on_host_drop(const FiveTuple& tuple, NanoTime now) {
+  TierFlowState* st = flows_.find_mut(tuple);
+  if (st == nullptr || st->cpu_inflight == 0) return;
+  --st->cpu_inflight;
+  ++stats_.drop_credits;
+  (void)now;
+}
+
+bool TierController::admit_ready(const TierFlowState& st) const {
+  // The inflight==0 gate is the order-safety proof: every prior packet
+  // of the flow has already been forwarded at egress, and the DPU path's
+  // minimum latency exceeds the wire residue of a forwarded packet, so
+  // the first DPU-served packet cannot overtake any CPU-served one.
+  return st.tier == TierLevel::kCpu && st.forwards >= cfg_.admit_forwards &&
+         st.cpu_inflight == 0;
+}
+
+bool TierController::promote_ready(const TierFlowState& st,
+                                   NanoTime now) const {
+  return st.tier == TierLevel::kDpu && st.ewma_pps >= cfg_.promote_pps &&
+         now - st.tier_since >= cfg_.dwell_min;
+}
+
+bool TierController::demote_ready(const TierFlowState& st,
+                                  NanoTime now) const {
+  return st.tier == TierLevel::kFpga && st.ewma_pps < cfg_.demote_pps &&
+         now - st.tier_since >= cfg_.dwell_min;
+}
+
+void TierController::refill_epoch(NanoTime now) {
+  const std::int64_t epoch = now.count() / cfg_.migration_epoch.count();
+  if (epoch != budget_epoch_) {
+    budget_epoch_ = epoch;
+    admit_left_ = cfg_.admit_budget;
+    migration_left_ = cfg_.migration_budget;
+  }
+}
+
+bool TierController::take_admit_budget(NanoTime now) {
+  refill_epoch(now);
+  if (admit_left_ == 0) {
+    ++stats_.budget_exhausted;
+    return false;
+  }
+  --admit_left_;
+  return true;
+}
+
+bool TierController::take_migration_budget(NanoTime now) {
+  refill_epoch(now);
+  if (migration_left_ == 0) {
+    ++stats_.budget_exhausted;
+    return false;
+  }
+  --migration_left_;
+  return true;
+}
+
+void TierController::moved(TierFlowState& st, TierLevel to, NanoTime now) {
+  const TierLevel from = st.tier;
+  st.tier = to;
+  st.tier_since = now;
+  if (from == TierLevel::kCpu && to == TierLevel::kDpu) {
+    ++stats_.admissions;
+  } else if (from == TierLevel::kDpu && to == TierLevel::kFpga) {
+    ++stats_.promotions;
+  } else if (from == TierLevel::kFpga && to == TierLevel::kDpu) {
+    ++stats_.demotions;
+  } else if (to == TierLevel::kCpu) {
+    ++stats_.removals;
+    // Back to the slow path: re-earn admission and restart the handover
+    // gate from a clean slate.
+    st.forwards = 0;
+    st.cpu_inflight = 0;
+  }
+}
+
+std::optional<FiveTuple> TierController::coldest_fpga() {
+  std::optional<FiveTuple> victim;
+  NanoTime coldest = NanoTime{0};
+  flows_.for_each_erase_if(
+      [&](const FiveTuple& tuple, const TierFlowState& st) {
+        if (st.tier == TierLevel::kFpga &&
+            (!victim.has_value() || st.last_seen < coldest)) {
+          victim = tuple;
+          coldest = st.last_seen;
+        }
+        return true;  // pure scan, nothing erased
+      });
+  return victim;
+}
+
+void TierController::forget(const FiveTuple& tuple) { flows_.erase(tuple); }
+
+std::size_t TierController::age(NanoTime now, NanoTime idle_timeout) {
+  std::size_t reclaimed = 0;
+  flows_.for_each_erase_if([&](const FiveTuple&, const TierFlowState& st) {
+    if (st.tier != TierLevel::kCpu || now - st.last_seen <= idle_timeout) {
+      return true;
+    }
+    ++reclaimed;
+    return false;
+  });
+  return reclaimed;
+}
+
+std::size_t TierController::retier_all(TierLevel from, NanoTime now) {
+  std::size_t moved_flows = 0;
+  flows_.for_each_erase_if([&](const FiveTuple&, TierFlowState& st) {
+    if (st.tier == from) {
+      st.tier = TierLevel::kCpu;
+      st.tier_since = now;
+      st.forwards = 0;
+      st.cpu_inflight = 0;
+      ++stats_.removals;
+      ++moved_flows;
+    }
+    return true;
+  });
+  return moved_flows;
+}
+
+}  // namespace albatross

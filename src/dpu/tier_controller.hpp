@@ -1,0 +1,161 @@
+// Tier placement controller for the hierarchical co-offload (Gryphon,
+// PAPERS.md): per-flow rate EWMAs decide which tier serves a flow —
+// elephants pinned in the FPGA session table, warm flows on the DPU
+// datapath, mice left on the CPU pods. Three disciplines keep placement
+// stable and *outcome-invariant*:
+//
+//   hysteresis   promote (EWMA >= promote_pps) and demote (< demote_pps)
+//                thresholds are separated, and every resident flow must
+//                dwell `dwell_min` in its tier before moving again — an
+//                oscillating rate straddling one threshold cannot flap.
+//   budget       migrations (admissions, promotions, demotions,
+//                evictions) draw from a per-epoch token budget, bounding
+//                table-update bandwidth per slice the way a real
+//                control channel would.
+//   handover     a CPU flow is admitted to the DPU only when it has no
+//                packet still in flight on the CPU path (counted miss ->
+//                forward), so a freshly tiered flow can never overtake
+//                its own slower-path packets at the wire.
+//
+// The controller is pure bookkeeping: DpuTier executes the moves it
+// decides against the FPGA/DPU tables. Flow state lives in the repo's
+// CuckooTable, so scans are deterministic for a given insert history.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "tables/cuckoo_table.hpp"
+
+namespace albatross {
+
+/// Which tier currently serves a flow. kCpu is the default: the flow is
+/// unknown to (or explicitly left on) the host slow path.
+enum class TierLevel : std::uint8_t { kCpu, kDpu, kFpga };
+
+struct TierControllerConfig {
+  double promote_pps = 50'000.0;  ///< DPU -> FPGA EWMA threshold
+  double demote_pps = 5'000.0;    ///< FPGA -> DPU EWMA threshold
+  double ewma_alpha = 0.2;        ///< per-packet rate EWMA smoothing
+  /// Minimum residency in a tier before the next migration; the flap
+  /// bound: an oscillating flow moves at most once per dwell window.
+  NanoTime dwell_min = 5 * kMillisecond;
+  /// CPU forwards observed before a flow is DPU-eligible (mice filter).
+  std::uint32_t admit_forwards = 2;
+  /// Per-epoch token budgets, one per control channel. Admissions
+  /// (CPU -> DPU) ride the host control channel; promotions/demotions/
+  /// evictions (FPGA <-> DPU) ride the intra-NIC channel. Keeping the
+  /// pools separate is what makes FPGA-capacity sweeps outcome-exact:
+  /// capacity only changes intra-NIC traffic, which can never starve
+  /// the admission channel and so never changes which flows leave the
+  /// CPU path (tests/test_dpu_diff.cpp FpgaCapacitySweep).
+  std::uint32_t admit_budget = 64;
+  std::uint32_t migration_budget = 64;
+  NanoTime migration_epoch = 10 * kMillisecond;
+  /// Self-heal: a CPU in-flight count stuck non-zero (the packet was
+  /// dropped after the miss, so no forward ever lands) resets after this
+  /// long without new misses.
+  NanoTime inflight_reset = 5 * kMillisecond;
+  /// Flow-state table capacity; when full, new flows simply stay on the
+  /// CPU untracked (graceful degradation, never an error).
+  std::size_t max_tracked_flows = 262'144;
+};
+
+struct TierFlowState {
+  TierLevel tier = TierLevel::kCpu;
+  double ewma_pps = 0.0;
+  NanoTime last_seen = NanoTime{0};
+  NanoTime tier_since = NanoTime{0};
+  NanoTime last_miss = NanoTime{0};
+  std::uint32_t forwards = 0;      ///< CPU forwards observed at egress
+  std::uint32_t cpu_inflight = 0;  ///< misses not yet matched by forwards
+};
+
+struct TierControllerStats {
+  std::uint64_t admissions = 0;        ///< CPU -> DPU installs
+  std::uint64_t promotions = 0;        ///< DPU -> FPGA
+  std::uint64_t demotions = 0;         ///< FPGA -> DPU (threshold)
+  std::uint64_t evictions_cold = 0;    ///< FPGA overflow: coldest demoted
+  std::uint64_t removals = 0;          ///< DPU -> CPU (aging/flush/force)
+  std::uint64_t budget_exhausted = 0;  ///< migration deferred: no tokens
+  std::uint64_t dwell_suppressed = 0;  ///< migration blocked by dwell_min
+  std::uint64_t inflight_resets = 0;   ///< self-heal events
+  std::uint64_t drop_credits = 0;      ///< in-flight releases on host drops
+};
+
+class TierController {
+ public:
+  explicit TierController(TierControllerConfig cfg = {});
+
+  /// Per-arrival bookkeeping: updates the flow's EWMA/last_seen (the
+  /// update is placement-independent so FPGA-capacity sweeps see the
+  /// same rate estimates). Creates state for unknown flows while the
+  /// table has room; returns null when untracked.
+  TierFlowState* observe_arrival(const FiveTuple& tuple, NanoTime now);
+
+  /// The arrival missed every tier and went to the CPU path.
+  void on_cpu_miss(TierFlowState& st, NanoTime now);
+  /// Egress saw a CPU forward of this flow (the handover gate input).
+  void on_forward(const FiveTuple& tuple, NanoTime now);
+  /// The host dropped one of this flow's packets (ring overflow or
+  /// service drop). A dropped packet can never be overtaken at the
+  /// wire, so crediting the in-flight gate is order-safe — and without
+  /// the credit a single drop would wedge the flow on the CPU forever
+  /// (its forward never lands to balance the miss).
+  void on_host_drop(const FiveTuple& tuple, NanoTime now);
+
+  /// Decision predicates; all pure w.r.t. the flow/budget state.
+  [[nodiscard]] bool admit_ready(const TierFlowState& st) const;
+  [[nodiscard]] bool promote_ready(const TierFlowState& st,
+                                   NanoTime now) const;
+  [[nodiscard]] bool demote_ready(const TierFlowState& st,
+                                  NanoTime now) const;
+
+  /// Consume one token from the named channel; both refill at epoch
+  /// boundaries. False (and counted) when the epoch's budget is spent.
+  bool take_admit_budget(NanoTime now);
+  bool take_migration_budget(NanoTime now);
+
+  /// Records an executed move (updates tier/tier_since + stat counters).
+  void moved(TierFlowState& st, TierLevel to, NanoTime now);
+  void count_dwell_suppressed() { ++stats_.dwell_suppressed; }
+  void count_cold_eviction() { ++stats_.evictions_cold; }
+
+  /// Coldest FPGA-resident flow (min last_seen; deterministic scan
+  /// order) — the overflow-eviction victim. Nullopt when none resident.
+  [[nodiscard]] std::optional<FiveTuple> coldest_fpga();
+
+  /// Drops the flow back to untracked CPU state (aging/flush).
+  void forget(const FiveTuple& tuple);
+  /// Erases idle CPU-resident state (tiered flows keep theirs — their
+  /// session tables age them first and serve() re-tags on miss).
+  std::size_t age(NanoTime now, NanoTime idle_timeout);
+  /// Re-tags every flow in `from` as CPU-resident (tier-table flush).
+  std::size_t retier_all(TierLevel from, NanoTime now);
+
+  [[nodiscard]] TierFlowState* find(const FiveTuple& tuple) {
+    return flows_.find_mut(tuple);
+  }
+  [[nodiscard]] std::size_t tracked() const { return flows_.size(); }
+  [[nodiscard]] std::uint32_t admit_budget_left() const {
+    return admit_left_;
+  }
+  [[nodiscard]] std::uint32_t migration_budget_left() const {
+    return migration_left_;
+  }
+  [[nodiscard]] const TierControllerStats& stats() const { return stats_; }
+  [[nodiscard]] const TierControllerConfig& config() const { return cfg_; }
+
+ private:
+  void refill_epoch(NanoTime now);
+
+  TierControllerConfig cfg_;
+  CuckooTable<FiveTuple, TierFlowState> flows_;
+  TierControllerStats stats_;
+  std::uint32_t admit_left_;
+  std::uint32_t migration_left_;
+  std::int64_t budget_epoch_ = -1;
+};
+
+}  // namespace albatross

@@ -32,6 +32,11 @@ void GwPod::deliver(PacketPtr pkt, std::uint16_t rx_queue, NanoTime now) {
   const auto core_id =
       CoreId{static_cast<std::uint16_t>(rx_queue % cores_.size())};
   if (probe_ != nullptr) probe_->on_data_rx(cfg_.id, core_id, now);
+  // Flow identity survives the push: on kFull the ring consumes (and
+  // frees) the packet, but the drop hook still needs to know whose
+  // packet died.
+  const FiveTuple drop_tuple = pkt->tuple;
+  const PktClass drop_class = pkt->pkt_class;
   if (core.ring.push(std::move(pkt)) != PushResult::kOk) {
     // RX descriptor overflow: one of the CPU-side loss sources that
     // strands reorder-FIFO entries (the packet never comes back).
@@ -39,6 +44,7 @@ void GwPod::deliver(PacketPtr pkt, std::uint16_t rx_queue, NanoTime now) {
     if (probe_ != nullptr) {
       probe_->on_drop(cfg_.id, core_id, PodDropKind::kRing, now);
     }
+    if (drop_hook_) drop_hook_(drop_tuple, drop_class, now);
     return;
   }
   if (!core.busy) start_core(core_id, now);
@@ -170,6 +176,7 @@ void GwPod::emit_packet(CoreId core_id, PacketPtr pkt,
     if (probe_ != nullptr) {
       probe_->on_drop(cfg_.id, core_id, PodDropKind::kService, done);
     }
+    if (drop_hook_) drop_hook_(pkt->tuple, pkt->pkt_class, done);
     PlbMeta meta;
     if (cfg_.drop_flag_enabled && pkt->has_plb_meta() &&
         pkt->peek_plb_meta(meta)) {

@@ -58,12 +58,19 @@ class GwPod {
   using EgressFn = std::function<void(PacketPtr, NanoTime)>;
   /// Ctrl-plane sink for priority (BGP/BFD) packets.
   using ProtocolFn = std::function<void(PacketPtr, NanoTime)>;
+  /// Observer for CPU-side data-path drops (RX ring overflow and
+  /// service drops), fired with the dropped packet's flow identity.
+  /// The DPU tier's handover gate uses it to release in-flight credits
+  /// — a dropped packet will never reach the wire, so a tier admission
+  /// after it cannot reorder anything.
+  using DropFn = std::function<void(const FiveTuple&, PktClass, NanoTime)>;
 
   GwPod(const GwPodConfig& cfg, EventLoop& loop, ServiceTables& tables,
         CacheModel& cache);
 
   void set_egress(EgressFn fn) { egress_ = std::move(fn); }
   void set_protocol_handler(ProtocolFn fn) { protocol_ = std::move(fn); }
+  void set_drop_hook(DropFn fn) { drop_hook_ = std::move(fn); }
 
   /// Packet delivery from the NIC at its RX-DMA completion time.
   /// `rx_queue` selects the data core (kPriorityQueue -> ctrl path).
@@ -135,6 +142,7 @@ class GwPod {
   NumaBalancer balancer_;
   EgressFn egress_;
   ProtocolFn protocol_;
+  DropFn drop_hook_;
   GwPodStats stats_;
   GwPodProbeHook* probe_ = nullptr;
   std::uint64_t core_stalls_ = 0;

@@ -50,6 +50,20 @@ SessionOffload& NicPipeline::session_offload(PodId pod) {
   return *slice(pod).offload;
 }
 
+void NicPipeline::enable_dpu_tier(PodId pod, DpuTierConfig cfg) {
+  PodSlice& s = slice(pod);
+  if (s.offload == nullptr) {
+    s.offload = std::make_unique<SessionOffload>(cfg.fpga);
+  }
+  s.dpu = std::make_unique<DpuTier>(cfg, *s.offload);
+}
+
+bool NicPipeline::dpu_tier_enabled(PodId pod) const {
+  return pod < pods_.size() && pods_[pod].dpu != nullptr;
+}
+
+DpuTier& NicPipeline::dpu_tier(PodId pod) { return *slice(pod).dpu; }
+
 NanoTime NicPipeline::rx_pipeline_latency(bool plb) const {
   NanoTime t = cfg_.timings.basic_rx_ns();
   if (cfg_.gop_enabled) t += cfg_.timings.overload_det_rx_ns();
@@ -83,14 +97,26 @@ IngressResult NicPipeline::ingress(PacketPtr pkt, PodId pod, NanoTime now) {
     }
   }
 
-  // FPGA session offload fast path: a resident session is matched,
-  // counted and forwarded without ever crossing PCIe.
-  if (s.offload != nullptr && dir.cls != PktClass::kPriority) {
-    if (const auto fpga_ns = s.offload->fast_path(pkt->tuple, pkt->size(), now)) {
-      r.outcome = IngressOutcome::kOffloaded;
-      r.deliver_time = t + *fpga_ns + cfg_.timings.basic_tx_ns();  // wire time
-      r.pkt = std::move(pkt);
-      return r;
+  // Offload fast path: with the DPU tier enabled the hierarchical
+  // FPGA -> DPU lookup runs; otherwise the plain FPGA session table.
+  // Either way a hit is matched, counted and forwarded without ever
+  // crossing PCIe.
+  if (dir.cls != PktClass::kPriority) {
+    if (s.dpu != nullptr) {
+      if (const auto sv = s.dpu->serve(pkt->tuple, pkt->size(), now, t)) {
+        r.outcome = IngressOutcome::kOffloaded;
+        r.deliver_time = t + sv->latency + cfg_.timings.basic_tx_ns();
+        r.pkt = std::move(pkt);
+        return r;
+      }
+    } else if (s.offload != nullptr) {
+      if (const auto fpga_ns =
+              s.offload->fast_path(pkt->tuple, pkt->size(), now)) {
+        r.outcome = IngressOutcome::kOffloaded;
+        r.deliver_time = t + *fpga_ns + cfg_.timings.basic_tx_ns();  // wire
+        r.pkt = std::move(pkt);
+        return r;
+      }
     }
   }
 
@@ -183,8 +209,23 @@ void NicPipeline::ingress_burst(std::span<PacketPtr> pkts,
     }
   }
 
-  // Stage 3: FPGA session-offload fast path.
-  if (s.offload != nullptr) {
+  // Stage 3: offload fast path — hierarchical FPGA -> DPU when the
+  // tier is enabled, plain FPGA session table otherwise. Serving in
+  // index order mutates exactly the state the scalar path would, so
+  // burst results stay bit-identical to sequential ingress() calls.
+  if (s.dpu != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!live[i] || out[i].cls == PktClass::kPriority) continue;
+      if (const auto sv =
+              s.dpu->serve(pkts[i]->tuple, pkts[i]->size(), arrivals[i],
+                           t[i])) {
+        out[i].outcome = IngressOutcome::kOffloaded;
+        out[i].deliver_time = t[i] + sv->latency + cfg_.timings.basic_tx_ns();
+        out[i].pkt = std::move(pkts[i]);
+        live[i] = false;
+      }
+    }
+  } else if (s.offload != nullptr) {
     for (std::size_t i = 0; i < n; ++i) {
       if (!live[i] || out[i].cls == PktClass::kPriority) continue;
       if (const auto fpga_ns =

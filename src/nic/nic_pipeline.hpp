@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "dpu/dpu_tier.hpp"
 #include "nic/basic_pipeline.hpp"
 #include "nic/dma.hpp"
 #include "nic/pkt_dir.hpp"
@@ -106,6 +107,14 @@ class NicPipeline {
   void enable_session_offload(PodId pod, SessionOffloadConfig cfg = {});
   [[nodiscard]] bool session_offload_enabled(PodId pod) const;
   SessionOffload& session_offload(PodId pod);
+
+  /// Enables the DPU co-offload tier for a pod (docs/DPU_TIER.md):
+  /// ingress stage 3 then consults FPGA -> DPU -> miss instead of the
+  /// FPGA table alone. Enables the FPGA session offload with cfg.fpga
+  /// when the pod doesn't have it yet.
+  void enable_dpu_tier(PodId pod, DpuTierConfig cfg = {});
+  [[nodiscard]] bool dpu_tier_enabled(PodId pod) const;
+  DpuTier& dpu_tier(PodId pod);
   void set_pod_mode(PodId pod, LbMode mode);
   [[nodiscard]] LbMode pod_mode(PodId pod) const;
 
@@ -178,6 +187,16 @@ class NicPipeline {
   void inject_reorder_stall(PodId pod, NanoTime until) {
     slice(pod).plb->inject_reorder_stall(until);
   }
+  /// Wedges one DPU datapath core until `until` (latency-only fault;
+  /// queued packets wait, nothing drops). No-op without the tier.
+  void inject_dpu_core_stall(PodId pod, std::uint16_t core, NanoTime until) {
+    if (dpu_tier_enabled(pod)) slice(pod).dpu->stall_core(core, until);
+  }
+  /// Wipes the pod's DPU session table (tier-table fault); flows fall
+  /// back to the CPU until re-admitted. No-op without the tier.
+  std::size_t inject_tier_table_flush(PodId pod, NanoTime now) {
+    return dpu_tier_enabled(pod) ? slice(pod).dpu->flush_tier_table(now) : 0;
+  }
   [[nodiscard]] std::uint64_t dma_faulted_transfers(PodId pod) const {
     return pods_[pod].dma_rx.stats().faulted_transfers +
            pods_[pod].dma_tx.stats().faulted_transfers;
@@ -187,6 +206,7 @@ class NicPipeline {
   struct PodSlice {
     std::unique_ptr<PlbEngine> plb;
     std::unique_ptr<SessionOffload> offload;  ///< null = not enabled
+    std::unique_ptr<DpuTier> dpu;             ///< null = FPGA-only offload
     LbMode mode = LbMode::kPlb;
     DmaChannel dma_rx;
     DmaChannel dma_tx;

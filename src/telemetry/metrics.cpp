@@ -157,6 +157,57 @@ void register_platform_metrics(MetricsRegistry& registry,
         "albatross_pod_cpu_processed", l, [&platform, pod] {
           return static_cast<double>(platform.pod(pod).stats().processed);
         });
+    if (platform.nic().dpu_tier_enabled(pod)) {
+      registry.register_counter(
+          "albatross_tier_fpga_hits", l,
+          [&platform, pod] {
+            return static_cast<double>(
+                platform.nic().dpu_tier(pod).stats().fpga_hits);
+          },
+          "packets served by the FPGA tier of the co-offload hierarchy");
+      registry.register_counter(
+          "albatross_tier_dpu_hits", l,
+          [&platform, pod] {
+            return static_cast<double>(
+                platform.nic().dpu_tier(pod).stats().dpu_hits);
+          },
+          "packets served on the DPU datapath cores");
+      registry.register_counter(
+          "albatross_tier_misses", l,
+          [&platform, pod] {
+            return static_cast<double>(
+                platform.nic().dpu_tier(pod).stats().misses);
+          },
+          "packets that fell through the tiers to a CPU pod");
+      registry.register_counter(
+          "albatross_tier_admissions", l, [&platform, pod] {
+            return static_cast<double>(
+                platform.nic().dpu_tier(pod).controller().stats().admissions);
+          });
+      registry.register_counter(
+          "albatross_tier_promotions", l, [&platform, pod] {
+            return static_cast<double>(
+                platform.nic().dpu_tier(pod).controller().stats().promotions);
+          });
+      registry.register_counter(
+          "albatross_tier_demotions", l, [&platform, pod] {
+            return static_cast<double>(
+                platform.nic().dpu_tier(pod).controller().stats().demotions +
+                platform.nic()
+                    .dpu_tier(pod)
+                    .controller()
+                    .stats()
+                    .evictions_cold);
+          });
+      registry.register_counter(
+          "albatross_tier_migrations_deferred", l,
+          [&platform, pod] {
+            const auto& cs = platform.nic().dpu_tier(pod).controller().stats();
+            return static_cast<double>(cs.budget_exhausted +
+                                       cs.dwell_suppressed);
+          },
+          "tier moves deferred by the budget or dwell hysteresis");
+    }
   }
   registry.register_counter(
       "albatross_gop_dropped_stage2", {}, [&platform] {

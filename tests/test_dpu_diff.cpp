@@ -1,0 +1,257 @@
+// DPU tier differential: the hierarchical co-offload (docs/DPU_TIER.md)
+// is a *latency* optimisation and must be outcome-invariant — which tier
+// serves a packet can never change whether it is delivered, dropped or
+// reordered. Two differential claims, each over many seeded traces:
+//
+//   on-vs-off     the identical op list runs with the tier disabled
+//                 (pure CPU path) and enabled; the packet-conservation
+//                 ledgers must match field-for-field after folding the
+//                 tier-served packets back into the CPU buckets (a
+//                 tier-served packet is one the CPU would have processed
+//                 and forwarded itself).
+//   capacity      with the tier on, sweeping the FPGA session-table
+//                 capacity (512 / 4K / 64K) must leave the ledger — and
+//                 the total NIC-served packet count — EXACTLY identical:
+//                 capacity only moves flows between the FPGA and DPU
+//                 tiers, both NIC-resident, and the split admit/migration
+//                 budgets keep intra-NIC churn from starving admissions.
+//
+// The fuzz runner arms the per-flow wire-order oracle, so a tier
+// handover that let a fast-path packet overtake its flow's slow-path
+// predecessor shows up as a ledger mismatch in flow_order_violations.
+//
+// The on-vs-off claim only holds below CPU saturation (above it,
+// offloading genuinely rescues packets the CPU would drop — that is the
+// tier's whole point, measured in bench_ext_dpu_tiering); traces are
+// rescaled to a sub-saturation rate and the OFF run is asserted clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "check/testseed.hpp"
+#include "check/trace_gen.hpp"
+
+namespace albatross {
+namespace {
+
+using check::ChaosMode;
+using check::FuzzReport;
+using check::FuzzTrace;
+using check::PodLedger;
+
+std::string ledger_str(const PodLedger& l) {
+  return "offered=" + std::to_string(l.offered) +
+         " delivered=" + std::to_string(l.delivered) +
+         " in_order=" + std::to_string(l.delivered_in_order) +
+         " disordered=" + std::to_string(l.delivered_disordered) +
+         " drop_rl=" + std::to_string(l.dropped_rate_limit) +
+         " drop_reorder=" + std::to_string(l.dropped_reorder_full) +
+         " blackholed=" + std::to_string(l.blackholed) +
+         " order_viol=" + std::to_string(l.flow_order_violations) +
+         " pod_proc=" + std::to_string(l.pod_processed) +
+         " pod_fwd=" + std::to_string(l.pod_forwarded) +
+         " pod_drop_svc=" + std::to_string(l.pod_dropped_service) +
+         " pod_drop_ring=" + std::to_string(l.pod_dropped_ring) +
+         " pod_proto=" + std::to_string(l.pod_protocol_packets) +
+         " pod_dflags=" + std::to_string(l.pod_drop_flags_sent);
+}
+
+/// Folds tier-served packets back into the CPU buckets: every packet a
+/// NIC tier served is one the CPU path would have processed AND
+/// forwarded (the tier only admits flows the CPU was already forwarding
+/// cleanly), so after the fold the tiered ledger must equal the pure-CPU
+/// one field for field. With the tier off the fold is the identity.
+PodLedger fold_tier(const FuzzReport& r) {
+  PodLedger l = r.ledger;
+  const std::uint64_t hits = r.tier_fpga_hits + r.tier_dpu_hits;
+  l.pod_processed += hits;
+  l.pod_forwarded += hits;
+  return l;
+}
+
+/// Stretches a trace's timeline (integer factor, order-preserving) until
+/// the offered rate sits at or below `target_pps`, comfortably inside
+/// the CPU path's capacity, so the OFF run loses nothing to overload.
+void rescale_to(FuzzTrace& trace, double target_pps) {
+  const std::size_t pkts = trace.packet_count();
+  if (pkts == 0 || trace.scenario.horizon.count() <= 0) return;
+  const double rate =
+      static_cast<double>(pkts) / nanos_to_seconds(trace.scenario.horizon);
+  const auto factor = static_cast<std::int64_t>(rate / target_pps) + 1;
+  if (factor <= 1) return;
+  for (auto& op : trace.ops) op.at = op.at * factor;
+  trace.scenario.horizon = trace.scenario.horizon * factor;
+}
+
+constexpr double kCleanRegimePps = 250'000.0;
+
+/// Asserts a report came from a run with no CPU-side loss or disorder —
+/// the regime in which tiering is provably outcome-invariant.
+void expect_clean_cpu_run(const FuzzReport& r, const char* label) {
+  SCOPED_TRACE(label);
+  ASSERT_TRUE(r.ledger_checked);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_EQ(r.ledger.delivered_disordered, 0u);
+  EXPECT_EQ(r.ledger.dropped_reorder_full, 0u);
+  EXPECT_EQ(r.ledger.pod_dropped_ring, 0u);
+  EXPECT_EQ(r.ledger.flow_order_violations, 0u);
+}
+
+/// One on-vs-off differential: the same trace, tier disabled then
+/// enabled, folded ledgers byte-identical.
+void expect_tier_invariant(std::uint64_t seed, bool with_forced_ops) {
+  FuzzTrace trace =
+      check::generate_trace(seed, 1500, ChaosMode::kNone, with_forced_ops);
+  rescale_to(trace, kCleanRegimePps);
+
+  trace.scenario.dpu_tier = false;
+  const FuzzReport off = check::run_trace(trace);
+  expect_clean_cpu_run(off, "tier off");
+
+  trace.scenario.dpu_tier = true;
+  const FuzzReport on = check::run_trace(trace);
+  ASSERT_TRUE(on.ledger_checked);
+  EXPECT_EQ(on.violations, 0u);
+  // The tier must actually serve packets, or the diff proves nothing.
+  EXPECT_GT(on.tier_fpga_hits + on.tier_dpu_hits, 0u);
+
+  EXPECT_TRUE(fold_tier(on) == fold_tier(off))
+      << "tier off: " << ledger_str(fold_tier(off)) << "\n"
+      << "tier on:  " << ledger_str(fold_tier(on));
+}
+
+class TierOnOffSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+// 50 base seeds x {organic, forced-migration} = 100 on-vs-off
+// differential runs. The organic arm exercises the controller's own
+// admission/promotion decisions; the forced arm sprinkles tier_promote/
+// tier_demote ops through the trace (no-ops in the OFF run) so the
+// FPGA tier and the migration safety gates see mid-stream traffic.
+TEST_P(TierOnOffSeeds, FoldedLedgerIdenticalTierOnVsOff) {
+  const std::uint64_t seed = check::test_seed(GetParam());
+  SCOPED_TRACE(check::seed_banner(seed));
+  expect_tier_invariant(seed, /*with_forced_ops=*/false);
+}
+
+TEST_P(TierOnOffSeeds, FoldedLedgerIdenticalWithForcedMigrations) {
+  const std::uint64_t seed = check::test_seed(GetParam());
+  SCOPED_TRACE(check::seed_banner(seed));
+  expect_tier_invariant(seed, /*with_forced_ops=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TierOnOffSeeds,
+                         ::testing::Range(std::uint64_t{300},
+                                          std::uint64_t{350}));
+
+// Deterministic FPGA-tier exercise: promote the trace's hottest flow
+// (Zipf rank 0) into the DPU and then the FPGA mid-run, and require
+// both invariance AND that the FPGA tier actually served packets.
+TEST(TierOnOff, FpgaTierServesAndStaysInvariant) {
+  const std::uint64_t seed = check::test_seed(77);
+  SCOPED_TRACE(check::seed_banner(seed));
+  FuzzTrace trace = check::generate_trace(seed, 1500, ChaosMode::kNone);
+  rescale_to(trace, kCleanRegimePps);
+
+  // Two staged promotions for flow 0: CPU -> DPU once the mice filter
+  // has seen its forwards, DPU -> FPGA once its core drains.
+  for (int i = 1; i <= 2; ++i) {
+    check::TraceOp op;
+    op.kind = check::TraceOpKind::kTierPromote;
+    op.at = trace.scenario.horizon * i / 8;
+    op.flow = 0;
+    trace.ops.push_back(op);
+  }
+  std::stable_sort(trace.ops.begin(), trace.ops.end(),
+                   [](const check::TraceOp& a, const check::TraceOp& b) {
+                     return a.at < b.at;
+                   });
+
+  trace.scenario.dpu_tier = false;
+  const FuzzReport off = check::run_trace(trace);
+  expect_clean_cpu_run(off, "tier off");
+
+  trace.scenario.dpu_tier = true;
+  const FuzzReport on = check::run_trace(trace);
+  EXPECT_EQ(on.violations, 0u);
+  EXPECT_GT(on.tier_fpga_hits, 0u);
+  EXPECT_TRUE(fold_tier(on) == fold_tier(off))
+      << "tier off: " << ledger_str(fold_tier(off)) << "\n"
+      << "tier on:  " << ledger_str(fold_tier(on));
+}
+
+/// FPGA-capacity sweep: a 128x smaller FPGA table must yield EXACTLY
+/// the same ledger and the same NIC-served packet total — only the
+/// FPGA/DPU split may move. Valid even under benign chaos (DMA faults
+/// and core stalls are latency-only and identical across the sweep).
+void expect_capacity_invariant(std::uint64_t seed, ChaosMode chaos) {
+  FuzzTrace trace = check::generate_trace(seed, 1500, chaos,
+                                          /*with_tier=*/true);
+  rescale_to(trace, kCleanRegimePps);
+  trace.scenario.dpu_tier = true;
+
+  trace.scenario.fpga_capacity = 65'536;
+  const FuzzReport base = check::run_trace(trace);
+  ASSERT_TRUE(base.ledger_checked);
+  EXPECT_GT(base.tier_fpga_hits + base.tier_dpu_hits, 0u);
+
+  for (const std::size_t cap : {std::size_t{512}, std::size_t{4'096}}) {
+    trace.scenario.fpga_capacity = cap;
+    const FuzzReport swept = check::run_trace(trace);
+    SCOPED_TRACE("fpga_capacity=" + std::to_string(cap));
+    EXPECT_EQ(base.violations, swept.violations);
+    EXPECT_TRUE(base.ledger == swept.ledger)
+        << "cap=65536: " << ledger_str(base.ledger) << "\n"
+        << "cap=" << cap << ": " << ledger_str(swept.ledger);
+    EXPECT_EQ(base.tier_fpga_hits + base.tier_dpu_hits,
+              swept.tier_fpga_hits + swept.tier_dpu_hits);
+    EXPECT_EQ(base.tier_misses, swept.tier_misses);
+  }
+}
+
+class TierCapacitySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TierCapacitySeeds, LedgerExactAcrossFpgaCapacitySweep) {
+  const std::uint64_t seed = check::test_seed(GetParam());
+  SCOPED_TRACE(check::seed_banner(seed));
+  expect_capacity_invariant(seed, ChaosMode::kNone);
+}
+
+TEST_P(TierCapacitySeeds, LedgerExactAcrossSweepUnderBenignChaos) {
+  const std::uint64_t seed = check::test_seed(GetParam());
+  SCOPED_TRACE(check::seed_banner(seed));
+  expect_capacity_invariant(seed, ChaosMode::kBenign);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TierCapacitySeeds,
+                         ::testing::Range(std::uint64_t{400},
+                                          std::uint64_t{412}));
+
+// Tier + burst cross-check: tiering changes CPU timing and burst size
+// changes batching, but neither may change packet outcomes, so the
+// folded ledger must also survive both at once.
+TEST(TierBurstCross, FoldedLedgerIdenticalTieredAtBurst32) {
+  const std::uint64_t seed = check::test_seed(55);
+  SCOPED_TRACE(check::seed_banner(seed));
+  FuzzTrace trace = check::generate_trace(seed, 1500, ChaosMode::kNone,
+                                          /*with_tier=*/true);
+  rescale_to(trace, kCleanRegimePps);
+  trace.scenario.dpu_tier = false;
+  trace.scenario.rx_burst = 1;
+  const FuzzReport off = check::run_trace(trace);
+  expect_clean_cpu_run(off, "tier off, burst 1");
+
+  trace.scenario.dpu_tier = true;
+  trace.scenario.rx_burst = 32;
+  const FuzzReport on = check::run_trace(trace);
+  EXPECT_EQ(on.violations, 0u);
+  EXPECT_GT(on.tier_fpga_hits + on.tier_dpu_hits, 0u);
+  EXPECT_TRUE(fold_tier(on) == fold_tier(off))
+      << "off/b1:  " << ledger_str(fold_tier(off)) << "\n"
+      << "on/b32: " << ledger_str(fold_tier(on));
+}
+
+}  // namespace
+}  // namespace albatross

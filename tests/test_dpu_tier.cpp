@@ -1,0 +1,424 @@
+// Unit + property tests for the DPU co-offload tier (docs/DPU_TIER.md):
+// the TierController's stability disciplines (hysteresis, budgets,
+// coldest-first eviction), the forced-op safety gates fuzz traces drive,
+// the chaos hooks, and the FPGA session table's exact-capacity overflow
+// edge. The cross-cutting behaviour-invariance claim lives in
+// tests/test_dpu_diff.cpp; this file pins the component contracts those
+// differential runs lean on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "check/testseed.hpp"
+#include "common/rng.hpp"
+#include "dpu/dpu_datapath.hpp"
+#include "dpu/dpu_tier.hpp"
+#include "nic/nic_pipeline.hpp"
+#include "nic/session_offload.hpp"
+#include "traffic/flow_gen.hpp"
+
+namespace albatross {
+namespace {
+
+/// Canonical distinct tuples, same layout the traffic generators use.
+FiveTuple tuple_for(std::uint64_t i) {
+  return make_flow(i, static_cast<Vni>(1 + i % 250),
+                   static_cast<std::uint32_t>(i / 250))
+      .tuple;
+}
+
+// --- hysteresis ----------------------------------------------------------
+
+// A single flow whose rate oscillates across both thresholds every few
+// milliseconds. Without the dwell timer the controller would migrate on
+// every crossing; with it, promotions+demotions are bounded by the
+// number of dwell windows in the horizon, and the blocked crossings are
+// counted as dwell_suppressed.
+TEST(TierHysteresis, OscillatingRateCannotFlap) {
+  const std::uint64_t seed = check::test_seed(0xa11b);
+  SCOPED_TRACE(check::seed_banner(seed));
+  Rng rng(seed);
+
+  DpuTierConfig cfg;
+  cfg.controller.promote_pps = 50'000.0;
+  cfg.controller.demote_pps = 20'000.0;
+  cfg.controller.dwell_min = 4 * kMillisecond;
+  cfg.controller.admit_forwards = 2;
+  // Effectively unlimited budgets: this test isolates the dwell timer
+  // as the one migration bound.
+  cfg.controller.admit_budget = 1'000'000;
+  cfg.controller.migration_budget = 1'000'000;
+  cfg.fpga.capacity = 1'024;
+  SessionOffload fpga(cfg.fpga);
+  DpuTier tier(cfg, fpga);
+
+  const FiveTuple flow = tuple_for(7);
+  const NanoTime horizon = 60 * kMillisecond;
+  const NanoTime phase_len = 3 * kMillisecond;
+  NanoTime t{0};
+  while (t < horizon) {
+    // Fast phases run ~100kpps (above promote), slow phases ~4kpps
+    // (below demote); the jitter keeps the EWMA trajectory seed-varied
+    // without moving either phase across a threshold.
+    const bool fast = (t.count() / phase_len.count()) % 2 == 0;
+    const auto served = tier.serve(flow, 256, t, t + kMicrosecond);
+    if (!served.has_value()) tier.observe_forward(flow, t + 3 * kMicrosecond);
+    EXPECT_LE(fpga.size(), cfg.fpga.capacity);
+    const NanoTime gap = fast ? 10 * kMicrosecond : 250 * kMicrosecond;
+    t = t + gap + rng.next_below(Nanos{2'000});
+  }
+
+  const TierControllerStats& cs = tier.controller().stats();
+  const auto max_moves =
+      static_cast<std::uint64_t>(horizon.count() /
+                                 cfg.controller.dwell_min.count()) +
+      2;
+  EXPECT_GE(cs.promotions, 1u);  // the flow did reach the FPGA tier...
+  EXPECT_GE(cs.demotions, 1u);   // ...and did come back down
+  EXPECT_LE(cs.promotions + cs.demotions, max_moves);
+  EXPECT_GE(cs.dwell_suppressed, 1u);
+  EXPECT_EQ(cs.budget_exhausted, 0u);
+}
+
+// --- FPGA capacity + eviction -------------------------------------------
+
+// Overflowing the FPGA tier demotes exactly the coldest pinned flow
+// (minimum last_seen), and the table never exceeds its BRAM capacity.
+TEST(TierEviction, FpgaOverflowEvictsColdestPinnedFlow) {
+  DpuTierConfig cfg;
+  cfg.controller.admit_forwards = 0;  // admit on first arrival
+  cfg.controller.dwell_min = NanoTime{0};
+  cfg.fpga.capacity = 4;
+  SessionOffload fpga(cfg.fpga);
+  DpuTier tier(cfg, fpga);
+
+  // Five flows admitted to the DPU with strictly increasing last_seen:
+  // flow 0 is the coldest.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const NanoTime at = Nanos{static_cast<std::int64_t>(i) * 10'000};
+    const auto sv = tier.serve(tuple_for(i), 128, at, at + kMicrosecond);
+    ASSERT_TRUE(sv.has_value());
+    EXPECT_EQ(sv->tier, TierLevel::kDpu);
+  }
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(tier.force_promote(tuple_for(i), kMillisecond));
+    EXPECT_LE(fpga.size(), cfg.fpga.capacity);
+  }
+  ASSERT_EQ(fpga.size(), 4u);
+
+  // The fifth promotion must evict flow 0 — and only flow 0.
+  EXPECT_TRUE(tier.force_promote(tuple_for(4), 2 * kMillisecond));
+  EXPECT_EQ(fpga.size(), 4u);
+  EXPECT_EQ(tier.controller().stats().evictions_cold, 1u);
+  EXPECT_FALSE(fpga.peek(tuple_for(0)).has_value());
+  EXPECT_TRUE(fpga.peek(tuple_for(4)).has_value());
+  ASSERT_NE(tier.controller().find(tuple_for(0)), nullptr);
+  EXPECT_EQ(tier.controller().find(tuple_for(0))->tier, TierLevel::kDpu);
+  EXPECT_TRUE(tier.datapath().resident(tuple_for(0)));
+}
+
+// Property: whatever order flows are promoted in, the FPGA table never
+// exceeds its capacity and every overflow demotes a victim.
+TEST(TierEviction, PromotionsNeverExceedFpgaCapacity) {
+  const std::uint64_t seed = check::test_seed(0x5eed);
+  SCOPED_TRACE(check::seed_banner(seed));
+  Rng rng(seed);
+
+  DpuTierConfig cfg;
+  cfg.controller.admit_forwards = 0;
+  cfg.controller.dwell_min = NanoTime{0};
+  cfg.controller.admit_budget = 1'000'000;
+  cfg.controller.migration_budget = 1'000'000;
+  cfg.fpga.capacity = 8;
+  SessionOffload fpga(cfg.fpga);
+  DpuTier tier(cfg, fpga);
+
+  constexpr std::uint64_t kFlows = 48;
+  for (std::uint64_t i = 0; i < kFlows; ++i) {
+    const NanoTime at = Nanos{static_cast<std::int64_t>(i) * 5'000};
+    ASSERT_TRUE(tier.serve(tuple_for(i), 128, at, at + kMicrosecond));
+  }
+
+  const std::uint64_t start = rng.next_below(kFlows);
+  NanoTime t = kMillisecond;
+  for (std::uint64_t i = 0; i < kFlows; ++i) {
+    EXPECT_TRUE(tier.force_promote(tuple_for((start + i) % kFlows), t));
+    EXPECT_LE(fpga.size(), cfg.fpga.capacity);
+    t = t + 10 * kMicrosecond;
+  }
+  EXPECT_EQ(fpga.size(), cfg.fpga.capacity);
+  EXPECT_GE(tier.controller().stats().evictions_cold,
+            kFlows - cfg.fpga.capacity);
+}
+
+// --- migration budgets ---------------------------------------------------
+
+// The migration channel meters FPGA<->DPU moves per epoch; exhausting it
+// defers promotions (the flow keeps being served by the DPU — lossless)
+// until the next epoch refill. Admissions ride a separate channel and
+// are never starved by intra-NIC churn.
+TEST(TierBudget, MigrationBudgetDefersMovesUntilEpochRefill) {
+  DpuTierConfig cfg;
+  cfg.controller.admit_forwards = 0;
+  cfg.controller.dwell_min = NanoTime{0};
+  cfg.controller.promote_pps = 50'000.0;
+  cfg.controller.migration_budget = 1;
+  cfg.controller.admit_budget = 64;
+  cfg.controller.migration_epoch = 10 * kMillisecond;
+  SessionOffload fpga(cfg.fpga);
+  DpuTier tier(cfg, fpga);
+
+  // Drive flow 0 hot: admitted on the first arrival, promoted as soon
+  // as its EWMA crosses — consuming the epoch's single migration token.
+  NanoTime t{0};
+  bool flow0_fpga = false;
+  for (int i = 0; i < 20; ++i) {
+    const auto sv = tier.serve(tuple_for(0), 128, t, t + kMicrosecond);
+    ASSERT_TRUE(sv.has_value());
+    flow0_fpga = flow0_fpga || sv->tier == TierLevel::kFpga;
+    t = t + 10 * kMicrosecond;
+  }
+  EXPECT_TRUE(flow0_fpga);
+  EXPECT_EQ(tier.controller().stats().promotions, 1u);
+
+  // Flow 1 gets admitted (separate channel) but its promotion is
+  // deferred: no migration tokens left in this epoch.
+  t = 300 * kMicrosecond;
+  for (int i = 0; i < 20; ++i) {
+    const auto sv = tier.serve(tuple_for(1), 128, t, t + kMicrosecond);
+    ASSERT_TRUE(sv.has_value());
+    EXPECT_EQ(sv->tier, TierLevel::kDpu);  // served anyway — lossless
+    t = t + 10 * kMicrosecond;
+  }
+  EXPECT_EQ(tier.controller().stats().admissions, 2u);
+  EXPECT_EQ(tier.controller().stats().promotions, 1u);
+  EXPECT_GE(tier.controller().stats().budget_exhausted, 1u);
+  ASSERT_NE(tier.controller().find(tuple_for(1)), nullptr);
+  EXPECT_EQ(tier.controller().find(tuple_for(1))->tier, TierLevel::kDpu);
+
+  // Next epoch: the budget refills and the deferred promotion lands.
+  const auto sv = tier.serve(tuple_for(1), 128, 11 * kMillisecond,
+                             11 * kMillisecond + kMicrosecond);
+  ASSERT_TRUE(sv.has_value());
+  EXPECT_EQ(sv->tier, TierLevel::kFpga);
+  EXPECT_EQ(tier.controller().stats().promotions, 2u);
+}
+
+// --- forced-op safety gates ----------------------------------------------
+
+// Fuzz/chaos tier ops run through the same order-safety gates as organic
+// migrations: an unsafe op is a deterministic no-op, never a fault.
+TEST(TierGates, ForcedPromoteHonorsInflightHandoverGate) {
+  DpuTierConfig cfg;
+  SessionOffload fpga(cfg.fpga);
+  DpuTier tier(cfg, fpga);
+  const FiveTuple flow = tuple_for(21);
+
+  EXPECT_FALSE(tier.force_promote(flow, NanoTime{0}));  // unknown flow
+  EXPECT_FALSE(tier.serve(flow, 256, NanoTime{0}, kMicrosecond).has_value());
+  // One CPU packet still in flight: forced admission must refuse, or the
+  // DPU-served successor could overtake it at the wire.
+  EXPECT_FALSE(tier.force_promote(flow, 10 * kMicrosecond));
+  tier.observe_forward(flow, 20 * kMicrosecond);
+  EXPECT_TRUE(tier.force_promote(flow, 30 * kMicrosecond));
+  ASSERT_NE(tier.controller().find(flow), nullptr);
+  EXPECT_EQ(tier.controller().find(flow)->tier, TierLevel::kDpu);
+  EXPECT_EQ(tier.stats().forced_promotes, 1u);
+}
+
+TEST(TierGates, ForcedMovesWaitForTheFlowsDpuQueueToDrain) {
+  DpuTierConfig cfg;
+  cfg.controller.admit_forwards = 0;
+  cfg.controller.dwell_min = NanoTime{0};
+  SessionOffload fpga(cfg.fpga);
+  DpuTier tier(cfg, fpga);
+  const FiveTuple flow = tuple_for(33);
+
+  const auto sv = tier.serve(flow, 256, kMillisecond,
+                             kMillisecond + kMicrosecond);
+  ASSERT_TRUE(sv.has_value());
+  ASSERT_EQ(sv->tier, TierLevel::kDpu);
+  const NanoTime busy_end =
+      kMillisecond + kMicrosecond + tier.datapath().packet_cost();
+
+  // DPU -> FPGA: refused while the flow's core is still serving it.
+  EXPECT_FALSE(tier.force_promote(flow, busy_end - kMicrosecond));
+  EXPECT_TRUE(tier.force_promote(flow, busy_end + kMicrosecond));
+  EXPECT_TRUE(fpga.peek(flow).has_value());
+
+  // FPGA -> DPU is always safe: the slower tier only adds latency.
+  EXPECT_TRUE(tier.force_demote(flow, busy_end + 2 * kMicrosecond));
+  EXPECT_FALSE(fpga.peek(flow).has_value());
+  ASSERT_NE(tier.controller().find(flow), nullptr);
+  EXPECT_EQ(tier.controller().find(flow)->tier, TierLevel::kDpu);
+
+  // DPU -> CPU waits for the queue drain too (CPU latency floors above
+  // the deparser residue only once nothing is queued behind).
+  const auto sv2 = tier.serve(flow, 256, busy_end + 3 * kMicrosecond,
+                              busy_end + 4 * kMicrosecond);
+  ASSERT_TRUE(sv2.has_value());
+  const NanoTime busy2 =
+      busy_end + 4 * kMicrosecond + tier.datapath().packet_cost();
+  EXPECT_FALSE(tier.force_demote(flow, busy2 - kMicrosecond));
+  EXPECT_TRUE(tier.force_demote(flow, busy2 + kMicrosecond));
+  EXPECT_EQ(tier.controller().find(flow)->tier, TierLevel::kCpu);
+  EXPECT_FALSE(tier.datapath().resident(flow));
+  EXPECT_EQ(tier.stats().forced_demotes, 2u);
+}
+
+// --- chaos hooks ----------------------------------------------------------
+
+// A wedged DPU core delays every queued packet but never drops one.
+TEST(TierChaos, CoreStallDelaysButNeverDrops) {
+  DpuDatapath dp;
+  const FiveTuple flow = tuple_for(3);
+  ASSERT_TRUE(dp.install(flow, NanoTime{0}));
+
+  const auto first = dp.serve(flow, 256, 10 * kMicrosecond);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->count(), dp.packet_cost().count());
+
+  dp.stall_core(dp.core_for(flow), kMillisecond);
+  const auto second = dp.serve(flow, 256, 20 * kMicrosecond);
+  ASSERT_TRUE(second.has_value());
+  const NanoTime expected =
+      kMillisecond - 20 * kMicrosecond + dp.packet_cost();
+  EXPECT_EQ(second->count(), expected.count());
+  EXPECT_EQ(dp.stats().core_stalls, 1u);
+  EXPECT_EQ(dp.stats().hits, 2u);
+  EXPECT_EQ(dp.stats().misses, 0u);
+}
+
+// A tier-table flush drops every DPU-resident flow back to the CPU path;
+// re-admission must be re-earned through the mice filter from scratch.
+TEST(TierChaos, TableFlushRetiersToCpuAndReadmits) {
+  DpuTierConfig cfg;  // default mice filter: 2 forwards
+  SessionOffload fpga(cfg.fpga);
+  DpuTier tier(cfg, fpga);
+  const FiveTuple flow = tuple_for(11);
+  const auto step = [&](NanoTime t) {
+    return tier.serve(flow, 256, t, t + kMicrosecond);
+  };
+
+  // Two CPU round-trips earn admission; the third arrival is DPU-served.
+  EXPECT_FALSE(step(NanoTime{0}).has_value());
+  tier.observe_forward(flow, 5 * kMicrosecond);
+  EXPECT_FALSE(step(100 * kMicrosecond).has_value());
+  tier.observe_forward(flow, 105 * kMicrosecond);
+  const auto admitted = step(200 * kMicrosecond);
+  ASSERT_TRUE(admitted.has_value());
+  EXPECT_EQ(admitted->tier, TierLevel::kDpu);
+  EXPECT_TRUE(tier.datapath().resident(flow));
+
+  EXPECT_EQ(tier.flush_tier_table(300 * kMicrosecond), 1u);
+  EXPECT_EQ(tier.datapath().size(), 0u);
+  EXPECT_EQ(tier.stats().table_flushes, 1u);
+  ASSERT_NE(tier.controller().find(flow), nullptr);
+  EXPECT_EQ(tier.controller().find(flow)->tier, TierLevel::kCpu);
+
+  EXPECT_FALSE(step(400 * kMicrosecond).has_value());
+  tier.observe_forward(flow, 405 * kMicrosecond);
+  EXPECT_FALSE(step(500 * kMicrosecond).has_value());
+  tier.observe_forward(flow, 505 * kMicrosecond);
+  const auto readmitted = step(600 * kMicrosecond);
+  ASSERT_TRUE(readmitted.has_value());
+  EXPECT_EQ(readmitted->tier, TierLevel::kDpu);
+}
+
+// The NIC-level injectors are graceful no-ops on a pod without the tier
+// (a chaos plan generated for a tiered topology can replay anywhere).
+TEST(TierChaos, InjectorsAreNoOpsWithoutTheTier) {
+  NicPipeline nic{NicPipelineConfig{}};
+  PlbEngineConfig plb;
+  plb.num_rx_queues = 2;
+  plb.num_reorder_queues = 2;
+  nic.register_pod(0, plb, PktDirConfig{}, LbMode::kPlb);
+
+  EXPECT_FALSE(nic.dpu_tier_enabled(0));
+  nic.inject_dpu_core_stall(0, 3, kMillisecond);  // must not crash
+  EXPECT_EQ(nic.inject_tier_table_flush(0, kMillisecond), 0u);
+
+  nic.enable_dpu_tier(0);
+  EXPECT_TRUE(nic.dpu_tier_enabled(0));
+  nic.inject_dpu_core_stall(0, 3, 2 * kMillisecond);
+  EXPECT_EQ(nic.dpu_tier(0).datapath().stats().core_stalls, 1u);
+  EXPECT_EQ(nic.inject_tier_table_flush(0, 2 * kMillisecond), 0u);
+  EXPECT_EQ(nic.dpu_tier(0).stats().table_flushes, 1u);
+}
+
+// --- housekeeping ---------------------------------------------------------
+
+// Aging reclaims idle DPU sessions; the flow then falls back to the CPU
+// tier at its next arrival and must re-earn admission.
+TEST(TierHousekeeping, AgeReclaimsIdleDpuSessions) {
+  DpuTierConfig cfg;  // datapath idle_timeout: 5s
+  SessionOffload fpga(cfg.fpga);
+  DpuTier tier(cfg, fpga);
+  const FiveTuple flow = tuple_for(17);
+
+  EXPECT_FALSE(tier.serve(flow, 256, NanoTime{0}, kMicrosecond).has_value());
+  tier.observe_forward(flow, 5 * kMicrosecond);
+  EXPECT_FALSE(tier.serve(flow, 256, 100 * kMicrosecond,
+                          101 * kMicrosecond)
+                   .has_value());
+  tier.observe_forward(flow, 105 * kMicrosecond);
+  ASSERT_TRUE(tier.serve(flow, 256, 200 * kMicrosecond, 201 * kMicrosecond)
+                  .has_value());
+  ASSERT_TRUE(tier.datapath().resident(flow));
+
+  EXPECT_EQ(tier.age(kSecond), 0u);  // not idle yet
+  EXPECT_EQ(tier.age(10 * kSecond), 1u);
+  EXPECT_FALSE(tier.datapath().resident(flow));
+
+  // Next arrival misses (session gone, admission reset) and re-tags the
+  // flow CPU-resident.
+  EXPECT_FALSE(tier.serve(flow, 256, 10 * kSecond + kMillisecond,
+                          10 * kSecond + kMillisecond + kMicrosecond)
+                   .has_value());
+  ASSERT_NE(tier.controller().find(flow), nullptr);
+  EXPECT_EQ(tier.controller().find(flow)->tier, TierLevel::kCpu);
+
+  // Idle CPU-resident state itself ages out of the controller table.
+  EXPECT_EQ(tier.age(20 * kSecond), 1u);
+  EXPECT_EQ(tier.controller().find(flow), nullptr);
+}
+
+// --- FPGA session table overflow edge ------------------------------------
+
+// Regression for the exact-capacity edge: fill the BRAM table to its
+// 64K limit, verify the 64K+1st install is rejected (and counted),
+// evict one session, and verify the slot is immediately reusable with
+// the stats ledger balancing throughout.
+TEST(SessionOffloadOverflow, InsertEvictReinsertAtExactCapacity) {
+  SessionOffload off;  // default: the paper's 64K BRAM-bounded table
+  const std::size_t cap = off.config().capacity;
+  ASSERT_EQ(cap, 65'536u);
+
+  for (std::size_t i = 0; i < cap; ++i) {
+    ASSERT_TRUE(off.install(tuple_for(i), 0, NanoTime{0})) << "i=" << i;
+  }
+  EXPECT_EQ(off.size(), cap);
+  EXPECT_EQ(off.stats().installs, cap);
+
+  const FiveTuple extra = tuple_for(cap);
+  EXPECT_FALSE(off.install(extra, 0, kMicrosecond));
+  EXPECT_EQ(off.stats().install_rejected_full, 1u);
+  EXPECT_EQ(off.size(), cap);
+  EXPECT_FALSE(off.fast_path(extra, 128, kMicrosecond).has_value());
+  EXPECT_TRUE(off.fast_path(tuple_for(0), 128, kMicrosecond).has_value());
+
+  EXPECT_TRUE(off.remove(tuple_for(0)));
+  EXPECT_EQ(off.size(), cap - 1);
+  EXPECT_TRUE(off.install(extra, 0, 2 * kMicrosecond));
+  EXPECT_EQ(off.size(), cap);
+  EXPECT_EQ(off.stats().installs, cap + 1);
+
+  // The evicted flow misses, the reinserted one hits.
+  EXPECT_FALSE(off.fast_path(tuple_for(0), 128, 3 * kMicrosecond).has_value());
+  EXPECT_TRUE(off.fast_path(extra, 128, 3 * kMicrosecond).has_value());
+  EXPECT_EQ(off.stats().install_rejected_full, 1u);
+}
+
+}  // namespace
+}  // namespace albatross

@@ -70,8 +70,8 @@ struct Options {
       "                     [--drop-flag 0|1] [--offload] [--metrics]\n"
       "       albatross_sim chaos --plan chaos.json\n"
       "       albatross_sim fuzz [--seed N] [--seeds K] [--ticks T]\n"
-      "                     [--chaos none|benign|stall] [--dump f.json]\n"
-      "                     [--replay f.json]\n"
+      "                     [--tier] [--chaos none|benign|stall]\n"
+      "                     [--dump f.json] [--replay f.json]\n"
       "       albatross_sim fleet --scenario fleet.json [--out report.json]\n"
       "                     [--metrics]\n");
   std::exit(2);
@@ -191,6 +191,7 @@ int run_fuzz(int argc, char** argv) {
   std::uint64_t seeds = 1;
   std::uint64_t ticks = 10'000;
   std::size_t rx_burst = 1;
+  bool with_tier = false;
   check::ChaosMode chaos = check::ChaosMode::kBenign;
   std::string dump_path;
   std::string replay_path;
@@ -212,6 +213,8 @@ int run_fuzz(int argc, char** argv) {
     } else if (a == "--burst") {
       rx_burst = std::max<std::size_t>(
           1, static_cast<std::size_t>(std::strtoull(next(), nullptr, 10)));
+    } else if (a == "--tier") {
+      with_tier = true;
     } else if (a == "--chaos") {
       const std::string v = next();
       if (v == "none") chaos = check::ChaosMode::kNone;
@@ -229,7 +232,8 @@ int run_fuzz(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: albatross_sim fuzz [--seed N] [--seeds K] [--ticks T]\n"
-          "                          [--burst B] [--chaos none|benign|stall]\n"
+          "                          [--burst B] [--tier]\n"
+          "                          [--chaos none|benign|stall]\n"
           "                          [--dump file.json] [--replay file.json]\n");
       return 2;
     }
@@ -261,7 +265,7 @@ int run_fuzz(int argc, char** argv) {
   }
 
   for (std::uint64_t s = seed; s < seed + seeds; ++s) {
-    const auto outcome = check::fuzz_one(s, ticks, chaos, rx_burst);
+    const auto outcome = check::fuzz_one(s, ticks, chaos, rx_burst, with_tier);
     if (!outcome.report.violated()) {
       std::printf("fuzz seed=%llu ticks=%llu: clean (%llu packets, %llu "
                   "events)\n",
@@ -269,6 +273,19 @@ int run_fuzz(int argc, char** argv) {
                   static_cast<unsigned long long>(ticks),
                   static_cast<unsigned long long>(outcome.report.packets),
                   static_cast<unsigned long long>(outcome.report.events));
+      if (with_tier) {
+        std::printf("  tier: fpga=%llu dpu=%llu miss=%llu migrations=%llu "
+                    "forced=%llu\n",
+                    static_cast<unsigned long long>(
+                        outcome.report.tier_fpga_hits),
+                    static_cast<unsigned long long>(
+                        outcome.report.tier_dpu_hits),
+                    static_cast<unsigned long long>(outcome.report.tier_misses),
+                    static_cast<unsigned long long>(
+                        outcome.report.tier_migrations),
+                    static_cast<unsigned long long>(
+                        outcome.report.tier_forced_ops));
+      }
       continue;
     }
     std::printf("fuzz seed=%llu ticks=%llu: VIOLATED (shrunk to %zu ops)\n",
