@@ -19,6 +19,7 @@ namespace albatross {
 /// Fixed-slot payload store. Capacity pressure evicts the oldest
 /// payload (FIFO), modelling the NIC releasing buffers it can no longer
 /// afford to hold for straggling headers.
+// fpga: lut=12'000, bram_bits=16'777'216, cycles=0
 class PayloadBuffer {
  public:
   /// Slot index occupies the low 13 bits of a payload id; the top 3 bits
@@ -74,6 +75,10 @@ struct BasicPipelineStats {
 /// overlay header stack.
 constexpr std::size_t kHeaderSplitBytes = 128;
 
+/// Parser / deparser / MAC logic (Tab. 5 "Basic Pipeline" row less the
+/// payload buffer, carried by PayloadBuffer above); 290 RX + 420 TX
+/// cycles (Tab. 4).
+// fpga: lut=379'591, bram_bits=84'800'000, cycles=710
 class BasicPipeline {
  public:
   explicit BasicPipeline(std::uint16_t payload_slots = 8192);

@@ -28,6 +28,9 @@ struct DmaStats {
 };
 
 /// One DMA direction (RX toward host or TX toward wire) of one NIC.
+/// Cycles are the slower (RX) Tab. 4 base cost; BRAM covers descriptor
+/// rings and the PCIe reassembly staging for both directions.
+// fpga: lut=22'820, bram_bits=3'445'000, cycles=1585
 class DmaChannel {
  public:
   explicit DmaChannel(DmaConfig cfg = {}) : cfg_(cfg) {}

@@ -52,6 +52,7 @@ struct PktDirDecision {
 
 /// One pkt_dir instance serves the whole NIC; per-pod slices are rows in
 /// its config table (SR-IOV virtualisation splits the table, §5).
+// fpga: lut=6'500, bram_bits=262'144, cycles=12
 class PktDir {
  public:
   void configure_pod(PodId pod, PktDirConfig cfg);

@@ -35,6 +35,9 @@ struct PlbDispatchResult {
   Psn psn = 0;
 };
 
+/// Dispatch logic only (hash, ordq pick, PSN stamp): its reorder-queue
+/// BRAM is annotated on ReorderQueue, which it instantiates per ordq.
+// fpga: lut=15'012, bram_bits=0, cycles=25
 class PlbEngine {
  public:
   explicit PlbEngine(PlbEngineConfig cfg = {});

@@ -27,7 +27,7 @@ struct ModuleUsage {
   std::uint64_t bram_bits_structural = 0;  ///< computed from structures
 };
 
-class FpgaResourceModel {
+class FpgaResourceModel {  // host-side model, not FPGA logic: lint:allow(fpga-missing-annotation)
  public:
   explicit FpgaResourceModel(FpgaSpec spec = {}) : spec_(spec) {}
 

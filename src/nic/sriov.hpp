@@ -39,6 +39,7 @@ struct SriovConfig {
 /// Allocates and tracks VF resources across pods. Allocation pins a pod
 /// to the two NICs of its NUMA node and spreads its 4 VFs across the 4
 /// independent 100G ports there.
+// fpga: lut=4'000, bram_bits=131'072, cycles=4
 class SriovManager {
  public:
   explicit SriovManager(SriovConfig cfg = {});

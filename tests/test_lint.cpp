@@ -226,13 +226,156 @@ TEST(Lint, CleanFixtureIsClean) {
   EXPECT_TRUE(f.empty());
 }
 
+TEST(Lint, UnorderedIterationCoversDpuAndFleet) {
+  // src/dpu and src/fleet were added after the rule and must be in its
+  // determinism jurisdiction too.
+  const std::string bad =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> flows_;\n"
+      "void flush() {\n"
+      "  for (const auto& [k, v] : flows_) { emit(v); }\n"
+      "}\n";
+  EXPECT_TRUE(fired(lint_source("src/dpu/dpu_datapath.cpp", bad),
+                    "unordered-iteration"));
+  EXPECT_TRUE(fired(lint_source("src/fleet/fleet_engine.cpp", bad),
+                    "unordered-iteration"));
+}
+
 TEST(Lint, RuleNamesStable) {
   const auto& names = rule_names();
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 10u);
   EXPECT_TRUE(std::find(names.begin(), names.end(), "scalar-hot-path") !=
               names.end());
   EXPECT_TRUE(std::find(names.begin(), names.end(), "wall-clock") !=
               names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(),
+                        "fpga-budget-overflow") != names.end());
+}
+
+// ---- Synthesis-feasibility (fpga-*) rules ------------------------------
+
+TEST(LintFpga, MissingAnnotationFires) {
+  const std::string code =
+      "#pragma once\n"
+      "class PlbEngine {\n"
+      " public:\n"
+      "  int dispatch();\n"
+      "};\n";
+  const auto f = lint_source("src/nic/plb_dispatch.hpp", code);
+  ASSERT_TRUE(fired(f, "fpga-missing-annotation"));
+  EXPECT_EQ(f[0].line, 2);
+  // Only headers under nic/ are FPGA-resident jurisdiction.
+  EXPECT_TRUE(lint_source("src/sim/event_loop.hpp", code).empty());
+  EXPECT_TRUE(lint_source("src/nic/plb_dispatch.cpp", code).empty());
+}
+
+TEST(LintFpga, ForwardDeclAndEnumClassAreClean) {
+  const auto f = lint_source("src/nic/fwd.hpp",
+                             "#pragma once\n"
+                             "class ReorderQueue;\n"
+                             "enum class PktClass { kPlb, kRss };\n"
+                             "template <class T>\n"
+                             "void use(T t);\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintFpga, AnnotatedClassIsClean) {
+  const auto f = lint_source(
+      "src/nic/plb_dispatch.hpp",
+      "#pragma once\n"
+      "/// Dispatch stage.\n"
+      "// fpga: lut=15'012, bram_bits=4'096, cycles=25\n"
+      "class PlbEngine {\n"
+      "};\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintFpga, MalformedAnnotationFires) {
+  const auto f = lint_source("src/nic/plb_dispatch.hpp",
+                             "#pragma once\n"
+                             "// fpga: lut=15'012, cycles=25\n"
+                             "class PlbEngine {\n"
+                             "};\n");
+  ASSERT_TRUE(fired(f, "fpga-missing-annotation"));
+}
+
+TEST(LintFpga, TimingClosureFires) {
+  const auto f = lint_source(
+      "src/nic/plb_reorder.hpp",
+      "#pragma once\n"
+      "// fpga: lut=100'000, bram_bits=2'048, cycles=9999\n"
+      "class ReorderQueue {\n"
+      "};\n");
+  ASSERT_TRUE(fired(f, "fpga-timing-closure"));
+  EXPECT_EQ(f[0].line, 2);  // anchored at the annotation line
+}
+
+TEST(LintFpga, BudgetOverflowFires) {
+  const auto bram = lint_source(
+      "src/nic/big.hpp",
+      "#pragma once\n"
+      "// fpga: lut=1'000, bram_bits=300'000'000, cycles=0\n"
+      "class BigTable {\n"
+      "};\n");
+  ASSERT_TRUE(fired(bram, "fpga-budget-overflow"));
+  const auto lut = lint_source(
+      "src/nic/big.hpp",
+      "#pragma once\n"
+      "// fpga: lut=1'000'000, bram_bits=0, cycles=0\n"
+      "class BigLogic {\n"
+      "};\n");
+  ASSERT_TRUE(fired(lut, "fpga-budget-overflow"));
+}
+
+TEST(LintFpga, StaleAnnotationDrift) {
+  const auto annotations = collect_fpga_annotations(
+      "src/nic/plb_reorder.hpp",
+      "// fpga: lut=100'000, bram_bits=12'058'624, cycles=175\n"
+      "class ReorderQueue {\n"
+      "};\n");
+  ASSERT_EQ(annotations.size(), 1u);
+  EXPECT_EQ(annotations[0].module, "ReorderQueue");
+  EXPECT_EQ(annotations[0].bram_bits, 12'058'624u);
+  // >10% off the structural ledger figure: stale.
+  const auto stale = check_fpga_stale(
+      annotations, {{"ReorderQueue", 10'000'000}}, 0.10);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "fpga-stale-annotation");
+  // Within tolerance: fine.
+  EXPECT_TRUE(check_fpga_stale(annotations, {{"ReorderQueue", 12'000'000}},
+                               0.10)
+                  .empty());
+  // Unmapped modules are not stale-checked.
+  EXPECT_TRUE(check_fpga_stale(annotations, {{"PktDir", 1}}, 0.10).empty());
+}
+
+TEST(LintFpga, InlineAllowSuppresses) {
+  const auto f = lint_source(
+      "src/nic/host_model.hpp",
+      "#pragma once\n"
+      "class HostModel {  // lint:allow(fpga-missing-annotation)\n"
+      "};\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintFpga, AllowlistSuppressesByPath) {
+  Config config;
+  config.allow = parse_allowlist("fpga-missing-annotation nic/legacy_\n");
+  const std::string code =
+      "#pragma once\n"
+      "class LegacyStage {\n"
+      "};\n";
+  EXPECT_TRUE(lint_source("src/nic/legacy_stage.hpp", code, config).empty());
+  EXPECT_FALSE(lint_source("src/nic/new_stage.hpp", code, config).empty());
+}
+
+TEST(LintFpga, FindingsToJsonDeterministicAndEscaped) {
+  EXPECT_EQ(findings_to_json({}), "[]");
+  const std::vector<Finding> f = {
+      {"a.hpp", 3, "fpga-budget-overflow", "say \"no\"\n"}};
+  const auto json = findings_to_json(f);
+  EXPECT_NE(json.find("\"file\": \"a.hpp\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"no\\\"\\n"), std::string::npos);
 }
 
 }  // namespace

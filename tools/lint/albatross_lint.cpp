@@ -3,19 +3,39 @@
 // diagnostics, and exits non-zero when anything fires. Run as the
 // `lint_src` ctest and the `lint` CI job (docs/STATIC_ANALYSIS.md).
 //
-//   albatross_lint [--allowlist FILE] [--list-rules] PATH...
+//   albatross_lint [--allowlist FILE] [--json] [--list-rules] PATH...
+//   albatross_lint --fpga-report [--allowlist FILE] PATH...
+//
+// `--json` emits the findings as a deterministic JSON object (sorted by
+// file/line/rule) for CI annotation. `--fpga-report` links against the
+// NIC library itself: it builds the Tab. 5 resource ledger for the
+// default report geometry, re-derives the Tab. 4 timing table from the
+// compiled-in NicTimings via FpgaCycles, checks every `// fpga:` budget
+// annotation for envelope overflow / timing drift / staleness against
+// the structural accounting, and emits one deterministic JSON report
+// for CI to diff and gate on.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
 #include "lint_core.hpp"
+#include "nic/nic_pipeline.hpp"
+#include "nic/resources.hpp"
+#include "nic/session_offload.hpp"
 
 namespace fs = std::filesystem;
 using albatross::lint::Config;
 using albatross::lint::Finding;
+using albatross::lint::FpgaAnnotation;
 
 namespace {
 
@@ -38,9 +58,215 @@ void collect(const fs::path& root, std::vector<std::string>& files) {
 }
 
 int usage() {
-  std::cerr << "usage: albatross_lint [--allowlist FILE] [--list-rules] "
-               "PATH...\n";
+  std::cerr << "usage: albatross_lint [--allowlist FILE] [--json] "
+               "[--fpga-report] [--list-rules] PATH...\n";
   return 2;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+/// Annotations across every linted nic/ header, for the cross-file
+/// envelope pass and the --fpga-report mode.
+std::vector<FpgaAnnotation> collect_annotations(
+    const std::vector<std::string>& files) {
+  std::vector<FpgaAnnotation> annotations;
+  for (const auto& f : files) {
+    if (!albatross::lint::fpga_scope(f)) continue;
+    auto a = albatross::lint::collect_fpga_annotations_file(f);
+    annotations.insert(annotations.end(),
+                       std::make_move_iterator(a.begin()),
+                       std::make_move_iterator(a.end()));
+  }
+  std::sort(annotations.begin(), annotations.end(),
+            [](const FpgaAnnotation& a, const FpgaAnnotation& b) {
+              return std::tie(a.module, a.file, a.annotation_line) <
+                     std::tie(b.module, b.file, b.annotation_line);
+            });
+  return annotations;
+}
+
+/// Applies inline/allowlist suppression to findings produced by the
+/// cross-file checks, whose anchors are annotation lines.
+void suppress_aggregate(std::vector<Finding>& findings,
+                        const std::vector<FpgaAnnotation>& annotations,
+                        const Config& config) {
+  const auto raw_line_of = [&](const Finding& f) -> std::string_view {
+    for (const auto& a : annotations) {
+      if (a.file == f.file && a.annotation_line == f.line) return a.raw_line;
+    }
+    return {};
+  };
+  std::erase_if(findings, [&](const Finding& f) {
+    return albatross::lint::suppressed(f, raw_line_of(f), config);
+  });
+}
+
+std::string json_fraction(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/// The fixed geometry --fpga-report evaluates the ledger at: the
+/// production-like NIC of bench_tab5_nic_resources (4 pods x 4 reorder
+/// queues, default GOP tables, 2 MiB payload buffer, default 64K
+/// session table). Annotations state whole-NIC costs at this geometry.
+struct ReportLedger {
+  std::vector<albatross::ModuleUsage> rows;
+  std::vector<albatross::lint::FpgaStructural> structural;
+  albatross::FpgaSpec spec;
+};
+
+ReportLedger build_report_ledger() {
+  using namespace albatross;
+  PlbEngineConfig plb;  // defaults: 4 reorder queues, 4K entries
+  std::vector<std::unique_ptr<PlbEngine>> engines;
+  std::vector<const PlbEngine*> engine_ptrs;
+  for (int i = 0; i < 4; ++i) {
+    engines.push_back(std::make_unique<PlbEngine>(plb));
+    engine_ptrs.push_back(engines.back().get());
+  }
+  TenantRateLimiter limiter;
+  SessionOffload sessions;
+  FpgaResourceModel model;
+  ReportLedger out;
+  out.spec = model.spec();
+  out.rows = model.ledger(engine_ptrs, limiter, 2ull << 20);
+  // Ledger row -> module class carrying the structure's annotation.
+  const auto structural_of = [&](const std::string& row) -> std::uint64_t {
+    for (const auto& r : out.rows) {
+      if (r.name == row) return r.bram_bits_structural;
+    }
+    return 0;
+  };
+  out.structural = {
+      {"PayloadBuffer", structural_of("Basic Pipeline")},
+      {"TenantRateLimiter", structural_of("Overload Det.")},
+      {"ReorderQueue", structural_of("PLB")},
+      {"SessionOffload", static_cast<std::uint64_t>(sessions.bram_bytes()) * 8},
+  };
+  return out;
+}
+
+/// Tab. 4 timing table derived from the compiled-in NicTimings, the
+/// authoritative source the lint_core mirror must agree with.
+std::vector<albatross::lint::FpgaTimingExpectation> derive_timings(
+    const albatross::NicTimings& t) {
+  using albatross::FpgaCycles;
+  const FpgaCycles dma = std::max(t.dma_rx_base, t.dma_tx_base);
+  return {
+      {"BasicPipeline", (t.basic_rx + t.basic_tx).count()},
+      {"TenantRateLimiter", t.overload_det_rx.count()},
+      {"PlbEngine", t.plb_rx.count()},
+      {"ReorderQueue", t.plb_tx.count()},
+      {"DmaChannel", dma.count()},
+  };
+}
+
+int run_fpga_report(const std::vector<std::string>& files,
+                    const Config& config) {
+  using namespace albatross;
+  const auto annotations = collect_annotations(files);
+  const ReportLedger ledger = build_report_ledger();
+  const NicTimings timings;
+  const auto expectations = derive_timings(timings);
+
+  std::vector<Finding> findings;
+  // The lint_core mirror of Tab. 4 must match the compiled-in
+  // NicTimings, or offline lint runs would check stale expectations.
+  for (const auto& e : expectations) {
+    for (const auto& d : albatross::lint::default_timing_expectations()) {
+      if (d.module != e.module) continue;
+      if (d.cycles != e.cycles) {
+        findings.push_back(Finding{
+            "tools/lint/lint_core.cpp", 0, "fpga-timing-closure",
+            "default_timing_expectations() lists " +
+                std::to_string(d.cycles) + " cycles for '" + e.module +
+                "' but NicTimings derives " + std::to_string(e.cycles) +
+                "; update the mirror"});
+      }
+      break;
+    }
+  }
+  const auto timing =
+      albatross::lint::check_fpga_timing(annotations, expectations);
+  findings.insert(findings.end(), timing.begin(), timing.end());
+  const auto budget = albatross::lint::check_fpga_budget(
+      annotations,
+      albatross::lint::FpgaBudget{ledger.spec.luts, ledger.spec.bram_bits});
+  findings.insert(findings.end(), budget.begin(), budget.end());
+  const auto stale = albatross::lint::check_fpga_stale(
+      annotations, ledger.structural, config.fpga_stale_tolerance);
+  findings.insert(findings.end(), stale.begin(), stale.end());
+  suppress_aggregate(findings, annotations, config);
+  sort_findings(findings);
+
+  std::uint64_t lut_sum = 0;
+  std::uint64_t bram_sum = 0;
+  for (const auto& a : annotations) {
+    lut_sum += a.lut;
+    bram_sum += a.bram_bits;
+  }
+
+  std::string out = "{\n";
+  out += "  \"spec\": {\"luts\": " + std::to_string(ledger.spec.luts) +
+         ", \"bram_bits\": " + std::to_string(ledger.spec.bram_bits) + "},\n";
+  out += "  \"datapath_clock_mhz\": " +
+         std::to_string(timings.datapath_clock_mhz) + ",\n";
+  out += "  \"modules\": [";
+  for (std::size_t i = 0; i < annotations.size(); ++i) {
+    const auto& a = annotations[i];
+    std::uint64_t structural = 0;
+    bool has_structural = false;
+    for (const auto& s : ledger.structural) {
+      if (s.module == a.module) {
+        structural = s.bram_bits;
+        has_structural = true;
+        break;
+      }
+    }
+    const Nanos latency =
+        timings.ns(FpgaCycles{a.cycles});
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"module\": \"" + a.module + "\", \"file\": \"" + a.file +
+           "\", \"line\": " + std::to_string(a.class_line) +
+           ", \"lut\": " + std::to_string(a.lut) +
+           ", \"bram_bits\": " + std::to_string(a.bram_bits) +
+           ", \"cycles\": " + std::to_string(a.cycles) +
+           ", \"latency_ns\": " + std::to_string(latency.count()) +
+           ", \"structural_bram_bits\": " +
+           (has_structural ? std::to_string(structural) : "null") + "}";
+  }
+  out += annotations.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"ledger\": [";
+  for (std::size_t i = 0; i < ledger.rows.size(); ++i) {
+    const auto& r = ledger.rows[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"module\": \"" + r.name + "\", \"lut_fraction\": " +
+           json_fraction(r.lut_fraction) + ", \"bram_fraction\": " +
+           json_fraction(r.bram_fraction) + ", \"bram_bits_structural\": " +
+           std::to_string(r.bram_bits_structural) + "}";
+  }
+  out += "\n  ],\n";
+  out += "  \"totals\": {\"lut\": " + std::to_string(lut_sum) +
+         ", \"bram_bits\": " + std::to_string(bram_sum) +
+         ", \"lut_fraction\": " +
+         json_fraction(static_cast<double>(lut_sum) /
+                       static_cast<double>(ledger.spec.luts)) +
+         ", \"bram_fraction\": " +
+         json_fraction(static_cast<double>(bram_sum) /
+                       static_cast<double>(ledger.spec.bram_bits)) +
+         "},\n";
+  out += "  \"findings\": " + albatross::lint::findings_to_json(findings) +
+         "\n}\n";
+  std::cout << out;
+  return findings.empty() ? 0 : 1;
 }
 
 }  // namespace
@@ -48,6 +274,9 @@ int usage() {
 int main(int argc, char** argv) {
   Config config;
   std::vector<std::string> roots;
+  std::vector<albatross::lint::AllowEntry> allow_entries;
+  bool json = false;
+  bool fpga_report = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -55,6 +284,14 @@ int main(int argc, char** argv) {
         std::cout << r << "\n";
       }
       return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--fpga-report") {
+      fpga_report = true;
+      continue;
     }
     if (arg == "--allowlist") {
       if (++i >= argc) return usage();
@@ -67,6 +304,8 @@ int main(int argc, char** argv) {
       std::ostringstream ss;
       ss << in.rdbuf();
       const auto entries = albatross::lint::parse_allowlist(ss.str());
+      allow_entries.insert(allow_entries.end(), entries.begin(),
+                           entries.end());
       config.allow.insert(config.allow.end(), entries.begin(), entries.end());
       continue;
     }
@@ -83,16 +322,64 @@ int main(int argc, char** argv) {
     }
     collect(r, files);
   }
+  // Directory iteration order is unspecified; sort so text, JSON and
+  // report output are deterministic across filesystems.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::size_t total = 0;
-  for (const auto& f : files) {
-    for (const Finding& finding : albatross::lint::lint_file(f, config)) {
-      std::cout << finding.file << ":" << finding.line << ": ["
-                << finding.rule << "] " << finding.message << "\n";
-      ++total;
+  // Allowlist hygiene: an entry whose path substring matches no linted
+  // file is stale and should be pruned (satisfies nothing, hides typos).
+  for (const auto& e : allow_entries) {
+    const bool matches_any =
+        std::any_of(files.begin(), files.end(), [&](const std::string& f) {
+          return f.find(e.path_substring) != std::string::npos;
+        });
+    if (!matches_any) {
+      std::cerr << "albatross_lint: warning: allowlist entry `" << e.rule
+                << " " << e.path_substring
+                << "` matches no linted file; prune it\n";
     }
   }
-  std::cout << "albatross_lint: " << files.size() << " files, " << total
-            << " finding(s)\n";
-  return total == 0 ? 0 : 1;
+
+  if (fpga_report) return run_fpga_report(files, config);
+
+  std::vector<Finding> findings;
+  for (const auto& f : files) {
+    auto file_findings = albatross::lint::lint_file(f, config);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  // Cross-file envelope pass: per-TU linting catches a single header
+  // blowing the budget; this catches the pipeline creeping past the
+  // envelope one module at a time.
+  const auto annotations = collect_annotations(files);
+  auto aggregate =
+      albatross::lint::check_fpga_budget(annotations, config.fpga_budget);
+  suppress_aggregate(aggregate, annotations, config);
+  for (auto& f : aggregate) {
+    const bool duplicate =
+        std::any_of(findings.begin(), findings.end(), [&](const Finding& g) {
+          return g.file == f.file && g.line == f.line && g.rule == f.rule;
+        });
+    if (!duplicate) findings.push_back(std::move(f));
+  }
+  sort_findings(findings);
+
+  if (json) {
+    std::cout << "{\n  \"files\": " << files.size()
+              << ",\n  \"total\": " << findings.size()
+              << ",\n  \"findings\": "
+              << albatross::lint::findings_to_json(findings) << "\n}\n";
+    return findings.empty() ? 0 : 1;
+  }
+
+  for (const Finding& finding : findings) {
+    std::cout << finding.file << ":" << finding.line << ": ["
+              << finding.rule << "] " << finding.message << "\n";
+  }
+  std::cout << "albatross_lint: " << files.size() << " files, "
+            << findings.size() << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
 }

@@ -1,0 +1,11 @@
+// Fixture: NIC module class with no `// fpga:` budget annotation.
+#pragma once
+
+namespace fixture {
+
+class UnbudgetedStage {
+ public:
+  int process() { return 0; }
+};
+
+}  // namespace fixture

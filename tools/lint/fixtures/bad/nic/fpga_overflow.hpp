@@ -1,0 +1,13 @@
+// Fixture: annotated bram_bits alone exceed the 265 Mbit FpgaSpec
+// envelope, so fpga-budget-overflow must fire.
+#pragma once
+
+namespace fixture {
+
+// fpga: lut=5'000, bram_bits=400'000'000, cycles=8
+class OversizedTable {
+ public:
+  int lookup() { return 0; }
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: correctly annotated NIC module — budget fits the envelope
+// and the cycles match PlbEngine's Tab. 4 dispatch cost.
+#pragma once
+
+namespace fixture {
+
+// fpga: lut=15'012, bram_bits=4'096, cycles=25
+class PlbEngine {
+ public:
+  int dispatch() { return 0; }
+};
+
+}  // namespace fixture

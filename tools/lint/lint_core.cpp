@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <regex>
 #include <set>
 #include <sstream>
@@ -148,19 +152,14 @@ class Sink {
       : path_(path), raw_(raw_lines), config_(config), out_(out) {}
 
   void report(int line_no, std::string rule, std::string message) {
-    // Inline suppression: lint:allow(rule) anywhere on the raw line.
+    Finding f{std::string(path_), line_no, std::move(rule),
+              std::move(message)};
+    std::string_view raw_line;
     if (line_no >= 1 && line_no <= static_cast<int>(raw_.size())) {
-      const auto& raw_line = raw_[static_cast<std::size_t>(line_no - 1)];
-      if (contains(raw_line, "lint:allow(" + rule + ")")) return;
+      raw_line = raw_[static_cast<std::size_t>(line_no - 1)];
     }
-    for (const auto& a : config_.allow) {
-      if ((a.rule == "*" || a.rule == rule) &&
-          contains(path_, a.path_substring)) {
-        return;
-      }
-    }
-    out_.push_back(Finding{std::string(path_), line_no, std::move(rule),
-                           std::move(message)});
+    if (suppressed(f, raw_line, config_)) return;
+    out_.push_back(std::move(f));
   }
 
  private:
@@ -205,7 +204,8 @@ void rule_rng(const RuleContext& ctx, Sink& sink) {
 
 bool in_determinism_scope(std::string_view path) {
   return contains(path, "nic/") || contains(path, "gateway/") ||
-         contains(path, "sim/") || contains(path, "check/");
+         contains(path, "sim/") || contains(path, "check/") ||
+         contains(path, "dpu/") || contains(path, "fleet/");
 }
 
 /// Collects identifiers declared with an unordered_{map,set} type in
@@ -366,12 +366,344 @@ void rule_header_hygiene(const RuleContext& ctx, Sink& sink) {
   }
 }
 
+// --- fpga-* resource-budget rules ------------------------------------------
+//
+// Grammar: `// fpga: lut=<N>, bram_bits=<M>, cycles=<K>` on the class
+// declaration line or in the contiguous `//` comment block directly
+// above it. Numbers may use C++14 digit separators. An annotation
+// states the module's whole-NIC instantiated cost at the default report
+// geometry (docs/STATIC_ANALYSIS.md, "Resource-budget rules"), so
+// summing every annotation partitions the chip.
+
+constexpr std::string_view kFpgaMarker = "fpga:";
+
+const std::regex& fpga_anno_re() {
+  static const std::regex re(
+      R"(//\s*fpga:\s*lut\s*=\s*([0-9']+)\s*,\s*bram_bits\s*=\s*([0-9']+)\s*,\s*cycles\s*=\s*([0-9']+))");
+  return re;
+}
+
+std::optional<std::uint64_t> parse_separated_u64(std::string_view digits) {
+  std::uint64_t v = 0;
+  for (const char c : digits) {
+    if (c == '\'') continue;
+    if (v > (std::numeric_limits<std::uint64_t>::max() - 9) / 10) {
+      return std::nullopt;
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+/// Index of a non-forward class declaration on stripped line `i`, or
+/// nullopt. Forward declarations reach `;` before `{`; template
+/// parameter lists (`class T>`) are rejected by the lookahead.
+std::optional<std::string> class_decl_name(
+    const std::vector<std::string>& code, std::size_t i) {
+  static const std::regex class_re(R"(^\s*class\s+([A-Za-z_]\w*))");
+  std::smatch m;
+  if (!std::regex_search(code[i], m, class_re)) return std::nullopt;
+  // Scan from after the name for the first of '{' (definition) or
+  // ';'/'>'/',' (forward declaration or template parameter).
+  std::size_t col = static_cast<std::size_t>(m.position(1)) + m[1].length();
+  for (std::size_t j = i; j < code.size() && j < i + 10; ++j) {
+    for (std::size_t k = (j == i ? col : 0); k < code[j].size(); ++k) {
+      const char c = code[j][k];
+      if (c == '{') return m[1].str();
+      if (c == ';' || c == '>' || c == ',') return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+struct AnnotationScan {
+  std::vector<FpgaAnnotation> annotations;
+  /// Class declarations without a parseable annotation:
+  /// (line, class name, had a malformed `fpga:` marker nearby).
+  struct Missing {
+    int line = 0;
+    std::string name;
+    bool malformed = false;
+  };
+  std::vector<Missing> missing;
+};
+
+AnnotationScan scan_fpga_annotations(std::string_view path,
+                                     const std::vector<std::string>& code,
+                                     const std::vector<std::string>& raw) {
+  AnnotationScan out;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const auto name = class_decl_name(code, i);
+    if (!name) continue;
+    // The annotation lives on the declaration line itself or in the
+    // contiguous run of `//` comment lines directly above it.
+    bool malformed = false;
+    std::optional<FpgaAnnotation> found;
+    const auto try_line = [&](std::size_t line_idx) {
+      const std::string& line = raw[line_idx];
+      std::smatch am;
+      if (std::regex_search(line, am, fpga_anno_re())) {
+        const auto lut = parse_separated_u64(am[1].str());
+        const auto bram = parse_separated_u64(am[2].str());
+        const auto cyc = parse_separated_u64(am[3].str());
+        if (lut && bram && cyc &&
+            *cyc <= static_cast<std::uint64_t>(
+                        std::numeric_limits<std::int64_t>::max())) {
+          FpgaAnnotation a;
+          a.file = std::string(path);
+          a.class_line = static_cast<int>(i + 1);
+          a.annotation_line = static_cast<int>(line_idx + 1);
+          a.module = *name;
+          a.lut = *lut;
+          a.bram_bits = *bram;
+          a.cycles = static_cast<std::int64_t>(*cyc);
+          a.raw_line = line;
+          found = std::move(a);
+          return;
+        }
+      }
+      if (contains(line, "//") && contains(line, kFpgaMarker)) {
+        malformed = true;
+      }
+    };
+    try_line(i);
+    for (std::size_t j = i; !found && j > 0; --j) {
+      const std::string& above = raw[j - 1];
+      const auto first = above.find_first_not_of(" \t");
+      if (first == std::string::npos ||
+          above.compare(first, 2, "//") != 0) {
+        break;  // end of the contiguous doc-comment block
+      }
+      try_line(j - 1);
+    }
+    if (found) {
+      out.annotations.push_back(std::move(*found));
+    } else {
+      out.missing.push_back(AnnotationScan::Missing{
+          static_cast<int>(i + 1), *name, malformed});
+    }
+  }
+  return out;
+}
+
+std::string format_bits(std::uint64_t bits) {
+  std::ostringstream os;
+  os << bits;
+  return os.str();
+}
+
+void rule_fpga(const RuleContext& ctx, Sink& sink, const Config& config) {
+  if (!fpga_scope(ctx.path)) return;
+  const auto scan = scan_fpga_annotations(ctx.path, ctx.code, ctx.raw);
+  for (const auto& miss : scan.missing) {
+    sink.report(miss.line, "fpga-missing-annotation",
+                (miss.malformed
+                     ? "malformed FPGA budget annotation on NIC module '" +
+                           miss.name + "'; expected"
+                     : "NIC module class '" + miss.name +
+                           "' has no FPGA budget annotation; add") +
+                    " `// fpga: lut=<N>, bram_bits=<M>, cycles=<K>` on the "
+                    "class declaration (docs/STATIC_ANALYSIS.md)");
+  }
+  for (const auto& f :
+       check_fpga_timing(scan.annotations, config.fpga_timing)) {
+    sink.report(f.line, f.rule, f.message);
+  }
+  // Per-TU envelope check; the driver repeats it across every linted
+  // nic/ header so cross-file growth is caught too.
+  for (const auto& f :
+       check_fpga_budget(scan.annotations, config.fpga_budget)) {
+    sink.report(f.line, f.rule, f.message);
+  }
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
 }  // namespace
+
+bool fpga_scope(std::string_view path) {
+  return is_header(path) && contains(path, "nic/");
+}
+
+const std::vector<FpgaTimingExpectation>& default_timing_expectations() {
+  // Mirror of Tab. 4 (NicTimings, src/nic/nic_pipeline.hpp) in 500 MHz
+  // datapath-clock cycles; `albatross_lint --fpga-report` re-derives
+  // this table from the compiled-in NicTimings and fails on drift.
+  static const std::vector<FpgaTimingExpectation> kExpect = {
+      {"BasicPipeline", 710},     // basic_rx 290 + basic_tx 420
+      {"TenantRateLimiter", 50},  // overload_det_rx
+      {"PlbEngine", 25},          // plb_rx (dispatch)
+      {"ReorderQueue", 175},      // plb_tx (reorder)
+      {"DmaChannel", 1585},       // max(dma_rx_base, dma_tx_base)
+  };
+  return kExpect;
+}
+
+std::vector<FpgaAnnotation> collect_fpga_annotations(std::string_view path,
+                                                     std::string_view text) {
+  const std::string stripped = strip_comments_and_strings(text);
+  const auto code = split_lines(stripped);
+  const auto raw = split_lines(text);
+  return scan_fpga_annotations(path, code, raw).annotations;
+}
+
+std::vector<FpgaAnnotation> collect_fpga_annotations_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return collect_fpga_annotations(path, ss.str());
+}
+
+std::vector<Finding> check_fpga_budget(
+    const std::vector<FpgaAnnotation>& annotations, const FpgaBudget& budget) {
+  std::vector<Finding> findings;
+  if (annotations.empty()) return findings;
+  std::uint64_t lut_sum = 0;
+  std::uint64_t bram_sum = 0;
+  const FpgaAnnotation* max_lut = &annotations.front();
+  const FpgaAnnotation* max_bram = &annotations.front();
+  for (const auto& a : annotations) {
+    lut_sum += a.lut;
+    bram_sum += a.bram_bits;
+    if (a.lut > max_lut->lut) max_lut = &a;
+    if (a.bram_bits > max_bram->bram_bits) max_bram = &a;
+  }
+  if (lut_sum > budget.luts) {
+    findings.push_back(Finding{
+        max_lut->file, max_lut->annotation_line, "fpga-budget-overflow",
+        "annotated LUT budgets sum to " + format_bits(lut_sum) +
+            " across the NIC pipeline, exceeding the FpgaSpec envelope of " +
+            format_bits(budget.luts) + " LUTs (largest contributor: " +
+            max_lut->module + ")"});
+  }
+  if (bram_sum > budget.bram_bits) {
+    findings.push_back(Finding{
+        max_bram->file, max_bram->annotation_line, "fpga-budget-overflow",
+        "annotated bram_bits sum to " + format_bits(bram_sum) +
+            " across the NIC pipeline, exceeding the FpgaSpec envelope of " +
+            format_bits(budget.bram_bits) +
+            " BRAM bits (largest contributor: " + max_bram->module + ")"});
+  }
+  return findings;
+}
+
+std::vector<Finding> check_fpga_timing(
+    const std::vector<FpgaAnnotation>& annotations,
+    const std::vector<FpgaTimingExpectation>& expectations) {
+  std::vector<Finding> findings;
+  for (const auto& a : annotations) {
+    for (const auto& e : expectations) {
+      if (e.module != a.module) continue;
+      if (a.cycles != e.cycles) {
+        std::ostringstream msg;
+        msg << "annotated cycles=" << a.cycles << " for module '" << a.module
+            << "' disagrees with its NicTimings stage cost of " << e.cycles
+            << " cycles at the 500 MHz datapath clock (Tab. 4)";
+        findings.push_back(Finding{a.file, a.annotation_line,
+                                   "fpga-timing-closure", msg.str()});
+      }
+      break;
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_fpga_stale(
+    const std::vector<FpgaAnnotation>& annotations,
+    const std::vector<FpgaStructural>& structural, double tolerance) {
+  std::vector<Finding> findings;
+  for (const auto& a : annotations) {
+    for (const auto& s : structural) {
+      if (s.module != a.module || s.bram_bits == 0) continue;
+      const double drift =
+          std::abs(static_cast<double>(a.bram_bits) -
+                   static_cast<double>(s.bram_bits)) /
+          static_cast<double>(s.bram_bits);
+      if (drift > tolerance) {
+        std::ostringstream msg;
+        msg.setf(std::ios::fixed);
+        msg.precision(1);
+        msg << "annotated bram_bits=" << a.bram_bits << " for module '"
+            << a.module << "' drifts " << drift * 100.0
+            << "% from the structural ledger accounting of " << s.bram_bits
+            << " bits (FpgaResourceModel::ledger(), default report "
+               "geometry); re-derive the annotation";
+        findings.push_back(Finding{a.file, a.annotation_line,
+                                   "fpga-stale-annotation", msg.str()});
+      }
+      break;
+    }
+  }
+  return findings;
+}
+
+bool suppressed(const Finding& finding, std::string_view raw_line,
+                const Config& config) {
+  if (contains(raw_line, "lint:allow(" + finding.rule + ")")) return true;
+  for (const auto& a : config.allow) {
+    if ((a.rule == "*" || a.rule == finding.rule) &&
+        contains(finding.file, a.path_substring)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string findings_to_json(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"";
+    append_json_escaped(out, f.file);
+    out += "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"";
+    append_json_escaped(out, f.rule);
+    out += "\", \"message\": \"";
+    append_json_escaped(out, f.message);
+    out += "\"}";
+  }
+  out += findings.empty() ? "]" : "\n  ]";
+  return out;
+}
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "wall-clock",         "nondeterministic-rng", "unordered-iteration",
-      "naked-time-literal", "scalar-hot-path",      "header-hygiene",
+      "wall-clock",         "nondeterministic-rng",
+      "unordered-iteration", "naked-time-literal",
+      "scalar-hot-path",    "header-hygiene",
+      "fpga-missing-annotation", "fpga-budget-overflow",
+      "fpga-timing-closure", "fpga-stale-annotation",
   };
   return kNames;
 }
@@ -402,6 +734,7 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
   rule_naked_time_literal(ctx, sink);
   rule_scalar_hot_path(ctx, sink);
   rule_header_hygiene(ctx, sink);
+  rule_fpga(ctx, sink, config);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
